@@ -1,0 +1,42 @@
+"""Ablation: shared-memory banks reserved for the SMA unit's A feed.
+
+The paper assigns 8 banks per unit (SS IV-B). Fewer banks serialize the
+diagonal A reads; more buy nothing because the feed is 8 words per cycle.
+"""
+
+from repro.common.tables import render_table
+from repro.systolic.dataflow import Dataflow, analyze_dataflow_cost
+
+
+def _feed_cost(banks: int):
+    return analyze_dataflow_cost(
+        Dataflow.SEMI_BROADCAST_WS,
+        m_extent=128,
+        k_extent=8,
+        n_extent=8,
+        a_banks=banks,
+        background_sts_words_per_cycle=8.0,
+    )
+
+
+def test_bank_assignment_ablation(benchmark):
+    results = benchmark.pedantic(
+        lambda: {banks: _feed_cost(banks) for banks in (1, 2, 4, 8, 16, 32)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [banks, cost.a_conflict_degree, cost.effective_streaming_cycles]
+        for banks, cost in results.items()
+    ]
+    print()
+    print(render_table(
+        ["a_banks", "a_conflict_degree", "streaming_cycles"], rows,
+        title="Ablation: shared-memory banks for the A feed (8x8 unit)",
+    ))
+    # 8 banks make the diagonal feed conflict-free; 4 or fewer serialize.
+    assert results[8].a_conflict_degree == 1.0
+    assert results[4].a_conflict_degree > 1.0
+    assert results[1].a_conflict_degree >= 4.0
+    # Extra banks beyond the feed width buy nothing.
+    assert results[16].a_conflict_degree == results[8].a_conflict_degree

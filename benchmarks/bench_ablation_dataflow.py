@@ -1,0 +1,59 @@
+"""Ablation: systolic dataflow choice on the GPU substrate (SS III-B).
+
+Compares the paper's semi-broadcast weight-stationary dataflow against the
+TPU's plain weight-stationary and an output-stationary reference, both at
+the per-tile analysis level and end-to-end through the executor.
+"""
+
+from repro.common.tables import render_table
+from repro.config import DataType, system_sma
+from repro.gemm.executor import GemmExecutor
+from repro.gemm.problem import GemmProblem
+from repro.systolic.dataflow import Dataflow, analyze_dataflow_cost
+
+PROBLEM = GemmProblem(2048, 2048, 2048, dtype=DataType.FP16)
+
+
+def _tile_costs():
+    return {
+        flow.value: analyze_dataflow_cost(flow, 128, 8, 8)
+        for flow in Dataflow
+    }
+
+
+def _end_to_end():
+    seconds = {}
+    for flow in (Dataflow.SEMI_BROADCAST_WS, Dataflow.WEIGHT_STATIONARY):
+        executor = GemmExecutor(system_sma(2), "sma", dataflow=flow)
+        seconds[flow.value] = executor.time_gemm(PROBLEM).seconds
+    return seconds
+
+
+def test_dataflow_tile_costs(benchmark):
+    results = benchmark.pedantic(_tile_costs, rounds=1, iterations=1)
+    rows = [
+        [name, cost.ideal_streaming_cycles, cost.contention_factor,
+         cost.total_cycles]
+        for name, cost in results.items()
+    ]
+    print()
+    print(render_table(
+        ["dataflow", "ideal_cycles", "contention", "total_cycles"], rows,
+        title="Ablation: dataflow cost per 128x8x8 tile",
+    ))
+    assert (
+        results["sbws"].total_cycles
+        < results["ws"].total_cycles
+    )
+
+
+def test_dataflow_end_to_end(benchmark):
+    results = benchmark.pedantic(_end_to_end, rounds=1, iterations=1)
+    ratio = results["ws"] / results["sbws"]
+    print()
+    print(render_table(
+        ["dataflow", "seconds"],
+        [[k, v] for k, v in results.items()],
+        title=f"Ablation: end-to-end dataflow (ws/sbws = {ratio:.2f})",
+    ))
+    assert 1.15 <= ratio <= 1.45  # paper: 20-40% slower

@@ -1,0 +1,42 @@
+"""Ablation: warp scheduler under the double-buffered SMA kernel.
+
+SS IV-C: the baseline greedy-then-oldest scheduler can starve one of the
+double-buffer warp sets; the SMA round-robin scheduler alternates the sets.
+This bench times the same SMA GEMM kernel under gto / lrr / sma_rr.
+"""
+
+from repro.common.tables import render_table
+from repro.config import DataType, system_sma
+from repro.gemm.executor import GemmExecutor
+from repro.gemm.problem import GemmProblem
+
+PROBLEM = GemmProblem(2048, 2048, 2048, dtype=DataType.FP16)
+
+
+def _cycles(scheduler: str) -> float:
+    executor = GemmExecutor(system_sma(2), "sma", scheduler=scheduler)
+    return executor.time_gemm(PROBLEM).tb_cycles
+
+
+def test_scheduler_ablation(benchmark):
+    results = benchmark.pedantic(
+        lambda: {s: _cycles(s) for s in ("gto", "lrr", "sma_rr")},
+        rounds=1,
+        iterations=1,
+    )
+    baseline = results["sma_rr"]
+    rows = [
+        [name, cycles, cycles / baseline] for name, cycles in results.items()
+    ]
+    print()
+    print(render_table(
+        ["scheduler", "tb_cycles", "vs_sma_rr"], rows,
+        title="Ablation: warp scheduler on the SMA double-buffer kernel",
+    ))
+    # In our pipeline the kernel is systolic-bound and the loaders are
+    # latency-tolerant, so all three policies land within a few percent —
+    # the GPGPU-Sim starvation pathology the paper works around does not
+    # manifest. We assert the policies stay comparable (no policy may
+    # tank the kernel) rather than a strict ordering.
+    for name, cycles in results.items():
+        assert cycles <= baseline * 1.05, name

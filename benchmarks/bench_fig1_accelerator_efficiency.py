@@ -1,0 +1,8 @@
+"""Fig 1: TPU vs TensorCore FLOPS efficiency on square GEMMs."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import run_fig1
+
+
+def test_fig1_efficiency_curves(benchmark):
+    run_and_report(benchmark, run_fig1)

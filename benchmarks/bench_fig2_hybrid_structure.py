@@ -1,0 +1,8 @@
+"""Fig 2: hybrid model operator inventory (GEMM vs GEMM-incompatible)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import run_fig2_inventory
+
+
+def test_fig2_operator_inventory(benchmark):
+    run_and_report(benchmark, run_fig2_inventory)

@@ -1,0 +1,8 @@
+"""Fig 3: TPU vs GPU end-to-end breakdown on Mask R-CNN / DeepLab + CRF."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import run_fig3
+
+
+def test_fig3_platform_breakdown(benchmark):
+    run_and_report(benchmark, run_fig3)

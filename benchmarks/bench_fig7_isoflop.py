@@ -1,0 +1,12 @@
+"""Fig 7: iso-FLOP 2-SMA vs 4-TC, and the dataflow ablation."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import run_fig7_left, run_fig7_right
+
+
+def test_fig7_left_sma_vs_tc(benchmark):
+    run_and_report(benchmark, run_fig7_left)
+
+
+def test_fig7_right_dataflows(benchmark):
+    run_and_report(benchmark, run_fig7_right)

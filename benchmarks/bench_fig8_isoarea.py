@@ -1,0 +1,12 @@
+"""Fig 8: iso-area speedup and energy on the Table II models."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import run_fig8_energy, run_fig8_speedup
+
+
+def test_fig8_top_speedup(benchmark):
+    run_and_report(benchmark, run_fig8_speedup)
+
+
+def test_fig8_bottom_energy(benchmark):
+    run_and_report(benchmark, run_fig8_energy)

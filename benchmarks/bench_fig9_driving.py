@@ -1,0 +1,12 @@
+"""Fig 9: the autonomous-driving pipeline (latency + frame skipping)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import run_fig9_left, run_fig9_right
+
+
+def test_fig9_left_frame_latency(benchmark):
+    run_and_report(benchmark, run_fig9_left)
+
+
+def test_fig9_right_skip_sweep(benchmark):
+    run_and_report(benchmark, run_fig9_right)

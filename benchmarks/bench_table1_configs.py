@@ -1,0 +1,12 @@
+"""Table I + the SS IV-A area-overhead claim."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import run_area_overhead, run_table1
+
+
+def test_table1_configurations(benchmark):
+    run_and_report(benchmark, run_table1)
+
+
+def test_area_overhead(benchmark):
+    run_and_report(benchmark, run_area_overhead)

@@ -1,0 +1,8 @@
+"""Table II: model zoo conv-layer counts."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import run_table2
+
+
+def test_table2_model_zoo(benchmark):
+    run_and_report(benchmark, run_table2)

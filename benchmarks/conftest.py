@@ -1,0 +1,23 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one paper table/figure (DESIGN.md SS4), prints
+its rows plus the acceptance checks, and reports the harness runtime via
+pytest-benchmark. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def run_and_report(benchmark, runner, *args, **kwargs):
+    """Benchmark one experiment runner and print its table."""
+    report = benchmark.pedantic(
+        runner, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    assert report.all_passed, [
+        criterion for criterion, ok in report.checks.items() if not ok
+    ]
+    return report

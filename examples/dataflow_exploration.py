@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Worked example of the paper's Fig 4: TPU vs SMA systolic dataflows.
+
+Streams a small tile through the cycle-level array simulator under the
+plain weight-stationary dataflow (TPU) and the semi-broadcast variant
+(SMA), showing that both compute the same GEMM while draining C in very
+different patterns — full rows (coalesceable into one register-file write)
+vs diagonals (scattered) — and what that does to shared-memory banking.
+
+Usage::
+
+    python examples/dataflow_exploration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.tables import render_table
+from repro.systolic.array import SystolicArray
+from repro.systolic.dataflow import (
+    Dataflow,
+    analyze_dataflow_cost,
+    output_coords,
+    traits_of,
+)
+
+M, K, N = 12, 4, 4
+
+
+def show_functional_equivalence() -> None:
+    rng = np.random.default_rng(0)
+    a = rng.integers(-3, 4, size=(M, K)).astype(float)
+    b = rng.integers(-3, 4, size=(K, N)).astype(float)
+
+    sb = SystolicArray(N, K, Dataflow.SEMI_BROADCAST_WS).run_gemm(a, b)
+    ws = SystolicArray(K, N, Dataflow.WEIGHT_STATIONARY).run_gemm(a, b)
+    reference = a @ b
+    assert np.allclose(sb.c, reference) and np.allclose(ws.c, reference)
+    print(f"Both dataflows reproduce A({M}x{K}) @ B({K}x{N}) exactly.")
+    print(f"  semi-broadcast: {sb.cycles} cycles "
+          f"({sb.weight_load_cycles} load + {sb.streaming_cycles} stream)")
+    print(f"  weight-stationary: {ws.cycles} cycles "
+          f"(+{ws.streaming_cycles - sb.streaming_cycles} from the diagonal"
+          " drain)")
+
+
+def show_drain_patterns() -> None:
+    print()
+    print("C drain schedule per cycle (row index of each emitted element):")
+    rows = []
+    for cycle in range(K - 1, M + K + N):
+        sb_out = output_coords(Dataflow.SEMI_BROADCAST_WS, cycle, M, K, N)
+        ws_out = output_coords(Dataflow.WEIGHT_STATIONARY, cycle, M, K, N)
+        rows.append(
+            [
+                cycle,
+                ",".join(str(m) for m, _n in sb_out) or "-",
+                ",".join(str(m) for m, _n in ws_out) or "-",
+            ]
+        )
+    print(render_table(["cycle", "semi-broadcast rows", "TPU-WS rows"], rows))
+    print()
+    print("Semi-broadcast emits one complete C row per cycle (a single")
+    print("coalesced register-file write); the TPU dataflow emits elements")
+    print("from different rows each cycle, which cannot coalesce.")
+
+
+def show_bank_analysis() -> None:
+    print()
+    rows = []
+    for flow in Dataflow:
+        traits = traits_of(flow, 8)
+        cost = analyze_dataflow_cost(flow, 128, 8, 8)
+        rows.append(
+            [
+                traits.name,
+                traits.c_drain,
+                cost.contention_factor,
+                cost.total_cycles,
+            ]
+        )
+    print(render_table(
+        ["dataflow", "C drain", "bank_contention", "cycles_per_tile"],
+        rows,
+        title="Cost of one 128x8x8 tile on the GPU substrate (paper Fig 7)",
+    ))
+
+
+def main() -> None:
+    show_functional_equivalence()
+    show_drain_patterns()
+    show_bank_analysis()
+
+
+if __name__ == "__main__":
+    main()

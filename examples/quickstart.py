@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: time one GEMM on every backend of the SMA reproduction.
+
+Runs a 2048^3 GEMM through the cycle-level pipeline on the SIMD baseline,
+the 4-TensorCore configuration, and the 2-/3-unit SMA configurations, then
+prints per-SM efficiency and speedups — the numbers behind the paper's
+Fig 7/Fig 8 headlines.
+
+Usage::
+
+    python examples/quickstart.py [size]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import DataType, GemmExecutor, GemmProblem
+from repro.common.tables import render_table
+from repro.config import system_gpu_simd, system_sma
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 2048
+    backends = [
+        ("SIMD (FP32 CUDA cores)", GemmExecutor(system_gpu_simd(), "simd"),
+         DataType.FP32),
+        ("4-TC (TensorCores)", GemmExecutor(system_gpu_simd(), "tc"),
+         DataType.FP16),
+        ("2-SMA (iso-FLOP)", GemmExecutor(system_sma(2), "sma"),
+         DataType.FP16),
+        ("3-SMA (iso-area)", GemmExecutor(system_sma(3), "sma"),
+         DataType.FP16),
+    ]
+
+    rows = []
+    baseline_seconds = None
+    for label, executor, dtype in backends:
+        problem = GemmProblem(size, size, size, dtype=dtype)
+        timing = executor.time_gemm(problem)
+        if baseline_seconds is None:
+            baseline_seconds = timing.seconds
+        rows.append(
+            [
+                label,
+                timing.milliseconds,
+                timing.tflops,
+                timing.sm_efficiency,
+                baseline_seconds / timing.seconds,
+            ]
+        )
+
+    print(
+        render_table(
+            ["backend", "ms", "tflops", "sm_efficiency", "speedup_vs_simd"],
+            rows,
+            title=f"GEMM {size}x{size}x{size} on the simulated V100",
+        )
+    )
+    print()
+    print("Expected shape (paper Fig 7/8): SMA ~0.89 steady-state efficiency")
+    print("vs ~0.68 for the TensorCores; 3-SMA ~1.6x faster than 4-TC.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""SMA: Simultaneous Multi-mode Architecture — DAC 2020 reproduction.
+
+A cycle-level simulation library reproducing "Balancing Efficiency and
+Flexibility for DNN Acceleration via Temporal GPU-Systolic Array
+Integration" (Guo et al.): a Volta-like GPU substrate whose MAC units
+temporally reconfigure into semi-broadcast weight-stationary systolic
+arrays driven by the asynchronous LSMA instruction.
+
+Public entry points:
+
+* ``repro.config`` — named system configurations (Table I);
+* ``repro.gemm.executor.GemmExecutor`` — time a GEMM on simd/tc/sma;
+* ``repro.platforms`` — run whole DNN graphs per platform;
+* ``repro.dnn.zoo`` — the Table II model graphs;
+* ``repro.apps.driving`` — the Fig 9 driving pipeline;
+* ``repro.experiments`` — regenerate every paper table and figure.
+"""
+
+from repro.config import (
+    DataType,
+    GpuConfig,
+    SmaConfig,
+    SystemConfig,
+    TpuConfig,
+    system_gpu_4tc,
+    system_gpu_simd,
+    system_sma,
+    system_tpu,
+)
+from repro.errors import (
+    ConfigError,
+    GraphError,
+    LoweringError,
+    MappingError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    UnsupportedOperationError,
+)
+from repro.gemm.executor import GemmExecutor, GemmTiming
+from repro.gemm.problem import GemmProblem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigError",
+    "DataType",
+    "GemmExecutor",
+    "GemmProblem",
+    "GemmTiming",
+    "GpuConfig",
+    "GraphError",
+    "LoweringError",
+    "MappingError",
+    "ReproError",
+    "SchedulingError",
+    "SimulationError",
+    "SmaConfig",
+    "SystemConfig",
+    "TpuConfig",
+    "UnsupportedOperationError",
+    "__version__",
+    "system_gpu_4tc",
+    "system_gpu_simd",
+    "system_sma",
+    "system_tpu",
+]

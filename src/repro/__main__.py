@@ -1,0 +1,76 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro run fig7_left        # print one regenerated figure
+    python -m repro run all              # print everything
+    python -m repro export [-o results]  # write every figure as CSV
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.export import EXPERIMENT_RUNNERS, export_all
+
+
+def _cmd_list() -> int:
+    for name, runner in EXPERIMENT_RUNNERS.items():
+        doc = (runner.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:14s} {doc}")
+    return 0
+
+
+def _cmd_run(names: list[str]) -> int:
+    if names == ["all"]:
+        names = list(EXPERIMENT_RUNNERS)
+    failures = 0
+    for name in names:
+        runner = EXPERIMENT_RUNNERS.get(name)
+        if runner is None:
+            print(f"unknown experiment {name!r}; try 'python -m repro list'")
+            return 2
+        report = runner()
+        print(report.render())
+        print()
+        if not report.all_passed:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_export(output: str, names: list[str] | None) -> int:
+    written = export_all(output, names)
+    for name, path in written.items():
+        print(f"{name:14s} -> {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SMA (DAC 2020) reproduction: regenerate paper results",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run experiments and print tables")
+    run_parser.add_argument("names", nargs="+", help="experiment names or 'all'")
+
+    export_parser = sub.add_parser("export", help="export experiments as CSV")
+    export_parser.add_argument("-o", "--output", default="results")
+    export_parser.add_argument("names", nargs="*", default=None)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.names)
+    if args.command == "export":
+        return _cmd_export(args.output, args.names or None)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

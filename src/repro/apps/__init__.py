@@ -1,0 +1,16 @@
+"""End-to-end applications: the Fig 9 autonomous-driving pipeline."""
+
+from repro.apps.driving import DrivingPipeline, FrameLatency
+from repro.apps.tasks import (
+    DrivingWorkloads,
+    OrbSlamFrontend,
+    build_driving_workloads,
+)
+
+__all__ = [
+    "DrivingPipeline",
+    "DrivingWorkloads",
+    "FrameLatency",
+    "OrbSlamFrontend",
+    "build_driving_workloads",
+]

@@ -1,0 +1,93 @@
+"""The three driving-pipeline tasks (paper SS V-C, after Lin et al.).
+
+* **DET** — detection: DeepLab on driving frames (CNN, GEMM-heavy);
+* **TRA** — tracking: GOTURN (CNN, lighter);
+* **LOC** — localization: ORB-SLAM's feature frontend + pose optimization,
+  massively parallel but not a CNN: it runs in SIMD mode everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnn.graph import LayerGraph
+from repro.dnn.ops import OpCategory, Operator
+from repro.dnn.tensor import TensorShape
+from repro.dnn.zoo.deeplab import build_deeplab
+from repro.dnn.zoo.goturn import build_goturn
+
+#: Detection input resolution for driving frames.
+DETECTION_INPUT_SIZE = 641
+
+
+@dataclass(frozen=True)
+class OrbSlamFrontend(Operator):
+    """ORB-SLAM per-frame work: FAST corners, ORB descriptors, matching,
+    and the (serial) pose optimization — a non-CNN parallel workload."""
+
+    num_features: int = 2000
+
+    @classmethod
+    def build(
+        cls, name: str = "orb_slam", image_h: int = 480, image_w: int = 640,
+        num_features: int = 2000,
+    ) -> "OrbSlamFrontend":
+        return cls(
+            name=name,
+            input_shape=TensorShape((1, 1, image_h, image_w)),
+            output_shape=TensorShape((num_features, 32)),
+            category=OpCategory.IRREGULAR,
+            num_features=num_features,
+        )
+
+    @property
+    def flops(self) -> float:
+        pixels = self.input_shape.dims[2] * self.input_shape.dims[3]
+        # 8-level pyramid FAST + orientation (per pixel), brute-force
+        # descriptor matching against the local map, and the motion-only
+        # bundle-adjustment solve (calibrated to ~30 ms on the V100,
+        # consistent with published GPU ORB-SLAM frontends).
+        return (
+            pixels * 8.0 * 250.0
+            + self.num_features * 256.0 * 2500.0
+            + self.num_features ** 2 * 80.0
+        )
+
+    @property
+    def simd_efficiency(self) -> float:
+        # Branchy image processing: a few permille of GPU peak.
+        return 0.005
+
+    @property
+    def kernel_launches(self) -> int:
+        return 40
+
+    @property
+    def host_serial_fraction(self) -> float:
+        return 0.35
+
+
+@dataclass(frozen=True)
+class DrivingWorkloads:
+    """The three task graphs of the driving pipeline."""
+
+    detection: LayerGraph
+    tracking: LayerGraph
+    localization: LayerGraph
+
+
+def build_driving_workloads(
+    detection_input: int = DETECTION_INPUT_SIZE,
+) -> DrivingWorkloads:
+    """DET = DeepLab (no CRF on the car), TRA = GOTURN, LOC = ORB-SLAM."""
+    detection = build_deeplab(with_crf=False, input_size=detection_input)
+
+    localization = LayerGraph("ORB-SLAM")
+    localization.add(OrbSlamFrontend.build())
+    localization.validate()
+
+    return DrivingWorkloads(
+        detection=detection,
+        tracking=build_goturn(),
+        localization=localization,
+    )

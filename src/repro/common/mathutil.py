@@ -1,0 +1,80 @@
+"""Small integer/tiling helpers used across the simulators."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division; denominator must be positive."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-numerator // denominator)
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the next multiple of ``multiple``."""
+    return ceil_div(value, multiple) * multiple
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the inclusive range [low, high]."""
+    if low > high:
+        raise ValueError(f"empty clamp range [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def prod(values: Sequence[int]) -> int:
+    """Product of a sequence of integers (1 for the empty sequence)."""
+    result = 1
+    for value in values:
+        result *= value
+    return result
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2; raises for non powers of two."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def tile_spans(extent: int, tile: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, size)`` spans covering ``[0, extent)`` in ``tile`` steps.
+
+    The final span may be smaller than ``tile``. ``extent == 0`` yields
+    nothing.
+    """
+    if tile <= 0:
+        raise ValueError(f"tile must be positive, got {tile}")
+    if extent < 0:
+        raise ValueError(f"extent must be non-negative, got {extent}")
+    start = 0
+    while start < extent:
+        size = min(tile, extent - start)
+        yield start, size
+        start += size
+
+
+def split_range(extent: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``[0, extent)`` into ``parts`` contiguous near-equal spans.
+
+    Earlier spans receive the remainder, matching how work is typically
+    balanced across SMs. Returns a list of ``(start, size)`` with zero-size
+    spans allowed when ``parts > extent``.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    base, extra = divmod(extent, parts)
+    spans = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        spans.append((start, size))
+        start += size
+    return spans

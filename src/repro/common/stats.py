@@ -1,0 +1,79 @@
+"""Generic named counters shared by the timing and energy models."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Mapping
+
+
+class CounterBag:
+    """A mapping of counter name -> float with arithmetic helpers.
+
+    Used for event counts (memory accesses, issued instructions, stall
+    cycles). Supports merging bags from sub-simulations and scaling a
+    steady-state sample up to a full kernel.
+    """
+
+    def __init__(self, initial: Mapping[str, float] | None = None) -> None:
+        self._counts: dict[str, float] = defaultdict(float)
+        if initial:
+            for name, value in initial.items():
+                self._counts[name] = float(value)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counts[name] += amount
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (0.0 when never incremented)."""
+        return self._counts.get(name, 0.0)
+
+    def merge(self, other: "CounterBag") -> None:
+        """Add every counter of ``other`` into this bag in place."""
+        for name, value in other.items():
+            self._counts[name] += value
+
+    def merged(self, other: "CounterBag") -> "CounterBag":
+        """Return a new bag holding the element-wise sum."""
+        result = CounterBag(self._counts)
+        result.merge(other)
+        return result
+
+    def scaled(self, factor: float) -> "CounterBag":
+        """Return a new bag with every counter multiplied by ``factor``."""
+        return CounterBag({name: value * factor for name, value in self.items()})
+
+    def items(self) -> Iterable[tuple[str, float]]:
+        return self._counts.items()
+
+    def names(self) -> Iterable[str]:
+        return self._counts.keys()
+
+    def as_dict(self) -> dict[str, float]:
+        """A plain-dict copy of the counters."""
+        return dict(self._counts)
+
+    def total(self) -> float:
+        """Sum over all counters."""
+        return sum(self._counts.values())
+
+    def __getitem__(self, name: str) -> float:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CounterBag):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counts.items()))
+        return f"CounterBag({inner})"

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for benchmark and experiment reports.
+
+The benchmark harness prints the same rows/series as the paper's tables and
+figures; this module keeps that output aligned and reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_quantity(value: object, precision: int = 3) -> str:
+    """Format one cell: floats get fixed precision, the rest use str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.001 and value != 0.0):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render an ASCII table with aligned columns.
+
+    ``rows`` may hold any mix of strings and numbers; every row must have the
+    same arity as ``headers``.
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+    cells = [[format_quantity(value, precision) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(values: Sequence[str]) -> str:
+        return " | ".join(value.rjust(widths[i]) for i, value in enumerate(values))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append(separator)
+    lines.extend(format_row(row) for row in cells)
+    return "\n".join(lines)

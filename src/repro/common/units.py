@@ -1,0 +1,70 @@
+"""Unit conversions between cycles, wall-clock time, FLOPs and bytes.
+
+The simulators count cycles; experiments report milliseconds and TFLOPS.
+Keeping every conversion here avoids scattered magic constants.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+TERA = 1_000_000_000_000
+
+
+def cycles_to_seconds(cycles: float, clock_ghz: float) -> float:
+    """Convert a cycle count to seconds for a clock in GHz."""
+    if clock_ghz <= 0:
+        raise ValueError(f"clock_ghz must be positive, got {clock_ghz}")
+    return cycles / (clock_ghz * GIGA)
+
+
+def cycles_to_ms(cycles: float, clock_ghz: float) -> float:
+    """Convert a cycle count to milliseconds."""
+    return cycles_to_seconds(cycles, clock_ghz) * 1e3
+
+
+def cycles_to_us(cycles: float, clock_ghz: float) -> float:
+    """Convert a cycle count to microseconds."""
+    return cycles_to_seconds(cycles, clock_ghz) * 1e6
+
+
+def seconds_to_cycles(seconds: float, clock_ghz: float) -> float:
+    """Convert seconds to (fractional) cycles for a clock in GHz."""
+    if clock_ghz <= 0:
+        raise ValueError(f"clock_ghz must be positive, got {clock_ghz}")
+    return seconds * clock_ghz * GIGA
+
+
+def ms_to_cycles(ms: float, clock_ghz: float) -> float:
+    """Convert milliseconds to (fractional) cycles."""
+    return seconds_to_cycles(ms * 1e-3, clock_ghz)
+
+
+def flops_to_tflops(flops_per_second: float) -> float:
+    """Convert FLOP/s to TFLOP/s."""
+    return flops_per_second / TERA
+
+
+def human_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``96.0 KiB``."""
+    value = float(num_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            return f"{value:.1f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def human_flops(flops: float) -> str:
+    """Render a FLOP count with a decimal suffix, e.g. ``1.42 GFLOP``."""
+    value = float(flops)
+    for suffix in ("FLOP", "KFLOP", "MFLOP", "GFLOP", "TFLOP"):
+        if abs(value) < 1000.0 or suffix == "TFLOP":
+            return f"{value:.2f} {suffix}"
+        value /= 1000.0
+    raise AssertionError("unreachable")

@@ -1,0 +1,44 @@
+"""DNN operator IR, layer graphs, conv->GEMM lowering, and the model zoo."""
+
+from repro.dnn.graph import LayerGraph, LayerNode
+from repro.dnn.ops import (
+    ArgMax,
+    BatchNorm,
+    Concat,
+    Conv2d,
+    Crf,
+    Dense,
+    Eltwise,
+    Interp,
+    OpCategory,
+    Operator,
+    Pool,
+    RegionProposal,
+    Relu,
+    RoIAlign,
+    Softmax,
+    TpuSupport,
+)
+from repro.dnn.tensor import TensorShape
+
+__all__ = [
+    "ArgMax",
+    "BatchNorm",
+    "Concat",
+    "Conv2d",
+    "Crf",
+    "Dense",
+    "Eltwise",
+    "Interp",
+    "LayerGraph",
+    "LayerNode",
+    "OpCategory",
+    "Operator",
+    "Pool",
+    "RegionProposal",
+    "Relu",
+    "RoIAlign",
+    "Softmax",
+    "TensorShape",
+    "TpuSupport",
+]

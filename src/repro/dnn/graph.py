@@ -1,0 +1,107 @@
+"""Layer graphs: DAG of operators with topological execution order."""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+from repro.dnn.ops import OpCategory, Operator
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True)
+class LayerNode:
+    """One operator instance in the graph."""
+
+    node_id: int
+    op: Operator
+    inputs: tuple[int, ...]
+
+
+@dataclass
+class LayerGraph:
+    """A DAG of operators; ``add`` returns node ids used as inputs later."""
+
+    name: str
+    nodes: list[LayerNode] = field(default_factory=list)
+
+    def add(self, op: Operator, inputs: tuple[int, ...] | list[int] = ()) -> int:
+        """Append an operator; ``inputs`` are producer node ids."""
+        node_id = len(self.nodes)
+        inputs = tuple(inputs)
+        for producer in inputs:
+            if not (0 <= producer < node_id):
+                raise GraphError(
+                    f"node {node_id} ({op.name}) references unknown producer"
+                    f" {producer}"
+                )
+        self.nodes.append(LayerNode(node_id=node_id, op=op, inputs=inputs))
+        return node_id
+
+    # -- structure -------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the graph is a DAG with valid references (adds are append-
+        only so acyclicity holds by construction; this re-verifies)."""
+        indegree = [0] * len(self.nodes)
+        consumers: dict[int, list[int]] = {}
+        for node in self.nodes:
+            for producer in node.inputs:
+                if producer >= node.node_id:
+                    raise GraphError(
+                        f"forward reference {producer} -> {node.node_id}"
+                    )
+                indegree[node.node_id] += 1
+                consumers.setdefault(producer, []).append(node.node_id)
+        ready = deque(i for i, deg in enumerate(indegree) if deg == 0)
+        seen = 0
+        while ready:
+            current = ready.popleft()
+            seen += 1
+            for consumer in consumers.get(current, []):
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    ready.append(consumer)
+        if seen != len(self.nodes):
+            raise GraphError(f"graph {self.name!r} contains a cycle")
+
+    def topological_order(self) -> list[LayerNode]:
+        """Execution order (construction order is already topological)."""
+        self.validate()
+        return list(self.nodes)
+
+    # -- statistics --------------------------------------------------------------------
+    def operators(self) -> list[Operator]:
+        return [node.op for node in self.nodes]
+
+    def count_category(self, category: OpCategory) -> int:
+        return sum(1 for node in self.nodes if node.op.category is category)
+
+    @property
+    def conv_layer_count(self) -> int:
+        """Convolution layers, the paper's Table II metric."""
+        return self.count_category(OpCategory.CONV)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(node.op.flops for node in self.nodes)
+
+    @property
+    def gemm_compatible_flops(self) -> float:
+        return sum(
+            node.op.flops for node in self.nodes if node.op.is_gemm_compatible
+        )
+
+    @property
+    def irregular_ops(self) -> list[Operator]:
+        return [
+            node.op
+            for node in self.nodes
+            if node.op.category is OpCategory.IRREGULAR
+        ]
+
+    def category_histogram(self) -> dict[str, int]:
+        counts = Counter(node.op.category.value for node in self.nodes)
+        return dict(counts)
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,48 @@
+"""Shape-level tensor descriptors (no data, just geometry and dtype)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.mathutil import prod
+from repro.config import DataType
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """An N-dimensional tensor shape with element type."""
+
+    dims: tuple[int, ...]
+    dtype: DataType = DataType.FP32
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise GraphError("a tensor needs at least one dimension")
+        for extent in self.dims:
+            if extent <= 0:
+                raise GraphError(f"non-positive dimension in {self.dims}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def elements(self) -> int:
+        return prod(self.dims)
+
+    @property
+    def bytes(self) -> int:
+        return self.elements * self.dtype.bytes
+
+    def with_dims(self, dims: tuple[int, ...]) -> "TensorShape":
+        return TensorShape(dims=dims, dtype=self.dtype)
+
+    def __str__(self) -> str:
+        inner = "x".join(str(d) for d in self.dims)
+        return f"{inner}:{self.dtype.value}"
+
+
+def nchw(batch: int, channels: int, height: int, width: int) -> TensorShape:
+    """Convenience constructor for activation tensors."""
+    return TensorShape((batch, channels, height, width))

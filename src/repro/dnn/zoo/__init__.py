@@ -1,0 +1,42 @@
+"""Model zoo: the CNNs of the paper's Table II plus GOTURN (Fig 9).
+
+All graphs are shape-faithful reconstructions: layer counts match Table II
+exactly (asserted by tests) and per-layer GEMM dimensions follow the
+published architectures; weights are not represented (timing and energy
+depend only on shapes).
+"""
+
+from repro.dnn.zoo.alexnet import build_alexnet
+from repro.dnn.zoo.deeplab import build_deeplab
+from repro.dnn.zoo.googlenet import build_googlenet
+from repro.dnn.zoo.goturn import build_goturn
+from repro.dnn.zoo.mask_rcnn import build_mask_rcnn
+from repro.dnn.zoo.vgg import build_vgg_a
+
+#: Paper Table II: conv layer counts.
+TABLE_II_CONV_LAYERS = {
+    "AlexNet": 5,
+    "VGG-A": 8,
+    "GoogLeNet": 57,
+    "Mask R-CNN": 132,
+    "DeepLab": 108,
+}
+
+MODEL_BUILDERS = {
+    "AlexNet": build_alexnet,
+    "VGG-A": build_vgg_a,
+    "GoogLeNet": build_googlenet,
+    "Mask R-CNN": build_mask_rcnn,
+    "DeepLab": build_deeplab,
+}
+
+__all__ = [
+    "MODEL_BUILDERS",
+    "TABLE_II_CONV_LAYERS",
+    "build_alexnet",
+    "build_deeplab",
+    "build_googlenet",
+    "build_goturn",
+    "build_mask_rcnn",
+    "build_vgg_a",
+]

@@ -1,0 +1,58 @@
+"""AlexNet (Krizhevsky et al., 2012): 5 conv + 3 FC layers."""
+
+from __future__ import annotations
+
+from repro.dnn.graph import LayerGraph
+from repro.dnn.ops import Conv2d, Dense, Pool, Relu
+
+
+def build_alexnet(batch: int = 1) -> LayerGraph:
+    """The single-tower AlexNet used for ImageNet classification."""
+    graph = LayerGraph("AlexNet")
+    h = w = 227
+
+    conv1 = Conv2d.build("conv1", 3, 96, h, w, kernel=11, stride=4, batch=batch)
+    n = graph.add(conv1)
+    n = graph.add(Relu.build("relu1", conv1.output_shape), (n,))
+    _b, c, h, w = conv1.output_shape.dims
+    pool1 = Pool.build("pool1", c, h, w, kernel=3, stride=2, batch=batch)
+    n = graph.add(pool1, (n,))
+    _b, c, h, w = pool1.output_shape.dims
+
+    conv2 = Conv2d.build("conv2", c, 256, h, w, kernel=5, padding=2, batch=batch)
+    n = graph.add(conv2, (n,))
+    n = graph.add(Relu.build("relu2", conv2.output_shape), (n,))
+    _b, c, h, w = conv2.output_shape.dims
+    pool2 = Pool.build("pool2", c, h, w, kernel=3, stride=2, batch=batch)
+    n = graph.add(pool2, (n,))
+    _b, c, h, w = pool2.output_shape.dims
+
+    conv3 = Conv2d.build("conv3", c, 384, h, w, kernel=3, padding=1, batch=batch)
+    n = graph.add(conv3, (n,))
+    n = graph.add(Relu.build("relu3", conv3.output_shape), (n,))
+    _b, c, h, w = conv3.output_shape.dims
+
+    conv4 = Conv2d.build("conv4", c, 384, h, w, kernel=3, padding=1, batch=batch)
+    n = graph.add(conv4, (n,))
+    n = graph.add(Relu.build("relu4", conv4.output_shape), (n,))
+    _b, c, h, w = conv4.output_shape.dims
+
+    conv5 = Conv2d.build("conv5", c, 256, h, w, kernel=3, padding=1, batch=batch)
+    n = graph.add(conv5, (n,))
+    n = graph.add(Relu.build("relu5", conv5.output_shape), (n,))
+    _b, c, h, w = conv5.output_shape.dims
+    pool5 = Pool.build("pool5", c, h, w, kernel=3, stride=2, batch=batch)
+    n = graph.add(pool5, (n,))
+    _b, c, h, w = pool5.output_shape.dims
+
+    fc6 = Dense.build("fc6", c * h * w, 4096, batch=batch)
+    n = graph.add(fc6, (n,))
+    n = graph.add(Relu.build("relu6", fc6.output_shape), (n,))
+    fc7 = Dense.build("fc7", 4096, 4096, batch=batch)
+    n = graph.add(fc7, (n,))
+    n = graph.add(Relu.build("relu7", fc7.output_shape), (n,))
+    fc8 = Dense.build("fc8", 4096, 1000, batch=batch)
+    graph.add(fc8, (n,))
+
+    graph.validate()
+    return graph

@@ -1,0 +1,136 @@
+"""Shared ResNet bottleneck backbone used by Mask R-CNN and DeepLab."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnn.graph import LayerGraph
+from repro.dnn.ops import BatchNorm, Conv2d, Eltwise, Pool, Relu
+
+
+@dataclass
+class BackboneState:
+    """Cursor through the graph while building a backbone."""
+
+    node: int
+    channels: int
+    height: int
+    width: int
+    conv_count: int = 0
+
+
+def _conv_bn(
+    graph: LayerGraph,
+    state_node: int | None,
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    h: int,
+    w: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    dilation: int = 1,
+    batch: int = 1,
+    relu: bool = True,
+) -> tuple[int, Conv2d]:
+    conv = Conv2d.build(
+        name, in_channels, out_channels, h, w,
+        kernel=kernel, stride=stride, padding=padding, dilation=dilation,
+        batch=batch,
+    )
+    node = graph.add(conv, () if state_node is None else (state_node,))
+    node = graph.add(BatchNorm.build(f"{name}/bn", conv.output_shape), (node,))
+    if relu:
+        node = graph.add(Relu.build(f"{name}/relu", conv.output_shape), (node,))
+    return node, conv
+
+
+def bottleneck(
+    graph: LayerGraph,
+    state: BackboneState,
+    name: str,
+    mid_channels: int,
+    out_channels: int,
+    stride: int = 1,
+    dilation: int = 1,
+    batch: int = 1,
+) -> BackboneState:
+    """One ResNet bottleneck: 1x1 -> 3x3 -> 1x1 (+ projection shortcut)."""
+    identity = state.node
+    node, conv1 = _conv_bn(
+        graph, state.node, f"{name}/conv1", state.channels, mid_channels,
+        state.height, state.width, kernel=1, batch=batch,
+    )
+    node, conv2 = _conv_bn(
+        graph, node, f"{name}/conv2", mid_channels, mid_channels,
+        state.height, state.width, kernel=3, stride=stride,
+        padding=dilation, dilation=dilation, batch=batch,
+    )
+    _b, _c, out_h, out_w = conv2.output_shape.dims
+    node, conv3 = _conv_bn(
+        graph, node, f"{name}/conv3", mid_channels, out_channels,
+        out_h, out_w, kernel=1, batch=batch, relu=False,
+    )
+    convs = 3
+    if stride != 1 or state.channels != out_channels:
+        shortcut_node, _conv = _conv_bn(
+            graph, identity, f"{name}/shortcut", state.channels, out_channels,
+            state.height, state.width, kernel=1, stride=stride,
+            batch=batch, relu=False,
+        )
+        convs += 1
+        identity = shortcut_node
+    add = Eltwise.build(f"{name}/add", conv3.output_shape)
+    node = graph.add(add, (node, identity))
+    node = graph.add(Relu.build(f"{name}/out_relu", conv3.output_shape), (node,))
+    return BackboneState(
+        node=node,
+        channels=out_channels,
+        height=out_h,
+        width=out_w,
+        conv_count=state.conv_count + convs,
+    )
+
+
+def resnet101_backbone(
+    graph: LayerGraph,
+    height: int,
+    width: int,
+    batch: int = 1,
+    dilate_last_stage: bool = False,
+) -> tuple[BackboneState, list[BackboneState]]:
+    """ResNet-101 trunk: 104 convolutions (1 stem + 99 block + 4 shortcut).
+
+    Returns the final state and the per-stage end states (C2..C5) for FPN
+    lateral connections. ``dilate_last_stage`` keeps stage-5 resolution for
+    DeepLab's dilated convolutions.
+    """
+    node, conv1 = _conv_bn(
+        graph, None,
+        "conv1", 3, 64, height, width, kernel=7, stride=2, padding=3,
+        batch=batch,
+    )
+    _b, _c, h, w = conv1.output_shape.dims
+    pool = Pool.build("pool1", 64, h, w, kernel=3, stride=2, padding=1, batch=batch)
+    node = graph.add(pool, (node,))
+    _b, c, h, w = pool.output_shape.dims
+    state = BackboneState(node=node, channels=c, height=h, width=w, conv_count=1)
+
+    stage_specs = [
+        ("res2", 3, 64, 256, 1, 1),
+        ("res3", 4, 128, 512, 2, 1),
+        ("res4", 23, 256, 1024, 2, 1),
+        ("res5", 3, 512, 2048, 1 if dilate_last_stage else 2,
+         2 if dilate_last_stage else 1),
+    ]
+    stage_ends = []
+    for stage_name, blocks, mid, out, first_stride, dilation in stage_specs:
+        for block in range(blocks):
+            stride = first_stride if block == 0 else 1
+            state = bottleneck(
+                graph, state, f"{stage_name}/block{block}", mid, out,
+                stride=stride, dilation=dilation, batch=batch,
+            )
+        stage_ends.append(state)
+    return state, stage_ends

@@ -1,0 +1,59 @@
+"""DeepLab (Chen et al.) semantic segmentation with ResNet-101 + ASPP.
+
+Conv budget matching Table II's 108: the dilated ResNet-101 trunk (104)
+plus the four parallel atrous-spatial-pyramid-pooling branches (rates 6,
+12, 18, 24) that directly emit per-class logits. The GEMM-incompatible
+tail — bilinear upsampling to input resolution, per-pixel ArgMax, and the
+fully connected CRF — is what breaks the TPU in the paper's Fig 3.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import LayerGraph
+from repro.dnn.ops import ArgMax, Conv2d, Crf, Eltwise, Interp
+from repro.dnn.zoo.backbones import resnet101_backbone
+
+INPUT_HEIGHT = 513
+INPUT_WIDTH = 513
+NUM_CLASSES = 21
+ASPP_RATES = (6, 12, 18, 24)
+
+
+def build_deeplab(
+    batch: int = 1, with_crf: bool = True, input_size: int = INPUT_HEIGHT
+) -> LayerGraph:
+    """Shape-faithful DeepLab graph (108 conv layers).
+
+    ``input_size`` scales the square input (the driving pipeline of Fig 9
+    runs detection on larger frames than the 513x513 PASCAL crops).
+    """
+    graph = LayerGraph("DeepLab")
+    final, _stages = resnet101_backbone(
+        graph, input_size, input_size, batch=batch, dilate_last_stage=True
+    )
+
+    # --- ASPP: four parallel dilated 3x3 convs producing logits, summed.
+    branch_nodes = []
+    logits_shape = None
+    for rate in ASPP_RATES:
+        conv = Conv2d.build(
+            f"aspp/rate{rate}", final.channels, NUM_CLASSES,
+            final.height, final.width, kernel=3, padding=rate, dilation=rate,
+            batch=batch,
+        )
+        branch_nodes.append(graph.add(conv, (final.node,)))
+        logits_shape = conv.output_shape
+    fuse = Eltwise.build("aspp/sum", logits_shape)
+    n = graph.add(fuse, tuple(branch_nodes))
+
+    # --- Decoder tail: upsample, argmax, CRF (irregular).
+    up = Interp.build("upsample", logits_shape, input_size, input_size)
+    n = graph.add(up, (n,))
+    if with_crf:
+        crf = Crf.build("crf", up.output_shape)
+        n = graph.add(crf, (n,))
+    argmax = ArgMax.build("argmax", up.output_shape)
+    graph.add(argmax, (n,))
+
+    graph.validate()
+    return graph

@@ -1,0 +1,103 @@
+"""GoogLeNet / Inception-v1 (Szegedy et al., 2015): 57 conv layers.
+
+3 stem convolutions plus 9 inception modules of 6 convolutions each
+(1x1, 3x3-reduce, 3x3, 5x5-reduce, 5x5, pool-projection) = 57, matching
+the paper's Table II.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import LayerGraph
+from repro.dnn.ops import Concat, Conv2d, Dense, Pool, Relu
+
+#: Inception module channel specs: (1x1, 3x3red, 3x3, 5x5red, 5x5, poolproj)
+_INCEPTION_SPECS = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+#: Max-pool after these modules.
+_POOL_AFTER = {"3b", "4e"}
+
+
+def _inception(
+    graph: LayerGraph,
+    name: str,
+    input_node: int,
+    channels: int,
+    h: int,
+    w: int,
+    spec: tuple[int, int, int, int, int, int],
+    batch: int,
+) -> tuple[int, int]:
+    """One inception module; returns (output node, output channels)."""
+    c1, c3r, c3, c5r, c5, cp = spec
+
+    b1 = Conv2d.build(f"{name}/1x1", channels, c1, h, w, kernel=1, batch=batch)
+    n1 = graph.add(b1, (input_node,))
+
+    b2r = Conv2d.build(f"{name}/3x3_reduce", channels, c3r, h, w, kernel=1, batch=batch)
+    n2 = graph.add(b2r, (input_node,))
+    b2 = Conv2d.build(f"{name}/3x3", c3r, c3, h, w, kernel=3, padding=1, batch=batch)
+    n2 = graph.add(b2, (n2,))
+
+    b3r = Conv2d.build(f"{name}/5x5_reduce", channels, c5r, h, w, kernel=1, batch=batch)
+    n3 = graph.add(b3r, (input_node,))
+    b3 = Conv2d.build(f"{name}/5x5", c5r, c5, h, w, kernel=5, padding=2, batch=batch)
+    n3 = graph.add(b3, (n3,))
+
+    pool = Pool.build(f"{name}/pool", channels, h, w, kernel=3, stride=1, padding=1, batch=batch)
+    n4 = graph.add(pool, (input_node,))
+    b4 = Conv2d.build(f"{name}/pool_proj", channels, cp, h, w, kernel=1, batch=batch)
+    n4 = graph.add(b4, (n4,))
+
+    concat = Concat.build(
+        f"{name}/concat",
+        [b1.output_shape, b2.output_shape, b3.output_shape, b4.output_shape],
+    )
+    out = graph.add(concat, (n1, n2, n3, n4))
+    return out, c1 + c3 + c5 + cp
+
+
+def build_googlenet(batch: int = 1) -> LayerGraph:
+    """Inception-v1 for 224x224 ImageNet classification."""
+    graph = LayerGraph("GoogLeNet")
+    h = w = 224
+
+    conv1 = Conv2d.build("conv1/7x7", 3, 64, h, w, kernel=7, stride=2, padding=3, batch=batch)
+    n = graph.add(conv1)
+    n = graph.add(Relu.build("relu1", conv1.output_shape), (n,))
+    _b, c, h, w = conv1.output_shape.dims
+    pool1 = Pool.build("pool1", c, h, w, kernel=3, stride=2, padding=1, batch=batch)
+    n = graph.add(pool1, (n,))
+    _b, c, h, w = pool1.output_shape.dims
+
+    conv2r = Conv2d.build("conv2/3x3_reduce", c, 64, h, w, kernel=1, batch=batch)
+    n = graph.add(conv2r, (n,))
+    conv2 = Conv2d.build("conv2/3x3", 64, 192, h, w, kernel=3, padding=1, batch=batch)
+    n = graph.add(conv2, (n,))
+    _b, c, h, w = conv2.output_shape.dims
+    pool2 = Pool.build("pool2", c, h, w, kernel=3, stride=2, padding=1, batch=batch)
+    n = graph.add(pool2, (n,))
+    _b, c, h, w = pool2.output_shape.dims
+
+    for name, spec in _INCEPTION_SPECS.items():
+        n, c = _inception(graph, f"inception_{name}", n, c, h, w, spec, batch)
+        if name in _POOL_AFTER:
+            pool = Pool.build(f"pool_{name}", c, h, w, kernel=3, stride=2, padding=1, batch=batch)
+            n = graph.add(pool, (n,))
+            _b, c, h, w = pool.output_shape.dims
+
+    gap = Pool.build("global_pool", c, h, w, kernel=h, kind="global_avg", batch=batch)
+    n = graph.add(gap, (n,))
+    graph.add(Dense.build("fc", c, 1000, batch=batch), (n,))
+
+    graph.validate()
+    return graph

@@ -1,0 +1,67 @@
+"""GOTURN tracker (Held et al., 2016): twin CaffeNet towers + 3 FC layers.
+
+Used as the tracking (TRA) workload of the Fig 9 autonomous-driving
+pipeline: two AlexNet-style convolution towers (current + previous crop)
+whose features concatenate into a regression MLP.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import LayerGraph
+from repro.dnn.ops import Concat, Conv2d, Dense, Pool, Relu
+
+
+def _tower(graph: LayerGraph, prefix: str, batch: int) -> tuple[int, int]:
+    """One CaffeNet conv tower on a 227x227 crop; returns (node, features)."""
+    h = w = 227
+    conv1 = Conv2d.build(f"{prefix}/conv1", 3, 96, h, w, kernel=11, stride=4, batch=batch)
+    n = graph.add(conv1)
+    n = graph.add(Relu.build(f"{prefix}/relu1", conv1.output_shape), (n,))
+    _b, c, h, w = conv1.output_shape.dims
+    pool1 = Pool.build(f"{prefix}/pool1", c, h, w, kernel=3, stride=2, batch=batch)
+    n = graph.add(pool1, (n,))
+    _b, c, h, w = pool1.output_shape.dims
+
+    conv2 = Conv2d.build(f"{prefix}/conv2", c, 256, h, w, kernel=5, padding=2, batch=batch)
+    n = graph.add(conv2, (n,))
+    _b, c, h, w = conv2.output_shape.dims
+    pool2 = Pool.build(f"{prefix}/pool2", c, h, w, kernel=3, stride=2, batch=batch)
+    n = graph.add(pool2, (n,))
+    _b, c, h, w = pool2.output_shape.dims
+
+    conv3 = Conv2d.build(f"{prefix}/conv3", c, 384, h, w, kernel=3, padding=1, batch=batch)
+    n = graph.add(conv3, (n,))
+    conv4 = Conv2d.build(f"{prefix}/conv4", 384, 384, h, w, kernel=3, padding=1, batch=batch)
+    n = graph.add(conv4, (n,))
+    conv5 = Conv2d.build(f"{prefix}/conv5", 384, 256, h, w, kernel=3, padding=1, batch=batch)
+    n = graph.add(conv5, (n,))
+    _b, c, h, w = conv5.output_shape.dims
+    pool5 = Pool.build(f"{prefix}/pool5", c, h, w, kernel=3, stride=2, batch=batch)
+    n = graph.add(pool5, (n,))
+    _b, c, h, w = pool5.output_shape.dims
+    return n, c * h * w
+
+
+def build_goturn(batch: int = 1) -> LayerGraph:
+    """GOTURN: 10 convolutions (two towers) + 3 regression FC layers."""
+    graph = LayerGraph("GOTURN")
+    current_node, current_feats = _tower(graph, "current", batch)
+    previous_node, previous_feats = _tower(graph, "previous", batch)
+
+    concat = Concat.build(
+        "concat",
+        [graph.nodes[current_node].op.output_shape,
+         graph.nodes[previous_node].op.output_shape],
+    )
+    n = graph.add(concat, (current_node, previous_node))
+
+    fc6 = Dense.build("fc6", current_feats + previous_feats, 4096, batch=batch)
+    n = graph.add(fc6, (n,))
+    n = graph.add(Relu.build("relu6", fc6.output_shape), (n,))
+    fc7 = Dense.build("fc7", 4096, 4096, batch=batch)
+    n = graph.add(fc7, (n,))
+    n = graph.add(Relu.build("relu7", fc7.output_shape), (n,))
+    graph.add(Dense.build("fc8_bbox", 4096, 4, batch=batch), (n,))
+
+    graph.validate()
+    return graph

@@ -1,0 +1,128 @@
+"""Mask R-CNN (He et al., 2017) with a ResNet-101 FPN backbone.
+
+Conv layer budget matching the paper's Table II count of 132:
+
+* ResNet-101 trunk ........ 104 (1 stem + 33 bottlenecks x 3 + 4 shortcuts)
+* FPN ..................... 8   (4 lateral 1x1 + 4 output 3x3)
+* RPN ..................... 15  (3x3 + objectness 1x1 + regression 1x1,
+                                 per FPN level P2..P6, unshared)
+* Mask head ............... 5   (4 x 3x3 + 1x1 predictor)
+
+Plus the GEMM-incompatible operators the paper highlights in Fig 2:
+``RegionProposal`` (control-flow NMS) and ``RoIAlign`` (bilinear gather),
+and the box head's FC layers.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import LayerGraph
+from repro.dnn.ops import Conv2d, Dense, RegionProposal, Relu, RoIAlign
+from repro.dnn.zoo.backbones import resnet101_backbone
+
+#: Standard COCO inference resolution (shorter side 800).
+INPUT_HEIGHT = 800
+INPUT_WIDTH = 1056
+
+FPN_CHANNELS = 256
+NUM_FPN_LEVELS = 4  # P2..P5 from C2..C5 (P6 is a stride-2 pool of P5)
+RPN_LEVELS = 5      # P2..P6
+
+
+def build_mask_rcnn(batch: int = 1) -> LayerGraph:
+    """Shape-faithful Mask R-CNN graph (132 conv layers)."""
+    graph = LayerGraph("Mask R-CNN")
+    _final, stage_ends = resnet101_backbone(
+        graph, INPUT_HEIGHT, INPUT_WIDTH, batch=batch
+    )
+
+    # --- FPN: lateral 1x1 on each C-level + 3x3 smoothing on each P-level.
+    p_levels = []
+    for index, stage in enumerate(stage_ends):
+        lateral = Conv2d.build(
+            f"fpn/lateral_c{index + 2}", stage.channels, FPN_CHANNELS,
+            stage.height, stage.width, kernel=1, batch=batch,
+        )
+        lat_node = graph.add(lateral, (stage.node,))
+        smooth = Conv2d.build(
+            f"fpn/output_p{index + 2}", FPN_CHANNELS, FPN_CHANNELS,
+            stage.height, stage.width, kernel=3, padding=1, batch=batch,
+        )
+        p_node = graph.add(smooth, (lat_node,))
+        p_levels.append((p_node, smooth.output_shape))
+
+    # --- RPN per level: 3x3 conv + objectness 1x1 + box regression 1x1.
+    rpn_outputs = []
+    level_shapes = [shape for _node, shape in p_levels]
+    # P6: stride-2 subsample of P5 for RPN only.
+    p5_shape = level_shapes[-1]
+    p6_dims = (
+        p5_shape.dims[0], p5_shape.dims[1],
+        max(1, p5_shape.dims[2] // 2), max(1, p5_shape.dims[3] // 2),
+    )
+    level_shapes.append(p5_shape.with_dims(p6_dims))
+    level_nodes = [node for node, _shape in p_levels] + [p_levels[-1][0]]
+    for level, (node, shape) in enumerate(zip(level_nodes, level_shapes)):
+        _b, channels, h, w = shape.dims
+        rpn_conv = Conv2d.build(
+            f"rpn/conv_p{level + 2}", channels, FPN_CHANNELS, h, w,
+            kernel=3, padding=1, batch=batch,
+        )
+        rpn_node = graph.add(rpn_conv, (node,))
+        rpn_node = graph.add(
+            Relu.build(f"rpn/relu_p{level + 2}", rpn_conv.output_shape),
+            (rpn_node,),
+        )
+        cls = Conv2d.build(
+            f"rpn/cls_p{level + 2}", FPN_CHANNELS, 3, h, w, kernel=1, batch=batch
+        )
+        reg = Conv2d.build(
+            f"rpn/reg_p{level + 2}", FPN_CHANNELS, 12, h, w, kernel=1, batch=batch
+        )
+        cls_node = graph.add(cls, (rpn_node,))
+        reg_node = graph.add(reg, (rpn_node,))
+        rpn_outputs.extend([cls_node, reg_node])
+
+    # --- RegionProposal: decode + NMS over all levels (GEMM-incompatible).
+    proposal = RegionProposal.build(
+        "region_proposal", level_shapes[0], num_boxes=6000, post_nms=1000
+    )
+    proposal_node = graph.add(proposal, tuple(rpn_outputs))
+
+    # --- RoIAlign for the box head (7x7) and mask head (14x14).
+    box_align = RoIAlign.build(
+        "roi_align_box", level_shapes[0], num_rois=1000, pooled=7
+    )
+    box_align_node = graph.add(box_align, (proposal_node, p_levels[0][0]))
+    mask_align = RoIAlign.build(
+        "roi_align_mask", level_shapes[0], num_rois=100, pooled=14
+    )
+    mask_align_node = graph.add(mask_align, (proposal_node, p_levels[0][0]))
+
+    # --- Box head: 2 FC layers + predictors.
+    box_fc1 = Dense.build("box_head/fc1", FPN_CHANNELS * 7 * 7, 1024, batch=1000)
+    n = graph.add(box_fc1, (box_align_node,))
+    box_fc2 = Dense.build("box_head/fc2", 1024, 1024, batch=1000)
+    n = graph.add(box_fc2, (n,))
+    graph.add(Dense.build("box_head/cls", 1024, 81, batch=1000), (n,))
+    graph.add(Dense.build("box_head/reg", 1024, 320, batch=1000), (n,))
+
+    # --- Mask head: 4 x 3x3 convs + 1x1 predictor on 100 RoIs of 14x14.
+    n = mask_align_node
+    channels = FPN_CHANNELS
+    for index in range(4):
+        conv = Conv2d.build(
+            f"mask_head/conv{index + 1}", channels, 256, 14, 14,
+            kernel=3, padding=1, batch=100,
+        )
+        n = graph.add(conv, (n,))
+        n = graph.add(
+            Relu.build(f"mask_head/relu{index + 1}", conv.output_shape), (n,)
+        )
+        channels = 256
+    predictor = Conv2d.build(
+        "mask_head/predictor", 256, 81, 14, 14, kernel=1, batch=100
+    )
+    graph.add(predictor, (n,))
+
+    graph.validate()
+    return graph

@@ -1,0 +1,51 @@
+"""VGG-A (VGG-11, Simonyan & Zisserman 2014): 8 conv + 3 FC layers."""
+
+from __future__ import annotations
+
+from repro.dnn.graph import LayerGraph
+from repro.dnn.ops import Conv2d, Dense, Pool, Relu
+
+#: (out_channels, pool_after) per conv layer of configuration A.
+_VGG_A_LAYERS = [
+    (64, True),
+    (128, True),
+    (256, False),
+    (256, True),
+    (512, False),
+    (512, True),
+    (512, False),
+    (512, True),
+]
+
+
+def build_vgg_a(batch: int = 1) -> LayerGraph:
+    """VGG configuration A: 8 convolutions, 5 max-pools, 3 FC layers."""
+    graph = LayerGraph("VGG-A")
+    h = w = 224
+    channels = 3
+    n = None
+    for index, (out_channels, pool_after) in enumerate(_VGG_A_LAYERS, start=1):
+        conv = Conv2d.build(
+            f"conv{index}", channels, out_channels, h, w,
+            kernel=3, padding=1, batch=batch,
+        )
+        n = graph.add(conv, () if n is None else (n,))
+        n = graph.add(Relu.build(f"relu{index}", conv.output_shape), (n,))
+        _b, channels, h, w = conv.output_shape.dims
+        if pool_after:
+            pool = Pool.build(
+                f"pool{index}", channels, h, w, kernel=2, stride=2, batch=batch
+            )
+            n = graph.add(pool, (n,))
+            _b, channels, h, w = pool.output_shape.dims
+
+    fc6 = Dense.build("fc6", channels * h * w, 4096, batch=batch)
+    n = graph.add(fc6, (n,))
+    n = graph.add(Relu.build("relu_fc6", fc6.output_shape), (n,))
+    fc7 = Dense.build("fc7", 4096, 4096, batch=batch)
+    n = graph.add(fc7, (n,))
+    n = graph.add(Relu.build("relu_fc7", fc7.output_shape), (n,))
+    graph.add(Dense.build("fc8", 4096, 1000, batch=batch), (n,))
+
+    graph.validate()
+    return graph

@@ -1,0 +1,14 @@
+"""Energy model: CACTI-flavoured access energies + event-count accounting."""
+
+from repro.energy.accounting import EnergyBreakdown, EnergyLedger
+from repro.energy.cacti import SramStructure, sram_access_energy_pj
+from repro.energy.gpuwattch import EnergyTable, default_energy_table
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyLedger",
+    "EnergyTable",
+    "SramStructure",
+    "default_energy_table",
+    "sram_access_energy_pj",
+]

@@ -1,0 +1,126 @@
+"""Event-count -> energy accounting (the Fig 8 bottom breakdown).
+
+Takes the counter bags produced by the SM pipeline / systolic controller /
+launch composer and converts them into joules bucketed by structure:
+Global (DRAM + L2), Shared, Register, PE (MACs + instruction control),
+Const. The SMA's energy win in Fig 8 comes out of exactly these buckets:
+systolic reuse removes register-file and shared-memory accesses per MAC,
+and one LSMA replaces hundreds of fetched/decoded instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.stats import CounterBag
+from repro.config import GpuConfig
+from repro.energy.gpuwattch import EnergyTable, default_energy_table
+
+#: Fig 8 legend order.
+CATEGORIES = ("Global", "Shared", "Register", "PE", "Const")
+
+#: Warp-wide register operand = 32 words of 32 bits.
+_WORDS_PER_RF_OPERAND = 32.0
+_BYTES_PER_WORD = 4.0
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules per category plus the total."""
+
+    joules: dict[str, float] = field(
+        default_factory=lambda: {name: 0.0 for name in CATEGORIES}
+    )
+
+    @property
+    def total(self) -> float:
+        return sum(self.joules.values())
+
+    def add(self, category: str, joules: float) -> None:
+        if category not in self.joules:
+            raise KeyError(f"unknown energy category {category!r}")
+        self.joules[category] += joules
+
+    def merged(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        result = EnergyBreakdown()
+        for name in CATEGORIES:
+            result.joules[name] = self.joules[name] + other.joules[name]
+        return result
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        result = EnergyBreakdown()
+        for name in CATEGORIES:
+            result.joules[name] = self.joules[name] * factor
+        return result
+
+    def normalized_to(self, reference_total: float) -> dict[str, float]:
+        if reference_total <= 0:
+            return {name: 0.0 for name in CATEGORIES}
+        return {
+            name: value / reference_total for name, value in self.joules.items()
+        }
+
+
+class EnergyLedger:
+    """Converts counter bags into an :class:`EnergyBreakdown`."""
+
+    def __init__(
+        self,
+        config: GpuConfig | None = None,
+        table: EnergyTable | None = None,
+    ) -> None:
+        self.config = config or GpuConfig()
+        self.table = table or default_energy_table(self.config)
+
+    def account(self, counters: CounterBag) -> EnergyBreakdown:
+        """Energy of one kernel/launch worth of events."""
+        table = self.table
+        pj = EnergyBreakdown()
+
+        # Register file: warp-wide operands from the pipeline, word-level
+        # accesses from the systolic controller are already /32.
+        rf_operands = counters.get("rf_reads") + counters.get("rf_writes")
+        pj.add("Register", rf_operands * _WORDS_PER_RF_OPERAND * table.rf_word_pj)
+
+        smem_words = (
+            counters.get("smem_read_words")
+            + counters.get("smem_write_words")
+            + counters.get("smem_read_words_weights")
+        )
+        pj.add("Shared", smem_words * table.smem_word_pj)
+
+        # Global: L1/L2-level traffic at L2 energy plus DRAM traffic at
+        # off-chip energy (dram_bytes is the L2-reuse-filtered count).
+        l2_words = (
+            counters.get("global_read_bytes") + counters.get("global_write_bytes")
+        ) / _BYTES_PER_WORD
+        dram_words = counters.get("dram_bytes") / _BYTES_PER_WORD
+        pj.add("Global", l2_words * table.l2_word_pj + dram_words * table.dram_word_pj)
+
+        pj.add("Const", counters.get("const_read_words") * table.const_word_pj)
+
+        macs32 = counters.get("fp32_macs") + counters.get("sma_macs_fp32")
+        macs16 = counters.get("fp16_macs") + counters.get("sma_macs_fp16")
+        macs8 = counters.get("sma_macs_int8")
+        control = (
+            counters.get("instructions_issued") * table.instruction_pj
+            + counters.get("sync_ops") * table.sync_pj
+        )
+        # Constant power (clock tree, latches, leakage) accrues for the
+        # kernel's residency on every SM; faster configurations pay less.
+        static = (
+            counters.get("kernel_cycles")
+            * self.config.num_sms
+            * table.static_pj_per_sm_cycle
+        )
+        pj.add(
+            "PE",
+            macs32 * table.mac_fp32_pj
+            + macs16 * table.mac_fp16_pj
+            + macs8 * table.mac_int8_pj
+            + control
+            + static,
+        )
+
+        # picojoules -> joules
+        return pj.scaled(1e-12)

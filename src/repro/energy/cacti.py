@@ -1,0 +1,74 @@
+"""CACTI-style per-access energy estimation for on-chip SRAM structures.
+
+The paper estimates energy with GPUWattch + CACTI 5.1. We reproduce the
+part that matters for Fig 8: per-access energies that grow with structure
+capacity (wordline/bitline length) and port width. The scaling law is the
+standard square-root-of-capacity model used in architecture evaluations;
+absolute picojoules are anchored to published 45 nm numbers (Eyeriss /
+GPUWattch): a 0.5 KB register-file bank costs ~1 pJ per 32-bit access and
+a 128 KB SRAM ~6x that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Anchor: pJ for one 32-bit access to a 0.5 KB SRAM bank at 45 nm.
+_ANCHOR_ENERGY_PJ = 1.0
+_ANCHOR_CAPACITY_BYTES = 512.0
+
+
+@dataclass(frozen=True)
+class SramStructure:
+    """Geometry of one banked SRAM structure."""
+
+    name: str
+    capacity_bytes: int
+    banks: int = 1
+    word_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError(f"{self.name}: capacity must be positive")
+        if self.banks <= 0:
+            raise ConfigError(f"{self.name}: banks must be positive")
+        if self.word_bits <= 0:
+            raise ConfigError(f"{self.name}: word width must be positive")
+
+    @property
+    def bank_bytes(self) -> float:
+        return self.capacity_bytes / self.banks
+
+
+def sram_access_energy_pj(structure: SramStructure) -> float:
+    """Energy of one word access, scaling with sqrt(bank capacity).
+
+    Banking shortens bitlines, so the access energy follows the *bank*
+    capacity; wider words scale linearly in the sense-amp count.
+    """
+    scale = math.sqrt(structure.bank_bytes / _ANCHOR_CAPACITY_BYTES)
+    width_scale = structure.word_bits / 32.0
+    return _ANCHOR_ENERGY_PJ * scale * width_scale
+
+
+def mac_energy_pj(precision_bits: int) -> float:
+    """Energy of one multiply-accumulate (45 nm anchors).
+
+    FP32 MAC ~4.6 pJ (3.7 pJ multiply + add overheads); energy scales
+    roughly quadratically with mantissa width, giving ~1.5 pJ for FP16 and
+    ~0.6 pJ for INT8 — the ratios used across the accelerator literature.
+    """
+    anchors = {32: 4.6, 16: 1.5, 8: 0.6}
+    try:
+        return anchors[precision_bits]
+    except KeyError:
+        raise ConfigError(f"no MAC energy anchor for {precision_bits}-bit") from None
+
+
+def dram_access_energy_pj_per_word(hbm: bool = True) -> float:
+    """Off-chip access energy per 32-bit word (HBM2 ~ 4 pJ/bit)."""
+    pj_per_bit = 4.0 if hbm else 20.0
+    return 32.0 * pj_per_bit

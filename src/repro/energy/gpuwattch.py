@@ -1,0 +1,90 @@
+"""GPUWattch-style energy table for the Volta-like SM.
+
+Builds per-event energies from the CACTI model and the Table-I structure
+geometries. Events are the counters emitted by the SM pipeline and the
+systolic controller; the ledger in ``repro.energy.accounting`` multiplies
+and buckets them into the paper's Fig 8 categories:
+Global / Shared / Register / PE / Const.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import GpuConfig
+from repro.energy.cacti import (
+    SramStructure,
+    dram_access_energy_pj_per_word,
+    mac_energy_pj,
+    sram_access_energy_pj,
+)
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-event energies in picojoules."""
+
+    rf_word_pj: float
+    smem_word_pj: float
+    l2_word_pj: float
+    dram_word_pj: float
+    const_word_pj: float
+    mac_fp32_pj: float
+    mac_fp16_pj: float
+    mac_int8_pj: float
+    instruction_pj: float
+    sync_pj: float
+    #: Clock tree, pipeline latches and leakage per SM per cycle — the
+    #: GPUWattch "constant" power component that runs for the kernel's
+    #: duration regardless of activity.
+    static_pj_per_sm_cycle: float = 1200.0
+    #: category per counter family (paper Fig 8 legend)
+    categories: dict[str, str] = field(
+        default_factory=lambda: {
+            "rf": "Register",
+            "smem": "Shared",
+            "global": "Global",
+            "const": "Const",
+            "pe": "PE",
+        }
+    )
+
+
+def default_energy_table(config: GpuConfig | None = None) -> EnergyTable:
+    """Build the energy table for a GPU configuration."""
+    config = config or GpuConfig()
+    # The RF is physically many small operand-collector subarrays (128 x
+    # 2 KB), not 8 monolithic banks; access energy follows the subarray
+    # and sits below the shared-memory banks in the hierarchy.
+    rf = SramStructure(
+        name="register-file",
+        capacity_bytes=config.register_file_kb * 1024,
+        banks=128,
+    )
+    smem = SramStructure(
+        name="shared-memory",
+        capacity_bytes=config.shared_memory_kb * 1024,
+        banks=config.shared_memory_banks,
+    )
+    l2 = SramStructure(
+        name="l2-cache",
+        capacity_bytes=config.l2_cache_mb * 1024 * 1024,
+        banks=32,
+    )
+    const = SramStructure(name="const-cache", capacity_bytes=8 * 1024, banks=4)
+    return EnergyTable(
+        rf_word_pj=sram_access_energy_pj(rf),
+        smem_word_pj=sram_access_energy_pj(smem),
+        l2_word_pj=sram_access_energy_pj(l2),
+        dram_word_pj=dram_access_energy_pj_per_word(hbm=True),
+        const_word_pj=sram_access_energy_pj(const),
+        mac_fp32_pj=mac_energy_pj(32),
+        mac_fp16_pj=mac_energy_pj(16),
+        mac_int8_pj=mac_energy_pj(8),
+        # Fetch/decode/operand-collect overhead per issued instruction; the
+        # LSMA instruction amortizes this over an entire tile (paper SS V-B:
+        # "a complex control instruction which mitigates the overhead of
+        # instruction fetch/decode").
+        instruction_pj=18.0,
+        sync_pj=40.0,
+    )

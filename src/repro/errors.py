@@ -1,0 +1,39 @@
+"""Exception hierarchy for the SMA reproduction library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Subclasses mark which subsystem raised the error.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An architecture configuration is inconsistent or unsupported."""
+
+
+class SimulationError(ReproError):
+    """A simulator reached an invalid state (deadlock, overflow, ...)."""
+
+
+class MappingError(ReproError):
+    """A GEMM/operator mapping request cannot be satisfied."""
+
+
+class GraphError(ReproError):
+    """A DNN layer graph is malformed (cycles, dangling inputs, ...)."""
+
+
+class LoweringError(ReproError):
+    """An operator could not be lowered to a platform's execution model."""
+
+
+class UnsupportedOperationError(LoweringError):
+    """A platform has no way to execute the requested operator natively."""
+
+
+class SchedulingError(ReproError):
+    """The application-level resource scheduler hit an invalid state."""

@@ -1,0 +1,30 @@
+"""Experiment harness: one module per paper table/figure."""
+
+from repro.experiments.runner import ExperimentReport
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig7 import run_fig7_left, run_fig7_right
+from repro.experiments.fig8 import run_fig8_energy, run_fig8_speedup
+from repro.experiments.fig9 import run_fig9_left, run_fig9_right
+from repro.experiments.tables import (
+    run_area_overhead,
+    run_fig2_inventory,
+    run_table1,
+    run_table2,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "run_area_overhead",
+    "run_fig1",
+    "run_fig2_inventory",
+    "run_fig3",
+    "run_fig7_left",
+    "run_fig7_right",
+    "run_fig8_energy",
+    "run_fig8_speedup",
+    "run_fig9_left",
+    "run_fig9_right",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,74 @@
+"""Export regenerated experiment data to CSV (for external plotting).
+
+The paper's figures are line/bar charts; this module writes each
+regenerated table as a CSV file so the series can be re-plotted with any
+tool. Used by the ``python -m repro export`` CLI.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig7 import run_fig7_left, run_fig7_right
+from repro.experiments.fig8 import run_fig8_energy, run_fig8_speedup
+from repro.experiments.fig9 import run_fig9_left, run_fig9_right
+from repro.experiments.runner import ExperimentReport
+from repro.experiments.tables import (
+    run_area_overhead,
+    run_fig2_inventory,
+    run_table1,
+    run_table2,
+)
+
+EXPERIMENT_RUNNERS: dict[str, Callable[[], ExperimentReport]] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "fig1": run_fig1,
+    "fig2": run_fig2_inventory,
+    "fig3": run_fig3,
+    "fig7_left": run_fig7_left,
+    "fig7_right": run_fig7_right,
+    "fig8_speedup": run_fig8_speedup,
+    "fig8_energy": run_fig8_energy,
+    "fig9_left": run_fig9_left,
+    "fig9_right": run_fig9_right,
+    "area": run_area_overhead,
+}
+
+
+def export_report_csv(report: ExperimentReport, path: Path) -> Path:
+    """Write one report's rows to ``path`` as CSV."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(report.headers)
+        writer.writerows(report.rows)
+    return path
+
+
+def export_all(
+    output_dir: str | Path = "results",
+    names: list[str] | None = None,
+) -> dict[str, Path]:
+    """Regenerate and export the selected experiments (default: all).
+
+    Returns a mapping of experiment name to the written CSV path.
+    """
+    output_dir = Path(output_dir)
+    selected = names or list(EXPERIMENT_RUNNERS)
+    written = {}
+    for name in selected:
+        try:
+            runner = EXPERIMENT_RUNNERS[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown experiment {name!r}; one of"
+                f" {sorted(EXPERIMENT_RUNNERS)}"
+            ) from None
+        report = runner()
+        written[name] = export_report_csv(report, output_dir / f"{name}.csv")
+    return written

@@ -1,0 +1,159 @@
+"""Fig 8: iso-area comparison on the Table II models.
+
+Top: normalized speedup of 4-TC / 2-SMA / 3-SMA over the SIMD baseline on
+the conv/GEMM kernels plus the SIMD-mode irregular operators (the paper's
+DeepLab column excludes the CRF — that comparison lives in Fig 3). Paper
+averages: 4.6x / 5.6x / 7.5x, with 3-SMA 1.63x over 4-TC.
+
+Bottom: energy normalized to 4-TC with the Global / Shared / Register /
+PE / Const split. Paper: 2-SMA 0.88x, 3-SMA 0.77x of the 4-TC energy.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import LayerGraph
+from repro.dnn.zoo import MODEL_BUILDERS, build_deeplab
+from repro.energy.accounting import CATEGORIES, EnergyBreakdown
+from repro.experiments.runner import ExperimentReport
+from repro.platforms import GpuSimdPlatform, GpuSmaPlatform, GpuTcPlatform
+from repro.platforms.base import ModelRunResult, OpStats
+
+#: Groups included in the kernel-level comparison (the paper's workload:
+#: conv/FC layers plus the hybrid models' irregular operators).
+_IRREGULAR_GROUPS = ("RoIAlign", "NMS", "ArgMax")
+
+
+def _fig8_builders():
+    builders = dict(MODEL_BUILDERS)
+    builders["DeepLab"] = lambda: build_deeplab(with_crf=False)
+    return builders
+
+
+def _included(stat: OpStats) -> bool:
+    return stat.mode.startswith("gemm") or stat.group in _IRREGULAR_GROUPS
+
+
+def _kernel_seconds(result: ModelRunResult) -> float:
+    return sum(stat.seconds for stat in result.op_stats if _included(stat))
+
+
+def _kernel_energy(result: ModelRunResult) -> EnergyBreakdown:
+    total = EnergyBreakdown()
+    for stat in result.op_stats:
+        if _included(stat) and stat.energy is not None:
+            total = total.merged(stat.energy)
+    return total
+
+
+def _platforms():
+    return [
+        ("SIMD", GpuSimdPlatform(framework_overhead_s=0.0)),
+        ("4-TC", GpuTcPlatform(framework_overhead_s=0.0)),
+        ("2-SMA", GpuSmaPlatform(2, framework_overhead_s=0.0)),
+        ("3-SMA", GpuSmaPlatform(3, framework_overhead_s=0.0)),
+    ]
+
+
+def run_fig8_speedup() -> ExperimentReport:
+    """Fig 8 (top): normalized speedup per model and configuration."""
+    report = ExperimentReport(
+        experiment="Fig 8 (top): iso-area normalized speedup",
+        headers=["model", "SIMD", "4-TC", "2-SMA", "3-SMA"],
+        notes=(
+            "kernel-level comparison; our SIMD baseline models a"
+            " CUTLASS-quality SGEMM and is faster than the paper's, so"
+            " absolute speedups are lower while accelerator ratios match"
+        ),
+    )
+    platforms = _platforms()
+    sums = {label: 0.0 for label, _p in platforms}
+    count = 0
+    tc_avg, sma3_avg, sma2_avg = [], [], []
+    for model_name, builder in _fig8_builders().items():
+        graph: LayerGraph = builder()
+        seconds = {
+            label: _kernel_seconds(platform.run_model(graph))
+            for label, platform in platforms
+        }
+        base = seconds["SIMD"]
+        speedups = {label: base / value for label, value in seconds.items()}
+        report.add_row(model_name, *(speedups[label] for label, _p in platforms))
+        for label, value in speedups.items():
+            sums[label] += value
+        tc_avg.append(speedups["4-TC"])
+        sma2_avg.append(speedups["2-SMA"])
+        sma3_avg.append(speedups["3-SMA"])
+        count += 1
+    averages = {label: total / count for label, total in sums.items()}
+    report.add_row("Average", *(averages[label] for label, _p in platforms))
+
+    ratio_32 = averages["3-SMA"] / averages["4-TC"]
+    ratio_22 = averages["2-SMA"] / averages["4-TC"]
+    report.add_check(
+        "ordering SIMD < 4-TC < 2-SMA < 3-SMA on every model",
+        all(
+            1.0 < t < s2 < s3
+            for t, s2, s3 in zip(tc_avg, sma2_avg, sma3_avg)
+        ),
+    )
+    report.add_check(
+        "3-SMA is 1.5-1.8x faster than 4-TC on average (paper 1.63x)",
+        1.5 <= ratio_32 <= 1.8,
+    )
+    report.add_check(
+        "2-SMA is 1.15-1.45x faster than 4-TC on average (paper 1.22x)",
+        1.15 <= ratio_22 <= 1.45,
+    )
+    return report
+
+
+def run_fig8_energy() -> ExperimentReport:
+    """Fig 8 (bottom): energy normalized to 4-TC with structure split."""
+    report = ExperimentReport(
+        experiment="Fig 8 (bottom): normalized energy vs 4-TC",
+        headers=["model", "config", "total"] + list(CATEGORIES),
+        notes="each cell: fraction of the 4-TC total energy for that model",
+    )
+    platforms = [p for p in _platforms() if p[0] != "SIMD"]
+    ratios_2sma, ratios_3sma = [], []
+    for model_name, builder in _fig8_builders().items():
+        graph = builder()
+        energies = {
+            label: _kernel_energy(platform.run_model(graph))
+            for label, platform in platforms
+        }
+        reference = energies["4-TC"].total
+        for label, _platform in platforms:
+            normalized = energies[label].normalized_to(reference)
+            total = energies[label].total / reference if reference > 0 else 0.0
+            report.add_row(
+                model_name, label, total,
+                *(normalized[cat] for cat in CATEGORIES),
+            )
+            if label == "2-SMA":
+                ratios_2sma.append(total)
+            elif label == "3-SMA":
+                ratios_3sma.append(total)
+
+    mean2 = sum(ratios_2sma) / len(ratios_2sma)
+    mean3 = sum(ratios_3sma) / len(ratios_3sma)
+    report.add_row("Average", "2-SMA", mean2, *([""] * len(CATEGORIES)))
+    report.add_row("Average", "3-SMA", mean3, *([""] * len(CATEGORIES)))
+    report.notes = (
+        "our savings overshoot the paper's 12%/23% because the model"
+        " counts only the Fig 8 legend structures; GPUWattch's board-level"
+        " constants dilute the paper's ratios (EXPERIMENTS.md)"
+    )
+    report.add_check(
+        "2-SMA saves energy vs 4-TC (paper 12%; band 5-40%)",
+        0.60 <= mean2 <= 0.95,
+    )
+    report.add_check(
+        "3-SMA saves energy vs 4-TC (paper 23%; band 15-55%)",
+        0.45 <= mean3 <= 0.85,
+    )
+    report.add_check(
+        "energy ordering 3-SMA < 2-SMA < 4-TC on every model",
+        all(s3 < s2 < 1.0 for s2, s3 in zip(ratios_2sma, ratios_3sma)),
+    )
+    return report

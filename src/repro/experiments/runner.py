@@ -1,0 +1,48 @@
+"""Shared experiment reporting: tabular results with pass/fail checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.tables import render_table
+
+
+@dataclass
+class ExperimentReport:
+    """Rows of one regenerated table/figure plus acceptance checks.
+
+    ``checks`` maps a human-readable criterion (from DESIGN.md SS5) to a
+    boolean; the test suite asserts them and the benchmark harness prints
+    them under the table.
+    """
+
+    experiment: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    checks: dict[str, bool] = field(default_factory=dict)
+    notes: str = ""
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append(list(cells))
+
+    def add_check(self, criterion: str, passed: bool) -> None:
+        self.checks[criterion] = bool(passed)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(self.checks.values())
+
+    def render(self) -> str:
+        lines = [render_table(self.headers, self.rows, title=self.experiment)]
+        if self.checks:
+            lines.append("")
+            for criterion, passed in self.checks.items():
+                marker = "PASS" if passed else "FAIL"
+                lines.append(f"  [{marker}] {criterion}")
+        if self.notes:
+            lines.append("")
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,120 @@
+"""Tables I/II, the Fig 2 operator inventory, and the SS IV-A area claim."""
+
+from __future__ import annotations
+
+from repro.config import sma_3unit, volta_gpu
+from repro.dnn.zoo import MODEL_BUILDERS, TABLE_II_CONV_LAYERS
+from repro.experiments.runner import ExperimentReport
+
+
+def run_table1() -> ExperimentReport:
+    """Table I: baseline GPU and SMA configurations."""
+    gpu = volta_gpu()
+    sma = sma_3unit()
+    report = ExperimentReport(
+        experiment="Table I: Baseline GPU and SMA configurations",
+        headers=["parameter", "GPGPU (Volta)", "SMA"],
+    )
+    report.add_row("SMs", gpu.num_sms, gpu.num_sms)
+    report.add_row("CUDA cores / SM", f"{gpu.cuda_cores_per_sm} FP32", "3x 8x8 SMA unit")
+    report.add_row(
+        "Tensor cores / SM",
+        f"{gpu.tensor_cores_per_sm} ({gpu.fp16_units_per_sm} FP16 units)",
+        "(reused by SMA units)",
+    )
+    report.add_row(
+        "Shared memory / SM",
+        f"{gpu.shared_memory_banks} banks, {gpu.shared_memory_kb} KB",
+        f"{gpu.shared_memory_banks} banks"
+        f" ({sma.smem_banks_for_sma} for all SMA units)",
+    )
+    report.add_row(
+        "Register file / SM",
+        f"{gpu.register_file_kb} KB",
+        f"{gpu.register_file_kb} KB",
+    )
+    report.add_check("80 SMs (Table I)", gpu.num_sms == 80)
+    report.add_check("64 FP32 CUDA cores per SM", gpu.cuda_cores_per_sm == 64)
+    report.add_check(
+        "4 TCs = 256 FP16 units per SM", gpu.fp16_units_per_sm == 256
+    )
+    report.add_check(
+        "3 SMA units iso-area with SIMD+TC (384 FP16 equivalents)",
+        sma_3unit().fp16_equivalent_units == 384,
+    )
+    return report
+
+
+def run_table2() -> ExperimentReport:
+    """Table II: conv layer counts of the evaluated models."""
+    report = ExperimentReport(
+        experiment="Table II: CNN models used in the evaluation",
+        headers=["network", "conv_layers", "paper", "match"],
+    )
+    all_match = True
+    for name, builder in MODEL_BUILDERS.items():
+        graph = builder()
+        expected = TABLE_II_CONV_LAYERS[name]
+        match = graph.conv_layer_count == expected
+        all_match = all_match and match
+        report.add_row(name, graph.conv_layer_count, expected, match)
+    report.add_check("all conv layer counts match Table II", all_match)
+    return report
+
+
+def run_fig2_inventory() -> ExperimentReport:
+    """Fig 2: GEMM-compatible vs GEMM-incompatible op inventory."""
+    report = ExperimentReport(
+        experiment="Fig 2: hybrid model operator inventory",
+        headers=[
+            "model", "gemm_ops", "irregular_ops", "irregular_names",
+            "gemm_flops_%",
+        ],
+    )
+    for name in ("Mask R-CNN", "DeepLab"):
+        graph = MODEL_BUILDERS[name]()
+        irregular = graph.irregular_ops
+        gemm_ops = sum(1 for op in graph.operators() if op.is_gemm_compatible)
+        share = 100.0 * graph.gemm_compatible_flops / graph.total_flops
+        report.add_row(
+            name,
+            gemm_ops,
+            len(irregular),
+            ", ".join(sorted({type(op).__name__ for op in irregular})),
+            share,
+        )
+    mask = MODEL_BUILDERS["Mask R-CNN"]()
+    deeplab = MODEL_BUILDERS["DeepLab"]()
+    mask_kinds = {type(op).__name__ for op in mask.irregular_ops}
+    deeplab_kinds = {type(op).__name__ for op in deeplab.irregular_ops}
+    report.add_check(
+        "Mask R-CNN has RoIAlign + RegionProposal (Fig 2 top)",
+        {"RoIAlign", "RegionProposal"} <= mask_kinds,
+    )
+    report.add_check(
+        "DeepLab has ArgMax + CRF (Fig 2 bottom)",
+        {"ArgMax", "Crf"} <= deeplab_kinds,
+    )
+    return report
+
+
+def run_area_overhead() -> ExperimentReport:
+    """SS IV-A: SMA area overhead below 0.1% of the SM's storage."""
+    gpu = volta_gpu()
+    sma = sma_3unit()
+    controller_bytes = sma.controller_storage_bytes
+    sm_storage = (gpu.register_file_kb + gpu.shared_memory_kb + gpu.l1_cache_kb) * 1024
+    overhead = controller_bytes / sm_storage
+    report = ExperimentReport(
+        experiment="SS IV-A: SMA area overhead",
+        headers=["structure", "bytes"],
+    )
+    report.add_row("systolic controller storage", controller_bytes)
+    report.add_row("SM storage (RF + SMEM + L1)", sm_storage)
+    report.add_row("overhead", f"{overhead * 100:.4f}%")
+    report.add_check(
+        "controller storage is 256 B (8x8B Ain + 24x8B Cout)",
+        controller_bytes == 256,
+    )
+    report.add_check("area overhead < 0.1%", overhead < 0.001)
+    return report

@@ -1,0 +1,19 @@
+"""GEMM problems, Fig-6 tiling, numpy reference, kernel traces, executor."""
+
+from repro.gemm.functional import TiledGemmResult, tiled_systolic_gemm
+from repro.gemm.problem import GemmProblem
+from repro.gemm.reference import conv_output_shape, conv_to_gemm, im2col, reference_gemm
+from repro.gemm.tiling import ThreadBlockTile, TilingPlan, plan_gemm
+
+__all__ = [
+    "GemmProblem",
+    "ThreadBlockTile",
+    "TiledGemmResult",
+    "TilingPlan",
+    "conv_output_shape",
+    "conv_to_gemm",
+    "im2col",
+    "plan_gemm",
+    "reference_gemm",
+    "tiled_systolic_gemm",
+]

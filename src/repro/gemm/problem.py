@@ -1,0 +1,71 @@
+"""GEMM problem descriptors: C = alpha * A @ B + beta * C."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DataType
+from repro.errors import MappingError
+
+
+@dataclass(frozen=True)
+class GemmProblem:
+    """One (M, N, K) GEMM with operand precision and epilogue scalars."""
+
+    m: int
+    n: int
+    k: int
+    dtype: DataType = DataType.FP16
+    alpha: float = 1.0
+    beta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.n <= 0 or self.k <= 0:
+            raise MappingError(
+                f"GEMM dims must be positive, got ({self.m}, {self.n}, {self.k})"
+            )
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.n * self.k
+
+    @property
+    def flops(self) -> int:
+        """FMA counted as two FLOPs."""
+        return 2 * self.macs
+
+    @property
+    def a_bytes(self) -> int:
+        return self.m * self.k * self.dtype.bytes
+
+    @property
+    def b_bytes(self) -> int:
+        return self.k * self.n * self.dtype.bytes
+
+    @property
+    def c_bytes(self) -> int:
+        """C traffic: always written; also read when beta != 0."""
+        element_bytes = 4  # FP32 accumulate/output
+        bytes_written = self.m * self.n * element_bytes
+        if self.beta != 0.0:
+            return 2 * bytes_written
+        return bytes_written
+
+    @property
+    def min_dram_bytes(self) -> int:
+        """Compulsory traffic assuming perfect on-chip reuse."""
+        return self.a_bytes + self.b_bytes + self.c_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per compulsory DRAM byte."""
+        return self.flops / max(1, self.min_dram_bytes)
+
+    def square(self) -> bool:
+        return self.m == self.n == self.k
+
+    def __str__(self) -> str:
+        return (
+            f"GEMM[{self.m}x{self.n}x{self.k} {self.dtype.value}"
+            f" alpha={self.alpha} beta={self.beta}]"
+        )

@@ -1,0 +1,115 @@
+"""The paper's GEMM partition and tiling (Fig 6).
+
+The output C is partitioned over a 2D grid of thread blocks, each owning a
+128 x 128 ``Csub`` held in the register file. Per K-iteration a thread
+block stages ``Atile`` (128 x 8) and ``Btile`` (8 x 128) in shared memory
+(double buffered), and the Btile is cut into 8 x <unit-width> ``Bsubtile``
+pieces that become resident weights of the systolic units. The same plan
+object also serves the SIMD and TC kernels (with their own K-slices), so
+every backend sees identical partitioning arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.mathutil import ceil_div
+from repro.errors import MappingError
+from repro.gemm.problem import GemmProblem
+
+#: Fig 6 constants.
+TB_TILE_M = 128
+TB_TILE_N = 128
+SMA_K_SLICE = 8
+WARPS_PER_SMA_TB = 64
+
+
+@dataclass(frozen=True)
+class ThreadBlockTile:
+    """One thread block's output region."""
+
+    grid_m: int
+    grid_n: int
+    row: int
+    col: int
+    rows: int
+    cols: int
+
+
+@dataclass(frozen=True)
+class TilingPlan:
+    """Static partitioning of one GEMM over the thread-block grid."""
+
+    problem: GemmProblem
+    tile_m: int
+    tile_n: int
+    k_slice: int
+
+    def __post_init__(self) -> None:
+        if self.tile_m <= 0 or self.tile_n <= 0 or self.k_slice <= 0:
+            raise MappingError("tile dims must be positive")
+
+    @property
+    def tiles_m(self) -> int:
+        return ceil_div(self.problem.m, self.tile_m)
+
+    @property
+    def tiles_n(self) -> int:
+        return ceil_div(self.problem.n, self.tile_n)
+
+    @property
+    def num_thread_blocks(self) -> int:
+        return self.tiles_m * self.tiles_n
+
+    @property
+    def k_iterations(self) -> int:
+        return ceil_div(self.problem.k, self.k_slice)
+
+    @property
+    def tile_utilization(self) -> float:
+        """Useful fraction of the padded (tile x tile x k-slice) volume."""
+        padded = (
+            self.tiles_m * self.tile_m
+            * self.tiles_n * self.tile_n
+            * self.k_iterations * self.k_slice
+        )
+        return self.problem.macs / padded
+
+    def thread_blocks(self) -> Iterator[ThreadBlockTile]:
+        """Iterate every thread block's output region (edge tiles clipped)."""
+        for tm in range(self.tiles_m):
+            row = tm * self.tile_m
+            rows = min(self.tile_m, self.problem.m - row)
+            for tn in range(self.tiles_n):
+                col = tn * self.tile_n
+                cols = min(self.tile_n, self.problem.n - col)
+                yield ThreadBlockTile(
+                    grid_m=tm, grid_n=tn, row=row, col=col, rows=rows, cols=cols
+                )
+
+    # -- per-iteration staging traffic (bytes) ------------------------------------
+    def a_tile_bytes(self) -> int:
+        return self.tile_m * self.k_slice * self.problem.dtype.bytes
+
+    def b_tile_bytes(self) -> int:
+        return self.k_slice * self.tile_n * self.problem.dtype.bytes
+
+    def c_tile_bytes(self) -> int:
+        return self.tile_m * self.tile_n * 4  # FP32 accumulators
+
+    def subtiles_per_iteration(self, unit_width: int) -> int:
+        """How many B sub-tiles one K-iteration feeds to the systolic units."""
+        if unit_width <= 0:
+            raise MappingError("unit width must be positive")
+        return ceil_div(self.tile_n, unit_width)
+
+
+def plan_gemm(
+    problem: GemmProblem,
+    tile_m: int = TB_TILE_M,
+    tile_n: int = TB_TILE_N,
+    k_slice: int = SMA_K_SLICE,
+) -> TilingPlan:
+    """Build the Fig 6 tiling plan (defaults: 128x128 tiles, K-slice 8)."""
+    return TilingPlan(problem=problem, tile_m=tile_m, tile_n=tile_n, k_slice=k_slice)

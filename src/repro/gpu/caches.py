@@ -1,0 +1,105 @@
+"""Set-associative LRU cache model (L1 / L2).
+
+Used at sector granularity by the global-memory path. This is a stateful
+functional model: it classifies each access as hit or miss and tracks
+eviction traffic; timing is applied by the SM pipeline / DRAM model using
+the configured latencies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+@dataclass
+class _CacheSet:
+    lines: "OrderedDict[int, bool]" = field(default_factory=OrderedDict)
+    # key: tag, value: dirty bit; OrderedDict order is LRU -> MRU.
+
+
+class CacheModel:
+    """A classic set-associative write-back LRU cache."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        line_bytes: int = 128,
+        associativity: int = 4,
+        name: str = "cache",
+    ) -> None:
+        if capacity_bytes <= 0 or line_bytes <= 0 or associativity <= 0:
+            raise SimulationError("cache geometry must be positive")
+        num_lines = capacity_bytes // line_bytes
+        if num_lines < associativity:
+            raise SimulationError(
+                f"{name}: capacity {capacity_bytes} too small for "
+                f"associativity {associativity}"
+            )
+        self.name = name
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.num_sets = num_lines // associativity
+        if self.num_sets == 0:
+            raise SimulationError(f"{name}: zero sets")
+        self._sets = [_CacheSet() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, address: int) -> tuple[_CacheSet, int]:
+        line = address // self.line_bytes
+        return self._sets[line % self.num_sets], line // self.num_sets
+
+    def access(self, address: int, is_store: bool = False) -> bool:
+        """Touch one address; returns True on hit.
+
+        Misses allocate (write-allocate policy); LRU victims with the dirty
+        bit set count as writebacks.
+        """
+        cache_set, tag = self._locate(address)
+        lines = cache_set.lines
+        if tag in lines:
+            self.stats.hits += 1
+            dirty = lines.pop(tag) or is_store
+            lines[tag] = dirty
+            return True
+        self.stats.misses += 1
+        if len(lines) >= self.associativity:
+            _victim_tag, victim_dirty = lines.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+        lines[tag] = is_store
+        return False
+
+    def flush(self) -> int:
+        """Invalidate everything; returns the number of dirty writebacks."""
+        writebacks = 0
+        for cache_set in self._sets:
+            writebacks += sum(1 for dirty in cache_set.lines.values() if dirty)
+            cache_set.lines.clear()
+        self.stats.writebacks += writebacks
+        return writebacks
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s.lines) for s in self._sets)

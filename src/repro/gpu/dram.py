@@ -1,0 +1,48 @@
+"""DRAM bandwidth/latency model.
+
+Global-memory traffic is bounded by HBM bandwidth. The model converts bytes
+into occupancy cycles at the configured bytes/cycle and exposes the larger
+of latency-bound and bandwidth-bound completion, which is how the GPU-level
+composer bounds memory-bound kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GpuConfig
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class DramTraffic:
+    """Aggregate global-memory traffic of a kernel."""
+
+    read_bytes: float = 0.0
+    write_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+
+class DramModel:
+    """Converts traffic into minimum cycles at peak DRAM bandwidth."""
+
+    def __init__(self, config: GpuConfig) -> None:
+        bytes_per_second = config.dram_bandwidth_gbps * 1e9
+        cycles_per_second = config.clock_ghz * 1e9
+        self.bytes_per_cycle = bytes_per_second / cycles_per_second
+        self.latency_cycles = config.dram_latency_cycles
+        if self.bytes_per_cycle <= 0:
+            raise SimulationError("DRAM bandwidth must be positive")
+
+    def min_cycles(self, traffic: DramTraffic) -> float:
+        """Bandwidth-bound lower bound on cycles to move ``traffic``."""
+        if traffic.total_bytes < 0:
+            raise SimulationError("negative DRAM traffic")
+        return traffic.total_bytes / self.bytes_per_cycle
+
+    def access_latency(self) -> int:
+        """Unloaded latency of a single access."""
+        return self.latency_cycles

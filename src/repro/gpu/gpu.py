@@ -1,0 +1,129 @@
+"""Whole-GPU kernel timing: thread-block waves + DRAM bandwidth bound.
+
+The SM pipeline times one resident thread block; a kernel launches many.
+Following sampling-based GPGPU-Sim methodology, a launch is timed as
+
+    cycles = launch_overhead
+           + max(waves * tb_cycles, dram_bound, exposed_latency_floor)
+
+where ``waves = ceil(num_tbs / (num_sms * tbs_per_sm))`` and the DRAM bound
+converts the kernel's aggregate global traffic through the HBM bandwidth.
+This keeps inter-TB interaction as a bandwidth constraint, which is the
+level of fidelity the paper's figures rely on (DESIGN.md SS2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.mathutil import ceil_div
+from repro.common.stats import CounterBag
+from repro.config import GpuConfig
+from repro.errors import SimulationError
+from repro.gpu.dram import DramModel, DramTraffic
+
+#: Fixed kernel-launch overhead (driver + dispatch), in GPU cycles.
+DEFAULT_LAUNCH_OVERHEAD_CYCLES = 2000.0
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """A kernel described by one simulated thread block plus its grid.
+
+    When ``use_counter_traffic`` is False the DRAM bound ignores the raw
+    per-TB global byte counters (which count L1-level traffic with no
+    inter-TB reuse) and uses ``extra_traffic`` alone — callers supply an
+    L2-reuse-filtered estimate there (see ``repro.gemm.executor``).
+    """
+
+    name: str
+    tb_cycles: float
+    num_thread_blocks: int
+    tb_counters: CounterBag
+    tbs_per_sm: int = 1
+    extra_traffic: DramTraffic = field(default_factory=DramTraffic)
+    use_counter_traffic: bool = True
+
+    def __post_init__(self) -> None:
+        if self.tb_cycles < 0:
+            raise SimulationError("tb_cycles must be non-negative")
+        if self.num_thread_blocks <= 0:
+            raise SimulationError("a launch needs at least one thread block")
+        if self.tbs_per_sm <= 0:
+            raise SimulationError("tbs_per_sm must be positive")
+
+
+@dataclass(frozen=True)
+class LaunchResult:
+    """Timing and scaled event counts for a full kernel launch."""
+
+    name: str
+    cycles: float
+    waves: int
+    compute_cycles: float
+    dram_cycles: float
+    counters: CounterBag
+
+    @property
+    def dram_bound(self) -> bool:
+        return self.dram_cycles > self.compute_cycles
+
+
+class GpuTimingModel:
+    """Composes per-thread-block SM results into kernel launch times."""
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        launch_overhead_cycles: float = DEFAULT_LAUNCH_OVERHEAD_CYCLES,
+    ) -> None:
+        self.config = config
+        self.launch_overhead_cycles = launch_overhead_cycles
+        self.dram = DramModel(config)
+
+    def launch(self, launch: KernelLaunch) -> LaunchResult:
+        """Time a kernel launch; counters scale to the whole grid."""
+        concurrent = self.config.num_sms * launch.tbs_per_sm
+        waves = ceil_div(launch.num_thread_blocks, concurrent)
+        compute_cycles = waves * launch.tb_cycles
+
+        grid_counters = launch.tb_counters.scaled(float(launch.num_thread_blocks))
+        if launch.use_counter_traffic:
+            traffic = DramTraffic(
+                read_bytes=grid_counters.get("global_read_bytes")
+                + launch.extra_traffic.read_bytes,
+                write_bytes=grid_counters.get("global_write_bytes")
+                + launch.extra_traffic.write_bytes,
+            )
+        else:
+            traffic = launch.extra_traffic
+        grid_counters.add("dram_bytes", traffic.total_bytes)
+        dram_cycles = self.dram.min_cycles(traffic)
+        latency_floor = float(self.dram.access_latency())
+
+        total = self.launch_overhead_cycles + max(
+            compute_cycles, dram_cycles, latency_floor
+        )
+        grid_counters.add("kernel_cycles", total)
+        return LaunchResult(
+            name=launch.name,
+            cycles=total,
+            waves=waves,
+            compute_cycles=compute_cycles,
+            dram_cycles=dram_cycles,
+            counters=grid_counters,
+        )
+
+    def sustained_flops(self, result: LaunchResult) -> float:
+        """Achieved FLOP/s of a launch on this GPU."""
+        if result.cycles <= 0:
+            return 0.0
+        flops = 2.0 * (
+            result.counters.get("fp32_macs")
+            + result.counters.get("fp16_macs")
+            + result.counters.get("sma_macs")
+        )
+        seconds = result.cycles / (self.config.clock_ghz * 1e9)
+        if seconds <= 0:
+            return 0.0
+        return flops / seconds

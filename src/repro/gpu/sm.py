@@ -1,0 +1,421 @@
+"""Cycle-level streaming-multiprocessor pipeline.
+
+This is the reproduction's analogue of the paper's modified GPGPU-Sim: warp
+programs (``repro.isa``) execute against structural resources — issue slots,
+FP32/FP16 pipelines, the load-store unit with shared-memory bank conflicts
+and global coalescing, register-file operand ports, TensorCores, and the
+SMA systolic controller (attached via :class:`LsmaEngine`).
+
+Timing emerges from three mechanisms only:
+
+* **dependences** — the scoreboard delays consumers of pending registers;
+* **structural throughput** — every unit is a :class:`ThroughputResource`
+  with a service rate and a bounded issue queue;
+* **synchronization** — thread-block barriers, cooperative-group barriers
+  and the ``SMAWAIT`` drain of the asynchronous systolic controller.
+
+There are no per-kernel fudge factors; the three GEMM flavours differ only
+in the instruction traces they feed in.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.common.stats import CounterBag
+from repro.config import GpuConfig
+from repro.errors import SimulationError
+from repro.gpu.coalescer import coalesce
+from repro.gpu.regfile import RegisterFileModel
+from repro.gpu.scheduler import SchedulerPolicy, make_scheduler
+from repro.gpu.scoreboard import Scoreboard
+from repro.gpu.shared_memory import SharedMemoryModel
+from repro.isa.instructions import ExecUnit, Instruction, Opcode
+from repro.isa.program import WarpProgram
+
+#: MACs performed by one HMMA instruction (4 cycles on one 4x4x4 TC).
+HMMA_MACS = 256
+#: Cycles one HMMA occupies its TensorCore.
+HMMA_TC_CYCLES = 4
+
+
+@dataclass(frozen=True)
+class LsmaIssue:
+    """Outcome of handing an LSMA instruction to the systolic controller."""
+
+    accepted: bool
+    busy_until: float = 0.0
+    counters: CounterBag | None = None
+    lsu_overhead_cycles: float = 0.0
+
+
+class LsmaEngine(abc.ABC):
+    """Interface the SMA systolic controller exposes to the SM pipeline."""
+
+    @abc.abstractmethod
+    def issue(self, unit_id: int, k_extent: int, now: float) -> LsmaIssue:
+        """Try to start one LSMA operation on ``unit_id`` at cycle ``now``."""
+
+    @abc.abstractmethod
+    def idle_at(self, now: float) -> float:
+        """Cycle at which every systolic unit has drained."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Clear busy state between kernels."""
+
+
+class ThroughputResource:
+    """A service pipeline with rate ``capacity`` per cycle and bounded queue.
+
+    ``accept`` books ``cost`` cycles of service; ``can_accept`` refuses when
+    the backlog exceeds ``queue_depth`` cycles, which stalls the issuing
+    scheduler — exactly how a full issue queue back-pressures a real SM.
+    """
+
+    def __init__(self, name: str, queue_depth: float = 8.0) -> None:
+        self.name = name
+        self.queue_depth = queue_depth
+        self.free_at = 0.0
+        self.busy_cycles = 0.0
+
+    def can_accept(self, now: float, cost: float) -> bool:
+        """Admit when the backlog is within the queue depth.
+
+        The bound is on *outstanding* work, not on the op's own cost —
+        otherwise a single op costlier than the queue (e.g. a 32-way bank
+        conflict) could never issue and the warp would livelock.
+        """
+        if cost <= 0:
+            return True
+        backlog = max(0.0, self.free_at - now)
+        return backlog <= self.queue_depth
+
+    def accept(self, now: float, cost: float) -> float:
+        """Book the work; returns its completion cycle."""
+        start = max(self.free_at, now)
+        self.free_at = start + cost
+        self.busy_cycles += cost
+        return self.free_at
+
+    def utilization(self, cycles: float) -> float:
+        if cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / cycles)
+
+
+@dataclass
+class KernelSpec:
+    """Everything the SM needs to run one thread block's trace."""
+
+    name: str
+    programs: list[WarpProgram]
+    groups: dict[int, frozenset[int]] = field(default_factory=dict)
+    scheduler: str = "gto"
+    lsma_engine: LsmaEngine | None = None
+
+    def __post_init__(self) -> None:
+        if not self.programs:
+            raise SimulationError("kernel needs at least one warp program")
+        for group_id, members in self.groups.items():
+            for warp_id in members:
+                if not (0 <= warp_id < len(self.programs)):
+                    raise SimulationError(
+                        f"group {group_id} references warp {warp_id} out of range"
+                    )
+
+    @property
+    def num_warps(self) -> int:
+        return len(self.programs)
+
+
+@dataclass
+class SmResult:
+    """Timing and event counts for one thread block on one SM."""
+
+    cycles: float
+    counters: CounterBag
+    stalls: CounterBag
+    name: str = ""
+
+    def flops(self) -> float:
+        """FLOPs executed (FMA counts as two)."""
+        return 2.0 * (
+            self.counters.get("fp32_macs")
+            + self.counters.get("fp16_macs")
+            + self.counters.get("sma_macs")
+        )
+
+    def flop_efficiency(self, peak_flops_per_cycle: float) -> float:
+        """Achieved / peak FLOPs for this thread block's residency."""
+        if self.cycles <= 0 or peak_flops_per_cycle <= 0:
+            return 0.0
+        return self.flops() / (self.cycles * peak_flops_per_cycle)
+
+
+@dataclass
+class _WarpState:
+    pc: int = 0
+    blocked_until: float = 0.0
+    done: bool = False
+    waiting_barrier: tuple[int, int] | None = None  # (group, instance)
+    barrier_counts: dict[int, int] = field(default_factory=dict)
+
+
+class StreamingMultiprocessor:
+    """Executes one thread block's warp traces with structural timing."""
+
+    #: group id used for whole-thread-block BAR instructions
+    TB_GROUP = -1
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        collector_efficiency: float = 0.95,
+        max_cycles: int = 40_000_000,
+    ) -> None:
+        self.config = config
+        self.collector_efficiency = collector_efficiency
+        self.max_cycles = max_cycles
+        self.shared_memory = SharedMemoryModel(
+            num_banks=config.shared_memory_banks,
+            bank_bytes=config.shared_memory_bank_bytes,
+        )
+
+    # -- resource construction -------------------------------------------------
+    def _build_resources(self) -> dict[str, ThroughputResource]:
+        config = self.config
+        return {
+            # 64 FP32 lanes serve two warp-wide FMA ops per cycle.
+            "fma": ThroughputResource("fma"),
+            # Dedicated INT32 pipe, same width.
+            "alu": ThroughputResource("alu"),
+            # One shared-memory (or 4-sector global) access group per cycle.
+            "lsu": ThroughputResource("lsu", queue_depth=6.0),
+            # 4 TensorCores, each 4 cycles per HMMA -> 1 HMMA/cycle aggregate.
+            "tensor": ThroughputResource("tensor"),
+        }
+
+    # -- issue cost model --------------------------------------------------------
+    def _issue_costs(
+        self, inst: Instruction
+    ) -> tuple[str | None, float, float, int, int]:
+        """Return (unit_name, unit_cost, latency, rf_reads, rf_writes)."""
+        opcode = inst.opcode
+        if opcode in (Opcode.FFMA, Opcode.HFMA2, Opcode.FADD):
+            return "fma", 0.5, inst.latency, len(inst.srcs), len(inst.dst)
+        if opcode in (Opcode.IMAD, Opcode.MOV, Opcode.NOP):
+            return "alu", 0.5, inst.latency, len(inst.srcs), len(inst.dst)
+        if opcode is Opcode.HMMA:
+            # Architectural operand appetite (repro.tensorcore): 2 A regs,
+            # 2 B regs, 4 accumulators read; 4 accumulators written.
+            return "tensor", 1.0, inst.latency, 8, 4
+        if opcode in (Opcode.LDS, Opcode.STS):
+            degree = self.shared_memory.access(inst.mem).cycles
+            latency = self.config.shared_memory_latency_cycles + degree - 1
+            if opcode is Opcode.STS:
+                latency = degree
+            return "lsu", float(degree), latency, len(inst.srcs), len(inst.dst)
+        if opcode in (Opcode.LDG, Opcode.STG):
+            sectors = coalesce(inst.mem).sectors
+            cost = max(0.25, sectors / 4.0)
+            latency = self.config.dram_latency_cycles
+            if opcode is Opcode.STG:
+                latency = 1
+            return "lsu", cost, latency, len(inst.srcs), len(inst.dst)
+        if opcode is Opcode.LDC:
+            return "lsu", 0.25, inst.latency, len(inst.srcs), len(inst.dst)
+        if opcode is Opcode.LSMA:
+            # Unit cost handled by the systolic controller.
+            return None, 0.0, inst.latency, len(inst.srcs), len(inst.dst)
+        if inst.is_barrier or opcode is Opcode.EXIT:
+            return None, 0.0, 1, 0, 0
+        raise SimulationError(f"no issue model for opcode {opcode}")
+
+    # -- event counting ----------------------------------------------------------
+    def _count_events(self, inst: Instruction, counters: CounterBag) -> None:
+        opcode = inst.opcode
+        counters.add("instructions_issued")
+        if opcode is Opcode.FFMA:
+            counters.add("fp32_macs", 32)
+        elif opcode is Opcode.HFMA2:
+            counters.add("fp16_macs", 64)
+        elif opcode is Opcode.FADD:
+            counters.add("fp32_ops", 32)
+        elif opcode is Opcode.HMMA:
+            counters.add("fp16_macs", HMMA_MACS)
+        elif opcode is Opcode.LDS:
+            result = self.shared_memory.access(inst.mem)
+            counters.add("smem_read_words", result.words_touched)
+        elif opcode is Opcode.STS:
+            result = self.shared_memory.access(inst.mem)
+            counters.add("smem_write_words", result.words_touched)
+        elif opcode is Opcode.LDG:
+            counters.add("global_read_bytes", coalesce(inst.mem).bytes_moved)
+        elif opcode is Opcode.STG:
+            counters.add("global_write_bytes", coalesce(inst.mem).bytes_moved)
+        elif opcode is Opcode.LDC:
+            counters.add("const_read_words", inst.mem.active_lanes)
+        elif opcode in (Opcode.BAR, Opcode.CGSYNC, Opcode.SMAWAIT):
+            counters.add("sync_ops")
+
+    # -- main loop -----------------------------------------------------------------
+    def run(self, kernel: KernelSpec) -> SmResult:
+        """Simulate the kernel to completion; returns cycles and events."""
+        num_warps = kernel.num_warps
+        if num_warps > self.config.max_warps_per_sm:
+            raise SimulationError(
+                f"{num_warps} warps exceed the SM limit "
+                f"{self.config.max_warps_per_sm}"
+            )
+        if kernel.lsma_engine is not None:
+            kernel.lsma_engine.reset()
+
+        resources = self._build_resources()
+        regfile = RegisterFileModel(self.config, self.collector_efficiency)
+        rf_read = ThroughputResource("rf_read")
+        rf_write = ThroughputResource("rf_write")
+        read_cost = 1.0 / regfile.read_capacity
+        write_cost = 1.0 / regfile.write_capacity
+
+        scoreboard = Scoreboard(num_warps)
+        counters = CounterBag()
+        stalls = CounterBag()
+        warps = [_WarpState() for _ in range(num_warps)]
+        num_schedulers = self.config.schedulers_per_sm
+        policies: list[SchedulerPolicy] = [
+            make_scheduler(kernel.scheduler) for _ in range(num_schedulers)
+        ]
+        barrier_arrivals: dict[tuple[int, int], set[int]] = {}
+        group_sizes = {gid: len(members) for gid, members in kernel.groups.items()}
+        group_sizes[self.TB_GROUP] = num_warps
+
+        now = 0.0
+        done_count = 0
+        while done_count < num_warps:
+            if now > self.max_cycles:
+                raise SimulationError(
+                    f"kernel {kernel.name!r} exceeded {self.max_cycles} cycles"
+                    " (likely a barrier deadlock in the trace)"
+                )
+            # Release completed barriers.
+            released: list[tuple[int, int]] = []
+            for key, arrived in barrier_arrivals.items():
+                group_id, _instance = key
+                if len(arrived) >= group_sizes.get(group_id, num_warps):
+                    for warp_id in arrived:
+                        warps[warp_id].waiting_barrier = None
+                        warps[warp_id].blocked_until = now
+                    released.append(key)
+            for key in released:
+                del barrier_arrivals[key]
+
+            for scheduler_id, policy in enumerate(policies):
+                candidates = [
+                    warp_id
+                    for warp_id in range(scheduler_id, num_warps, num_schedulers)
+                    if not warps[warp_id].done
+                    and warps[warp_id].waiting_barrier is None
+                    and warps[warp_id].blocked_until <= now
+                ]
+                if not candidates:
+                    continue
+                issued = False
+                blocked_reason = "stall_scoreboard"
+                for warp_id in policy.order(candidates):
+                    state = warps[warp_id]
+                    inst = kernel.programs[warp_id][state.pc]
+                    if not scoreboard.ready(warp_id, inst.srcs, now):
+                        blocked_reason = "stall_scoreboard"
+                        continue
+                    unit_name, unit_cost, latency, reads, writes = (
+                        self._issue_costs(inst)
+                    )
+                    if inst.opcode is Opcode.LSMA:
+                        if kernel.lsma_engine is None:
+                            raise SimulationError(
+                                "trace contains LSMA but no engine is attached"
+                            )
+                        k_extent, unit_id = inst.payload
+                        outcome = kernel.lsma_engine.issue(unit_id, k_extent, now)
+                        if not outcome.accepted:
+                            blocked_reason = "stall_sma_busy"
+                            continue
+                        if outcome.counters is not None:
+                            counters.merge(outcome.counters)
+                        if outcome.lsu_overhead_cycles > 0:
+                            resources["lsu"].accept(
+                                now, outcome.lsu_overhead_cycles
+                            )
+                    else:
+                        if unit_name is not None:
+                            resource = resources[unit_name]
+                            if not resource.can_accept(now, unit_cost):
+                                blocked_reason = f"stall_{unit_name}"
+                                continue
+                        if reads and not rf_read.can_accept(now, reads * read_cost):
+                            blocked_reason = "stall_rf_read"
+                            continue
+                        if writes and not rf_write.can_accept(
+                            now, writes * write_cost
+                        ):
+                            blocked_reason = "stall_rf_write"
+                            continue
+                        if unit_name is not None:
+                            resources[unit_name].accept(now, unit_cost)
+                        if reads:
+                            rf_read.accept(now, reads * read_cost)
+                            regfile.total_reads += reads
+                        if writes:
+                            rf_write.accept(now, writes * write_cost)
+                            regfile.total_writes += writes
+
+                    # The instruction issues.
+                    self._count_events(inst, counters)
+                    if inst.dst:
+                        scoreboard.set_pending(warp_id, inst.dst, now + latency)
+                    if inst.opcode is Opcode.BAR or inst.opcode is Opcode.CGSYNC:
+                        group_id = (
+                            self.TB_GROUP
+                            if inst.opcode is Opcode.BAR
+                            else inst.group
+                        )
+                        instance = state.barrier_counts.get(group_id, 0)
+                        state.barrier_counts[group_id] = instance + 1
+                        state.waiting_barrier = (group_id, instance)
+                        barrier_arrivals.setdefault(
+                            (group_id, instance), set()
+                        ).add(warp_id)
+                    elif inst.opcode is Opcode.SMAWAIT:
+                        if kernel.lsma_engine is None:
+                            raise SimulationError(
+                                "trace contains SMAWAIT but no engine is attached"
+                            )
+                        state.blocked_until = max(
+                            now + 1.0, kernel.lsma_engine.idle_at(now)
+                        )
+                    state.pc += 1
+                    if inst.opcode is Opcode.EXIT or state.pc >= len(
+                        kernel.programs[warp_id]
+                    ):
+                        state.done = True
+                        done_count += 1
+                    policy.notify_issued(warp_id)
+                    issued = True
+                    break
+                if not issued:
+                    stalls.add(blocked_reason)
+            now += 1.0
+
+        if kernel.lsma_engine is not None:
+            now = max(now, kernel.lsma_engine.idle_at(now))
+
+        counters.add("cycles", now)
+        counters.add("rf_reads", regfile.total_reads)
+        counters.add("rf_writes", regfile.total_writes)
+        for name, resource in resources.items():
+            counters.add(f"busy_{name}", resource.busy_cycles)
+        counters.add("busy_rf_read", rf_read.busy_cycles)
+        counters.add("busy_rf_write", rf_write.busy_cycles)
+        return SmResult(cycles=now, counters=counters, stalls=stalls, name=kernel.name)

@@ -1,0 +1,30 @@
+"""A compact SASS-like instruction set for the cycle-level SM pipeline.
+
+The GEMM mapping layers (`repro.gemm.traces`, `repro.sma.mapping`) emit warp
+programs in this ISA; `repro.gpu.sm` executes them with structural timing.
+"""
+
+from repro.isa.instructions import (
+    ExecUnit,
+    Instruction,
+    MemAccess,
+    MemSpace,
+    Opcode,
+    broadcast_access,
+    coalesced_access,
+    strided_access,
+)
+from repro.isa.program import ProgramBuilder, WarpProgram
+
+__all__ = [
+    "ExecUnit",
+    "Instruction",
+    "MemAccess",
+    "MemSpace",
+    "Opcode",
+    "ProgramBuilder",
+    "WarpProgram",
+    "broadcast_access",
+    "coalesced_access",
+    "strided_access",
+]

@@ -1,0 +1,19 @@
+"""Execution platforms: run operator graphs on each simulated system."""
+
+from repro.platforms.base import ModelRunResult, OpStats, Platform
+from repro.platforms.cpu import CpuPlatform
+from repro.platforms.gpu_simd import GpuSimdPlatform
+from repro.platforms.gpu_sma import GpuSmaPlatform
+from repro.platforms.gpu_tc import GpuTcPlatform
+from repro.platforms.tpu_platform import TpuPlatform
+
+__all__ = [
+    "CpuPlatform",
+    "GpuSimdPlatform",
+    "GpuSmaPlatform",
+    "GpuTcPlatform",
+    "ModelRunResult",
+    "OpStats",
+    "Platform",
+    "TpuPlatform",
+]

@@ -1,0 +1,186 @@
+"""Platform interface and the shared GPU operator execution logic.
+
+A platform executes a :class:`repro.dnn.graph.LayerGraph` operator by
+operator and reports per-op timing, energy, and the execution mode used.
+The Fig 3 breakdown groups ops into the paper's categories (CNN&FC,
+RoIAlign, NMS, ArgMax, CRF, Transfer).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.common.stats import CounterBag
+from repro.config import GpuConfig, SystemConfig
+from repro.dnn.graph import LayerGraph
+from repro.dnn.ops import (
+    ArgMax,
+    Crf,
+    Operator,
+    RegionProposal,
+    RoIAlign,
+)
+from repro.energy.accounting import EnergyBreakdown, EnergyLedger
+
+#: Per-op framework overhead (graph runtime, kernel dispatch) used by the
+#: end-to-end experiments (Fig 3 / Fig 9); pure kernel studies pass 0.
+DEFAULT_FRAMEWORK_OVERHEAD_S = 100e-6
+
+
+@dataclass(frozen=True)
+class OpStats:
+    """Timing and energy of one operator on one platform."""
+
+    op_name: str
+    group: str              # Fig 3 reporting group
+    mode: str               # e.g. "gemm-sma", "simd", "tpu-lowered", "host"
+    seconds: float
+    flops: float
+    energy: EnergyBreakdown | None = None
+
+
+@dataclass
+class ModelRunResult:
+    """Per-op stats plus aggregates for one model on one platform."""
+
+    model_name: str
+    platform_name: str
+    op_stats: list[OpStats] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stat.seconds for stat in self.op_stats)
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_seconds * 1e3
+
+    def grouped_seconds(self) -> dict[str, float]:
+        """Seconds per Fig 3 reporting group."""
+        groups: dict[str, float] = {}
+        for stat in self.op_stats:
+            groups[stat.group] = groups.get(stat.group, 0.0) + stat.seconds
+        return groups
+
+    def total_energy(self) -> EnergyBreakdown:
+        total = EnergyBreakdown()
+        for stat in self.op_stats:
+            if stat.energy is not None:
+                total = total.merged(stat.energy)
+        return total
+
+
+def reporting_group(op: Operator) -> str:
+    """Map an operator to the paper's Fig 3 breakdown group."""
+    if isinstance(op, RoIAlign):
+        return "RoIAlign"
+    if isinstance(op, RegionProposal):
+        return "NMS"
+    if isinstance(op, ArgMax):
+        return "ArgMax"
+    if isinstance(op, Crf):
+        return "CRF"
+    return "CNN&FC"
+
+
+class Platform(abc.ABC):
+    """Executes operators; subclasses define per-op timing and energy."""
+
+    def __init__(
+        self,
+        name: str,
+        framework_overhead_s: float = DEFAULT_FRAMEWORK_OVERHEAD_S,
+    ) -> None:
+        self.name = name
+        self.framework_overhead_s = framework_overhead_s
+
+    @abc.abstractmethod
+    def run_op(self, op: Operator) -> OpStats:
+        """Execute one operator."""
+
+    def run_model(self, graph: LayerGraph) -> ModelRunResult:
+        """Execute a layer graph in topological order."""
+        result = ModelRunResult(model_name=graph.name, platform_name=self.name)
+        for node in graph.topological_order():
+            stats = self.run_op(node.op)
+            overhead = self.framework_overhead_s * node.op.kernel_launches
+            stats = OpStats(
+                op_name=stats.op_name,
+                group=stats.group,
+                mode=stats.mode,
+                seconds=stats.seconds + overhead,
+                flops=stats.flops,
+                energy=stats.energy,
+            )
+            result.op_stats.append(stats)
+        return result
+
+
+class GpuPlatformBase(Platform):
+    """Shared GPU logic: the SIMD roofline for non-GEMM operators.
+
+    Non-GEMM operators run in SIMD mode on every GPU variant (the whole
+    point of SMA: programmability is preserved). Time is the classic
+    roofline ``max(compute, memory)`` with the operator's calibrated
+    ``simd_efficiency``, plus the kernel launch overhead.
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        name: str,
+        framework_overhead_s: float = DEFAULT_FRAMEWORK_OVERHEAD_S,
+    ) -> None:
+        super().__init__(name, framework_overhead_s)
+        if system.gpu is None:
+            raise ValueError(f"platform {name} requires a GPU system")
+        self.system = system
+        self.gpu: GpuConfig = system.gpu
+        self.ledger = EnergyLedger(self.gpu)
+
+    def _simd_op_seconds(self, op: Operator) -> float:
+        peak_flops = (
+            self.gpu.num_sms
+            * self.gpu.simd_flops_per_cycle_per_sm
+            * self.gpu.clock_ghz
+            * 1e9
+        )
+        bytes_touched = op.input_bytes + op.output_bytes + op.weight_bytes
+        compute = op.flops / (peak_flops * op.simd_efficiency)
+        memory = bytes_touched / (self.gpu.dram_bandwidth_gbps * 1e9)
+        launch = 2000.0 / (self.gpu.clock_ghz * 1e9)
+        return max(compute, memory) + launch
+
+    def _simd_op_energy(self, op: Operator) -> EnergyBreakdown:
+        """Approximate event counts for a SIMD-mode operator.
+
+        Each FLOP pair is one lane-FMA; instructions ~= warp ops with the
+        operator's efficiency as issue density; every operand set flows
+        through the register file once and DRAM traffic equals the
+        operator's footprint.
+        """
+        bytes_touched = op.input_bytes + op.output_bytes + op.weight_bytes
+        warp_ops = op.flops / 2.0 / 32.0
+        counters = CounterBag(
+            {
+                "fp32_macs": op.flops / 2.0,
+                "instructions_issued": warp_ops * 1.5,
+                "rf_reads": warp_ops * 3.0,
+                "rf_writes": warp_ops * 1.0,
+                "dram_bytes": bytes_touched,
+                "global_read_bytes": op.input_bytes + op.weight_bytes,
+                "global_write_bytes": op.output_bytes,
+            }
+        )
+        return self.ledger.account(counters)
+
+    def run_irregular(self, op: Operator) -> OpStats:
+        return OpStats(
+            op_name=op.name,
+            group=reporting_group(op),
+            mode="simd",
+            seconds=self._simd_op_seconds(op),
+            flops=op.flops,
+            energy=self._simd_op_energy(op),
+        )

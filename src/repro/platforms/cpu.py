@@ -1,0 +1,38 @@
+"""Single-core CPU platform (the paper's CRF-on-CPU comparison point)."""
+
+from __future__ import annotations
+
+from repro.config import CpuConfig
+from repro.dnn.ops import OpCategory, Operator
+from repro.platforms.base import OpStats, Platform, reporting_group
+from repro.tpu.host import HostCpuModel
+
+
+class CpuPlatform(Platform):
+    """Runs every operator on one host core via the roofline model."""
+
+    def __init__(
+        self,
+        config: CpuConfig | None = None,
+        framework_overhead_s: float = 10e-6,
+    ) -> None:
+        super().__init__("cpu", framework_overhead_s)
+        self.config = config or CpuConfig()
+        self.host = HostCpuModel(self.config)
+
+    def run_op(self, op: Operator) -> OpStats:
+        serial = getattr(op, "host_serial_fraction", None)
+        if serial is None:
+            serial = 0.3 if op.category is OpCategory.IRREGULAR else 0.05
+        seconds = self.host.op_seconds(
+            op.flops,
+            op.input_bytes + op.output_bytes + op.weight_bytes,
+            serial_fraction=serial,
+        )
+        return OpStats(
+            op_name=op.name,
+            group=reporting_group(op),
+            mode="host",
+            seconds=seconds,
+            flops=op.flops,
+        )

@@ -1,0 +1,78 @@
+"""SMA platform: GEMM ops in systolic mode, everything else in SIMD mode.
+
+The temporal reconfiguration between modes is tracked per operator
+transition; its cost (8 cycles per switch, paper SS IV-A) is what makes the
+"simultaneous multi-mode" design practical and is reported by
+``mode_switch_overhead_seconds``.
+"""
+
+from __future__ import annotations
+
+from repro.config import DataType, SystemConfig, system_sma
+from repro.dnn.ops import Operator
+from repro.gemm.executor import GemmExecutor
+from repro.gemm.problem import GemmProblem
+from repro.platforms.base import (
+    DEFAULT_FRAMEWORK_OVERHEAD_S,
+    GpuPlatformBase,
+    OpStats,
+    reporting_group,
+)
+from repro.sma.mode import ExecutionMode, ModeSwitchTracker
+from repro.systolic.dataflow import Dataflow
+
+
+class GpuSmaPlatform(GpuPlatformBase):
+    """The paper's architecture: 2 or 3 SMA units per SM."""
+
+    def __init__(
+        self,
+        units: int = 3,
+        system: SystemConfig | None = None,
+        dataflow: Dataflow = Dataflow.SEMI_BROADCAST_WS,
+        framework_overhead_s: float = DEFAULT_FRAMEWORK_OVERHEAD_S,
+    ) -> None:
+        system = system or system_sma(units)
+        super().__init__(system, f"gpu-{system.sma.units_per_sm}sma",
+                         framework_overhead_s)
+        self.executor = GemmExecutor(system, "sma", dataflow=dataflow)
+        self.mode_tracker = ModeSwitchTracker(system.sma)
+
+    def run_op(self, op: Operator) -> OpStats:
+        dims = op.gemm_dims()
+        if dims is None:
+            switch_cycles = self.mode_tracker.switch_to(ExecutionMode.SIMD)
+            stats = self.run_irregular(op)
+            switch_seconds = switch_cycles / (self.gpu.clock_ghz * 1e9)
+            self.mode_tracker.account(
+                stats.seconds * self.gpu.clock_ghz * 1e9
+            )
+            return OpStats(
+                op_name=stats.op_name,
+                group=stats.group,
+                mode="simd",
+                seconds=stats.seconds + switch_seconds,
+                flops=stats.flops,
+                energy=stats.energy,
+            )
+        switch_cycles = self.mode_tracker.switch_to(ExecutionMode.SYSTOLIC)
+        m, n, k = dims
+        problem = GemmProblem(m, n, k, dtype=self.system.sma.dtype)
+        timing = self.executor.time_gemm(problem)
+        self.mode_tracker.account(timing.cycles)
+        switch_seconds = switch_cycles / (self.gpu.clock_ghz * 1e9)
+        return OpStats(
+            op_name=op.name,
+            group=reporting_group(op),
+            mode="gemm-sma",
+            seconds=timing.seconds + switch_seconds,
+            flops=float(problem.flops),
+            energy=self.ledger.account(timing.counters),
+        )
+
+    @property
+    def mode_switch_overhead_seconds(self) -> float:
+        """Total reconfiguration time spent so far (temporal integration)."""
+        return self.mode_tracker.reconfiguration_cycles / (
+            self.gpu.clock_ghz * 1e9
+        )

@@ -1,0 +1,43 @@
+"""GPU + TensorCore platform: GEMM ops on the 4 TCs, the rest on SIMD."""
+
+from __future__ import annotations
+
+from repro.config import DataType, SystemConfig, system_gpu_4tc
+from repro.dnn.ops import Operator
+from repro.gemm.executor import GemmExecutor
+from repro.gemm.problem import GemmProblem
+from repro.platforms.base import (
+    DEFAULT_FRAMEWORK_OVERHEAD_S,
+    GpuPlatformBase,
+    OpStats,
+    reporting_group,
+)
+
+
+class GpuTcPlatform(GpuPlatformBase):
+    """The Volta baseline with spatially integrated TCs (paper '4-TC')."""
+
+    def __init__(
+        self,
+        system: SystemConfig | None = None,
+        framework_overhead_s: float = DEFAULT_FRAMEWORK_OVERHEAD_S,
+    ) -> None:
+        system = system or system_gpu_4tc()
+        super().__init__(system, "gpu-4tc", framework_overhead_s)
+        self.executor = GemmExecutor(system, "tc")
+
+    def run_op(self, op: Operator) -> OpStats:
+        dims = op.gemm_dims()
+        if dims is None:
+            return self.run_irregular(op)
+        m, n, k = dims
+        problem = GemmProblem(m, n, k, dtype=DataType.FP16)
+        timing = self.executor.time_gemm(problem)
+        return OpStats(
+            op_name=op.name,
+            group=reporting_group(op),
+            mode="gemm-tc",
+            seconds=timing.seconds,
+            flops=float(problem.flops),
+            energy=self.ledger.account(timing.counters),
+        )

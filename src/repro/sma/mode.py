@@ -1,0 +1,68 @@
+"""Temporal execution modes and the reconfiguration cost tracker.
+
+The paper's key design principle (SS III-A) is *temporal* integration: the
+same MAC units serve either the SIMD pipelines or the systolic arrays, and
+the SM switches between modes at runtime with near-zero overhead. The
+tracker counts switches and charges the (small, configurable) switch cost
+so the end-to-end experiments can report how cheap temporal integration is
+compared to spatially idling half of the chip.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.config import SmaConfig
+from repro.errors import SimulationError
+
+
+class ExecutionMode(enum.Enum):
+    SIMD = "simd"
+    SYSTOLIC = "systolic"
+
+
+@dataclass
+class ModeSwitchTracker:
+    """Counts mode transitions and accumulated reconfiguration cycles."""
+
+    config: SmaConfig
+    mode: ExecutionMode = ExecutionMode.SIMD
+    switches: int = 0
+    reconfiguration_cycles: float = 0.0
+    cycles_in_mode: dict[str, float] = field(
+        default_factory=lambda: {"simd": 0.0, "systolic": 0.0}
+    )
+
+    def switch_to(self, mode: ExecutionMode) -> float:
+        """Switch modes; returns the cycle cost of this transition."""
+        if not isinstance(mode, ExecutionMode):
+            raise SimulationError(f"not an execution mode: {mode!r}")
+        if mode is self.mode:
+            return 0.0
+        self.mode = mode
+        self.switches += 1
+        cost = float(self.config.reconfiguration_cycles)
+        self.reconfiguration_cycles += cost
+        return cost
+
+    def account(self, cycles: float) -> None:
+        """Attribute ``cycles`` of execution to the current mode."""
+        if cycles < 0:
+            raise SimulationError("cannot account negative cycles")
+        self.cycles_in_mode[self.mode.value] += cycles
+
+    @property
+    def total_cycles(self) -> float:
+        return (
+            self.cycles_in_mode["simd"]
+            + self.cycles_in_mode["systolic"]
+            + self.reconfiguration_cycles
+        )
+
+    def overhead_fraction(self) -> float:
+        """Reconfiguration cycles as a fraction of all cycles."""
+        total = self.total_cycles
+        if total <= 0:
+            return 0.0
+        return self.reconfiguration_cycles / total

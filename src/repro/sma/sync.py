@@ -1,0 +1,61 @@
+"""Cooperative-group style warp-set synchronization (paper SS IV-C).
+
+The double-buffered SMA GEMM uses 64 warps per thread block, divided into
+two sets that alternate between loading tiles (SIMD mode) and computing
+(systolic mode via LSMA). The sets synchronize through fine-grained named
+barriers — CUDA cooperative groups — rather than whole-block barriers, so
+a set never waits on work it does not depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MappingError
+
+#: Group ids used by the SMA kernel traces.
+GROUP_LOADERS = 0
+GROUP_COMPUTERS = 1
+GROUP_ALL = 2
+
+
+@dataclass(frozen=True)
+class WarpSetPartition:
+    """The two warp sets of the double-buffered mapping."""
+
+    loaders: frozenset[int]
+    computers: frozenset[int]
+
+    @property
+    def all_warps(self) -> frozenset[int]:
+        return self.loaders | self.computers
+
+    def set_of(self, warp_id: int) -> str:
+        if warp_id in self.loaders:
+            return "loaders"
+        if warp_id in self.computers:
+            return "computers"
+        raise MappingError(f"warp {warp_id} is in neither set")
+
+
+def partition_warps(num_warps: int) -> WarpSetPartition:
+    """Split warps into two equal sets (first half loads, second computes)."""
+    if num_warps < 2 or num_warps % 2:
+        raise MappingError(
+            f"double buffering needs an even warp count >= 2, got {num_warps}"
+        )
+    half = num_warps // 2
+    return WarpSetPartition(
+        loaders=frozenset(range(half)),
+        computers=frozenset(range(half, num_warps)),
+    )
+
+
+def make_double_buffer_groups(num_warps: int) -> dict[int, frozenset[int]]:
+    """Cooperative-group table for :class:`repro.gpu.sm.KernelSpec`."""
+    partition = partition_warps(num_warps)
+    return {
+        GROUP_LOADERS: partition.loaders,
+        GROUP_COMPUTERS: partition.computers,
+        GROUP_ALL: partition.all_warps,
+    }

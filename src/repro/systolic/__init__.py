@@ -1,0 +1,30 @@
+"""Cycle-level systolic-array substrate (functional + timing + access traces)."""
+
+from repro.systolic.array import GemmRunResult, SystolicArray
+from repro.systolic.dataflow import (
+    Dataflow,
+    DataflowCost,
+    DataflowTraits,
+    analyze_dataflow_cost,
+    traits_of,
+)
+from repro.systolic.feeders import (
+    diagonal_a_coords,
+    output_coords_semi_broadcast,
+    output_coords_weight_stationary,
+)
+from repro.systolic.pe import ProcessingElement
+
+__all__ = [
+    "Dataflow",
+    "DataflowCost",
+    "DataflowTraits",
+    "GemmRunResult",
+    "ProcessingElement",
+    "SystolicArray",
+    "analyze_dataflow_cost",
+    "diagonal_a_coords",
+    "output_coords_semi_broadcast",
+    "output_coords_weight_stationary",
+    "traits_of",
+]

@@ -1,0 +1,34 @@
+"""A single processing element of a systolic array.
+
+The array simulator in :mod:`repro.systolic.array` uses vectorised numpy for
+speed; this scalar PE exists as the reference semantics (paper Fig 5C: one
+FP32 MAC with a stationary operand latch) and is exercised directly by unit
+tests and the worked example in ``examples/dataflow_exploration.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ProcessingElement:
+    """One MAC unit with a stationary weight and a partial-sum register."""
+
+    weight: float = 0.0
+    psum: float = 0.0
+    mac_count: int = 0
+
+    def load_weight(self, weight: float) -> None:
+        """Latch the stationary operand (repurposed operand collector)."""
+        self.weight = weight
+
+    def step(self, a_in: float, psum_in: float) -> float:
+        """One cycle: absorb ``psum_in``, add ``a_in * weight``, emit result."""
+        self.psum = psum_in + a_in * self.weight
+        self.mac_count += 1
+        return self.psum
+
+    def reset(self) -> None:
+        self.psum = 0.0
+        self.mac_count = 0

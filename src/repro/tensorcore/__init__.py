@@ -1,0 +1,18 @@
+"""TensorCore model: dot-product-based 4x4x4 MMA with RF-bound timing."""
+
+from repro.tensorcore.dot_product import dot4
+from repro.tensorcore.tensor_core import TensorCore, WmmaOp
+from repro.tensorcore.timing import (
+    TcGemmEstimate,
+    estimate_tc_gemm_efficiency,
+    wmma_schedule,
+)
+
+__all__ = [
+    "TcGemmEstimate",
+    "TensorCore",
+    "WmmaOp",
+    "dot4",
+    "estimate_tc_gemm_efficiency",
+    "wmma_schedule",
+]

@@ -1,0 +1,23 @@
+"""TPU-like accelerator: 128x128 weight-stationary array + host coupling."""
+
+from repro.tpu.array_timing import TpuGemmTiming, time_tpu_gemm
+from repro.tpu.host import HostCpuModel, HostTransferModel
+from repro.tpu.lowering import (
+    LoweredOp,
+    lower_argmax,
+    lower_nms_to_gemm,
+    lower_roialign_to_pooling,
+)
+from repro.tpu.tpu import TpuCore
+
+__all__ = [
+    "HostCpuModel",
+    "HostTransferModel",
+    "LoweredOp",
+    "TpuCore",
+    "TpuGemmTiming",
+    "lower_argmax",
+    "lower_nms_to_gemm",
+    "lower_roialign_to_pooling",
+    "time_tpu_gemm",
+]

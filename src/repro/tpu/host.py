@@ -1,0 +1,72 @@
+"""Host CPU and PCIe transfer models for TPU-offloaded operators.
+
+DeepLab's CRF cannot be lowered to the array at all, so the TPU system
+ships the tensors back to the host, runs the operator on one CPU core, and
+ships results back (paper Fig 3: the transfer alone costs 1.2x the TPU's
+GEMM time, and the single-core CRF is 10.65x slower than the GPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CpuConfig, TpuConfig
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TransferCost:
+    """One direction of a host<->device transfer."""
+
+    bytes_moved: float
+    seconds: float
+
+
+class HostTransferModel:
+    """PCIe-like link: fixed latency plus payload / bandwidth."""
+
+    def __init__(
+        self, config: TpuConfig | None = None, latency_s: float = 20e-6
+    ) -> None:
+        self.config = config or TpuConfig()
+        self.latency_s = latency_s
+        if self.config.host_transfer_gbps <= 0:
+            raise SimulationError("transfer bandwidth must be positive")
+
+    def transfer(self, num_bytes: float) -> TransferCost:
+        if num_bytes < 0:
+            raise SimulationError("negative transfer size")
+        bandwidth = self.config.host_transfer_gbps * 1e9
+        seconds = self.latency_s + num_bytes / bandwidth
+        return TransferCost(bytes_moved=num_bytes, seconds=seconds)
+
+
+class HostCpuModel:
+    """Single-core roofline: max(compute, memory) with a serial fraction."""
+
+    def __init__(self, config: CpuConfig | None = None) -> None:
+        self.config = config or CpuConfig()
+
+    def op_seconds(
+        self,
+        flops: float,
+        bytes_touched: float,
+        serial_fraction: float = 0.0,
+    ) -> float:
+        """Execution time of an operator on one host core.
+
+        ``serial_fraction`` models irreducibly sequential work (e.g. the
+        CRF's message-passing iterations) that runs at 1/8 of the vector
+        rate.
+        """
+        if not (0.0 <= serial_fraction <= 1.0):
+            raise SimulationError("serial_fraction must be in [0, 1]")
+        config = self.config
+        vector_flops = config.sustained_gflops * 1e9
+        scalar_flops = vector_flops / 8.0
+        compute = (
+            flops * (1.0 - serial_fraction) / vector_flops
+            + flops * serial_fraction / scalar_flops
+        )
+        memory = bytes_touched / (config.dram_bandwidth_gbps * 1e9)
+        return max(compute, memory)

@@ -1,0 +1,166 @@
+"""XLA-style lowering of GEMM-incompatible operators to TPU-native ops.
+
+SS II-B of the paper examines the TPU build of Mask R-CNN and finds that the
+compiler "converts the control-flow intensive NMS operation ... to multiple
+dataflow-based GEMM operations, and converts RoIAlign ... to multiple
+average pooling operations", which avoids host transfers but wastes a large
+amount of array work. These lowerings reproduce that inflation: each one
+reports the dense ops that replace the irregular kernel, and the resulting
+MAC counts are orders of magnitude above the useful work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.mathutil import ceil_div
+from repro.errors import LoweringError
+
+
+@dataclass(frozen=True)
+class LoweredOp:
+    """One dense op emitted by the lowering (runs on the systolic array)."""
+
+    kind: str              # "gemm" or "pool"
+    m: int
+    n: int
+    k: int
+    description: str = ""
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.n * self.k
+
+
+def lower_nms_to_gemm(
+    num_boxes: int, iterations: int | None = None
+) -> list[LoweredOp]:
+    """Non-max suppression as a cascade of dense matrix operations.
+
+    The dataflow formulation computes the full pairwise IoU matrix (a
+    sequence of B x B rank-4 products for the box coordinate algebra), then
+    runs ``iterations`` suppression passes, each a dense B x B masking
+    product against the score vector — control flow unrolled into data flow.
+    """
+    if num_boxes <= 0:
+        raise LoweringError("NMS needs at least one box")
+    if iterations is None:
+        # The compiler unrolls a worst-case suppression schedule: the loop
+        # cannot early-exit once control flow is gone.
+        iterations = max(1, ceil_div(num_boxes, 8))
+    ops = [
+        LoweredOp(
+            kind="gemm",
+            m=num_boxes,
+            n=num_boxes,
+            k=4,
+            description="pairwise box-overlap coordinate algebra",
+        ),
+        LoweredOp(
+            kind="gemm",
+            m=num_boxes,
+            n=num_boxes,
+            k=4,
+            description="pairwise box-area / union terms",
+        ),
+    ]
+    # Each pass masks a block of candidates against every survivor; the
+    # unrolled dataflow emits one dense op per (pass, block).
+    blocks = max(1, ceil_div(num_boxes, 128))
+    for index in range(iterations):
+        for block in range(blocks):
+            ops.append(
+                LoweredOp(
+                    kind="gemm",
+                    m=min(128, num_boxes),
+                    n=num_boxes,
+                    k=num_boxes,
+                    description=f"suppression pass {index} block {block}",
+                )
+            )
+    return ops
+
+
+def lower_roialign_to_pooling(
+    num_rois: int,
+    pooled_height: int = 14,
+    pooled_width: int = 14,
+    channels: int = 256,
+    sampling_points: int = 4,
+) -> list[LoweredOp]:
+    """RoIAlign as multiple average-pooling ops over fixed grids.
+
+    Bilinear interpolation at arbitrary coordinates is not expressible on
+    the array, so the compiler snaps each RoI to a fixed grid and emits one
+    average pooling per sampling point, each itself padded to the array's
+    native tile. The pool is modelled as a GEMM against a constant
+    averaging matrix, which is how dataflow engines execute pooling.
+    """
+    if num_rois <= 0:
+        raise LoweringError("RoIAlign needs at least one RoI")
+    ops = []
+    bin_count = pooled_height * pooled_width
+    # RoIs are snapped per block of 16 (a crop + pool chain each); within a
+    # block one pooling op per sampling point.
+    roi_blocks = max(1, ceil_div(num_rois, 16))
+    for block in range(roi_blocks):
+        rois_here = min(16, num_rois - block * 16)
+        for point in range(sampling_points):
+            ops.append(
+                LoweredOp(
+                    kind="pool",
+                    m=rois_here * bin_count,
+                    n=channels,
+                    # Each output bin averages a padded 16-tap window.
+                    k=16,
+                    description=(
+                        f"avg-pool, RoI block {block}, sampling point {point}"
+                    ),
+                )
+            )
+    return ops
+
+
+def lower_argmax(
+    height: int, width: int, num_classes: int
+) -> list[LoweredOp]:
+    """Per-pixel ArgMax as a max-reduction tournament of dense ops.
+
+    The array has no compare-exchange primitive; the compiler emits a
+    log2(num_classes) tournament of elementwise max steps, each a pass over
+    the full H x W x C tensor (modelled as a GEMM with K=2 against a
+    selection matrix).
+    """
+    if height <= 0 or width <= 0 or num_classes <= 1:
+        raise LoweringError("argmax needs a spatial extent and >= 2 classes")
+    ops = []
+    remaining = num_classes
+    level = 0
+    while remaining > 1:
+        # One dense op per class pair, plus two layout passes each (the
+        # array needs its operands re-tiled before and after every max).
+        for pair in range(remaining // 2):
+            ops.append(
+                LoweredOp(
+                    kind="gemm",
+                    m=height * width,
+                    n=1,
+                    k=2,
+                    description=f"max-tournament level {level} pair {pair}",
+                )
+            )
+            for direction in ("pre", "post"):
+                ops.append(
+                    LoweredOp(
+                        kind="gemm",
+                        m=height * width,
+                        n=1,
+                        k=1,
+                        description=(
+                            f"{direction}-reshape level {level} pair {pair}"
+                        ),
+                    )
+                )
+        remaining = ceil_div(remaining, 2)
+        level += 1
+    return ops

@@ -1,0 +1,66 @@
+"""The TPU core facade: GEMM timing plus lowered-op execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.stats import CounterBag
+from repro.config import TpuConfig
+from repro.tpu.array_timing import TpuGemmTiming, time_tpu_gemm
+from repro.tpu.lowering import LoweredOp
+
+
+@dataclass(frozen=True)
+class TpuOpResult:
+    """Timing of one op (native or lowered) on the TPU core."""
+
+    seconds: float
+    cycles: float
+    macs: int
+    counters: CounterBag
+
+
+class TpuCore:
+    """Executes GEMM-shaped work on the weight-stationary array."""
+
+    def __init__(self, config: TpuConfig | None = None) -> None:
+        self.config = config or TpuConfig()
+
+    def gemm(self, m: int, n: int, k: int) -> TpuOpResult:
+        timing: TpuGemmTiming = time_tpu_gemm(m, n, k, self.config)
+        seconds = timing.cycles / (self.config.clock_ghz * 1e9)
+        counters = CounterBag(
+            {
+                "tpu_cycles": timing.cycles,
+                "tpu_macs": timing.macs,
+                "tpu_weight_tiles": timing.weight_tiles,
+            }
+        )
+        return TpuOpResult(
+            seconds=seconds,
+            cycles=timing.cycles,
+            macs=timing.macs,
+            counters=counters,
+        )
+
+    def run_lowered(self, ops: list[LoweredOp]) -> TpuOpResult:
+        """Execute a lowering's dense op cascade back to back."""
+        total_cycles = 0.0
+        total_macs = 0
+        counters = CounterBag()
+        for op in ops:
+            result = self.gemm(op.m, op.n, op.k)
+            total_cycles += result.cycles
+            total_macs += result.macs
+            counters.merge(result.counters)
+        seconds = total_cycles / (self.config.clock_ghz * 1e9)
+        return TpuOpResult(
+            seconds=seconds,
+            cycles=total_cycles,
+            macs=total_macs,
+            counters=counters,
+        )
+
+    @property
+    def peak_tflops(self) -> float:
+        return self.config.peak_tflops

@@ -1,0 +1,83 @@
+"""Autonomous-driving pipeline tests (Fig 9)."""
+
+import pytest
+
+from repro.apps.driving import LATENCY_TARGET_S, DrivingPipeline
+from repro.apps.tasks import OrbSlamFrontend, build_driving_workloads
+from repro.errors import SchedulingError
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return DrivingPipeline()
+
+
+class TestWorkloads:
+    def test_task_graphs(self):
+        workloads = build_driving_workloads()
+        assert workloads.detection.conv_layer_count == 108
+        assert workloads.tracking.conv_layer_count == 10
+        assert len(workloads.localization) == 1
+
+    def test_orb_slam_is_irregular(self):
+        op = OrbSlamFrontend.build()
+        assert not op.is_gemm_compatible
+        assert op.simd_efficiency < 0.05
+
+
+class TestFrameLatency:
+    def test_gpu_misses_target(self, pipeline):
+        assert not pipeline.frame_latency("gpu").meets_target
+
+    def test_sma_and_tc_meet_target(self, pipeline):
+        assert pipeline.frame_latency("sma").meets_target
+        assert pipeline.frame_latency("tc").meets_target
+
+    def test_tc_similar_to_sma(self, pipeline):
+        """Paper Fig 9 left: TC has a similar latency to SMA."""
+        tc = pipeline.frame_latency("tc").latency_s
+        sma = pipeline.frame_latency("sma").latency_s
+        assert abs(tc - sma) <= 0.25 * sma
+
+    def test_latency_target_constant(self):
+        assert LATENCY_TARGET_S == pytest.approx(0.100)
+
+    def test_unknown_platform(self, pipeline):
+        with pytest.raises(SchedulingError):
+            pipeline.frame_latency("fpga")
+
+    def test_bad_interval(self, pipeline):
+        with pytest.raises(SchedulingError):
+            pipeline.frame_latency("sma", 0)
+
+
+class TestFrameSkipping:
+    def test_latency_decreases_with_skipping(self, pipeline):
+        latencies = [
+            pipeline.frame_latency("sma", n).latency_s for n in (1, 2, 4, 8)
+        ]
+        assert all(a > b for a, b in zip(latencies, latencies[1:]))
+
+    def test_sma_below_tc_everywhere(self, pipeline):
+        for n in range(2, 10):
+            assert (
+                pipeline.frame_latency("sma", n).latency_s
+                < pipeline.frame_latency("tc", n).latency_s
+            )
+
+    def test_substantial_reduction_at_n4(self, pipeline):
+        """Paper: 'reduce the frame latency by almost 50%' with N=4."""
+        base = pipeline.frame_latency("sma", 1).latency_s
+        at4 = pipeline.frame_latency("sma", 4).latency_s
+        assert at4 <= 0.70 * base
+
+    def test_sweep_shape(self, pipeline):
+        rows = pipeline.sweep_skip(("tc", "sma"), (2, 3))
+        assert len(rows) == 4
+        assert {r.platform for r in rows} == {"tc", "sma"}
+
+    def test_detection_cost_amortized_exactly(self, pipeline):
+        one = pipeline.frame_latency("sma", 1)
+        four = pipeline.frame_latency("sma", 4)
+        expected = one.latency_s - 0.75 * one.detection_s
+        assert four.latency_s == pytest.approx(expected)

@@ -1,0 +1,107 @@
+"""Tiling-math tests."""
+
+import pytest
+
+from repro.common.mathutil import (
+    ceil_div,
+    clamp,
+    is_power_of_two,
+    log2_int,
+    prod,
+    round_up,
+    split_range,
+    tile_spans,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(128, 8) == 16
+
+    def test_remainder(self):
+        assert ceil_div(129, 8) == 17
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 8) == 0
+
+    def test_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+
+class TestRoundUpClamp:
+    def test_round_up(self):
+        assert round_up(100, 128) == 128
+        assert round_up(128, 128) == 128
+
+    def test_clamp_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_clamp_edges(self):
+        assert clamp(-3, 0, 1) == 0
+        assert clamp(9, 0, 1) == 1
+
+    def test_clamp_empty_range(self):
+        with pytest.raises(ValueError):
+            clamp(0.5, 2.0, 1.0)
+
+
+class TestPowersAndProducts:
+    def test_prod_empty(self):
+        assert prod([]) == 1
+
+    def test_prod(self):
+        assert prod([2, 3, 4]) == 24
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(4096)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(48)
+
+    def test_log2_int(self):
+        assert log2_int(128) == 7
+
+    def test_log2_int_rejects(self):
+        with pytest.raises(ValueError):
+            log2_int(100)
+
+
+class TestTileSpans:
+    def test_even_coverage(self):
+        spans = list(tile_spans(256, 128))
+        assert spans == [(0, 128), (128, 128)]
+
+    def test_residual_tile(self):
+        spans = list(tile_spans(300, 128))
+        assert spans == [(0, 128), (128, 128), (256, 44)]
+
+    def test_covers_exactly(self):
+        spans = list(tile_spans(777, 32))
+        assert sum(size for _s, size in spans) == 777
+        assert spans[0][0] == 0
+
+    def test_empty_extent(self):
+        assert list(tile_spans(0, 8)) == []
+
+    def test_bad_tile(self):
+        with pytest.raises(ValueError):
+            list(tile_spans(8, 0))
+
+
+class TestSplitRange:
+    def test_balanced(self):
+        assert split_range(10, 2) == [(0, 5), (5, 5)]
+
+    def test_remainder_goes_first(self):
+        spans = split_range(10, 3)
+        assert spans == [(0, 4), (4, 3), (7, 3)]
+
+    def test_more_parts_than_extent(self):
+        spans = split_range(2, 4)
+        assert sum(size for _s, size in spans) == 2
+        assert len(spans) == 4
+
+    def test_bad_parts(self):
+        with pytest.raises(ValueError):
+            split_range(4, 0)

@@ -1,0 +1,56 @@
+"""CounterBag behaviour tests."""
+
+from repro.common.stats import CounterBag
+
+
+class TestCounterBag:
+    def test_default_zero(self):
+        bag = CounterBag()
+        assert bag.get("anything") == 0.0
+        assert "anything" not in bag
+
+    def test_add_and_get(self):
+        bag = CounterBag()
+        bag.add("macs", 64)
+        bag.add("macs", 64)
+        assert bag["macs"] == 128
+
+    def test_initial_mapping(self):
+        bag = CounterBag({"a": 1, "b": 2.5})
+        assert bag["a"] == 1.0
+        assert bag["b"] == 2.5
+
+    def test_merge_in_place(self):
+        left = CounterBag({"x": 1})
+        right = CounterBag({"x": 2, "y": 3})
+        left.merge(right)
+        assert left["x"] == 3
+        assert left["y"] == 3
+
+    def test_merged_returns_new(self):
+        left = CounterBag({"x": 1})
+        right = CounterBag({"y": 1})
+        result = left.merged(right)
+        assert result["x"] == 1 and result["y"] == 1
+        assert "y" not in left
+
+    def test_scaled(self):
+        bag = CounterBag({"a": 3})
+        assert bag.scaled(2.0)["a"] == 6
+        assert bag["a"] == 3  # original untouched
+
+    def test_total(self):
+        assert CounterBag({"a": 1, "b": 2}).total() == 3
+
+    def test_equality(self):
+        assert CounterBag({"a": 1}) == CounterBag({"a": 1})
+        assert CounterBag({"a": 1}) != CounterBag({"a": 2})
+
+    def test_len_and_iter(self):
+        bag = CounterBag({"a": 1, "b": 2})
+        assert len(bag) == 2
+        assert sorted(bag) == ["a", "b"]
+
+    def test_repr_sorted(self):
+        bag = CounterBag({"b": 2, "a": 1})
+        assert repr(bag) == "CounterBag(a=1, b=2)"

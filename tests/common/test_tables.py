@@ -1,0 +1,47 @@
+"""Table-rendering tests."""
+
+import pytest
+
+from repro.common.tables import format_quantity, render_table
+
+
+class TestFormatQuantity:
+    def test_float_precision(self):
+        assert format_quantity(1.23456) == "1.235"
+
+    def test_large_float_scientific(self):
+        assert "e" in format_quantity(123456.0)
+
+    def test_small_float_scientific(self):
+        assert "e" in format_quantity(0.00001)
+
+    def test_zero(self):
+        assert format_quantity(0.0) == "0.000"
+
+    def test_nan(self):
+        assert format_quantity(float("nan")) == "nan"
+
+    def test_string_passthrough(self):
+        assert format_quantity("abc") == "abc"
+
+    def test_bool(self):
+        assert format_quantity(True) == "True"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_headers_present(self):
+        text = render_table(["alpha", "beta"], [[1, 2]])
+        assert "alpha" in text and "beta" in text

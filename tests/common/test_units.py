@@ -1,0 +1,56 @@
+"""Unit-conversion tests."""
+
+import pytest
+
+from repro.common.units import (
+    cycles_to_ms,
+    cycles_to_seconds,
+    cycles_to_us,
+    flops_to_tflops,
+    human_bytes,
+    human_flops,
+    ms_to_cycles,
+    seconds_to_cycles,
+)
+
+
+class TestCycleConversions:
+    def test_one_gigahertz_second(self):
+        assert cycles_to_seconds(1e9, 1.0) == pytest.approx(1.0)
+
+    def test_volta_clock_roundtrip(self):
+        cycles = 123_456.0
+        seconds = cycles_to_seconds(cycles, 1.53)
+        assert seconds_to_cycles(seconds, 1.53) == pytest.approx(cycles)
+
+    def test_ms_roundtrip(self):
+        assert ms_to_cycles(cycles_to_ms(5000, 1.53), 1.53) == pytest.approx(5000)
+
+    def test_us_scale(self):
+        assert cycles_to_us(1530, 1.53) == pytest.approx(1.0)
+
+    def test_zero_clock_rejected(self):
+        with pytest.raises(ValueError):
+            cycles_to_seconds(100, 0.0)
+        with pytest.raises(ValueError):
+            seconds_to_cycles(1.0, -1.0)
+
+
+class TestHumanFormatting:
+    def test_flops_to_tflops(self):
+        assert flops_to_tflops(15.7e12) == pytest.approx(15.7)
+
+    def test_human_bytes_kib(self):
+        assert human_bytes(96 * 1024) == "96.0 KiB"
+
+    def test_human_bytes_bytes(self):
+        assert human_bytes(17) == "17.0 B"
+
+    def test_human_bytes_large(self):
+        assert "TiB" in human_bytes(5 * 1024 ** 4)
+
+    def test_human_flops_gflop(self):
+        assert human_flops(2.3e9) == "2.30 GFLOP"
+
+    def test_human_flops_small(self):
+        assert human_flops(12.0) == "12.00 FLOP"

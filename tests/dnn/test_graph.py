@@ -1,0 +1,67 @@
+"""Layer-graph structure tests."""
+
+import pytest
+
+from repro.dnn.graph import LayerGraph
+from repro.dnn.ops import Conv2d, Eltwise, Relu
+from repro.dnn.tensor import nchw
+from repro.errors import GraphError
+
+
+def _conv(name="c"):
+    return Conv2d.build(name, 3, 8, 16, 16, kernel=3, padding=1)
+
+
+class TestGraphConstruction:
+    def test_add_returns_sequential_ids(self):
+        graph = LayerGraph("g")
+        first = graph.add(_conv("a"))
+        second = graph.add(_conv("b"), (first,))
+        assert (first, second) == (0, 1)
+
+    def test_forward_reference_rejected(self):
+        graph = LayerGraph("g")
+        with pytest.raises(GraphError):
+            graph.add(_conv(), (5,))
+
+    def test_topological_order_is_construction_order(self):
+        graph = LayerGraph("g")
+        a = graph.add(_conv("a"))
+        b = graph.add(Relu.build("r", nchw(1, 8, 16, 16)), (a,))
+        graph.add(Eltwise.build("e", nchw(1, 8, 16, 16)), (a, b))
+        order = [node.op.name for node in graph.topological_order()]
+        assert order == ["a", "r", "e"]
+
+    def test_validate_passes_on_dag(self):
+        graph = LayerGraph("g")
+        a = graph.add(_conv("a"))
+        graph.add(_conv("b"), (a,))
+        graph.validate()
+
+
+class TestGraphStats:
+    def test_conv_count(self):
+        graph = LayerGraph("g")
+        a = graph.add(_conv("a"))
+        graph.add(Relu.build("r", nchw(1, 8, 16, 16)), (a,))
+        graph.add(_conv("b"), (a,))
+        assert graph.conv_layer_count == 2
+
+    def test_flops_aggregation(self):
+        graph = LayerGraph("g")
+        conv = _conv()
+        graph.add(conv)
+        assert graph.total_flops == conv.flops
+        assert graph.gemm_compatible_flops == conv.flops
+
+    def test_category_histogram(self):
+        graph = LayerGraph("g")
+        a = graph.add(_conv("a"))
+        graph.add(Relu.build("r", nchw(1, 8, 16, 16)), (a,))
+        hist = graph.category_histogram()
+        assert hist == {"conv": 1, "activation": 1}
+
+    def test_len(self):
+        graph = LayerGraph("g")
+        graph.add(_conv())
+        assert len(graph) == 1

@@ -1,0 +1,117 @@
+"""Operator IR tests."""
+
+import pytest
+
+from repro.dnn.ops import (
+    ArgMax,
+    Conv2d,
+    Crf,
+    Dense,
+    Eltwise,
+    OpCategory,
+    Pool,
+    RegionProposal,
+    Relu,
+    RoIAlign,
+    Softmax,
+    TpuSupport,
+)
+from repro.dnn.tensor import TensorShape, nchw
+from repro.errors import GraphError
+
+
+class TestConv2d:
+    def test_gemm_dims_match_im2col(self):
+        conv = Conv2d.build("c", 3, 96, 227, 227, kernel=11, stride=4)
+        assert conv.gemm_dims() == (55 * 55, 96, 3 * 121)
+        assert conv.is_gemm_compatible
+
+    def test_flops_are_2mnk(self):
+        conv = Conv2d.build("c", 8, 16, 10, 10, kernel=3, padding=1)
+        m, n, k = conv.gemm_dims()
+        assert conv.flops == 2 * m * n * k
+
+    def test_output_shape(self):
+        conv = Conv2d.build("c", 3, 64, 224, 224, kernel=7, stride=2, padding=3)
+        assert conv.output_shape.dims == (1, 64, 112, 112)
+
+    def test_weight_bytes(self):
+        conv = Conv2d.build("c", 4, 8, 8, 8, kernel=3, padding=1)
+        assert conv.weight_bytes == 8 * 4 * 9 * 4
+
+    def test_category_and_tpu(self):
+        conv = Conv2d.build("c", 1, 1, 4, 4, kernel=1)
+        assert conv.category is OpCategory.CONV
+        assert conv.tpu_support is TpuSupport.NATIVE
+        assert conv.kernel_launches == 1
+
+
+class TestDense:
+    def test_gemm_dims(self):
+        fc = Dense.build("fc", 4096, 1000, batch=8)
+        assert fc.gemm_dims() == (8, 1000, 4096)
+
+    def test_weight_bytes(self):
+        fc = Dense.build("fc", 16, 8)
+        assert fc.weight_bytes == 16 * 8 * 4
+
+
+class TestPool:
+    def test_output_extent(self):
+        pool = Pool.build("p", 64, 56, 56, kernel=2)
+        assert pool.output_shape.dims == (1, 64, 28, 28)
+
+    def test_global_average(self):
+        pool = Pool.build("p", 1024, 7, 7, kernel=7, kind="global_avg")
+        assert pool.output_shape.dims == (1, 1024, 1, 1)
+
+    def test_not_gemm_compatible(self):
+        assert Pool.build("p", 4, 8, 8, kernel=2).gemm_dims() is None
+
+    def test_invalid_kind(self):
+        with pytest.raises(GraphError):
+            Pool.build("p", 4, 8, 8, kernel=2, kind="median")
+
+
+class TestIrregularOps:
+    def test_roialign_flags(self):
+        op = RoIAlign.build("roi", nchw(1, 256, 200, 256), num_rois=1000)
+        assert op.category is OpCategory.IRREGULAR
+        assert op.tpu_support is TpuSupport.LOWERED
+        assert not op.is_gemm_compatible
+        assert op.kernel_launches > 1
+
+    def test_nms_efficiency_tiny(self):
+        op = RegionProposal.build("rp", nchw(1, 256, 200, 256))
+        assert op.simd_efficiency < 0.01
+
+    def test_argmax_classes(self):
+        op = ArgMax.build("am", nchw(1, 21, 513, 513))
+        assert op.num_classes == 21
+        assert op.output_shape.dims == (1, 1, 513, 513)
+
+    def test_crf_ships_to_host(self):
+        op = Crf.build("crf", nchw(1, 21, 513, 513))
+        assert op.tpu_support is TpuSupport.HOST
+        assert 0 < op.host_serial_fraction < 1
+        assert op.flops > 1e9
+
+    def test_crf_iterations_scale_flops(self):
+        shape = nchw(1, 21, 129, 129)
+        few = Crf.build("crf", shape, iterations=2)
+        many = Crf.build("crf", shape, iterations=10)
+        assert many.flops == pytest.approx(5 * few.flops)
+
+
+class TestElementwise:
+    def test_relu_shape_preserved(self):
+        shape = nchw(1, 8, 4, 4)
+        assert Relu.build("r", shape).output_shape == shape
+
+    def test_eltwise(self):
+        shape = nchw(1, 8, 4, 4)
+        assert Eltwise.build("add", shape).output_shape == shape
+
+    def test_softmax_flops(self):
+        shape = TensorShape((1, 1000))
+        assert Softmax.build("sm", shape).flops == 5000

@@ -1,0 +1,32 @@
+"""TensorShape tests."""
+
+import pytest
+
+from repro.config import DataType
+from repro.dnn.tensor import TensorShape, nchw
+from repro.errors import GraphError
+
+
+class TestTensorShape:
+    def test_elements_and_bytes(self):
+        shape = TensorShape((2, 3, 4), dtype=DataType.FP16)
+        assert shape.elements == 24
+        assert shape.bytes == 48
+
+    def test_nchw_helper(self):
+        shape = nchw(1, 64, 56, 56)
+        assert shape.dims == (1, 64, 56, 56)
+        assert shape.rank == 4
+
+    def test_with_dims_preserves_dtype(self):
+        shape = TensorShape((4,), dtype=DataType.FP16)
+        assert shape.with_dims((8,)).dtype is DataType.FP16
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            TensorShape(())
+        with pytest.raises(GraphError):
+            TensorShape((4, 0))
+
+    def test_str(self):
+        assert str(TensorShape((2, 3))) == "2x3:fp32"

@@ -1,0 +1,89 @@
+"""Model zoo tests — Table II layer counts and structural sanity."""
+
+import pytest
+
+from repro.dnn.ops import ArgMax, Crf, Dense, RegionProposal, RoIAlign
+from repro.dnn.zoo import (
+    MODEL_BUILDERS,
+    TABLE_II_CONV_LAYERS,
+    build_deeplab,
+    build_goturn,
+    build_mask_rcnn,
+)
+
+
+class TestTableII:
+    @pytest.mark.parametrize("name", sorted(TABLE_II_CONV_LAYERS))
+    def test_conv_layer_counts(self, name):
+        graph = MODEL_BUILDERS[name]()
+        assert graph.conv_layer_count == TABLE_II_CONV_LAYERS[name]
+
+    @pytest.mark.parametrize("name", sorted(TABLE_II_CONV_LAYERS))
+    def test_graphs_are_valid_dags(self, name):
+        MODEL_BUILDERS[name]().validate()
+
+    @pytest.mark.parametrize("name", sorted(TABLE_II_CONV_LAYERS))
+    def test_nonzero_flops(self, name):
+        assert MODEL_BUILDERS[name]().total_flops > 1e9
+
+
+class TestClassifiers:
+    def test_alexnet_has_three_fc(self):
+        graph = MODEL_BUILDERS["AlexNet"]()
+        fcs = [op for op in graph.operators() if isinstance(op, Dense)]
+        assert len(fcs) == 3
+        assert fcs[-1].out_features == 1000
+
+    def test_vgg_flops_exceed_alexnet(self):
+        assert (
+            MODEL_BUILDERS["VGG-A"]().total_flops
+            > 3 * MODEL_BUILDERS["AlexNet"]().total_flops
+        )
+
+    def test_googlenet_small_despite_depth(self):
+        googlenet = MODEL_BUILDERS["GoogLeNet"]()
+        vgg = MODEL_BUILDERS["VGG-A"]()
+        assert googlenet.conv_layer_count > vgg.conv_layer_count
+        assert googlenet.total_flops < vgg.total_flops
+
+
+class TestHybridModels:
+    def test_mask_rcnn_irregular_ops(self):
+        graph = build_mask_rcnn()
+        kinds = {type(op) for op in graph.irregular_ops}
+        assert RoIAlign in kinds and RegionProposal in kinds
+
+    def test_deeplab_irregular_ops(self):
+        graph = build_deeplab(with_crf=True)
+        kinds = {type(op) for op in graph.irregular_ops}
+        assert ArgMax in kinds and Crf in kinds
+
+    def test_deeplab_without_crf(self):
+        graph = build_deeplab(with_crf=False)
+        kinds = {type(op) for op in graph.irregular_ops}
+        assert Crf not in kinds
+        assert graph.conv_layer_count == 108
+
+    def test_deeplab_input_scaling(self):
+        small = build_deeplab(with_crf=False, input_size=257)
+        large = build_deeplab(with_crf=False, input_size=513)
+        assert small.total_flops < large.total_flops
+        assert small.conv_layer_count == 108
+
+    def test_gemm_flops_dominate_hybrids(self):
+        """CNN work dominates; the irregular ops are the latency problem."""
+        for name in ("Mask R-CNN", "DeepLab"):
+            graph = MODEL_BUILDERS[name]()
+            assert graph.gemm_compatible_flops / graph.total_flops > 0.8
+
+
+class TestGoturn:
+    def test_twin_towers(self):
+        graph = build_goturn()
+        assert graph.conv_layer_count == 10
+
+    def test_regression_head(self):
+        graph = build_goturn()
+        last = graph.operators()[-1]
+        assert isinstance(last, Dense)
+        assert last.out_features == 4  # bounding box

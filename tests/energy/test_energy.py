@@ -1,0 +1,126 @@
+"""Energy model tests: CACTI scaling, tables, accounting."""
+
+import pytest
+
+from repro.common.stats import CounterBag
+from repro.config import GpuConfig
+from repro.energy.accounting import CATEGORIES, EnergyBreakdown, EnergyLedger
+from repro.energy.cacti import (
+    SramStructure,
+    dram_access_energy_pj_per_word,
+    mac_energy_pj,
+    sram_access_energy_pj,
+)
+from repro.energy.gpuwattch import default_energy_table
+from repro.errors import ConfigError
+
+
+class TestCacti:
+    def test_energy_grows_with_capacity(self):
+        small = SramStructure("s", 4 * 1024, banks=1)
+        large = SramStructure("l", 64 * 1024, banks=1)
+        assert sram_access_energy_pj(large) > sram_access_energy_pj(small)
+
+    def test_banking_reduces_access_energy(self):
+        mono = SramStructure("m", 128 * 1024, banks=1)
+        banked = SramStructure("b", 128 * 1024, banks=32)
+        assert sram_access_energy_pj(banked) < sram_access_energy_pj(mono)
+
+    def test_anchor_point(self):
+        anchor = SramStructure("a", 512, banks=1)
+        assert sram_access_energy_pj(anchor) == pytest.approx(1.0)
+
+    def test_mac_energy_ordering(self):
+        assert mac_energy_pj(8) < mac_energy_pj(16) < mac_energy_pj(32)
+
+    def test_mac_energy_unknown_width(self):
+        with pytest.raises(ConfigError):
+            mac_energy_pj(64)
+
+    def test_dram_dominates_sram(self):
+        smem = SramStructure("s", 96 * 1024, banks=32)
+        assert dram_access_energy_pj_per_word() > 10 * sram_access_energy_pj(smem)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigError):
+            SramStructure("bad", 0)
+
+
+class TestEnergyTable:
+    def test_hierarchy_ordering(self):
+        table = default_energy_table(GpuConfig())
+        assert table.rf_word_pj < table.smem_word_pj < table.l2_word_pj
+        assert table.l2_word_pj < table.dram_word_pj
+
+    def test_fp16_cheaper_than_fp32(self):
+        table = default_energy_table()
+        assert table.mac_fp16_pj < table.mac_fp32_pj
+
+
+class TestEnergyBreakdown:
+    def test_categories_fixed(self):
+        breakdown = EnergyBreakdown()
+        assert set(breakdown.joules) == set(CATEGORIES)
+
+    def test_add_and_total(self):
+        breakdown = EnergyBreakdown()
+        breakdown.add("PE", 2.0)
+        breakdown.add("Register", 1.0)
+        assert breakdown.total == 3.0
+
+    def test_unknown_category(self):
+        with pytest.raises(KeyError):
+            EnergyBreakdown().add("Leakage", 1.0)
+
+    def test_merged_and_scaled(self):
+        a = EnergyBreakdown()
+        a.add("PE", 1.0)
+        b = EnergyBreakdown()
+        b.add("PE", 2.0)
+        assert a.merged(b).joules["PE"] == 3.0
+        assert a.scaled(4.0).joules["PE"] == 4.0
+
+    def test_normalized(self):
+        a = EnergyBreakdown()
+        a.add("PE", 2.0)
+        assert a.normalized_to(4.0)["PE"] == 0.5
+
+
+class TestLedger:
+    def test_counts_map_to_categories(self):
+        ledger = EnergyLedger(GpuConfig())
+        counters = CounterBag(
+            {
+                "fp16_macs": 1e6,
+                "rf_reads": 1e4,
+                "smem_read_words": 1e4,
+                "dram_bytes": 1e6,
+                "const_read_words": 100,
+            }
+        )
+        breakdown = ledger.account(counters)
+        assert breakdown.joules["PE"] > 0
+        assert breakdown.joules["Register"] > 0
+        assert breakdown.joules["Shared"] > 0
+        assert breakdown.joules["Global"] > 0
+        assert breakdown.joules["Const"] > 0
+
+    def test_static_energy_from_cycles(self):
+        ledger = EnergyLedger(GpuConfig())
+        idle = ledger.account(CounterBag({"kernel_cycles": 1e6}))
+        assert idle.joules["PE"] > 0
+
+    def test_empty_counters_zero_energy(self):
+        assert EnergyLedger().account(CounterBag()).total == 0.0
+
+    def test_systolic_reuse_saves_register_energy(self):
+        """The Fig 8 mechanism: fewer RF accesses per MAC on SMA."""
+        ledger = EnergyLedger()
+        macs = 1e6
+        tc = CounterBag({"fp16_macs": macs, "rf_reads": macs / 256 * 8,
+                         "rf_writes": macs / 256 * 4})
+        sma = CounterBag({"sma_macs_fp16": macs, "rf_reads": macs / 128 / 32,
+                          "rf_writes": macs / 128 / 32})
+        tc_reg = ledger.account(tc).joules["Register"]
+        sma_reg = ledger.account(sma).joules["Register"]
+        assert sma_reg < 0.1 * tc_reg

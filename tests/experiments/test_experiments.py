@@ -1,0 +1,64 @@
+"""Every regenerated table/figure must pass its DESIGN.md acceptance checks.
+
+These are the reproduction's integration tests: each experiment runs the
+full stack (traces -> SM pipeline -> launch composition -> platforms) and
+asserts the paper-shape criteria recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_area_overhead,
+    run_fig1,
+    run_fig2_inventory,
+    run_fig3,
+    run_fig7_left,
+    run_fig7_right,
+    run_fig8_energy,
+    run_fig8_speedup,
+    run_fig9_left,
+    run_fig9_right,
+    run_table1,
+    run_table2,
+)
+
+_EXPERIMENTS = [
+    ("fig1", run_fig1),
+    ("fig2", run_fig2_inventory),
+    ("fig3", run_fig3),
+    ("fig7_left", run_fig7_left),
+    ("fig7_right", run_fig7_right),
+    ("fig8_speedup", run_fig8_speedup),
+    ("fig8_energy", run_fig8_energy),
+    ("fig9_left", run_fig9_left),
+    ("fig9_right", run_fig9_right),
+    ("table1", run_table1),
+    ("table2", run_table2),
+    ("area", run_area_overhead),
+]
+
+
+@pytest.mark.parametrize("name,runner", _EXPERIMENTS)
+def test_experiment_checks_pass(name, runner):
+    report = runner()
+    failures = [crit for crit, ok in report.checks.items() if not ok]
+    assert not failures, f"{name}: failed {failures}"
+
+
+@pytest.mark.parametrize("name,runner", _EXPERIMENTS)
+def test_experiment_renders(name, runner):
+    report = runner()
+    text = report.render()
+    assert report.experiment in text
+    assert len(report.rows) > 0
+
+
+def test_fig1_row_shape():
+    report = run_fig1(sizes=(128, 256))
+    assert len(report.rows) == 2
+    assert report.headers == ["size", "tpu_efficiency", "tc_efficiency"]
+
+
+def test_fig9_right_intervals_respected():
+    report = run_fig9_right(intervals=(2, 5))
+    assert [row[0] for row in report.rows] == [2, 5]

@@ -1,0 +1,60 @@
+"""CSV export and CLI tests."""
+
+import csv
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments.export import (
+    EXPERIMENT_RUNNERS,
+    export_all,
+    export_report_csv,
+)
+from repro.experiments.runner import ExperimentReport
+
+
+class TestExport:
+    def test_export_report_csv(self, tmp_path):
+        report = ExperimentReport(
+            experiment="demo", headers=["a", "b"], rows=[[1, 2], [3, 4]]
+        )
+        path = export_report_csv(report, tmp_path / "demo.csv")
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_export_selected(self, tmp_path):
+        written = export_all(tmp_path, names=["table2"])
+        assert written["table2"].exists()
+
+    def test_unknown_name(self, tmp_path):
+        with pytest.raises(KeyError):
+            export_all(tmp_path, names=["fig99"])
+
+    def test_runner_registry_complete(self):
+        expected = {
+            "table1", "table2", "fig1", "fig2", "fig3", "fig7_left",
+            "fig7_right", "fig8_speedup", "fig8_energy", "fig9_left",
+            "fig9_right", "area",
+        }
+        assert set(EXPERIMENT_RUNNERS) == expected
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7_left" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "PASS" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_export_cli(self, tmp_path, capsys):
+        assert main(["export", "-o", str(tmp_path), "table1"]) == 0
+        assert (tmp_path / "table1.csv").exists()

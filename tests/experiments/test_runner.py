@@ -1,0 +1,30 @@
+"""ExperimentReport container tests."""
+
+from repro.experiments.runner import ExperimentReport
+
+
+class TestExperimentReport:
+    def test_add_row_and_check(self):
+        report = ExperimentReport(experiment="x", headers=["a"])
+        report.add_row(1)
+        report.add_check("one row present", len(report.rows) == 1)
+        assert report.all_passed
+
+    def test_failure_propagates(self):
+        report = ExperimentReport(experiment="x", headers=["a"])
+        report.add_row(1)
+        report.add_check("always fails", False)
+        assert not report.all_passed
+        assert "[FAIL] always fails" in report.render()
+
+    def test_render_contains_notes(self):
+        report = ExperimentReport(
+            experiment="x", headers=["a"], notes="hello"
+        )
+        report.add_row(1)
+        assert "note: hello" in report.render()
+
+    def test_str_is_render(self):
+        report = ExperimentReport(experiment="title-here", headers=["a"])
+        report.add_row(2)
+        assert str(report) == report.render()

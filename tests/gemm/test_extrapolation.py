@@ -1,0 +1,54 @@
+"""Sample-window extrapolation math (the sampling methodology's core)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.stats import CounterBag
+from repro.errors import MappingError
+from repro.gemm.executor import _extrapolate
+from repro.gpu.sm import SmResult
+
+
+def _result(cycles: float, **counts) -> SmResult:
+    return SmResult(cycles=cycles, counters=CounterBag(counts), stalls=CounterBag())
+
+
+class TestExtrapolate:
+    def test_exact_linear_model(self):
+        lo = _result(100.0, macs=10)
+        hi = _result(180.0, macs=18)
+        cycles, counters = _extrapolate(lo, 2, hi, 4, iterations=10)
+        # base 20 + 10 * 40 = 420; macs: base 2 + 10 * 4 = 42.
+        assert cycles == pytest.approx(420.0)
+        assert counters["macs"] == pytest.approx(42.0)
+
+    def test_interpolation_matches_endpoints(self):
+        lo = _result(100.0, x=5)
+        hi = _result(300.0, x=15)
+        cycles, counters = _extrapolate(lo, 1, hi, 3, iterations=3)
+        assert cycles == pytest.approx(300.0)
+        assert counters["x"] == pytest.approx(15.0)
+
+    def test_negative_clamped(self):
+        lo = _result(100.0)
+        hi = _result(100.0, only_in_hi=4)
+        cycles, counters = _extrapolate(lo, 2, hi, 4, iterations=1)
+        assert cycles >= 0
+        assert counters["only_in_hi"] >= 0
+
+    def test_shrinking_window_rejected(self):
+        with pytest.raises(MappingError):
+            _extrapolate(_result(1.0), 4, _result(2.0), 2, iterations=8)
+
+    @given(
+        st.floats(1.0, 1e4),        # base
+        st.floats(1.0, 1e4),        # slope
+        st.integers(5, 1000),       # target iterations
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_recovers_any_affine_model(self, base, slope, iterations):
+        lo = _result(base + 2 * slope)
+        hi = _result(base + 4 * slope)
+        cycles, _counters = _extrapolate(lo, 2, hi, 4, iterations=iterations)
+        assert cycles == pytest.approx(base + iterations * slope, rel=1e-9)

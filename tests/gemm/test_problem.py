@@ -1,0 +1,43 @@
+"""GemmProblem descriptor tests."""
+
+import pytest
+
+from repro.config import DataType
+from repro.errors import MappingError
+from repro.gemm.problem import GemmProblem
+
+
+class TestGemmProblem:
+    def test_macs_and_flops(self):
+        problem = GemmProblem(2, 3, 4)
+        assert problem.macs == 24
+        assert problem.flops == 48
+
+    def test_operand_bytes_fp16(self):
+        problem = GemmProblem(128, 64, 32, dtype=DataType.FP16)
+        assert problem.a_bytes == 128 * 32 * 2
+        assert problem.b_bytes == 32 * 64 * 2
+
+    def test_c_bytes_write_only(self):
+        problem = GemmProblem(16, 16, 16, beta=0.0)
+        assert problem.c_bytes == 16 * 16 * 4
+
+    def test_c_bytes_read_modify_write(self):
+        problem = GemmProblem(16, 16, 16, beta=1.0)
+        assert problem.c_bytes == 2 * 16 * 16 * 4
+
+    def test_arithmetic_intensity_grows_with_size(self):
+        small = GemmProblem(128, 128, 128)
+        large = GemmProblem(4096, 4096, 4096)
+        assert large.arithmetic_intensity > small.arithmetic_intensity
+
+    def test_square(self):
+        assert GemmProblem(8, 8, 8).square()
+        assert not GemmProblem(8, 8, 16).square()
+
+    def test_validation(self):
+        with pytest.raises(MappingError):
+            GemmProblem(0, 1, 1)
+
+    def test_str(self):
+        assert "128x64x32" in str(GemmProblem(128, 64, 32))

@@ -1,0 +1,87 @@
+"""Numpy reference GEMM / im2col tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError
+from repro.gemm.reference import (
+    conv2d_reference,
+    conv_output_shape,
+    conv_to_gemm,
+    im2col,
+    reference_gemm,
+)
+
+
+class TestReferenceGemm:
+    def test_plain_product(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((5, 4)), rng.standard_normal((4, 3))
+        np.testing.assert_allclose(reference_gemm(a, b), a @ b)
+
+    def test_alpha_beta(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.standard_normal((3, 3)), rng.standard_normal((3, 3))
+        c = rng.standard_normal((3, 3))
+        out = reference_gemm(a, b, c, alpha=2.0, beta=0.5)
+        np.testing.assert_allclose(out, 2 * (a @ b) + 0.5 * c)
+
+    def test_beta_requires_c(self):
+        with pytest.raises(MappingError):
+            reference_gemm(np.eye(2), np.eye(2), beta=1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(MappingError):
+            reference_gemm(np.zeros((2, 3)), np.zeros((4, 2)))
+
+
+class TestConvShapes:
+    def test_alexnet_conv1(self):
+        assert conv_output_shape(227, 227, 11, stride=4) == (55, 55)
+
+    def test_same_padding(self):
+        assert conv_output_shape(56, 56, 3, padding=1) == (56, 56)
+
+    def test_dilation(self):
+        # 3x3 rate-2 atrous with padding 2 preserves extent.
+        assert conv_output_shape(65, 65, 3, padding=2, dilation=2) == (65, 65)
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(MappingError):
+            conv_output_shape(4, 4, 7)
+
+    def test_conv_to_gemm_dims(self):
+        m, n, k = conv_to_gemm(3, 96, 227, 227, 11, stride=4)
+        assert (m, n, k) == (55 * 55, 96, 3 * 11 * 11)
+
+    def test_batch_scales_m(self):
+        m1, _n, _k = conv_to_gemm(3, 8, 32, 32, 3, padding=1)
+        m4, _n, _k = conv_to_gemm(3, 8, 32, 32, 3, padding=1, batch=4)
+        assert m4 == 4 * m1
+
+
+class TestIm2colFunctional:
+    def test_matrix_shape(self):
+        image = np.arange(2 * 5 * 5, dtype=float).reshape(2, 5, 5)
+        columns = im2col(image, kernel=3)
+        assert columns.shape == (9, 18)
+
+    def test_conv_via_gemm_matches_direct(self):
+        rng = np.random.default_rng(2)
+        image = rng.standard_normal((3, 8, 8))
+        weights = rng.standard_normal((4, 3, 3, 3))
+        out = conv2d_reference(image, weights, stride=1, padding=1)
+        assert out.shape == (4, 8, 8)
+        # Direct correlation at one output position for verification:
+        # output (3, 4) reads the padded window starting at (3, 4).
+        padded = np.pad(image, ((0, 0), (1, 1), (1, 1)))
+        expected = np.sum(padded[:, 3:6, 4:7] * weights[1])
+        assert out[1, 3, 4] == pytest.approx(expected)
+
+    def test_channel_mismatch(self):
+        with pytest.raises(MappingError):
+            conv2d_reference(np.zeros((2, 4, 4)), np.zeros((1, 3, 3, 3)))
+
+    def test_rank_validation(self):
+        with pytest.raises(MappingError):
+            im2col(np.zeros((4, 4)), kernel=3)

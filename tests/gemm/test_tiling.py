@@ -1,0 +1,73 @@
+"""Fig 6 tiling-plan tests."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.gemm.problem import GemmProblem
+from repro.gemm.tiling import plan_gemm
+
+
+class TestPlanGeometry:
+    def test_fig6_defaults(self):
+        plan = plan_gemm(GemmProblem(1024, 1024, 1024))
+        assert plan.tile_m == 128 and plan.tile_n == 128
+        assert plan.k_slice == 8
+        assert plan.tiles_m == plan.tiles_n == 8
+        assert plan.num_thread_blocks == 64
+        assert plan.k_iterations == 128
+
+    def test_ragged_dims_round_up(self):
+        plan = plan_gemm(GemmProblem(130, 100, 9))
+        assert plan.tiles_m == 2
+        assert plan.tiles_n == 1
+        assert plan.k_iterations == 2
+
+    def test_tile_utilization(self):
+        aligned = plan_gemm(GemmProblem(256, 256, 64))
+        assert aligned.tile_utilization == pytest.approx(1.0)
+        padded = plan_gemm(GemmProblem(129, 128, 8))
+        assert padded.tile_utilization == pytest.approx(129 / 256)
+
+    def test_invalid_tile(self):
+        with pytest.raises(MappingError):
+            plan_gemm(GemmProblem(8, 8, 8), tile_m=0)
+
+
+class TestThreadBlockIteration:
+    def test_covers_output_exactly(self):
+        plan = plan_gemm(GemmProblem(300, 200, 64))
+        covered = 0
+        for tile in plan.thread_blocks():
+            covered += tile.rows * tile.cols
+            assert tile.row + tile.rows <= 300
+            assert tile.col + tile.cols <= 200
+        assert covered == 300 * 200
+
+    def test_edge_tiles_clipped(self):
+        plan = plan_gemm(GemmProblem(130, 130, 8))
+        tiles = list(plan.thread_blocks())
+        assert tiles[-1].rows == 2 and tiles[-1].cols == 2
+
+    def test_block_count_matches(self):
+        plan = plan_gemm(GemmProblem(1000, 1000, 8))
+        assert len(list(plan.thread_blocks())) == plan.num_thread_blocks
+
+
+class TestStagingArithmetic:
+    def test_tile_bytes_fp16(self):
+        plan = plan_gemm(GemmProblem(1024, 1024, 1024, dtype=__import__(
+            "repro.config", fromlist=["DataType"]).DataType.FP16))
+        assert plan.a_tile_bytes() == 128 * 8 * 2
+        assert plan.b_tile_bytes() == 8 * 128 * 2
+        assert plan.c_tile_bytes() == 128 * 128 * 4
+
+    def test_subtiles_per_iteration(self):
+        plan = plan_gemm(GemmProblem(512, 512, 64))
+        assert plan.subtiles_per_iteration(8) == 16
+        assert plan.subtiles_per_iteration(16) == 8
+        assert plan.subtiles_per_iteration(24) == 6
+
+    def test_subtile_width_validated(self):
+        plan = plan_gemm(GemmProblem(512, 512, 64))
+        with pytest.raises(MappingError):
+            plan.subtiles_per_iteration(0)

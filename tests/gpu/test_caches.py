@@ -1,0 +1,67 @@
+"""Set-associative LRU cache tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.caches import CacheModel
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self):
+        cache = CacheModel(capacity_bytes=4096, line_bytes=128, associativity=4)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_hits(self):
+        cache = CacheModel(4096)
+        cache.access(0)
+        assert cache.access(64) is True  # same 128B line
+
+    def test_lru_eviction_order(self):
+        # 1 set, 2 ways: line size 128, capacity 256.
+        cache = CacheModel(capacity_bytes=256, line_bytes=128, associativity=2)
+        cache.access(0)        # A
+        cache.access(256)      # B (same set: only one set exists)
+        cache.access(0)        # touch A -> B becomes LRU
+        cache.access(512)      # C evicts B
+        assert cache.access(0) is True
+        assert cache.access(256) is False
+
+    def test_dirty_writeback_counted(self):
+        cache = CacheModel(capacity_bytes=256, line_bytes=128, associativity=2)
+        cache.access(0, is_store=True)
+        cache.access(256)
+        cache.access(512)  # evicts dirty line 0
+        assert cache.stats.writebacks == 1
+
+    def test_flush_writes_back_dirty(self):
+        cache = CacheModel(4096)
+        cache.access(0, is_store=True)
+        cache.access(128)
+        assert cache.flush() == 1
+        assert cache.resident_lines == 0
+
+    def test_hit_rate(self):
+        cache = CacheModel(4096)
+        cache.access(0)
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(SimulationError):
+            CacheModel(capacity_bytes=0)
+        with pytest.raises(SimulationError):
+            CacheModel(capacity_bytes=128, line_bytes=128, associativity=4)
+
+
+class TestCacheSets:
+    def test_distinct_sets_do_not_conflict(self):
+        cache = CacheModel(capacity_bytes=1024, line_bytes=128, associativity=2)
+        # 4 sets; addresses 0 and 128 map to different sets.
+        cache.access(0)
+        cache.access(128)
+        assert cache.access(0) is True
+        assert cache.access(128) is True

@@ -1,0 +1,37 @@
+"""Global-memory coalescing tests."""
+
+import pytest
+
+from repro.gpu.coalescer import coalesce
+from repro.isa.instructions import MemSpace, coalesced_access, strided_access
+
+
+class TestCoalescer:
+    def test_unit_stride_fp32_is_4_sectors(self):
+        result = coalesce(coalesced_access(MemSpace.GLOBAL, 0))
+        assert result.sectors == 4
+        assert result.lines == 1
+        assert result.efficiency == pytest.approx(1.0)
+
+    def test_offset_access_extra_sector(self):
+        result = coalesce(coalesced_access(MemSpace.GLOBAL, 16))
+        assert result.sectors == 5
+
+    def test_strided_touches_more_sectors(self):
+        result = coalesce(strided_access(MemSpace.GLOBAL, 0, stride_bytes=128))
+        assert result.sectors == 32
+        assert result.efficiency == pytest.approx(128 / (32 * 32))
+
+    def test_wide_access_crosses_sectors(self):
+        access = coalesced_access(MemSpace.GLOBAL, 0, width_bytes=16)
+        result = coalesce(access)
+        assert result.sectors == 16
+        assert result.bytes_requested == 512
+
+    def test_shared_space_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce(coalesced_access(MemSpace.SHARED, 0))
+
+    def test_bytes_moved_sector_granularity(self):
+        result = coalesce(coalesced_access(MemSpace.GLOBAL, 0))
+        assert result.bytes_moved == 4 * 32

@@ -1,0 +1,36 @@
+"""DRAM bandwidth model tests."""
+
+import pytest
+
+from repro.config import GpuConfig
+from repro.errors import SimulationError
+from repro.gpu.dram import DramModel, DramTraffic
+
+
+class TestDramModel:
+    def test_bytes_per_cycle(self):
+        gpu = GpuConfig()
+        dram = DramModel(gpu)
+        expected = gpu.dram_bandwidth_gbps * 1e9 / (gpu.clock_ghz * 1e9)
+        assert dram.bytes_per_cycle == pytest.approx(expected)
+
+    def test_min_cycles_scales_linearly(self):
+        dram = DramModel(GpuConfig())
+        t1 = dram.min_cycles(DramTraffic(read_bytes=1e6))
+        t2 = dram.min_cycles(DramTraffic(read_bytes=2e6))
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_reads_and_writes_sum(self):
+        dram = DramModel(GpuConfig())
+        combined = dram.min_cycles(DramTraffic(read_bytes=5e5, write_bytes=5e5))
+        reads_only = dram.min_cycles(DramTraffic(read_bytes=1e6))
+        assert combined == pytest.approx(reads_only)
+
+    def test_negative_traffic_rejected(self):
+        dram = DramModel(GpuConfig())
+        with pytest.raises(SimulationError):
+            dram.min_cycles(DramTraffic(read_bytes=-1.0))
+
+    def test_latency_exposed(self):
+        gpu = GpuConfig()
+        assert DramModel(gpu).access_latency() == gpu.dram_latency_cycles

@@ -1,0 +1,99 @@
+"""Whole-GPU launch composition tests."""
+
+import pytest
+
+from repro.common.stats import CounterBag
+from repro.config import GpuConfig
+from repro.errors import SimulationError
+from repro.gpu.dram import DramTraffic
+from repro.gpu.gpu import GpuTimingModel, KernelLaunch
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GpuTimingModel(GpuConfig())
+
+
+def _launch(tb_cycles=1000.0, num_tbs=80, counters=None, **kwargs):
+    return KernelLaunch(
+        name="k",
+        tb_cycles=tb_cycles,
+        num_thread_blocks=num_tbs,
+        tb_counters=counters or CounterBag(),
+        **kwargs,
+    )
+
+
+class TestWaves:
+    def test_single_wave(self, model):
+        result = model.launch(_launch(num_tbs=80))
+        assert result.waves == 1
+
+    def test_partial_wave_rounds_up(self, model):
+        assert model.launch(_launch(num_tbs=81)).waves == 2
+
+    def test_compute_scales_with_waves(self, model):
+        one = model.launch(_launch(num_tbs=80))
+        two = model.launch(_launch(num_tbs=160))
+        assert two.compute_cycles == pytest.approx(2 * one.compute_cycles)
+
+    def test_tbs_per_sm_concurrency(self, model):
+        packed = model.launch(_launch(num_tbs=160, tbs_per_sm=2))
+        assert packed.waves == 1
+
+
+class TestDramBound:
+    def test_memory_bound_kernel(self, model):
+        counters = CounterBag({"global_read_bytes": 10e6})
+        result = model.launch(_launch(tb_cycles=10.0, counters=counters))
+        assert result.dram_bound
+        assert result.cycles > result.compute_cycles
+
+    def test_compute_bound_kernel(self, model):
+        result = model.launch(_launch(tb_cycles=100000.0))
+        assert not result.dram_bound
+
+    def test_counter_traffic_can_be_ignored(self, model):
+        counters = CounterBag({"global_read_bytes": 100e6})
+        filtered = model.launch(
+            _launch(
+                tb_cycles=10.0,
+                counters=counters,
+                extra_traffic=DramTraffic(read_bytes=1e3),
+                use_counter_traffic=False,
+            )
+        )
+        assert not filtered.dram_bound
+
+    def test_dram_bytes_counter_recorded(self, model):
+        counters = CounterBag({"global_read_bytes": 1e6})
+        result = model.launch(_launch(counters=counters))
+        assert result.counters.get("dram_bytes") == pytest.approx(80e6)
+
+
+class TestAggregation:
+    def test_counters_scaled_by_grid(self, model):
+        counters = CounterBag({"fp32_macs": 100})
+        result = model.launch(_launch(num_tbs=160, counters=counters))
+        assert result.counters.get("fp32_macs") == pytest.approx(16000)
+
+    def test_launch_overhead_included(self, model):
+        result = model.launch(_launch(tb_cycles=0.0))
+        assert result.cycles >= model.launch_overhead_cycles
+
+    def test_sustained_flops(self, model):
+        counters = CounterBag({"fp16_macs": 1e6})
+        result = model.launch(_launch(counters=counters))
+        assert model.sustained_flops(result) > 0
+
+    def test_invalid_launch(self):
+        with pytest.raises(SimulationError):
+            KernelLaunch(
+                name="bad", tb_cycles=-1.0, num_thread_blocks=1,
+                tb_counters=CounterBag(),
+            )
+        with pytest.raises(SimulationError):
+            KernelLaunch(
+                name="bad", tb_cycles=1.0, num_thread_blocks=0,
+                tb_counters=CounterBag(),
+            )

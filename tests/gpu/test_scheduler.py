@@ -1,0 +1,81 @@
+"""Warp-scheduler policy tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.scheduler import (
+    GreedyThenOldestScheduler,
+    LooseRoundRobinScheduler,
+    SmaRoundRobinScheduler,
+    make_scheduler,
+)
+
+
+class TestGto:
+    def test_oldest_first_initially(self):
+        gto = GreedyThenOldestScheduler()
+        assert gto.order([3, 1, 2]) == [1, 2, 3]
+
+    def test_greedy_sticks_with_issuer(self):
+        gto = GreedyThenOldestScheduler()
+        gto.notify_issued(2)
+        assert gto.order([1, 2, 3]) == [2, 1, 3]
+
+    def test_greedy_falls_back_when_issuer_absent(self):
+        gto = GreedyThenOldestScheduler()
+        gto.notify_issued(9)
+        assert gto.order([1, 2, 3]) == [1, 2, 3]
+
+
+class TestLrr:
+    def test_rotates_after_issue(self):
+        lrr = LooseRoundRobinScheduler()
+        assert lrr.order([0, 1, 2]) == [0, 1, 2]
+        lrr.notify_issued(0)
+        assert lrr.order([0, 1, 2]) == [1, 2, 0]
+
+    def test_pointer_wraps(self):
+        lrr = LooseRoundRobinScheduler()
+        for _ in range(3):
+            lrr.notify_issued(0)
+        assert lrr.order([0, 1, 2]) == [0, 1, 2]
+
+    def test_empty(self):
+        assert LooseRoundRobinScheduler().order([]) == []
+
+
+class TestSmaRoundRobin:
+    def test_starts_after_last_issuer(self):
+        rr = SmaRoundRobinScheduler()
+        rr.notify_issued(1)
+        assert rr.order([0, 1, 2, 3]) == [2, 3, 0, 1]
+
+    def test_wraps_past_highest(self):
+        rr = SmaRoundRobinScheduler()
+        rr.notify_issued(3)
+        assert rr.order([0, 1, 2, 3]) == [0, 1, 2, 3]
+
+    def test_no_history(self):
+        assert SmaRoundRobinScheduler().order([2, 0]) == [0, 2]
+
+    def test_alternates_two_sets(self):
+        """The double-buffer sets must interleave instead of starving."""
+        rr = SmaRoundRobinScheduler()
+        issued = []
+        warps = [0, 1, 2, 3]
+        for _ in range(8):
+            pick = rr.order(warps)[0]
+            issued.append(pick)
+            rr.notify_issued(pick)
+        assert issued == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+class TestFactory:
+    def test_known_policies(self):
+        assert isinstance(make_scheduler("gto"), GreedyThenOldestScheduler)
+        assert isinstance(make_scheduler("lrr"), LooseRoundRobinScheduler)
+        assert isinstance(make_scheduler("sma_rr"), SmaRoundRobinScheduler)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            make_scheduler("fifo")

@@ -1,0 +1,86 @@
+"""Shared-memory bank-conflict model tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.shared_memory import SharedMemoryModel
+from repro.isa.instructions import (
+    MemSpace,
+    broadcast_access,
+    coalesced_access,
+    strided_access,
+)
+
+
+@pytest.fixture
+def smem():
+    return SharedMemoryModel(num_banks=32, bank_bytes=4)
+
+
+class TestBankMapping:
+    def test_word_to_bank(self, smem):
+        assert smem.bank_of(0) == 0
+        assert smem.bank_of(4) == 1
+        assert smem.bank_of(4 * 32) == 0  # wraps
+
+    def test_bank_offset_window(self):
+        windowed = SharedMemoryModel(num_banks=8, bank_offset=8)
+        assert windowed.bank_of(0) == 8
+
+
+class TestConflicts:
+    def test_unit_stride_conflict_free(self, smem):
+        access = coalesced_access(MemSpace.SHARED, 0)
+        assert smem.access(access).cycles == 1
+
+    def test_broadcast_conflict_free(self, smem):
+        access = broadcast_access(MemSpace.SHARED, 128)
+        result = smem.access(access)
+        assert result.cycles == 1
+        assert result.words_touched == 1
+
+    def test_two_way_conflict(self, smem):
+        # Stride of 2 words: lanes 0 and 16 hit bank 0 with distinct words.
+        access = strided_access(MemSpace.SHARED, 0, stride_bytes=8)
+        assert smem.access(access).cycles == 2
+
+    def test_worst_case_32_way(self, smem):
+        # Stride of 32 words: every lane maps to bank 0.
+        access = strided_access(MemSpace.SHARED, 0, stride_bytes=128)
+        assert smem.access(access).cycles == 32
+
+    def test_same_word_lanes_merge(self, smem):
+        addresses = tuple([0] * 16 + [4] * 16)
+        result = smem.cost_addresses(addresses)
+        assert result.cycles == 1
+        assert result.words_touched == 2
+
+    def test_conflict_free_helper(self, smem):
+        assert smem.conflict_free(tuple(4 * i for i in range(32)))
+        assert not smem.conflict_free((0, 128))
+
+    def test_rejects_global_space(self, smem):
+        with pytest.raises(SimulationError):
+            smem.access(coalesced_access(MemSpace.GLOBAL, 0))
+
+    def test_empty_access_rejected(self, smem):
+        with pytest.raises(SimulationError):
+            smem.cost_addresses(())
+
+
+class TestSmaBankAssignment:
+    """The paper's A-feed layout must be conflict-free on 8 banks."""
+
+    def test_diagonal_feed_conflict_free_with_row_stride_8(self):
+        smem = SharedMemoryModel(num_banks=8)
+        # Diagonal A[t-k, k] with row-major stride of 8 words.
+        for t in range(8, 64):
+            addresses = tuple(4 * ((t - k) * 8 + k) for k in range(8))
+            assert smem.cost_addresses(addresses).cycles == 1
+
+    def test_diagonal_feed_conflicts_with_bad_stride(self):
+        smem = SharedMemoryModel(num_banks=8)
+        # Row stride 9 words: (m*9 + k) with m = t - k collapses to a
+        # single bank for the whole diagonal (8-way serialization).
+        addresses = tuple(4 * ((16 - k) * 9 + k) for k in range(8))
+        assert smem.cost_addresses(addresses).cycles == 8

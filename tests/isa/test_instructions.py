@@ -1,0 +1,77 @@
+"""Instruction and memory-descriptor tests."""
+
+import pytest
+
+from repro.isa.instructions import (
+    ExecUnit,
+    Instruction,
+    MemAccess,
+    MemSpace,
+    Opcode,
+    broadcast_access,
+    coalesced_access,
+    strided_access,
+)
+
+
+class TestMemAccess:
+    def test_coalesced_addresses(self):
+        access = coalesced_access(MemSpace.SHARED, 0)
+        assert access.lane_addresses == tuple(4 * lane for lane in range(32))
+        assert access.bytes_moved == 128
+
+    def test_strided(self):
+        access = strided_access(MemSpace.SHARED, 0, stride_bytes=32, lanes=8)
+        assert access.lane_addresses == tuple(32 * lane for lane in range(8))
+        assert access.active_lanes == 8
+
+    def test_broadcast_single_word(self):
+        access = broadcast_access(MemSpace.SHARED, 64)
+        assert set(access.lane_addresses) == {64}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MemAccess(MemSpace.SHARED, ())
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            MemAccess(MemSpace.SHARED, (0,), width_bytes=3)
+
+
+class TestInstruction:
+    def test_ffma_unit_and_latency(self):
+        inst = Instruction(Opcode.FFMA, (1,), (2, 3, 1))
+        assert inst.unit is ExecUnit.FMA
+        assert inst.latency == 4
+        assert not inst.is_barrier
+
+    def test_memory_ops_require_descriptor(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LDS, (1,), (2,))
+
+    def test_non_memory_ops_reject_descriptor(self):
+        with pytest.raises(ValueError):
+            Instruction(
+                Opcode.FFMA, (1,), (2, 3, 1),
+                mem=coalesced_access(MemSpace.SHARED, 0),
+            )
+
+    def test_cgsync_requires_group(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.CGSYNC)
+
+    def test_barriers_flagged(self):
+        assert Instruction(Opcode.BAR).is_barrier
+        assert Instruction(Opcode.CGSYNC, group=1).is_barrier
+        assert Instruction(Opcode.SMAWAIT).is_barrier
+
+    def test_lsma_unit(self):
+        inst = Instruction(
+            Opcode.LSMA, (), (1, 2, 3, 4), payload=(128, 0)
+        )
+        assert inst.unit is ExecUnit.SMA
+        assert inst.payload == (128, 0)
+
+    def test_operand_count(self):
+        inst = Instruction(Opcode.FFMA, (1,), (2, 3, 1))
+        assert inst.register_operand_count == 3

@@ -1,0 +1,59 @@
+"""Program-builder tests."""
+
+from repro.isa.instructions import MemSpace, Opcode, coalesced_access
+from repro.isa.program import ProgramBuilder
+
+
+class TestProgramBuilder:
+    def test_fluent_chain(self):
+        program = (
+            ProgramBuilder("demo")
+            .mov(1, 0)
+            .ffma(2, 1, 1, 2)
+            .bar()
+            .exit()
+            .build()
+        )
+        assert len(program) == 4
+        assert program[0].opcode is Opcode.MOV
+        assert program[-1].opcode is Opcode.EXIT
+
+    def test_fresh_registers_unique(self):
+        builder = ProgramBuilder("demo")
+        regs = {builder.fresh() for _ in range(100)}
+        assert len(regs) == 100
+        assert all(reg > 1000 for reg in regs)
+
+    def test_lsma_payload(self):
+        program = (
+            ProgramBuilder("demo")
+            .lsma(1, 2, 3, 4, k_extent=128, unit_id=2)
+            .build()
+        )
+        assert program[0].payload == (128, 2)
+        assert len(program[0].srcs) == 4  # the paper's four operands
+
+    def test_memory_helpers(self):
+        access = coalesced_access(MemSpace.GLOBAL, 0)
+        store = coalesced_access(MemSpace.SHARED, 0, is_store=True)
+        program = (
+            ProgramBuilder("demo")
+            .ldg(5, access, 1)
+            .sts(store, 5, 1)
+            .build()
+        )
+        assert program[0].mem.space is MemSpace.GLOBAL
+        assert program[1].mem.is_store
+
+    def test_count(self):
+        builder = ProgramBuilder("demo")
+        for _ in range(7):
+            builder.ffma(1, 1, 1, 1)
+        builder.bar()
+        program = builder.build()
+        assert program.count(Opcode.FFMA) == 7
+        assert program.count(Opcode.BAR) == 1
+
+    def test_cgsync_group(self):
+        program = ProgramBuilder("demo").cgsync(3).build()
+        assert program[0].group == 3

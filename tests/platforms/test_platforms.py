@@ -1,0 +1,106 @@
+"""GPU platform tests (SIMD / TC / SMA)."""
+
+import pytest
+
+from repro.dnn.ops import Conv2d, RegionProposal, Relu
+from repro.dnn.tensor import nchw
+from repro.dnn.zoo import build_alexnet
+from repro.platforms import GpuSimdPlatform, GpuSmaPlatform, GpuTcPlatform
+from repro.platforms.base import reporting_group
+
+
+@pytest.fixture(scope="module")
+def simd():
+    return GpuSimdPlatform(framework_overhead_s=0.0)
+
+
+@pytest.fixture(scope="module")
+def tc():
+    return GpuTcPlatform(framework_overhead_s=0.0)
+
+
+@pytest.fixture(scope="module")
+def sma3():
+    return GpuSmaPlatform(3, framework_overhead_s=0.0)
+
+
+def _conv():
+    return Conv2d.build("c", 64, 128, 56, 56, kernel=3, padding=1)
+
+
+class TestOpDispatch:
+    def test_conv_runs_as_gemm(self, simd, tc, sma3):
+        assert simd.run_op(_conv()).mode == "gemm-simd"
+        assert tc.run_op(_conv()).mode == "gemm-tc"
+        assert sma3.run_op(_conv()).mode == "gemm-sma"
+
+    def test_irregular_runs_simd_everywhere(self, simd, tc, sma3):
+        nms = RegionProposal.build("rp", nchw(1, 256, 50, 64))
+        for platform in (simd, tc, sma3):
+            assert platform.run_op(nms).mode == "simd"
+
+    def test_conv_speed_ordering(self, simd, tc, sma3):
+        conv = _conv()
+        t_simd = simd.run_op(conv).seconds
+        t_tc = tc.run_op(conv).seconds
+        t_sma = sma3.run_op(conv).seconds
+        assert t_sma < t_tc < t_simd
+
+    def test_irregular_same_speed_everywhere(self, simd, sma3):
+        nms = RegionProposal.build("rp", nchw(1, 256, 50, 64))
+        t_simd = simd.run_op(nms).seconds
+        t_sma = sma3.run_op(nms).seconds
+        assert t_sma == pytest.approx(t_simd, rel=0.01)
+
+    def test_energy_attached(self, sma3):
+        stats = sma3.run_op(_conv())
+        assert stats.energy is not None
+        assert stats.energy.total > 0
+
+
+class TestModelRun:
+    def test_alexnet_totals(self, sma3):
+        result = sma3.run_model(build_alexnet())
+        assert result.total_seconds > 0
+        assert len(result.op_stats) == len(build_alexnet())
+
+    def test_grouped_seconds_partition(self, simd):
+        result = simd.run_model(build_alexnet())
+        groups = result.grouped_seconds()
+        assert sum(groups.values()) == pytest.approx(result.total_seconds)
+
+    def test_framework_overhead_added_per_launch(self):
+        with_overhead = GpuSimdPlatform(framework_overhead_s=1e-3)
+        zero = GpuSimdPlatform(framework_overhead_s=0.0)
+        graph = build_alexnet()
+        delta = (
+            with_overhead.run_model(graph).total_seconds
+            - zero.run_model(graph).total_seconds
+        )
+        launches = sum(node.op.kernel_launches for node in graph.nodes)
+        assert delta == pytest.approx(launches * 1e-3, rel=0.05)
+
+
+class TestSmaModeSwitching:
+    def test_switch_overhead_tracked(self):
+        platform = GpuSmaPlatform(3, framework_overhead_s=0.0)
+        conv = _conv()
+        relu = Relu.build("r", conv.output_shape)
+        platform.run_op(conv)   # -> systolic
+        platform.run_op(relu)   # -> simd
+        platform.run_op(conv)   # -> systolic
+        assert platform.mode_tracker.switches == 3
+        assert platform.mode_switch_overhead_seconds > 0
+
+    def test_switch_overhead_negligible(self):
+        """The temporal-integration claim: switching is ~free."""
+        platform = GpuSmaPlatform(3, framework_overhead_s=0.0)
+        result = platform.run_model(build_alexnet())
+        assert platform.mode_switch_overhead_seconds < 0.001 * result.total_seconds
+
+
+class TestReportingGroups:
+    def test_group_mapping(self):
+        assert reporting_group(_conv()) == "CNN&FC"
+        nms = RegionProposal.build("rp", nchw(1, 1, 8, 8))
+        assert reporting_group(nms) == "NMS"

@@ -1,0 +1,78 @@
+"""TPU platform tests (native / lowered / host dispatch)."""
+
+import pytest
+
+from repro.dnn.ops import ArgMax, Conv2d, Crf, RegionProposal, RoIAlign
+from repro.dnn.tensor import nchw
+from repro.dnn.zoo import build_deeplab
+from repro.platforms import CpuPlatform, GpuSimdPlatform, TpuPlatform
+
+
+@pytest.fixture(scope="module")
+def tpu():
+    return TpuPlatform()
+
+
+class TestDispatch:
+    def test_conv_native(self, tpu):
+        conv = Conv2d.build("c", 64, 128, 56, 56, kernel=3, padding=1)
+        assert tpu.run_op(conv).mode == "tpu"
+
+    def test_nms_lowered(self, tpu):
+        nms = RegionProposal.build("rp", nchw(1, 256, 50, 64))
+        stats = tpu.run_op(nms)
+        assert stats.mode == "tpu-lowered"
+
+    def test_roialign_lowered(self, tpu):
+        roi = RoIAlign.build("roi", nchw(1, 256, 200, 264))
+        assert tpu.run_op(roi).mode == "tpu-lowered"
+
+    def test_argmax_lowered(self, tpu):
+        argmax = ArgMax.build("am", nchw(1, 21, 513, 513))
+        assert tpu.run_op(argmax).mode == "tpu-lowered"
+
+    def test_crf_on_host(self, tpu):
+        crf = Crf.build("crf", nchw(1, 21, 513, 513))
+        assert tpu.run_op(crf).mode == "host"
+
+
+class TestPaperBehaviours:
+    def test_conv_faster_than_gpu_simd(self, tpu):
+        """Paper: TPU >1.6x faster on GEMM-compatible kernels."""
+        conv = Conv2d.build("c", 256, 512, 64, 64, kernel=3, padding=1)
+        gpu = GpuSimdPlatform(framework_overhead_s=0.0)
+        t_tpu = tpu.run_op(conv).seconds
+        t_gpu = gpu.run_op(conv).seconds
+        assert t_gpu / t_tpu > 1.4
+
+    def test_lowered_nms_much_slower_than_gpu(self, tpu):
+        """Paper: improper mapping causes severe degradation."""
+        nms = RegionProposal.build("rp", nchw(1, 256, 50, 64))
+        gpu = GpuSimdPlatform()
+        t_tpu = tpu.run_op(nms).seconds + tpu.framework_overhead_s
+        t_gpu = gpu.run_op(nms).seconds + (
+            gpu.framework_overhead_s * nms.kernel_launches
+        )
+        assert t_tpu > 2 * t_gpu
+
+    def test_transfer_group_in_model_run(self, tpu):
+        result = tpu.run_model(build_deeplab(with_crf=True))
+        groups = result.grouped_seconds()
+        assert groups.get("Transfer", 0.0) > 0
+
+    def test_no_transfer_without_host_ops(self, tpu):
+        result = tpu.run_model(build_deeplab(with_crf=False))
+        assert "Transfer" not in result.grouped_seconds()
+
+
+class TestCpuPlatform:
+    def test_crf_single_core_slow(self):
+        cpu = CpuPlatform()
+        crf = Crf.build("crf", nchw(1, 21, 513, 513))
+        seconds = cpu.run_op(crf).seconds
+        assert 0.3 <= seconds <= 0.9  # paper: 555 ms
+
+    def test_conv_runs(self):
+        cpu = CpuPlatform()
+        conv = Conv2d.build("c", 16, 32, 28, 28, kernel=3, padding=1)
+        assert cpu.run_op(conv).seconds > 0

@@ -1,0 +1,51 @@
+"""Property-based tests: LSMA equals dense GEMM-accumulate (Eq. 1)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sma.lsma import execute_lsma
+
+_ELEMENTS = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def lsma_operands(draw):
+    stream = draw(st.integers(min_value=1, max_value=40))
+    n = draw(st.sampled_from([8, 16]))
+    a = draw(arrays(np.float64, (stream, 8), elements=_ELEMENTS))
+    b = draw(arrays(np.float64, (8, n), elements=_ELEMENTS))
+    c = draw(arrays(np.float64, (stream, n), elements=_ELEMENTS))
+    return a, b, c
+
+
+class TestLsmaEquationOne:
+    @given(lsma_operands())
+    @settings(max_examples=40, deadline=None)
+    def test_accumulate_semantics(self, operands):
+        a, b, c = operands
+        np.testing.assert_allclose(
+            execute_lsma(a, b, c), a @ b + c, rtol=1e-9, atol=1e-9
+        )
+
+    @given(lsma_operands())
+    @settings(max_examples=30, deadline=None)
+    def test_zero_c_is_plain_gemm(self, operands):
+        a, b, _c = operands
+        np.testing.assert_allclose(
+            execute_lsma(a, b), a @ b, rtol=1e-9, atol=1e-9
+        )
+
+    @given(lsma_operands())
+    @settings(max_examples=25, deadline=None)
+    def test_linearity_in_accumulator(self, operands):
+        """Issuing LSMA twice accumulates both products."""
+        a, b, c = operands
+        once = execute_lsma(a, b, c)
+        twice = execute_lsma(a, b, once)
+        np.testing.assert_allclose(
+            twice, 2 * (a @ b) + c, rtol=1e-8, atol=1e-8
+        )

@@ -1,0 +1,83 @@
+"""Property-based tests: systolic arrays compute exact GEMMs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.systolic.array import SystolicArray
+from repro.systolic.dataflow import Dataflow
+
+_ELEMENTS = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _operands(m, k, n):
+    return st.tuples(
+        arrays(np.float64, (m, k), elements=_ELEMENTS),
+        arrays(np.float64, (k, n), elements=_ELEMENTS),
+    )
+
+
+@st.composite
+def gemm_operands(draw, max_m=48, k=8, n=8):
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    return draw(_operands(m, k, n))
+
+
+class TestFunctionalEquivalence:
+    @given(gemm_operands())
+    @settings(max_examples=40, deadline=None)
+    def test_semi_broadcast_equals_numpy(self, operands):
+        a, b = operands
+        array = SystolicArray(8, 8, Dataflow.SEMI_BROADCAST_WS)
+        np.testing.assert_allclose(
+            array.run_gemm(a, b).c, a @ b, rtol=1e-9, atol=1e-9
+        )
+
+    @given(gemm_operands())
+    @settings(max_examples=40, deadline=None)
+    def test_weight_stationary_equals_numpy(self, operands):
+        a, b = operands
+        array = SystolicArray(8, 8, Dataflow.WEIGHT_STATIONARY)
+        np.testing.assert_allclose(
+            array.run_gemm(a, b).c, a @ b, rtol=1e-9, atol=1e-9
+        )
+
+    @given(gemm_operands())
+    @settings(max_examples=25, deadline=None)
+    def test_dataflows_agree(self, operands):
+        """Fig 4: both dataflows are the same computation."""
+        a, b = operands
+        sb = SystolicArray(8, 8, Dataflow.SEMI_BROADCAST_WS).run_gemm(a, b)
+        ws = SystolicArray(8, 8, Dataflow.WEIGHT_STATIONARY).run_gemm(a, b)
+        np.testing.assert_allclose(sb.c, ws.c, rtol=1e-9, atol=1e-9)
+
+
+class TestTimingInvariants:
+    @given(st.integers(min_value=1, max_value=512))
+    @settings(max_examples=30, deadline=None)
+    def test_cycle_formula(self, m):
+        a = np.ones((m, 8))
+        b = np.ones((8, 8))
+        result = SystolicArray(8, 8, Dataflow.SEMI_BROADCAST_WS).run_gemm(a, b)
+        assert result.streaming_cycles == m + 7
+        assert result.macs == m * 64
+
+    @given(st.integers(min_value=1, max_value=256))
+    @settings(max_examples=30, deadline=None)
+    def test_ws_never_faster_than_semi_broadcast(self, m):
+        a = np.ones((m, 8))
+        b = np.ones((8, 8))
+        sb = SystolicArray(8, 8, Dataflow.SEMI_BROADCAST_WS).run_gemm(a, b)
+        ws = SystolicArray(8, 8, Dataflow.WEIGHT_STATIONARY).run_gemm(a, b)
+        assert ws.cycles >= sb.cycles
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_utilization_bounded(self, m):
+        a = np.ones((m, 8))
+        b = np.ones((8, 8))
+        result = SystolicArray(8, 8, Dataflow.SEMI_BROADCAST_WS).run_gemm(a, b)
+        assert result.macs <= result.cycles * 64

@@ -1,0 +1,59 @@
+"""Property-based tests: the Fig 6 tiling covers every GEMM exactly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gemm.problem import GemmProblem
+from repro.gemm.tiling import plan_gemm
+
+_DIMS = st.integers(min_value=1, max_value=4096)
+
+
+class TestTilingCoverage:
+    @given(_DIMS, _DIMS, _DIMS)
+    @settings(max_examples=60, deadline=None)
+    def test_tiles_partition_output(self, m, n, k):
+        plan = plan_gemm(GemmProblem(m, n, k))
+        seen = set()
+        for tile in plan.thread_blocks():
+            for row in range(tile.row, tile.row + tile.rows):
+                assert row < m
+            for col in range(tile.col, tile.col + tile.cols):
+                assert col < n
+            key = (tile.row, tile.col)
+            assert key not in seen
+            seen.add(key)
+        covered = sum(
+            t.rows * t.cols for t in plan.thread_blocks()
+        )
+        assert covered == m * n
+
+    @given(_DIMS, _DIMS, _DIMS)
+    @settings(max_examples=60, deadline=None)
+    def test_k_iterations_cover_reduction(self, m, n, k):
+        plan = plan_gemm(GemmProblem(m, n, k))
+        assert plan.k_iterations * plan.k_slice >= k
+        assert (plan.k_iterations - 1) * plan.k_slice < k
+
+    @given(_DIMS, _DIMS, _DIMS)
+    @settings(max_examples=60, deadline=None)
+    def test_utilization_in_unit_interval(self, m, n, k):
+        plan = plan_gemm(GemmProblem(m, n, k))
+        assert 0.0 < plan.tile_utilization <= 1.0
+
+    @given(_DIMS, _DIMS)
+    @settings(max_examples=40, deadline=None)
+    def test_aligned_problems_fully_utilized(self, tiles_m, tiles_n):
+        m = min(tiles_m, 32) * 128
+        n = min(tiles_n, 32) * 128
+        plan = plan_gemm(GemmProblem(m, n, 64))
+        assert plan.tile_utilization == 1.0
+
+    @given(_DIMS)
+    @settings(max_examples=40, deadline=None)
+    def test_subtile_rounds_cover_tile(self, n):
+        plan = plan_gemm(GemmProblem(128, n, 8))
+        for width in (8, 16, 24):
+            subtiles = plan.subtiles_per_iteration(width)
+            assert subtiles * width >= plan.tile_n
+            assert (subtiles - 1) * width < plan.tile_n

@@ -1,0 +1,76 @@
+"""LSMA functional semantics tests (paper Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError
+from repro.sma.lsma import LsmaOperation, execute_lsma
+from repro.systolic.dataflow import Dataflow
+
+
+class TestLsmaOperation:
+    def test_operands(self):
+        op = LsmaOperation(a_address=0, c_address=64, b_height=8, stream_rows=128)
+        assert op.stream_rows == 128
+
+    def test_validation(self):
+        with pytest.raises(MappingError):
+            LsmaOperation(0, 0, 8, 0)
+        with pytest.raises(MappingError):
+            LsmaOperation(0, 0, 0, 128)
+
+
+class TestExecuteLsma:
+    def test_eq1_semantics(self):
+        """C[out] <- A[in] x B + C[in]."""
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((128, 8))
+        b = rng.standard_normal((8, 8))
+        c_in = rng.standard_normal((128, 8))
+        result = execute_lsma(a, b, c_in)
+        np.testing.assert_allclose(result, a @ b + c_in)
+
+    def test_without_accumulator(self):
+        rng = np.random.default_rng(8)
+        a = rng.standard_normal((16, 8))
+        b = rng.standard_normal((8, 8))
+        np.testing.assert_allclose(execute_lsma(a, b), a @ b)
+
+    def test_fp16_unit_shape(self):
+        """8x16 FP16 array accepts a K=8, N=16 B sub-tile."""
+        rng = np.random.default_rng(9)
+        a = rng.standard_normal((32, 8))
+        b = rng.standard_normal((8, 16))
+        np.testing.assert_allclose(execute_lsma(a, b), a @ b)
+
+    def test_ws_dataflow_same_result(self):
+        """Both dataflows compute identical results (Fig 4)."""
+        rng = np.random.default_rng(10)
+        a = rng.standard_normal((24, 8))
+        b = rng.standard_normal((8, 8))
+        sb = execute_lsma(a, b, dataflow=Dataflow.SEMI_BROADCAST_WS)
+        ws = execute_lsma(a, b, dataflow=Dataflow.WEIGHT_STATIONARY)
+        np.testing.assert_allclose(sb, ws)
+
+    def test_flexible_k_shape(self):
+        """The K x 8 x 8 flexible shape: any stream length works."""
+        rng = np.random.default_rng(11)
+        for stream in (1, 7, 129):
+            a = rng.standard_normal((stream, 8))
+            b = rng.standard_normal((8, 8))
+            np.testing.assert_allclose(execute_lsma(a, b), a @ b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(MappingError):
+            execute_lsma(np.zeros((8, 4)), np.zeros((8, 8)))
+
+    def test_c_shape_mismatch(self):
+        with pytest.raises(MappingError):
+            execute_lsma(np.zeros((8, 8)), np.zeros((8, 8)), np.zeros((4, 8)))
+
+    def test_output_stationary_rejected(self):
+        with pytest.raises(MappingError):
+            execute_lsma(
+                np.zeros((8, 8)), np.zeros((8, 8)),
+                dataflow=Dataflow.OUTPUT_STATIONARY,
+            )

@@ -1,0 +1,51 @@
+"""Temporal mode-switch tracker tests."""
+
+import pytest
+
+from repro.config import SmaConfig
+from repro.errors import SimulationError
+from repro.sma.mode import ExecutionMode, ModeSwitchTracker
+
+
+@pytest.fixture
+def tracker():
+    return ModeSwitchTracker(SmaConfig())
+
+
+class TestModeSwitchTracker:
+    def test_starts_in_simd(self, tracker):
+        assert tracker.mode is ExecutionMode.SIMD
+
+    def test_switch_costs_configured_cycles(self, tracker):
+        cost = tracker.switch_to(ExecutionMode.SYSTOLIC)
+        assert cost == SmaConfig().reconfiguration_cycles
+        assert tracker.mode is ExecutionMode.SYSTOLIC
+
+    def test_same_mode_is_free(self, tracker):
+        tracker.switch_to(ExecutionMode.SYSTOLIC)
+        assert tracker.switch_to(ExecutionMode.SYSTOLIC) == 0.0
+        assert tracker.switches == 1
+
+    def test_accounting_per_mode(self, tracker):
+        tracker.account(100)
+        tracker.switch_to(ExecutionMode.SYSTOLIC)
+        tracker.account(900)
+        assert tracker.cycles_in_mode["simd"] == 100
+        assert tracker.cycles_in_mode["systolic"] == 900
+
+    def test_overhead_fraction_small(self, tracker):
+        """Temporal integration claim: reconfiguration is negligible."""
+        for _ in range(100):
+            tracker.switch_to(ExecutionMode.SYSTOLIC)
+            tracker.account(10_000)
+            tracker.switch_to(ExecutionMode.SIMD)
+            tracker.account(10_000)
+        assert tracker.overhead_fraction() < 0.001
+
+    def test_negative_cycles_rejected(self, tracker):
+        with pytest.raises(SimulationError):
+            tracker.account(-1)
+
+    def test_bad_mode_rejected(self, tracker):
+        with pytest.raises(SimulationError):
+            tracker.switch_to("systolic")

@@ -1,0 +1,45 @@
+"""Warp-set partition / cooperative-group tests."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.sma.sync import (
+    GROUP_ALL,
+    GROUP_COMPUTERS,
+    GROUP_LOADERS,
+    make_double_buffer_groups,
+    partition_warps,
+)
+
+
+class TestPartition:
+    def test_even_split(self):
+        partition = partition_warps(64)
+        assert len(partition.loaders) == 32
+        assert len(partition.computers) == 32
+        assert partition.loaders.isdisjoint(partition.computers)
+
+    def test_all_warps_covered(self):
+        partition = partition_warps(64)
+        assert partition.all_warps == frozenset(range(64))
+
+    def test_set_of(self):
+        partition = partition_warps(4)
+        assert partition.set_of(0) == "loaders"
+        assert partition.set_of(3) == "computers"
+
+    def test_set_of_unknown(self):
+        with pytest.raises(MappingError):
+            partition_warps(4).set_of(9)
+
+    def test_odd_count_rejected(self):
+        with pytest.raises(MappingError):
+            partition_warps(7)
+
+
+class TestGroups:
+    def test_group_table(self):
+        groups = make_double_buffer_groups(64)
+        assert groups[GROUP_LOADERS] == frozenset(range(32))
+        assert groups[GROUP_COMPUTERS] == frozenset(range(32, 64))
+        assert groups[GROUP_ALL] == frozenset(range(64))

@@ -1,0 +1,59 @@
+"""SMA unit (reconfigurable MAC cluster) tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import DataType, SmaConfig
+from repro.errors import MappingError
+from repro.sma.mode import ExecutionMode
+from repro.sma.unit import SmaUnit
+
+
+class TestSmaUnit:
+    def test_starts_in_simd_mode(self):
+        assert SmaUnit().mode is ExecutionMode.SIMD
+
+    def test_lsma_requires_systolic_mode(self):
+        unit = SmaUnit()
+        with pytest.raises(MappingError):
+            unit.run_lsma(np.zeros((8, 8)), np.zeros((8, 8)))
+
+    def test_functional_lsma(self):
+        unit = SmaUnit()
+        unit.enter_systolic_mode()
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((32, 8))
+        b = rng.standard_normal((8, 8))
+        c, timing = unit.run_lsma(a, b)
+        np.testing.assert_allclose(c, a @ b)
+        assert timing.macs == 32 * 64
+
+    def test_accumulating_lsma(self):
+        unit = SmaUnit()
+        unit.enter_systolic_mode()
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((16, 8))
+        b = rng.standard_normal((8, 8))
+        c_in = rng.standard_normal((16, 8))
+        c, _t = unit.run_lsma(a, b, c_in)
+        np.testing.assert_allclose(c, a @ b + c_in)
+
+    def test_fp16_array_shape(self):
+        unit = SmaUnit(SmaConfig(dtype=DataType.FP16))
+        assert unit.array_shape == (8, 16)
+
+    def test_wrong_subtile_shape(self):
+        unit = SmaUnit(SmaConfig(dtype=DataType.FP16))
+        unit.enter_systolic_mode()
+        with pytest.raises(MappingError):
+            unit.run_lsma(np.zeros((16, 8)), np.zeros((8, 8)))
+
+    def test_mode_round_trip_cost(self):
+        unit = SmaUnit()
+        cost_in = unit.enter_systolic_mode()
+        cost_out = unit.enter_simd_mode()
+        assert cost_in == cost_out == SmaConfig().reconfiguration_cycles
+        assert unit.tracker.switches == 2
+
+    def test_simd_flops(self):
+        assert SmaUnit().simd_flops_per_cycle() == 128

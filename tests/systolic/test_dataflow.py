@@ -1,0 +1,79 @@
+"""Dataflow traits and bank-contention analysis tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.systolic.dataflow import (
+    Dataflow,
+    analyze_dataflow_cost,
+    output_coords,
+    traits_of,
+)
+
+
+class TestTraits:
+    def test_semi_broadcast_coalesces_c(self):
+        traits = traits_of(Dataflow.SEMI_BROADCAST_WS, 8)
+        assert traits.c_drain == "row"
+        assert traits.c_to_register_file
+        assert traits.a_reuse == 8
+
+    def test_weight_stationary_diagonal_c(self):
+        traits = traits_of(Dataflow.WEIGHT_STATIONARY, 8)
+        assert traits.c_drain == "diagonal"
+        assert not traits.c_to_register_file
+
+    def test_output_stationary_burst(self):
+        assert traits_of(Dataflow.OUTPUT_STATIONARY, 8).c_drain == "burst"
+
+
+class TestCostAnalysis:
+    def test_semi_broadcast_conflict_free_a_feed(self):
+        cost = analyze_dataflow_cost(
+            Dataflow.SEMI_BROADCAST_WS, 128, 8, 8, a_banks=8
+        )
+        assert cost.a_conflict_degree == pytest.approx(1.0)
+
+    def test_semi_broadcast_no_contention_single_unit(self):
+        cost = analyze_dataflow_cost(
+            Dataflow.SEMI_BROADCAST_WS, 128, 8, 8,
+            background_sts_words_per_cycle=8.0,
+        )
+        assert cost.contention_factor == pytest.approx(1.0)
+
+    def test_ws_slower_than_semi_broadcast(self):
+        """Fig 7 (right): staged diagonal C drain stretches streaming."""
+        sb = analyze_dataflow_cost(Dataflow.SEMI_BROADCAST_WS, 128, 8, 8)
+        ws = analyze_dataflow_cost(Dataflow.WEIGHT_STATIONARY, 128, 8, 8)
+        assert ws.effective_streaming_cycles > sb.effective_streaming_cycles
+        ratio = ws.total_cycles / sb.total_cycles
+        assert 1.1 <= ratio <= 1.6
+
+    def test_ws_penalty_grows_with_array_width(self):
+        """Wider (combined) arrays stage more C words per cycle."""
+        narrow = analyze_dataflow_cost(Dataflow.WEIGHT_STATIONARY, 128, 8, 8)
+        wide = analyze_dataflow_cost(Dataflow.WEIGHT_STATIONARY, 128, 8, 24)
+        assert wide.contention_factor > narrow.contention_factor
+
+    def test_output_stationary_drain(self):
+        cost = analyze_dataflow_cost(Dataflow.OUTPUT_STATIONARY, 8, 8, 8)
+        assert cost.drain_cycles > 0
+
+    def test_bad_extents(self):
+        with pytest.raises(SimulationError):
+            analyze_dataflow_cost(Dataflow.SEMI_BROADCAST_WS, 0, 8, 8)
+
+
+class TestOutputCoords:
+    def test_semi_broadcast_full_rows(self):
+        coords = output_coords(Dataflow.SEMI_BROADCAST_WS, 10, 16, 8, 8)
+        assert coords == [(3, n) for n in range(8)]
+
+    def test_ws_diagonal(self):
+        coords = output_coords(Dataflow.WEIGHT_STATIONARY, 10, 16, 8, 8)
+        rows = {m for m, _n in coords}
+        assert len(rows) == len(coords)  # all from distinct C rows
+
+    def test_os_has_no_streaming_schedule(self):
+        with pytest.raises(SimulationError):
+            output_coords(Dataflow.OUTPUT_STATIONARY, 0, 8, 8, 8)

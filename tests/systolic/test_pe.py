@@ -1,0 +1,35 @@
+"""Processing-element reference semantics."""
+
+import pytest
+
+from repro.systolic.pe import ProcessingElement
+
+
+class TestProcessingElement:
+    def test_mac_semantics(self):
+        pe = ProcessingElement()
+        pe.load_weight(3.0)
+        assert pe.step(a_in=2.0, psum_in=1.0) == pytest.approx(7.0)
+
+    def test_psum_latched(self):
+        pe = ProcessingElement(weight=2.0)
+        pe.step(1.0, 0.0)
+        assert pe.psum == pytest.approx(2.0)
+
+    def test_mac_count(self):
+        pe = ProcessingElement(weight=1.0)
+        for _ in range(5):
+            pe.step(1.0, 0.0)
+        assert pe.mac_count == 5
+
+    def test_reset(self):
+        pe = ProcessingElement(weight=1.0)
+        pe.step(1.0, 1.0)
+        pe.reset()
+        assert pe.psum == 0.0
+        assert pe.mac_count == 0
+
+    def test_weight_survives_reset(self):
+        pe = ProcessingElement(weight=4.0)
+        pe.reset()
+        assert pe.weight == 4.0

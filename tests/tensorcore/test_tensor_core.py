@@ -1,0 +1,89 @@
+"""TensorCore functional tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.tensorcore.dot_product import dot4
+from repro.tensorcore.tensor_core import (
+    HMMA_REG_READS,
+    HMMA_REG_WRITES,
+    TensorCore,
+    WmmaOp,
+)
+
+
+class TestDot4:
+    def test_exact_fp32(self):
+        value = dot4([1, 2, 3, 4], [1, 1, 1, 1], 10.0, fp16_inputs=False)
+        assert value == pytest.approx(20.0)
+
+    def test_fp16_rounding_applied(self):
+        # 2049 is not representable in fp16 (rounds to 2048).
+        value = dot4([2049, 0, 0, 0], [1, 0, 0, 0], 0.0, fp16_inputs=True)
+        assert value == pytest.approx(2048.0)
+
+    def test_accumulator_fp32(self):
+        value = dot4([1, 0, 0, 0], [1, 0, 0, 0], 1e6, fp16_inputs=True)
+        assert value == pytest.approx(1e6 + 1.0)
+
+
+class TestMmaStep:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 4)).astype(np.float32)
+        c = rng.standard_normal((4, 4)).astype(np.float32)
+        tc = TensorCore(fp16_inputs=False)
+        np.testing.assert_allclose(tc.mma_step(a, b, c), a @ b + c, rtol=1e-5)
+
+    def test_shape_validation(self):
+        tc = TensorCore()
+        with pytest.raises(SimulationError):
+            tc.mma_step(np.zeros((4, 5)), np.zeros((4, 4)), np.zeros((4, 4)))
+        with pytest.raises(SimulationError):
+            tc.mma_step(np.zeros((4, 4)), np.zeros((4, 4)), np.zeros((5, 4)))
+
+    def test_mma_counter(self):
+        tc = TensorCore()
+        tc.mma_step(np.zeros((4, 4)), np.zeros((4, 4)), np.zeros((4, 4)))
+        assert tc.mma_count == 1
+
+
+class TestWmma:
+    def test_matches_numpy_fp32(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((16, 16)).astype(np.float32)
+        b = rng.standard_normal((16, 16)).astype(np.float32)
+        c = np.zeros((16, 16), dtype=np.float32)
+        tc = TensorCore(fp16_inputs=False)
+        np.testing.assert_allclose(tc.wmma(a, b, c), a @ b, rtol=1e-4)
+
+    def test_fp16_quantization_visible(self):
+        a = np.full((16, 16), 0.1, dtype=np.float32)
+        b = np.eye(16, dtype=np.float32)
+        tc = TensorCore(fp16_inputs=True)
+        result = tc.wmma(a, b, np.zeros((16, 16), dtype=np.float32))
+        assert result[0, 0] != pytest.approx(0.1, abs=1e-9)
+        assert result[0, 0] == pytest.approx(0.1, abs=1e-3)
+
+    def test_uses_64_mma_steps(self):
+        tc = TensorCore()
+        tc.wmma(
+            np.zeros((16, 16)), np.zeros((16, 16)), np.zeros((16, 16))
+        )
+        assert tc.mma_count == 64
+
+    def test_fragment_validation(self):
+        tc = TensorCore()
+        with pytest.raises(SimulationError):
+            tc.wmma(np.zeros((8, 16)), np.zeros((16, 16)), np.zeros((16, 16)))
+
+
+class TestWmmaOp:
+    def test_register_appetite(self):
+        """The RF traffic that caps TC efficiency (paper SS II-A)."""
+        op = WmmaOp()
+        assert op.register_reads == 16 * HMMA_REG_READS
+        assert op.register_writes == 16 * HMMA_REG_WRITES
+        assert op.macs == 4096

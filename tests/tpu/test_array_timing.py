@@ -1,0 +1,49 @@
+"""TPU weight-stationary array timing tests (Fig 1 TPU curve)."""
+
+import pytest
+
+from repro.config import TpuConfig
+from repro.errors import SimulationError
+from repro.tpu.array_timing import time_tpu_gemm
+
+
+class TestTpuGemmTiming:
+    def test_single_tile_efficiency_one_quarter(self):
+        # 128^3 on a 128x128 array: 128 streamed rows vs 256 fill/drain
+        # cycles plus the exposed initial weight load (128 more).
+        timing = time_tpu_gemm(128, 128, 128)
+        assert timing.weight_tiles == 1
+        assert timing.efficiency == pytest.approx(0.25, abs=0.03)
+
+    def test_large_matrix_near_peak(self):
+        timing = time_tpu_gemm(16384, 16384, 16384)
+        assert timing.efficiency >= 0.95
+
+    def test_monotone_ramp(self):
+        effs = [
+            time_tpu_gemm(n, n, n).efficiency
+            for n in (128, 256, 512, 1024, 4096, 16384)
+        ]
+        assert all(a <= b for a, b in zip(effs, effs[1:]))
+
+    def test_weight_tile_count(self):
+        timing = time_tpu_gemm(1000, 256, 384)
+        assert timing.weight_tiles == 2 * 3
+
+    def test_small_array_config(self):
+        small = TpuConfig(array_rows=8, array_cols=8)
+        timing = time_tpu_gemm(64, 8, 8, small)
+        assert timing.weight_tiles == 1
+        assert timing.cycles == pytest.approx(64 + 16 + 8)
+
+    def test_cycles_scale_with_m(self):
+        short = time_tpu_gemm(256, 128, 128)
+        tall = time_tpu_gemm(512, 128, 128)
+        assert tall.cycles > short.cycles
+
+    def test_invalid_dims(self):
+        with pytest.raises(SimulationError):
+            time_tpu_gemm(0, 1, 1)
+
+    def test_macs(self):
+        assert time_tpu_gemm(2, 3, 4).macs == 24

@@ -1,0 +1,48 @@
+"""Host CPU and transfer model tests."""
+
+import pytest
+
+from repro.config import CpuConfig, TpuConfig
+from repro.errors import SimulationError
+from repro.tpu.host import HostCpuModel, HostTransferModel
+
+
+class TestTransferModel:
+    def test_latency_floor(self):
+        link = HostTransferModel(latency_s=20e-6)
+        assert link.transfer(0).seconds == pytest.approx(20e-6)
+
+    def test_bandwidth_term(self):
+        link = HostTransferModel(
+            TpuConfig(host_transfer_gbps=1.0), latency_s=0.0
+        )
+        assert link.transfer(1e9).seconds == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            HostTransferModel().transfer(-1)
+
+
+class TestHostCpuModel:
+    def test_compute_bound(self):
+        host = HostCpuModel(CpuConfig())
+        flops = 1e9
+        seconds = host.op_seconds(flops, bytes_touched=0)
+        expected = flops / (CpuConfig().sustained_gflops * 1e9)
+        assert seconds == pytest.approx(expected)
+
+    def test_memory_bound(self):
+        config = CpuConfig()
+        host = HostCpuModel(config)
+        seconds = host.op_seconds(1.0, bytes_touched=20e9)
+        assert seconds == pytest.approx(1.0)
+
+    def test_serial_fraction_slows(self):
+        host = HostCpuModel()
+        fast = host.op_seconds(1e9, 0, serial_fraction=0.0)
+        slow = host.op_seconds(1e9, 0, serial_fraction=0.5)
+        assert slow > 3 * fast
+
+    def test_serial_fraction_validated(self):
+        with pytest.raises(SimulationError):
+            HostCpuModel().op_seconds(1.0, 0, serial_fraction=1.5)

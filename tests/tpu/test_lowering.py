@@ -1,0 +1,73 @@
+"""XLA-style lowering tests (SS II-B conversions)."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.tpu.lowering import (
+    lower_argmax,
+    lower_nms_to_gemm,
+    lower_roialign_to_pooling,
+)
+
+
+class TestNmsLowering:
+    def test_emits_iou_plus_suppression(self):
+        ops = lower_nms_to_gemm(256)
+        kinds = [op.description for op in ops]
+        assert any("overlap" in d for d in kinds)
+        assert any("suppression" in d for d in kinds)
+
+    def test_work_inflation(self):
+        """Dataflow NMS does orders of magnitude more MACs than needed."""
+        ops = lower_nms_to_gemm(1000)
+        total_macs = sum(op.macs for op in ops)
+        direct_work = 1000 * 1000 * 12  # pairwise IoU on a GPU
+        assert total_macs > 100 * direct_work
+
+    def test_op_count_scales_with_boxes(self):
+        assert len(lower_nms_to_gemm(1000)) > len(lower_nms_to_gemm(100))
+
+    def test_explicit_iterations(self):
+        ops = lower_nms_to_gemm(128, iterations=2)
+        suppression = [op for op in ops if "suppression" in op.description]
+        assert len(suppression) == 2  # 2 passes x 1 block
+
+    def test_rejects_empty(self):
+        with pytest.raises(LoweringError):
+            lower_nms_to_gemm(0)
+
+
+class TestRoiAlignLowering:
+    def test_one_pool_per_block_and_point(self):
+        ops = lower_roialign_to_pooling(64, sampling_points=4)
+        assert len(ops) == 4 * 4  # 4 blocks of 16 RoIs x 4 points
+        assert all(op.kind == "pool" for op in ops)
+
+    def test_partial_block(self):
+        ops = lower_roialign_to_pooling(17, sampling_points=1)
+        assert len(ops) == 2
+        assert ops[-1].m < ops[0].m
+
+    def test_rejects_empty(self):
+        with pytest.raises(LoweringError):
+            lower_roialign_to_pooling(0)
+
+
+class TestArgmaxLowering:
+    def test_tournament_op_count(self):
+        # 21 classes: 10+5+3+1+1 pairs, 3 ops per pair (pre/max/post).
+        ops = lower_argmax(64, 64, 21)
+        pair_ops = [op for op in ops if "pair" in op.description and "reshape" not in op.description]
+        assert len(ops) == 3 * len(pair_ops)
+
+    def test_two_classes_single_level(self):
+        ops = lower_argmax(8, 8, 2)
+        assert len(ops) == 3
+
+    def test_spatial_extent_in_m(self):
+        ops = lower_argmax(100, 50, 4)
+        assert all(op.m == 5000 for op in ops)
+
+    def test_rejects_single_class(self):
+        with pytest.raises(LoweringError):
+            lower_argmax(8, 8, 1)

@@ -1,0 +1,30 @@
+"""TpuCore facade tests."""
+
+import pytest
+
+from repro.tpu.lowering import lower_nms_to_gemm
+from repro.tpu.tpu import TpuCore
+
+
+class TestTpuCore:
+    def test_gemm_seconds_from_cycles(self):
+        core = TpuCore()
+        result = core.gemm(1024, 1024, 1024)
+        expected = result.cycles / (core.config.clock_ghz * 1e9)
+        assert result.seconds == pytest.approx(expected)
+
+    def test_counters_populated(self):
+        result = TpuCore().gemm(256, 256, 256)
+        assert result.counters.get("tpu_macs") == 256 ** 3
+        assert result.counters.get("tpu_weight_tiles") == 4
+
+    def test_run_lowered_accumulates(self):
+        core = TpuCore()
+        ops = lower_nms_to_gemm(64, iterations=2)
+        cascade = core.run_lowered(ops)
+        assert cascade.macs == sum(op.macs for op in ops)
+        assert cascade.cycles > 0
+
+    def test_peak_tflops_passthrough(self):
+        core = TpuCore()
+        assert core.peak_tflops == core.config.peak_tflops
