@@ -12,12 +12,15 @@ Usage::
 
 from __future__ import annotations
 
+from repro.api import Session
 from repro.apps.driving import LATENCY_TARGET_S, DrivingPipeline
 from repro.common.tables import render_table
 
 
 def main() -> None:
-    pipeline = DrivingPipeline()
+    # The pipeline resolves its gpu/tc/sma platforms through the Session,
+    # so its GEMM timings share the process-wide cache with other runs.
+    pipeline = DrivingPipeline(session=Session())
 
     rows = []
     for kind in ("gpu", "tc", "sma"):

@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import Session
 from repro.common.tables import render_table
+from repro.config import DataType
+from repro.gemm.problem import GemmProblem
 from repro.systolic.array import SystolicArray
 from repro.systolic.dataflow import (
     Dataflow,
@@ -87,10 +90,30 @@ def show_bank_analysis() -> None:
     ))
 
 
+def show_whole_gemm_impact() -> None:
+    """End-to-end cost of the dataflow choice, via the Session facade."""
+    print()
+    session = Session()
+    ws = session.executor("sma:2", dataflow=Dataflow.WEIGHT_STATIONARY)
+    rows = []
+    for size in (1024, 4096):
+        problem = GemmProblem(size, size, size, dtype=DataType.FP16)
+        t_sb = session.time_gemm("sma:2", problem)
+        t_ws = ws.time_gemm(problem)
+        rows.append([size, t_sb.milliseconds, t_ws.seconds * 1e3,
+                     t_ws.seconds / t_sb.seconds])
+    print(render_table(
+        ["size", "semi-broadcast_ms", "weight-stationary_ms", "slowdown"],
+        rows,
+        title="Whole-GEMM cost of the dataflow choice (2-SMA, paper Fig 7)",
+    ))
+
+
 def main() -> None:
     show_functional_equivalence()
     show_drain_patterns()
     show_bank_analysis()
+    show_whole_gemm_impact()
 
 
 if __name__ == "__main__":

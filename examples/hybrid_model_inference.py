@@ -3,8 +3,9 @@
 
 Runs Mask R-CNN and DeepLab — CNN backbones plus GEMM-incompatible
 operators (RoIAlign, NMS, ArgMax, CRF) — on the GPU, the TPU (with
-compiler lowering and host offload), and the SMA architecture, printing
-the per-group latency breakdown for each.
+compiler lowering and host offload), and the SMA architecture through one
+batched Session request, printing the per-group latency breakdown and the
+shared-cache statistics.
 
 Usage::
 
@@ -15,30 +16,22 @@ from __future__ import annotations
 
 import sys
 
+from repro.api import Session, SimRequest
 from repro.common.tables import render_table
-from repro.dnn.zoo import build_deeplab, build_mask_rcnn
-from repro.platforms import GpuSimdPlatform, GpuSmaPlatform, TpuPlatform
+from repro.platforms.base import REPORTING_GROUPS as GROUPS
 
-GROUPS = ("CNN&FC", "RoIAlign", "NMS", "ArgMax", "CRF", "Transfer")
+PLATFORMS = ("gpu-simd", "tpu", "sma:3")
 
 
-def run_model(name: str) -> None:
-    if name == "mask_rcnn":
-        graph = build_mask_rcnn()
-    else:
-        graph = build_deeplab(with_crf=True)
-
-    platforms = [
-        GpuSimdPlatform(),
-        TpuPlatform(),
-        GpuSmaPlatform(3),
-    ]
+def run_model(session: Session, model: str) -> None:
+    batch = session.run_batch(
+        [SimRequest(platform=spec, model=model) for spec in PLATFORMS]
+    )
     rows = []
-    for platform in platforms:
-        result = platform.run_model(graph)
-        groups = result.grouped_seconds()
+    for report in batch:
+        groups = report.grouped_seconds()
         rows.append(
-            [platform.name, result.total_ms]
+            [report.platform, report.total_ms]
             + [groups.get(group, 0.0) * 1e3 for group in GROUPS]
         )
 
@@ -46,7 +39,7 @@ def run_model(name: str) -> None:
         render_table(
             ["platform", "total_ms"] + [f"{g}_ms" for g in GROUPS],
             rows,
-            title=f"{graph.name}: end-to-end latency breakdown",
+            title=f"{model}: end-to-end latency breakdown",
         )
     )
     print()
@@ -57,11 +50,18 @@ def run_model(name: str) -> None:
 
 def main() -> None:
     choice = sys.argv[1] if len(sys.argv) > 1 else None
+    session = Session()
     if choice in (None, "mask_rcnn"):
-        run_model("mask_rcnn")
+        run_model(session, "mask_rcnn")
         print()
     if choice in (None, "deeplab"):
-        run_model("deeplab")
+        run_model(session, "deeplab")
+    stats = session.cache_stats
+    print()
+    print(
+        f"shared GEMM cache: {stats.hits} hits / {stats.misses} misses"
+        f" ({stats.hit_rate:.0%} hit rate)"
+    )
 
 
 if __name__ == "__main__":

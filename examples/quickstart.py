@@ -1,10 +1,11 @@
 #!/usr/bin/env python
-"""Quickstart: time one GEMM on every backend of the SMA reproduction.
+"""Quickstart: time one GEMM on every backend through the Session facade.
 
 Runs a 2048^3 GEMM through the cycle-level pipeline on the SIMD baseline,
 the 4-TensorCore configuration, and the 2-/3-unit SMA configurations, then
 prints per-SM efficiency and speedups — the numbers behind the paper's
-Fig 7/Fig 8 headlines.
+Fig 7/Fig 8 headlines. Platforms are addressed by string spec; every
+executor shares the session's GEMM-timing cache.
 
 Usage::
 
@@ -15,38 +16,34 @@ from __future__ import annotations
 
 import sys
 
-from repro import DataType, GemmExecutor, GemmProblem
+from repro.api import Session
 from repro.common.tables import render_table
-from repro.config import system_gpu_simd, system_sma
+
+BACKENDS = (
+    ("SIMD (FP32 CUDA cores)", "gpu-simd"),
+    ("4-TC (TensorCores)", "gpu-tc"),
+    ("2-SMA (iso-FLOP)", "sma:2"),
+    ("3-SMA (iso-area)", "sma:3"),
+)
 
 
 def main() -> None:
     size = int(sys.argv[1]) if len(sys.argv) > 1 else 2048
-    backends = [
-        ("SIMD (FP32 CUDA cores)", GemmExecutor(system_gpu_simd(), "simd"),
-         DataType.FP32),
-        ("4-TC (TensorCores)", GemmExecutor(system_gpu_simd(), "tc"),
-         DataType.FP16),
-        ("2-SMA (iso-FLOP)", GemmExecutor(system_sma(2), "sma"),
-         DataType.FP16),
-        ("3-SMA (iso-area)", GemmExecutor(system_sma(3), "sma"),
-         DataType.FP16),
-    ]
+    session = Session()
 
     rows = []
     baseline_seconds = None
-    for label, executor, dtype in backends:
-        problem = GemmProblem(size, size, size, dtype=dtype)
-        timing = executor.time_gemm(problem)
+    for label, spec in BACKENDS:
+        report = session.time_gemm(spec, size)
         if baseline_seconds is None:
-            baseline_seconds = timing.seconds
+            baseline_seconds = report.seconds
         rows.append(
             [
                 label,
-                timing.milliseconds,
-                timing.tflops,
-                timing.sm_efficiency,
-                baseline_seconds / timing.seconds,
+                report.milliseconds,
+                report.tflops,
+                report.sm_efficiency,
+                baseline_seconds / report.seconds,
             ]
         )
 

@@ -8,6 +8,8 @@ arrays driven by the asynchronous LSMA instruction.
 
 Public entry points:
 
+* ``repro.api`` — the :class:`~repro.api.session.Session` facade: string
+  specs for platforms/models, a shared timing cache, batched requests;
 * ``repro.config`` — named system configurations (Table I);
 * ``repro.gemm.executor.GemmExecutor`` — time a GEMM on simd/tc/sma;
 * ``repro.platforms`` — run whole DNN graphs per platform;
@@ -16,6 +18,15 @@ Public entry points:
 * ``repro.experiments`` — regenerate every paper table and figure.
 """
 
+from repro.api import (
+    BatchResult,
+    CacheStats,
+    GemmReport,
+    ModelReport,
+    Session,
+    SimRequest,
+    TimingCache,
+)
 from repro.config import (
     DataType,
     GpuConfig,
@@ -43,12 +54,19 @@ from repro.gemm.problem import GemmProblem
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchResult",
+    "CacheStats",
     "ConfigError",
     "DataType",
     "GemmExecutor",
     "GemmProblem",
+    "GemmReport",
     "GemmTiming",
     "GpuConfig",
+    "ModelReport",
+    "Session",
+    "SimRequest",
+    "TimingCache",
     "GraphError",
     "LoweringError",
     "MappingError",

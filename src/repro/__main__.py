@@ -1,11 +1,18 @@
-"""Command-line interface: regenerate the paper's tables and figures.
+"""Command-line interface: simulate workloads and regenerate the paper.
+
+Every simulation subcommand goes through the :class:`repro.api.Session`
+facade, so repeated GEMM shapes share one process-wide timing cache.
 
 Usage::
 
-    python -m repro list                 # available experiments
-    python -m repro run fig7_left        # print one regenerated figure
-    python -m repro run all              # print everything
-    python -m repro export [-o results]  # write every figure as CSV
+    python -m repro list                         # experiments, platforms, models
+    python -m repro simulate mask_rcnn sma:3     # run a model on platform(s)
+    python -m repro simulate deeplab gpu-simd tpu --json
+    python -m repro bench 4096 -p gpu-tc -p sma:3  # time one GEMM
+    python -m repro bench 4096x1024x4096
+    python -m repro run fig7_left                # print one regenerated figure
+    python -m repro run all                      # print everything
+    python -m repro export [-o results]          # write every figure as CSV
 """
 
 from __future__ import annotations
@@ -13,13 +20,119 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.api import (
+    Session,
+    SimRequest,
+    available_models,
+    available_platforms,
+)
+from repro.common.tables import render_table
+from repro.errors import ReproError
 from repro.experiments.export import EXPERIMENT_RUNNERS, export_all
+from repro.platforms.base import REPORTING_GROUPS as GROUP_ORDER
+
+#: Default platform sweep for `bench` (every GEMM-capable backend).
+BENCH_PLATFORMS = ("gpu-simd", "gpu-tc", "sma:2", "sma:3")
 
 
 def _cmd_list() -> int:
+    print("experiments:")
     for name, runner in EXPERIMENT_RUNNERS.items():
         doc = (runner.__doc__ or "").strip().splitlines()[0]
-        print(f"{name:14s} {doc}")
+        print(f"  {name:14s} {doc}")
+    print()
+    print("platforms (python -m repro simulate MODEL PLATFORM):")
+    for name, description in available_platforms().items():
+        print(f"  {name:14s} {description}")
+    print()
+    print("models:")
+    for name, description in available_models().items():
+        print(f"  {name:14s} {description}")
+    return 0
+
+
+def _print_cache_line(session: Session) -> None:
+    stats = session.cache_stats
+    print(
+        f"shared GEMM cache: {stats.hits} hits / {stats.misses} misses"
+        f" ({stats.hit_rate:.0%} hit rate)"
+    )
+
+
+def _cmd_simulate(model: str, platforms: list[str], as_json: bool) -> int:
+    session = Session()
+    batch = session.run_batch(
+        [SimRequest(platform=spec, model=model) for spec in platforms]
+    )
+    if as_json:
+        print(batch.to_json(indent=2))
+        return 0
+    rows = []
+    for report in batch:
+        groups = report.grouped_seconds()
+        rows.append(
+            [report.platform, report.total_ms]
+            + [groups.get(group, 0.0) * 1e3 for group in GROUP_ORDER]
+        )
+    print(
+        render_table(
+            ["platform", "total_ms"] + [f"{g}_ms" for g in GROUP_ORDER],
+            rows,
+            title=f"{model}: end-to-end latency per platform",
+        )
+    )
+    print()
+    _print_cache_line(session)
+    return 0
+
+
+def _parse_gemm(text: str) -> tuple[int, int, int]:
+    parts = text.lower().split("x")
+    try:
+        dims = tuple(int(part) for part in parts)
+    except ValueError:
+        raise SystemExit(
+            f"bad GEMM spec {text!r}; expected N or MxNxK"
+        ) from None
+    if len(dims) == 1:
+        return dims[0], dims[0], dims[0]
+    if len(dims) == 3:
+        return dims
+    raise SystemExit(f"bad GEMM spec {text!r}; expected N or MxNxK")
+
+
+def _cmd_bench(gemm: str, platforms: list[str], as_json: bool) -> int:
+    shape = _parse_gemm(gemm)
+    session = Session()
+    reports = [session.time_gemm(spec, shape) for spec in platforms]
+    if as_json:
+        import json
+
+        print(json.dumps([report.to_dict() for report in reports], indent=2))
+        return 0
+    baseline = reports[0].seconds
+    rows = [
+        [
+            report.platform,
+            report.dtype,
+            report.milliseconds,
+            report.tflops,
+            report.sm_efficiency,
+            baseline / report.seconds,
+        ]
+        for report in reports
+    ]
+    m, n, k = shape
+    print(
+        render_table(
+            ["platform", "dtype", "ms", "tflops", "sm_efficiency",
+             f"speedup_vs_{platforms[0]}"],
+            rows,
+            title=f"GEMM {m}x{n}x{k} on the simulated V100",
+        )
+    )
+    print()
+    _print_cache_line(session)
     return 0
 
 
@@ -50,10 +163,33 @@ def _cmd_export(output: str, names: list[str] | None) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="SMA (DAC 2020) reproduction: regenerate paper results",
+        description="SMA (DAC 2020) reproduction: simulate and regenerate",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("list", help="list experiments, platforms, and models")
+
+    sim_parser = sub.add_parser(
+        "simulate", help="run MODEL on PLATFORM(s) via the Session facade"
+    )
+    sim_parser.add_argument("model", help="model spec, e.g. mask_rcnn")
+    sim_parser.add_argument(
+        "platforms", nargs="+", help="platform specs, e.g. sma:3 gpu-tc"
+    )
+    sim_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    bench_parser = sub.add_parser(
+        "bench", help="time one GEMM across platforms"
+    )
+    bench_parser.add_argument("gemm", help="N or MxNxK, e.g. 4096 or 4096x1024x4096")
+    bench_parser.add_argument(
+        "-p", "--platform", action="append", dest="platforms",
+        help=f"platform spec (repeatable); default: {' '.join(BENCH_PLATFORMS)}",
+    )
+    bench_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
 
     run_parser = sub.add_parser("run", help="run experiments and print tables")
     run_parser.add_argument("names", nargs="+", help="experiment names or 'all'")
@@ -63,12 +199,22 @@ def main(argv: list[str] | None = None) -> int:
     export_parser.add_argument("names", nargs="*", default=None)
 
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args.names)
-    if args.command == "export":
-        return _cmd_export(args.output, args.names or None)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "simulate":
+            return _cmd_simulate(args.model, args.platforms, args.json)
+        if args.command == "bench":
+            return _cmd_bench(
+                args.gemm, args.platforms or list(BENCH_PLATFORMS), args.json
+            )
+        if args.command == "run":
+            return _cmd_run(args.names)
+        if args.command == "export":
+            return _cmd_export(args.output, args.names or None)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     raise AssertionError("unreachable")
 
 

@@ -1,0 +1,61 @@
+"""``repro.api`` — the canonical front door to the simulator.
+
+One substrate, many temporally-selected execution modes (the paper's whole
+point) deserves one entry point: a :class:`Session` resolves platforms
+(``"gpu-simd"``, ``"gpu-tc"``, ``"sma:2"``, ``"sma:3"``, ``"tpu"``,
+``"cpu"``) and zoo models (``"mask_rcnn"``, ``"deeplab"``, ``"vgg_a"``,
+...) by string spec, shares one GEMM-timing cache across everything it
+builds, and returns typed, JSON-exportable reports::
+
+    from repro.api import Session, SimRequest
+
+    session = Session()
+    report = session.run_model("mask_rcnn", "sma:3")
+    batch = session.run_batch([
+        SimRequest(platform="gpu-tc", model="vgg_a"),
+        SimRequest(platform="sma:3", model="vgg_a"),
+    ])
+    print(batch.to_json(indent=2))
+"""
+
+from repro.api.registry import (
+    available_models,
+    available_platforms,
+    build_model,
+    build_platform,
+    gemm_config,
+    parse_spec,
+    register_model,
+    register_platform,
+)
+from repro.api.results import (
+    BatchResult,
+    GemmReport,
+    ModelReport,
+    OpReport,
+    SimRequest,
+    report_from_dict,
+)
+from repro.api.session import Session
+from repro.gemm.cache import CacheStats, TimingCache, process_cache
+
+__all__ = [
+    "BatchResult",
+    "CacheStats",
+    "GemmReport",
+    "ModelReport",
+    "OpReport",
+    "Session",
+    "SimRequest",
+    "TimingCache",
+    "available_models",
+    "available_platforms",
+    "build_model",
+    "build_platform",
+    "gemm_config",
+    "parse_spec",
+    "process_cache",
+    "register_model",
+    "register_platform",
+    "report_from_dict",
+]

@@ -1,0 +1,248 @@
+"""Typed request/response objects for the Session facade.
+
+Every Session call returns a frozen report whose fields are plain
+primitives, so results are machine-consumable — ``to_dict()`` /
+``to_json()`` export losslessly and ``from_dict()`` / ``from_json()``
+round-trip to an equal object — rather than only renderable tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+
+from repro.errors import ConfigError
+from repro.gemm.cache import CacheStats
+from repro.gemm.executor import GemmTiming
+from repro.gemm.problem import GemmProblem
+from repro.platforms.base import ModelRunResult
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """One simulation request for :meth:`repro.api.session.Session.run_batch`.
+
+    Exactly one of ``model`` (a model spec such as ``"mask_rcnn"``) or
+    ``gemm`` (a :class:`GemmProblem`) must be set; ``platform`` is always a
+    platform spec such as ``"sma:3"``. ``tag`` is an opaque caller label
+    echoed into the resulting report.
+    """
+
+    platform: str
+    model: str | None = None
+    gemm: GemmProblem | None = None
+    tag: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.model is None) == (self.gemm is None):
+            raise ConfigError(
+                "SimRequest needs exactly one of model= or gemm=, got"
+                f" model={self.model!r} gemm={self.gemm!r}"
+            )
+
+    @property
+    def kind(self) -> str:
+        return "model" if self.model is not None else "gemm"
+
+
+def _check_kind(data: dict, expected: str, cls: type) -> dict:
+    kind = data.get("kind", expected)
+    if kind != expected:
+        raise ConfigError(
+            f"{cls.__name__}.from_dict got kind={kind!r}, expected"
+            f" {expected!r}"
+        )
+    return {
+        field.name: data[field.name]
+        for field in fields(cls)
+        if field.name in data
+    }
+
+
+@dataclass(frozen=True)
+class GemmReport:
+    """Timing of one GEMM on one platform, flattened to primitives."""
+
+    platform: str
+    backend: str
+    m: int
+    n: int
+    k: int
+    dtype: str
+    alpha: float
+    beta: float
+    seconds: float
+    cycles: float
+    tb_cycles: float
+    tflops: float
+    efficiency: float
+    sm_efficiency: float
+    cached: bool = False
+    tag: str | None = None
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+    @classmethod
+    def from_timing(
+        cls,
+        timing: GemmTiming,
+        platform: str,
+        cached: bool = False,
+        tag: str | None = None,
+    ) -> "GemmReport":
+        problem = timing.problem
+        return cls(
+            platform=platform,
+            backend=timing.backend,
+            m=problem.m,
+            n=problem.n,
+            k=problem.k,
+            dtype=problem.dtype.value,
+            alpha=problem.alpha,
+            beta=problem.beta,
+            seconds=timing.seconds,
+            cycles=timing.cycles,
+            tb_cycles=timing.tb_cycles,
+            tflops=timing.tflops,
+            efficiency=timing.efficiency,
+            sm_efficiency=timing.sm_efficiency,
+            cached=cached,
+            tag=tag,
+        )
+
+    def to_dict(self) -> dict:
+        return {"kind": "gemm", **asdict(self)}
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GemmReport":
+        return cls(**_check_kind(data, "gemm", cls))
+
+    @classmethod
+    def from_json(cls, text: str) -> "GemmReport":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class OpReport:
+    """One operator's stats inside a :class:`ModelReport`."""
+
+    op_name: str
+    group: str
+    mode: str
+    seconds: float
+    flops: float
+
+
+@dataclass(frozen=True)
+class ModelReport:
+    """Per-op timing of one model on one platform, flattened to primitives."""
+
+    model: str
+    platform: str
+    ops: tuple[OpReport, ...] = ()
+    tag: str | None = None
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(op.seconds for op in self.ops)
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_seconds * 1e3
+
+    def grouped_seconds(self) -> dict[str, float]:
+        """Seconds per Fig 3 reporting group."""
+        groups: dict[str, float] = {}
+        for op in self.ops:
+            groups[op.group] = groups.get(op.group, 0.0) + op.seconds
+        return groups
+
+    @classmethod
+    def from_result(
+        cls,
+        result: ModelRunResult,
+        model: str | None = None,
+        platform: str | None = None,
+        tag: str | None = None,
+    ) -> "ModelReport":
+        return cls(
+            model=model if model is not None else result.model_name,
+            platform=(
+                platform if platform is not None else result.platform_name
+            ),
+            ops=tuple(
+                OpReport(
+                    op_name=stat.op_name,
+                    group=stat.group,
+                    mode=stat.mode,
+                    seconds=stat.seconds,
+                    flops=stat.flops,
+                )
+                for stat in result.op_stats
+            ),
+            tag=tag,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "model",
+            "model": self.model,
+            "platform": self.platform,
+            "tag": self.tag,
+            "total_seconds": self.total_seconds,
+            "grouped_seconds": self.grouped_seconds(),
+            "ops": [asdict(op) for op in self.ops],
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModelReport":
+        kwargs = _check_kind(data, "model", cls)
+        kwargs["ops"] = tuple(
+            OpReport(**op) for op in data.get("ops", ())
+        )
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ModelReport":
+        return cls.from_dict(json.loads(text))
+
+
+def report_from_dict(data: dict) -> "GemmReport | ModelReport":
+    """Reconstruct either report type from its ``to_dict()`` form."""
+    kind = data.get("kind")
+    if kind == "gemm":
+        return GemmReport.from_dict(data)
+    if kind == "model":
+        return ModelReport.from_dict(data)
+    raise ConfigError(f"unknown report kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Ordered reports of one :meth:`Session.run_batch` plus cache stats."""
+
+    reports: tuple["GemmReport | ModelReport", ...]
+    cache_stats: CacheStats
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    def to_dict(self) -> dict:
+        return {
+            "reports": [report.to_dict() for report in self.reports],
+            "cache": self.cache_stats.to_dict(),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

@@ -1,0 +1,202 @@
+"""The Session facade: one front door for every simulation consumer.
+
+A :class:`Session` owns a shared GEMM-timing cache (by default the
+process-wide one) and resolves platforms and models by spec string through
+:mod:`repro.api.registry`. Every platform and executor it builds shares the
+cache, so identical GEMM shapes are simulated once per process no matter
+how many scenarios — examples, experiments, CLI runs, batched sweeps —
+request them::
+
+    from repro.api import Session
+
+    session = Session()
+    report = session.run_model("mask_rcnn", "sma:3")
+    print(report.total_ms, session.cache_stats.hits)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.api.registry import build_model, build_platform, gemm_config
+from repro.api.results import (
+    BatchResult,
+    GemmReport,
+    ModelReport,
+    SimRequest,
+)
+from repro.dnn.graph import LayerGraph
+from repro.errors import ConfigError
+from repro.gemm.cache import CacheStats, TimingCache, process_cache
+from repro.gemm.executor import GemmExecutor
+from repro.gemm.problem import GemmProblem
+from repro.platforms.base import Platform
+from repro.systolic.dataflow import Dataflow
+
+
+class Session:
+    """Runs models and GEMM benches against string-addressed platforms.
+
+    Parameters
+    ----------
+    cache:
+        The :class:`TimingCache` shared by everything this session builds.
+        Defaults to the process-wide cache, so independent sessions pool
+        results; pass a fresh ``TimingCache()`` for isolation.
+    """
+
+    def __init__(self, cache: TimingCache | None = None) -> None:
+        self.cache = cache if cache is not None else process_cache()
+        self._platforms: dict[tuple, Platform] = {}
+        self._executors: dict[tuple, GemmExecutor] = {}
+        self._models: dict[str, LayerGraph] = {}
+
+    # -- resolution (memoized per session) ---------------------------------------------
+    def platform(self, spec: str, **kwargs) -> Platform:
+        """The platform addressed by ``spec``, built once per kwargs set."""
+        key = (spec, tuple(sorted(kwargs.items())))
+        platform = self._platforms.get(key)
+        if platform is None:
+            platform = build_platform(spec, cache=self.cache, **kwargs)
+            self._platforms[key] = platform
+        return platform
+
+    def model(self, spec: str) -> LayerGraph:
+        """The layer graph addressed by ``spec``, built once per session."""
+        graph = self._models.get(spec)
+        if graph is None:
+            graph = build_model(spec)
+            self._models[spec] = graph
+        return graph
+
+    def executor(
+        self,
+        spec: str,
+        *,
+        dataflow: Dataflow = Dataflow.SEMI_BROADCAST_WS,
+        scheduler: str | None = None,
+    ) -> GemmExecutor:
+        """A GEMM executor for the platform of ``spec``, sharing the cache.
+
+        Distinct specs that resolve to the same frozen ``(system, backend)``
+        — e.g. ``"sma"`` and ``"sma:3"`` — share one executor.
+        """
+        system, backend = gemm_config(spec)
+        key = (system, backend, dataflow, scheduler)
+        executor = self._executors.get(key)
+        if executor is None:
+            executor = GemmExecutor(
+                system,
+                backend,
+                dataflow=dataflow,
+                scheduler=scheduler,
+                cache=self.cache,
+            )
+            self._executors[key] = executor
+        return executor
+
+    # -- simulation entry points -------------------------------------------------------
+    def time_gemm(
+        self,
+        spec: str,
+        problem: GemmProblem | int | Sequence[int],
+        *,
+        tag: str | None = None,
+    ) -> GemmReport:
+        """Time one GEMM on the platform of ``spec``.
+
+        ``problem`` is a :class:`GemmProblem`, a single size ``n`` (meaning
+        an ``n^3`` GEMM), or an ``(m, n, k)`` triple; bare sizes default to
+        the backend's native dtype.
+        """
+        executor = self.executor(spec)
+        problem = self._coerce_problem(executor, problem)
+        # Per-key probe (not a global counter delta, which would mislabel
+        # reports when other threads hit the shared cache concurrently).
+        cached = (
+            self.cache.peek_timing(executor.cache_key(problem)) is not None
+        )
+        timing = executor.time_gemm(problem)
+        return GemmReport.from_timing(
+            timing, platform=spec, cached=cached, tag=tag
+        )
+
+    def run_model(
+        self,
+        model: str,
+        platform: str,
+        *,
+        tag: str | None = None,
+    ) -> ModelReport:
+        """Run a whole model graph on a platform, both addressed by spec."""
+        graph = self.model(model)
+        result = self.platform(platform).run_model(graph)
+        return ModelReport.from_result(
+            result, model=model, platform=platform, tag=tag
+        )
+
+    def run_batch(self, requests: Iterable[SimRequest]) -> BatchResult:
+        """Execute requests in order; reports come back in the same order.
+
+        The batch shares this session's cache, so repeated shapes across
+        requests — the same model on several platforms, sweeps over
+        overlapping layer shapes — are simulated once. The returned
+        :class:`BatchResult` carries the cache counters observed at the end
+        of the batch.
+        """
+        requests = list(requests)
+        for request in requests:
+            if not isinstance(request, SimRequest):
+                raise ConfigError(
+                    f"run_batch expects SimRequest items, got {request!r}"
+                )
+        reports: list[GemmReport | ModelReport] = []
+        for request in requests:
+            if request.kind == "gemm":
+                reports.append(
+                    self.time_gemm(
+                        request.platform, request.gemm, tag=request.tag
+                    )
+                )
+            else:
+                reports.append(
+                    self.run_model(
+                        request.model, request.platform, tag=request.tag
+                    )
+                )
+        return BatchResult(tuple(reports), self.cache.stats())
+
+    # -- cache introspection -----------------------------------------------------------
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the shared cache (snapshot)."""
+        return self.cache.stats()
+
+    @staticmethod
+    def _coerce_problem(
+        executor: GemmExecutor, problem: GemmProblem | int | Sequence[int]
+    ) -> GemmProblem:
+        if isinstance(problem, GemmProblem):
+            return problem
+        if isinstance(problem, int):
+            return GemmProblem(
+                problem, problem, problem, dtype=executor.default_dtype()
+            )
+        dims = tuple(problem)
+        if len(dims) != 3:
+            raise ConfigError(
+                f"GEMM shape must be n or (m, n, k), got {problem!r}"
+            )
+        m, n, k = dims
+        return GemmProblem(m, n, k, dtype=executor.default_dtype())
+
+    def __repr__(self) -> str:
+        stats = self.cache_stats
+        return (
+            f"Session(platforms={len(self._platforms)},"
+            f" executors={len(self._executors)}, cache_hits={stats.hits},"
+            f" cache_misses={stats.misses})"
+        )
+
+
+__all__ = ["Session"]

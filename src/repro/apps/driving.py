@@ -23,12 +23,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.session import Session
 from repro.apps.tasks import DrivingWorkloads, build_driving_workloads
 from repro.errors import SchedulingError
 from repro.platforms.base import Platform
-from repro.platforms.gpu_simd import GpuSimdPlatform
-from repro.platforms.gpu_sma import GpuSmaPlatform
-from repro.platforms.gpu_tc import GpuTcPlatform
 
 #: The single-frame latency target (paper: 100 ms).
 LATENCY_TARGET_S = 0.100
@@ -66,12 +64,17 @@ class DrivingPipeline:
         self,
         workloads: DrivingWorkloads | None = None,
         framework_overhead_s: float = 50e-6,
+        session: Session | None = None,
     ) -> None:
         self.workloads = workloads or build_driving_workloads()
+        self.session = session or Session()
         self._platforms: dict[str, Platform] = {
-            "gpu": GpuSimdPlatform(framework_overhead_s=framework_overhead_s),
-            "tc": GpuTcPlatform(framework_overhead_s=framework_overhead_s),
-            "sma": GpuSmaPlatform(3, framework_overhead_s=framework_overhead_s),
+            kind: self.session.platform(
+                spec, framework_overhead_s=framework_overhead_s
+            )
+            for kind, spec in (
+                ("gpu", "gpu-simd"), ("tc", "gpu-tc"), ("sma", "sma:3"),
+            )
         }
         self._task_cache: dict[tuple[str, str], float] = {}
 

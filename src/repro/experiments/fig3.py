@@ -8,13 +8,12 @@ core (555 ms) than on the GPU (52 ms).
 
 from __future__ import annotations
 
+from repro.api.session import Session
 from repro.dnn.ops import Crf
 from repro.dnn.tensor import nchw
 from repro.dnn.zoo import build_deeplab, build_mask_rcnn
 from repro.experiments.runner import ExperimentReport
-from repro.platforms import CpuPlatform, GpuSimdPlatform, TpuPlatform
-
-GROUP_ORDER = ("CNN&FC", "RoIAlign", "NMS", "ArgMax", "CRF", "Transfer")
+from repro.platforms.base import REPORTING_GROUPS as GROUP_ORDER
 
 
 def _grouped_ms(result) -> dict[str, float]:
@@ -22,7 +21,7 @@ def _grouped_ms(result) -> dict[str, float]:
     return {name: groups.get(name, 0.0) * 1e3 for name in GROUP_ORDER}
 
 
-def run_fig3() -> ExperimentReport:
+def run_fig3(session: Session | None = None) -> ExperimentReport:
     """Regenerate the Fig 3 breakdowns (milliseconds per op group)."""
     report = ExperimentReport(
         experiment="Fig 3: TPU vs GPU breakdown on hybrid models (ms)",
@@ -32,9 +31,10 @@ def run_fig3() -> ExperimentReport:
             " paper); TPU transfer is the CRF host round-trip"
         ),
     )
-    gpu = GpuSimdPlatform()
-    tpu = TpuPlatform()
-    cpu = CpuPlatform()
+    session = session or Session()
+    gpu = session.platform("gpu-simd")
+    tpu = session.platform("tpu")
+    cpu = session.platform("cpu")
 
     mask_rcnn = build_mask_rcnn()
     mr_gpu = gpu.run_model(mask_rcnn)

@@ -10,24 +10,28 @@ the shared-memory banks.
 
 from __future__ import annotations
 
-from repro.config import DataType, system_gpu_simd, system_sma
+from repro.api.session import Session
+from repro.config import DataType
 from repro.experiments.runner import ExperimentReport
-from repro.gemm.executor import GemmExecutor
 from repro.gemm.problem import GemmProblem
 from repro.systolic.dataflow import Dataflow
 
 DEFAULT_SIZES = tuple(2 ** p for p in range(7, 14))
 
 
-def run_fig7_left(sizes: tuple[int, ...] = DEFAULT_SIZES) -> ExperimentReport:
+def run_fig7_left(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    session: Session | None = None,
+) -> ExperimentReport:
     """2-SMA vs 4-TC: speedup and steady-state FLOP efficiency."""
     report = ExperimentReport(
         experiment="Fig 7 (left): iso-FLOP 2-SMA vs 4-TC (square GEMM)",
         headers=["size", "tc_sm_eff", "sma_sm_eff", "speedup_2sma_vs_4tc"],
         notes="sm_eff: per-SM steady state; speedup: whole-GPU time ratio",
     )
-    tc = GemmExecutor(system_gpu_simd(), "tc")
-    sma = GemmExecutor(system_sma(2), "sma")
+    session = session or Session()
+    tc = session.executor("gpu-tc")
+    sma = session.executor("sma:2")
     tc_effs, sma_effs, speedups = [], [], []
     for n in sizes:
         problem = GemmProblem(n, n, n, dtype=DataType.FP16)
@@ -56,6 +60,7 @@ def run_fig7_left(sizes: tuple[int, ...] = DEFAULT_SIZES) -> ExperimentReport:
 
 def run_fig7_right(
     sizes: tuple[int, ...] = DEFAULT_SIZES,
+    session: Session | None = None,
 ) -> ExperimentReport:
     """Semi-broadcast vs TPU weight-stationary dataflow on the SMA units."""
     report = ExperimentReport(
@@ -63,8 +68,9 @@ def run_fig7_right(
         headers=["size", "normalized_cycles_ws", "normalized_cycles_sbws"],
         notes="normalized to the semi-broadcast dataflow (lower is better)",
     )
-    sbws = GemmExecutor(system_sma(2), "sma", dataflow=Dataflow.SEMI_BROADCAST_WS)
-    ws = GemmExecutor(system_sma(2), "sma", dataflow=Dataflow.WEIGHT_STATIONARY)
+    session = session or Session()
+    sbws = session.executor("sma:2", dataflow=Dataflow.SEMI_BROADCAST_WS)
+    ws = session.executor("sma:2", dataflow=Dataflow.WEIGHT_STATIONARY)
     ratios = []
     for n in sizes:
         problem = GemmProblem(n, n, n, dtype=DataType.FP16)

@@ -11,11 +11,11 @@ PE / Const split. Paper: 2-SMA 0.88x, 3-SMA 0.77x of the 4-TC energy.
 
 from __future__ import annotations
 
+from repro.api.session import Session
 from repro.dnn.graph import LayerGraph
 from repro.dnn.zoo import MODEL_BUILDERS, build_deeplab
 from repro.energy.accounting import CATEGORIES, EnergyBreakdown
 from repro.experiments.runner import ExperimentReport
-from repro.platforms import GpuSimdPlatform, GpuSmaPlatform, GpuTcPlatform
 from repro.platforms.base import ModelRunResult, OpStats
 
 #: Groups included in the kernel-level comparison (the paper's workload:
@@ -45,16 +45,21 @@ def _kernel_energy(result: ModelRunResult) -> EnergyBreakdown:
     return total
 
 
-def _platforms():
+def _platforms(session: Session):
+    """Kernel-study platforms (zero framework overhead), shared cache."""
+    specs = [
+        ("SIMD", "gpu-simd"),
+        ("4-TC", "gpu-tc"),
+        ("2-SMA", "sma:2"),
+        ("3-SMA", "sma:3"),
+    ]
     return [
-        ("SIMD", GpuSimdPlatform(framework_overhead_s=0.0)),
-        ("4-TC", GpuTcPlatform(framework_overhead_s=0.0)),
-        ("2-SMA", GpuSmaPlatform(2, framework_overhead_s=0.0)),
-        ("3-SMA", GpuSmaPlatform(3, framework_overhead_s=0.0)),
+        (label, session.platform(spec, framework_overhead_s=0.0))
+        for label, spec in specs
     ]
 
 
-def run_fig8_speedup() -> ExperimentReport:
+def run_fig8_speedup(session: Session | None = None) -> ExperimentReport:
     """Fig 8 (top): normalized speedup per model and configuration."""
     report = ExperimentReport(
         experiment="Fig 8 (top): iso-area normalized speedup",
@@ -65,7 +70,7 @@ def run_fig8_speedup() -> ExperimentReport:
             " absolute speedups are lower while accelerator ratios match"
         ),
     )
-    platforms = _platforms()
+    platforms = _platforms(session or Session())
     sums = {label: 0.0 for label, _p in platforms}
     count = 0
     tc_avg, sma3_avg, sma2_avg = [], [], []
@@ -107,14 +112,14 @@ def run_fig8_speedup() -> ExperimentReport:
     return report
 
 
-def run_fig8_energy() -> ExperimentReport:
+def run_fig8_energy(session: Session | None = None) -> ExperimentReport:
     """Fig 8 (bottom): energy normalized to 4-TC with structure split."""
     report = ExperimentReport(
         experiment="Fig 8 (bottom): normalized energy vs 4-TC",
         headers=["model", "config", "total"] + list(CATEGORIES),
         notes="each cell: fraction of the 4-TC total energy for that model",
     )
-    platforms = [p for p in _platforms() if p[0] != "SIMD"]
+    platforms = [p for p in _platforms(session or Session()) if p[0] != "SIMD"]
     ratios_2sma, ratios_3sma = [], []
     for model_name, builder in _fig8_builders().items():
         graph = builder()

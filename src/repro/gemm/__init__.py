@@ -1,12 +1,15 @@
 """GEMM problems, Fig-6 tiling, numpy reference, kernel traces, executor."""
 
+from repro.gemm.cache import CacheStats, TimingCache, process_cache
 from repro.gemm.functional import TiledGemmResult, tiled_systolic_gemm
 from repro.gemm.problem import GemmProblem
 from repro.gemm.reference import conv_output_shape, conv_to_gemm, im2col, reference_gemm
 from repro.gemm.tiling import ThreadBlockTile, TilingPlan, plan_gemm
 
 __all__ = [
+    "CacheStats",
     "GemmProblem",
+    "TimingCache",
     "ThreadBlockTile",
     "TiledGemmResult",
     "TilingPlan",
@@ -14,6 +17,7 @@ __all__ = [
     "conv_to_gemm",
     "im2col",
     "plan_gemm",
+    "process_cache",
     "reference_gemm",
     "tiled_systolic_gemm",
 ]

@@ -1,0 +1,195 @@
+"""Shared GEMM-timing cache: one store serving every executor.
+
+Historically each :class:`~repro.gemm.executor.GemmExecutor` hoarded a
+private ``_cache``/``_window_cache`` dict, so identical GEMM shapes were
+re-simulated by every platform object (examples, experiments, CLI, and
+benchmarks each built their own executors). :class:`TimingCache` lifts both
+layers into one shareable, thread-safe object keyed by the full frozen
+configuration — ``(system, backend, scheduler, dataflow, problem)`` — so
+any number of executors, platforms, and sessions can pool results.
+
+Keys embed the frozen :class:`~repro.config.SystemConfig` and
+:class:`~repro.gemm.problem.GemmProblem` values themselves (both hashable),
+so two configurations share an entry exactly when every timing-relevant
+field matches — including the ``alpha``/``beta`` epilogue scalars, which
+change DRAM traffic and therefore must never collide.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
+
+from repro.config import DataType, SystemConfig
+
+if TYPE_CHECKING:  # imported only for annotations; avoids import cycles
+    from repro.gemm.executor import GemmTiming
+    from repro.gemm.problem import GemmProblem
+    from repro.gpu.sm import SmResult
+    from repro.systolic.dataflow import Dataflow
+
+#: Cache key of one fully-specified GEMM timing.
+TimingKey = tuple[Hashable, ...]
+
+#: Cache key of one sample-window SM simulation.
+WindowKey = tuple[Hashable, ...]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of a :class:`TimingCache` at one point in time."""
+
+    hits: int = 0
+    misses: int = 0
+    window_hits: int = 0
+    window_misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "window_hits": self.window_hits,
+            "window_misses": self.window_misses,
+        }
+
+
+class TimingCache:
+    """Process-shareable store of GEMM timings and sample-window results.
+
+    Two layers, mirroring the executor's cost structure:
+
+    * **timings** — whole :class:`GemmTiming` results per problem;
+    * **windows** — the expensive cycle-level sample-window simulations,
+      which depend only on (system, backend, scheduler, dataflow, dtype,
+      iterations), not on the layer shape.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._timings: dict[TimingKey, GemmTiming] = {}
+        self._windows: dict[WindowKey, SmResult] = {}
+        self._hits = 0
+        self._misses = 0
+        self._window_hits = 0
+        self._window_misses = 0
+
+    # -- key construction --------------------------------------------------------------
+    @staticmethod
+    def timing_key(
+        system: SystemConfig,
+        backend: str,
+        scheduler: str,
+        dataflow: "Dataflow",
+        problem: "GemmProblem",
+        sample_window: tuple[int, int],
+        collector_efficiency: float,
+    ) -> TimingKey:
+        """Key of one timed GEMM; the frozen problem carries alpha/beta.
+
+        ``sample_window`` (extrapolation anchors) and
+        ``collector_efficiency`` (SM operand-collector model) are executor
+        knobs that change the result, so they are part of the key —
+        executors differing only in those must not collide.
+        """
+        return (
+            system, backend, scheduler, dataflow, problem, sample_window,
+            collector_efficiency,
+        )
+
+    @staticmethod
+    def window_key(
+        system: SystemConfig,
+        backend: str,
+        scheduler: str,
+        dataflow: "Dataflow",
+        dtype: DataType,
+        iterations: int,
+        collector_efficiency: float,
+    ) -> WindowKey:
+        return (
+            system, backend, scheduler, dataflow, dtype, iterations,
+            collector_efficiency,
+        )
+
+    # -- timings -----------------------------------------------------------------------
+    def peek_timing(self, key: TimingKey) -> "GemmTiming | None":
+        """Look up a timing without touching the hit/miss counters."""
+        with self._lock:
+            return self._timings.get(key)
+
+    def get_timing(self, key: TimingKey) -> "GemmTiming | None":
+        with self._lock:
+            timing = self._timings.get(key)
+            if timing is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+            return timing
+
+    def put_timing(self, key: TimingKey, timing: "GemmTiming") -> None:
+        with self._lock:
+            self._timings[key] = timing
+
+    # -- sample windows ----------------------------------------------------------------
+    def get_window(self, key: WindowKey) -> "SmResult | None":
+        with self._lock:
+            result = self._windows.get(key)
+            if result is None:
+                self._window_misses += 1
+            else:
+                self._window_hits += 1
+            return result
+
+    def put_window(self, key: WindowKey, result: "SmResult") -> None:
+        with self._lock:
+            self._windows[key] = result
+
+    # -- introspection -----------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                window_hits=self._window_hits,
+                window_misses=self._window_misses,
+            )
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._timings.clear()
+            self._windows.clear()
+            self._hits = self._misses = 0
+            self._window_hits = self._window_misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._timings)
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"TimingCache(entries={len(self)}, hits={stats.hits},"
+            f" misses={stats.misses})"
+        )
+
+
+#: The process-wide cache shared by every Session that does not bring its
+#: own (the default). Lifting it to module scope is what lets independent
+#: consumers — CLI runs, experiments, examples — pool identical GEMMs.
+_PROCESS_CACHE = TimingCache()
+
+
+def process_cache() -> TimingCache:
+    """The default process-wide :class:`TimingCache`."""
+    return _PROCESS_CACHE

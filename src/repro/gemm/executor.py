@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro.common.stats import CounterBag
 from repro.config import DataType, SystemConfig
 from repro.errors import MappingError
+from repro.gemm.cache import TimingCache
 from repro.gemm.problem import GemmProblem
 from repro.gemm.tiling import TilingPlan, plan_gemm
 from repro.gemm.traces import (
@@ -86,6 +87,7 @@ class GemmExecutor:
         scheduler: str | None = None,
         sample_window: tuple[int, int] = (2, 4),
         collector_efficiency: float = 0.95,
+        cache: TimingCache | None = None,
     ) -> None:
         if backend not in BACKENDS:
             raise MappingError(f"unknown backend {backend!r}; one of {BACKENDS}")
@@ -98,14 +100,15 @@ class GemmExecutor:
         self.dataflow = dataflow
         self.scheduler = scheduler or ("sma_rr" if backend == "sma" else "gto")
         self.sample_window = sample_window
+        self.collector_efficiency = collector_efficiency
         self.sm = StreamingMultiprocessor(
             system.gpu, collector_efficiency=collector_efficiency
         )
         self.timing_model = GpuTimingModel(system.gpu)
-        self._cache: dict[tuple, GemmTiming] = {}
-        # Window traces depend only on (dtype, iterations) — the Fig-6 tile
-        # shape is fixed — so one simulation serves every layer shape.
-        self._window_cache: dict[tuple[DataType, int], SmResult] = {}
+        # Timings and window traces live in a TimingCache so they can be
+        # shared across executors/platforms (repro.api.Session passes one
+        # cache to everything it builds); a private cache is the fallback.
+        self.cache = cache if cache is not None else TimingCache()
 
     # -- peak throughput of this backend ------------------------------------------
     def peak_flops_per_cycle_per_sm(self) -> float:
@@ -171,30 +174,42 @@ class GemmExecutor:
         return DramTraffic(read_bytes=read_bytes, write_bytes=write_bytes)
 
     def _window(self, plan: TilingPlan, iterations: int) -> SmResult:
-        """Run (or fetch) the shape-independent sample-window simulation."""
-        key = (plan.problem.dtype, iterations)
-        result = self._window_cache.get(key)
+        """Run (or fetch) the shape-independent sample-window simulation.
+
+        Window traces depend only on (dtype, iterations) for a given
+        executor configuration — the Fig-6 tile shape is fixed — so one
+        simulation serves every layer shape.
+        """
+        key = TimingCache.window_key(
+            self.system, self.backend, self.scheduler, self.dataflow,
+            plan.problem.dtype, iterations, self.collector_efficiency,
+        )
+        result = self.cache.get_window(key)
         if result is None:
             result = self.sm.run(self._build_kernel(plan, iterations))
-            self._window_cache[key] = result
+            self.cache.put_window(key, result)
         return result
 
     # -- public API --------------------------------------------------------------------
     def plan(self, problem: GemmProblem) -> TilingPlan:
         return plan_gemm(problem, k_slice=self.k_slice())
 
-    def time_gemm(self, problem: GemmProblem) -> GemmTiming:
-        """Time one GEMM; results are cached per executor."""
-        key = (
-            problem.m,
-            problem.n,
-            problem.k,
-            problem.dtype,
-            self.backend,
-            self.scheduler,
-            self.dataflow,
+    def cache_key(self, problem: GemmProblem) -> tuple:
+        """The shared-cache key this executor uses for ``problem``."""
+        return TimingCache.timing_key(
+            self.system, self.backend, self.scheduler, self.dataflow,
+            problem, self.sample_window, self.collector_efficiency,
         )
-        cached = self._cache.get(key)
+
+    def time_gemm(self, problem: GemmProblem) -> GemmTiming:
+        """Time one GEMM; results are cached in the (shareable) cache.
+
+        The key embeds the whole frozen problem, so two problems that
+        differ only in ``alpha``/``beta`` get distinct entries (``beta !=
+        0`` adds C read traffic in :meth:`_dram_traffic`).
+        """
+        key = self.cache_key(problem)
+        cached = self.cache.get_timing(key)
         if cached is not None:
             return cached
 
@@ -244,5 +259,5 @@ class GemmExecutor:
             counters=launch.counters,
             launch=launch,
         )
-        self._cache[key] = timing
+        self.cache.put_timing(key, timing)
         return timing

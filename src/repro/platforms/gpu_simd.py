@@ -6,6 +6,7 @@ from dataclasses import replace
 
 from repro.config import DataType, SystemConfig, system_gpu_simd
 from repro.dnn.ops import Operator
+from repro.gemm.cache import TimingCache
 from repro.gemm.executor import GemmExecutor
 from repro.gemm.problem import GemmProblem
 from repro.platforms.base import (
@@ -23,10 +24,11 @@ class GpuSimdPlatform(GpuPlatformBase):
         self,
         system: SystemConfig | None = None,
         framework_overhead_s: float = DEFAULT_FRAMEWORK_OVERHEAD_S,
+        cache: TimingCache | None = None,
     ) -> None:
         system = system or system_gpu_simd()
         super().__init__(system, "gpu-simd", framework_overhead_s)
-        self.executor = GemmExecutor(system, "simd")
+        self.executor = GemmExecutor(system, "simd", cache=cache)
 
     def run_op(self, op: Operator) -> OpStats:
         dims = op.gemm_dims()

@@ -8,8 +8,11 @@ transition; its cost (8 cycles per switch, paper SS IV-A) is what makes the
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.config import DataType, SystemConfig, system_sma
 from repro.dnn.ops import Operator
+from repro.gemm.cache import TimingCache
 from repro.gemm.executor import GemmExecutor
 from repro.gemm.problem import GemmProblem
 from repro.platforms.base import (
@@ -31,11 +34,13 @@ class GpuSmaPlatform(GpuPlatformBase):
         system: SystemConfig | None = None,
         dataflow: Dataflow = Dataflow.SEMI_BROADCAST_WS,
         framework_overhead_s: float = DEFAULT_FRAMEWORK_OVERHEAD_S,
+        cache: TimingCache | None = None,
     ) -> None:
         system = system or system_sma(units)
         super().__init__(system, f"gpu-{system.sma.units_per_sm}sma",
                          framework_overhead_s)
-        self.executor = GemmExecutor(system, "sma", dataflow=dataflow)
+        self.executor = GemmExecutor(system, "sma", dataflow=dataflow,
+                                     cache=cache)
         self.mode_tracker = ModeSwitchTracker(system.sma)
 
     def run_op(self, op: Operator) -> OpStats:
@@ -47,14 +52,7 @@ class GpuSmaPlatform(GpuPlatformBase):
             self.mode_tracker.account(
                 stats.seconds * self.gpu.clock_ghz * 1e9
             )
-            return OpStats(
-                op_name=stats.op_name,
-                group=stats.group,
-                mode="simd",
-                seconds=stats.seconds + switch_seconds,
-                flops=stats.flops,
-                energy=stats.energy,
-            )
+            return replace(stats, seconds=stats.seconds + switch_seconds)
         switch_cycles = self.mode_tracker.switch_to(ExecutionMode.SYSTOLIC)
         m, n, k = dims
         problem = GemmProblem(m, n, k, dtype=self.system.sma.dtype)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.config import DataType, SystemConfig, system_gpu_4tc
 from repro.dnn.ops import Operator
+from repro.gemm.cache import TimingCache
 from repro.gemm.executor import GemmExecutor
 from repro.gemm.problem import GemmProblem
 from repro.platforms.base import (
@@ -21,10 +22,11 @@ class GpuTcPlatform(GpuPlatformBase):
         self,
         system: SystemConfig | None = None,
         framework_overhead_s: float = DEFAULT_FRAMEWORK_OVERHEAD_S,
+        cache: TimingCache | None = None,
     ) -> None:
         system = system or system_gpu_4tc()
         super().__init__(system, "gpu-4tc", framework_overhead_s)
-        self.executor = GemmExecutor(system, "tc")
+        self.executor = GemmExecutor(system, "tc", cache=cache)
 
     def run_op(self, op: Operator) -> OpStats:
         dims = op.gemm_dims()

@@ -1,0 +1,47 @@
+"""CLI tests for the Session-backed subcommands."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_platforms_and_models(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for needle in ("experiments:", "platforms", "models:", "sma",
+                       "mask_rcnn", "fig7_left"):
+            assert needle in out
+
+
+class TestBench:
+    def test_table(self, capsys):
+        assert main(["bench", "256", "-p", "sma:2"]) == 0
+        out = capsys.readouterr().out
+        assert "GEMM 256x256x256" in out
+        assert "sma:2" in out
+        assert "shared GEMM cache" in out
+
+    def test_json(self, capsys):
+        assert main(["bench", "128x256x512", "-p", "gpu-tc", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["kind"] == "gemm"
+        assert (data[0]["m"], data[0]["n"], data[0]["k"]) == (128, 256, 512)
+
+    def test_bad_shape(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "12xbanana"])
+
+
+class TestSimulate:
+    def test_json(self, capsys):
+        assert main(["simulate", "alexnet", "sma:2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["reports"][0]["model"] == "alexnet"
+        assert data["reports"][0]["platform"] == "sma:2"
+
+    def test_unknown_model_is_clean_error(self, capsys):
+        assert main(["simulate", "resnext", "sma:2"]) == 2
+        assert "unknown model" in capsys.readouterr().err

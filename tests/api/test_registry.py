@@ -1,0 +1,144 @@
+"""Registry tests: spec parsing, resolution, self-registration."""
+
+import pytest
+
+from repro.api import registry
+from repro.api.registry import (
+    available_models,
+    available_platforms,
+    build_model,
+    build_platform,
+    gemm_config,
+    parse_spec,
+    register_model,
+    register_platform,
+)
+from repro.config import DataType
+from repro.errors import ConfigError
+from repro.platforms import (
+    CpuPlatform,
+    GpuSimdPlatform,
+    GpuSmaPlatform,
+    GpuTcPlatform,
+    TpuPlatform,
+)
+
+
+class TestParseSpec:
+    def test_bare_name(self):
+        assert parse_spec("gpu-simd") == ("gpu-simd", ())
+
+    def test_args(self):
+        assert parse_spec("sma:2,fp32") == ("sma", ("2", "fp32"))
+
+    def test_whitespace_and_case(self):
+        assert parse_spec("  SMA : 3 ") == ("sma", ("3",))
+
+    @pytest.mark.parametrize("bad", ["", "   ", ":3", "sma:", "sma:2,,fp32"])
+    def test_invalid(self, bad):
+        with pytest.raises(ConfigError):
+            parse_spec(bad)
+
+
+class TestPlatformRegistry:
+    def test_builtins_listed(self):
+        names = available_platforms()
+        assert {"gpu-simd", "gpu-tc", "sma", "tpu", "cpu"} <= set(names)
+        assert all(description for description in names.values())
+
+    @pytest.mark.parametrize(
+        "spec,cls",
+        [
+            ("gpu-simd", GpuSimdPlatform),
+            ("simd", GpuSimdPlatform),
+            ("gpu-tc", GpuTcPlatform),
+            ("tc", GpuTcPlatform),
+            ("gpu-4tc", GpuTcPlatform),
+            ("sma", GpuSmaPlatform),
+            ("tpu", TpuPlatform),
+            ("cpu", CpuPlatform),
+        ],
+    )
+    def test_build_by_spec(self, spec, cls):
+        assert isinstance(build_platform(spec), cls)
+
+    def test_sma_units_parsed(self):
+        platform = build_platform("sma:2")
+        assert platform.system.sma.units_per_sm == 2
+
+    def test_sma_dtype_parsed(self):
+        platform = build_platform("sma:3,fp32")
+        assert platform.system.sma.dtype is DataType.FP32
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["sma:0", "sma:-1", "sma:banana", "sma:2,fp64", "sma:2,fp16,extra",
+         "tpu:2", "gpu-simd:8", "warp9"],
+    )
+    def test_invalid_specs(self, bad):
+        with pytest.raises(ConfigError):
+            build_platform(bad)
+
+    def test_kwargs_forwarded(self):
+        platform = build_platform("gpu-tc", framework_overhead_s=0.0)
+        assert platform.framework_overhead_s == 0.0
+
+    def test_gemm_config(self):
+        system, backend = gemm_config("sma:2")
+        assert backend == "sma"
+        assert system.sma.units_per_sm == 2
+
+    def test_gemm_config_unsupported(self):
+        with pytest.raises(ConfigError):
+            gemm_config("cpu")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError):
+            register_platform("sma")(lambda *a, **k: None)
+
+    def test_self_registration_decorator(self):
+        @register_platform("test-null", description="for tests")
+        def _build_null(*args, cache=None, **kwargs):
+            return CpuPlatform(**kwargs)
+
+        try:
+            assert "test-null" in available_platforms()
+            assert isinstance(build_platform("test-null"), CpuPlatform)
+        finally:
+            registry.unregister_platform("test-null")
+        assert "test-null" not in available_platforms()
+
+
+class TestModelRegistry:
+    def test_builtins_listed(self):
+        assert {
+            "alexnet", "vgg_a", "googlenet", "mask_rcnn", "deeplab", "goturn"
+        } <= set(available_models())
+
+    def test_build_by_spec(self):
+        graph = build_model("mask_rcnn")
+        assert graph.name == "Mask R-CNN"
+
+    def test_alias(self):
+        assert build_model("vgg").name == build_model("vgg_a").name
+
+    def test_deeplab_crf_flag(self):
+        with_crf = build_model("deeplab")
+        without = build_model("deeplab:nocrf")
+        assert len(with_crf.nodes) == len(without.nodes) + 1
+
+    @pytest.mark.parametrize("bad", ["resnext", "alexnet:2", "deeplab:maybe"])
+    def test_invalid(self, bad):
+        with pytest.raises(ConfigError):
+            build_model(bad)
+
+    def test_self_registration_decorator(self):
+        @register_model("test-tiny", description="for tests")
+        def _build_tiny(*args):
+            return build_model("alexnet")
+
+        try:
+            assert build_model("test-tiny").name == "AlexNet"
+        finally:
+            registry.unregister_model("test-tiny")
+        assert "test-tiny" not in available_models()

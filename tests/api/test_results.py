@@ -1,0 +1,121 @@
+"""Report object tests: JSON round-trips and derived quantities."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    GemmReport,
+    ModelReport,
+    OpReport,
+    Session,
+    SimRequest,
+    TimingCache,
+    report_from_dict,
+)
+from repro.errors import ConfigError
+from repro.gemm.problem import GemmProblem
+
+GEMM_REPORT = GemmReport(
+    platform="sma:3",
+    backend="sma",
+    m=512,
+    n=256,
+    k=1024,
+    dtype="fp16",
+    alpha=1.0,
+    beta=0.5,
+    seconds=1.5e-4,
+    cycles=229500.0,
+    tb_cycles=1024.0,
+    tflops=1.79,
+    efficiency=0.41,
+    sm_efficiency=0.88,
+    cached=True,
+    tag="unit",
+)
+
+MODEL_REPORT = ModelReport(
+    model="deeplab",
+    platform="gpu-tc",
+    ops=(
+        OpReport("conv1", "CNN&FC", "gemm-tc", 1e-3, 2e9),
+        OpReport("argmax", "ArgMax", "simd", 5e-4, 1e6),
+    ),
+    tag="unit",
+)
+
+
+class TestGemmReport:
+    def test_dict_round_trip(self):
+        assert GemmReport.from_dict(GEMM_REPORT.to_dict()) == GEMM_REPORT
+
+    def test_json_round_trip(self):
+        assert GemmReport.from_json(GEMM_REPORT.to_json()) == GEMM_REPORT
+
+    def test_kind_tagged(self):
+        assert GEMM_REPORT.to_dict()["kind"] == "gemm"
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            GemmReport.from_dict(MODEL_REPORT.to_dict())
+
+    def test_milliseconds(self):
+        assert GEMM_REPORT.milliseconds == pytest.approx(0.15)
+
+
+class TestModelReport:
+    def test_dict_round_trip(self):
+        assert ModelReport.from_dict(MODEL_REPORT.to_dict()) == MODEL_REPORT
+
+    def test_json_round_trip(self):
+        assert ModelReport.from_json(MODEL_REPORT.to_json()) == MODEL_REPORT
+
+    def test_totals_and_groups(self):
+        assert MODEL_REPORT.total_seconds == pytest.approx(1.5e-3)
+        assert MODEL_REPORT.total_ms == pytest.approx(1.5)
+        groups = MODEL_REPORT.grouped_seconds()
+        assert groups["CNN&FC"] == pytest.approx(1e-3)
+        assert groups["ArgMax"] == pytest.approx(5e-4)
+
+    def test_exported_totals_match_fields(self):
+        data = MODEL_REPORT.to_dict()
+        assert data["total_seconds"] == pytest.approx(
+            MODEL_REPORT.total_seconds
+        )
+        assert data["grouped_seconds"] == MODEL_REPORT.grouped_seconds()
+
+
+class TestReportFromDict:
+    def test_dispatch(self):
+        assert report_from_dict(GEMM_REPORT.to_dict()) == GEMM_REPORT
+        assert report_from_dict(MODEL_REPORT.to_dict()) == MODEL_REPORT
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            report_from_dict({"kind": "mystery"})
+
+
+class TestLiveRoundTrip:
+    """End-to-end: reports produced by a real simulation survive JSON."""
+
+    def test_session_reports_round_trip(self):
+        session = Session(cache=TimingCache())
+        gemm = session.time_gemm("sma:2", 256, tag="live")
+        assert GemmReport.from_json(gemm.to_json()) == gemm
+        model = session.run_model("alexnet", "sma:2", tag="live")
+        recovered = ModelReport.from_json(model.to_json())
+        assert recovered == model
+        assert recovered.total_seconds == pytest.approx(model.total_seconds)
+
+    def test_batch_reports_parse_back(self):
+        session = Session(cache=TimingCache())
+        batch = session.run_batch(
+            [
+                SimRequest(platform="sma:2", model="alexnet"),
+                SimRequest(platform="sma:2", gemm=GemmProblem(256, 256, 256)),
+            ]
+        )
+        parsed = json.loads(batch.to_json())
+        recovered = [report_from_dict(item) for item in parsed["reports"]]
+        assert recovered == list(batch.reports)
