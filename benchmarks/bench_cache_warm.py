@@ -1,0 +1,31 @@
+"""Cold-vs-warm timing-cache behavior inside one process.
+
+`TimingCache.clear()` drops entries and `reset_stats()` zeroes only the
+counters, so one process can measure a cold pass and a warm pass
+back-to-back — no fresh interpreter needed.
+"""
+
+from repro.api import Session, TimingCache
+
+SIZES = (256, 512, 1024)
+
+
+def test_cold_vs_warm_cache(benchmark):
+    session = Session(cache=TimingCache())
+
+    def cold_then_warm():
+        session.cache.clear()
+        for n in SIZES:
+            session.time_gemm("sma:2", n)
+        cold = session.cache.reset_stats()
+        for n in SIZES:
+            session.time_gemm("sma:2", n)
+        warm = session.cache.stats()
+        return cold, warm
+
+    cold, warm = benchmark.pedantic(cold_then_warm, rounds=1, iterations=1)
+    print()
+    print(f"cold: {cold.misses} misses, {cold.window_misses} window misses")
+    print(f"warm: {warm.hits} hits ({warm.hit_rate:.0%} hit rate)")
+    assert cold.misses == len(SIZES) and cold.hits == 0
+    assert warm.hits == len(SIZES) and warm.misses == 0

@@ -1,4 +1,9 @@
-"""Fig 7: iso-FLOP 2-SMA vs 4-TC, and the dataflow ablation."""
+"""Fig 7: iso-FLOP 2-SMA vs 4-TC, and the dataflow ablation.
+
+Both figures run through the :mod:`repro.sweep` engine; the ``sharded``
+variants exercise the 2-worker parallel path (private worker caches,
+merged on join) and must reproduce the sequential figures exactly.
+"""
 
 from benchmarks.conftest import run_and_report
 from repro.experiments import run_fig7_left, run_fig7_right
@@ -10,3 +15,11 @@ def test_fig7_left_sma_vs_tc(benchmark):
 
 def test_fig7_right_dataflows(benchmark):
     run_and_report(benchmark, run_fig7_right)
+
+
+def test_fig7_left_sharded(benchmark):
+    run_and_report(benchmark, run_fig7_left, jobs=2)
+
+
+def test_fig7_right_sharded(benchmark):
+    run_and_report(benchmark, run_fig7_right, jobs=2)

@@ -1,4 +1,9 @@
-"""Fig 8: iso-area speedup and energy on the Table II models."""
+"""Fig 8: iso-area speedup and energy on the Table II models.
+
+The model x platform matrix is one sweep grid; the ``sharded`` variant
+runs it across 2 worker processes through :mod:`repro.sweep` and must
+satisfy the same acceptance checks as the sequential path.
+"""
 
 from benchmarks.conftest import run_and_report
 from repro.experiments import run_fig8_energy, run_fig8_speedup
@@ -10,3 +15,7 @@ def test_fig8_top_speedup(benchmark):
 
 def test_fig8_bottom_energy(benchmark):
     run_and_report(benchmark, run_fig8_energy)
+
+
+def test_fig8_top_speedup_sharded(benchmark):
+    run_and_report(benchmark, run_fig8_speedup, jobs=2)

@@ -10,6 +10,8 @@ Usage::
     python -m repro simulate deeplab gpu-simd tpu --json
     python -m repro bench 4096 -p gpu-tc -p sma:3  # time one GEMM
     python -m repro bench 4096x1024x4096
+    python -m repro sweep -p sma:2..4 -p gpu-tc -g 1024 -g 4096 --jobs 4 \
+        --store sweep.sqlite --resume            # sharded, resumable sweep
     python -m repro run fig7_left                # print one regenerated figure
     python -m repro run all                      # print everything
     python -m repro export [-o results]          # write every figure as CSV
@@ -136,6 +138,79 @@ def _cmd_bench(gemm: str, platforms: list[str], as_json: bool) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.sweep import ResultStore, SweepSpec, expand, run_sweep
+
+    gemms = tuple(_parse_gemm(text) for text in (args.gemms or ()))
+    spec = SweepSpec(
+        platforms=tuple(args.platforms),
+        models=tuple(args.models or ()),
+        gemms=gemms,
+        dataflows=tuple(args.dataflows) if args.dataflows else (None,),
+        schedulers=tuple(args.schedulers) if args.schedulers else (None,),
+        gemm_dtype=args.dtype,
+        tag=args.tag,
+    )
+    grid = expand(spec)
+    session = Session()
+    store = ResultStore(args.store) if args.store else None
+    try:
+        result = run_sweep(
+            grid,
+            jobs=args.jobs,
+            store=store,
+            resume=args.resume,
+            session=session,
+        )
+        if args.json:
+            print(result.to_json(indent=2))
+            return 0
+        rows = []
+        for point, report in zip(grid.points, result.reports):
+            request = point.request
+            workload = request.model or f"{report.m}x{report.n}x{report.k}"
+            rows.append(
+                [
+                    point.request_id,
+                    request.platform,
+                    workload,
+                    request.dataflow or "-",
+                    request.scheduler or "-",
+                    (
+                        report.total_ms
+                        if request.kind == "model"
+                        else report.milliseconds
+                    ),
+                    "store" if point.request_id in result.loaded else "run",
+                ]
+            )
+        print(
+            render_table(
+                ["request", "platform", "workload", "dataflow", "scheduler",
+                 "ms", "source"],
+                rows,
+                title=(
+                    f"sweep: {len(grid)} requests, {args.jobs} worker(s),"
+                    f" {len(result.executed)} simulated,"
+                    f" {len(result.loaded)} loaded from store"
+                ),
+            )
+        )
+        print()
+        stats = result.cache_stats
+        print(
+            f"merged GEMM cache: {stats.hits} hits / {stats.misses} misses"
+            f" ({stats.hit_rate:.0%} hit rate),"
+            f" {stats.window_hits} window hits"
+        )
+        if store is not None:
+            print(f"result store: {store.path} ({len(store)} results)")
+        return 0
+    finally:
+        if store is not None:
+            store.close()
+
+
 def _cmd_run(names: list[str]) -> int:
     if names == ["all"]:
         names = list(EXPERIMENT_RUNNERS)
@@ -191,6 +266,50 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
 
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="expand a spec grid and run it, optionally sharded/resumable",
+    )
+    sweep_parser.add_argument(
+        "-p", "--platform", action="append", dest="platforms", required=True,
+        help="platform spec (repeatable); ranges like sma:2..4 expand",
+    )
+    sweep_parser.add_argument(
+        "-m", "--model", action="append", dest="models",
+        help="model spec (repeatable), e.g. mask_rcnn",
+    )
+    sweep_parser.add_argument(
+        "-g", "--gemm", action="append", dest="gemms",
+        help="GEMM workload (repeatable): N or MxNxK",
+    )
+    sweep_parser.add_argument(
+        "--dataflow", action="append", dest="dataflows",
+        help="dataflow override axis (repeatable): ws, sbws, os",
+    )
+    sweep_parser.add_argument(
+        "--scheduler", action="append", dest="schedulers",
+        help="scheduler override axis (repeatable): gto, lrr, sma_rr",
+    )
+    sweep_parser.add_argument(
+        "--dtype", default="fp16", help="dtype of bare GEMM sizes",
+    )
+    sweep_parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes; caches merge back on join",
+    )
+    sweep_parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="sqlite result store; results persist as they finish",
+    )
+    sweep_parser.add_argument(
+        "--resume", action="store_true",
+        help="skip requests already in the store (requires --store)",
+    )
+    sweep_parser.add_argument("--tag", default=None, help="label for reports")
+    sweep_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
     run_parser = sub.add_parser("run", help="run experiments and print tables")
     run_parser.add_argument("names", nargs="+", help="experiment names or 'all'")
 
@@ -208,6 +327,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_bench(
                 args.gemm, args.platforms or list(BENCH_PLATFORMS), args.json
             )
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "run":
             return _cmd_run(args.names)
         if args.command == "export":

@@ -37,10 +37,16 @@ from repro.api.results import (
     report_from_dict,
 )
 from repro.api.session import Session
-from repro.gemm.cache import CacheStats, TimingCache, process_cache
+from repro.gemm.cache import (
+    CacheEntries,
+    CacheStats,
+    TimingCache,
+    process_cache,
+)
 
 __all__ = [
     "BatchResult",
+    "CacheEntries",
     "CacheStats",
     "GemmReport",
     "ModelReport",

@@ -11,11 +11,16 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, fields
 
+from repro.config import DataType
 from repro.errors import ConfigError
 from repro.gemm.cache import CacheStats
 from repro.gemm.executor import GemmTiming
 from repro.gemm.problem import GemmProblem
 from repro.platforms.base import ModelRunResult
+from repro.systolic.dataflow import Dataflow
+
+#: The dataflow names a request may carry (`Dataflow` enum values).
+DATAFLOW_NAMES = tuple(flow.value for flow in Dataflow)
 
 
 @dataclass(frozen=True)
@@ -26,12 +31,19 @@ class SimRequest:
     ``gemm`` (a :class:`GemmProblem`) must be set; ``platform`` is always a
     platform spec such as ``"sma:3"``. ``tag`` is an opaque caller label
     echoed into the resulting report.
+
+    ``dataflow`` (a :class:`Dataflow` value name such as ``"ws"``/``"sbws"``)
+    and ``scheduler`` (``"gto"``/``"lrr"``/``"sma_rr"``) optionally override
+    the platform's defaults, which is what lets a sweep grid carry those
+    axes; ``None`` keeps the platform default.
     """
 
     platform: str
     model: str | None = None
     gemm: GemmProblem | None = None
     tag: str | None = None
+    dataflow: str | None = None
+    scheduler: str | None = None
 
     def __post_init__(self) -> None:
         if (self.model is None) == (self.gemm is None):
@@ -39,10 +51,65 @@ class SimRequest:
                 "SimRequest needs exactly one of model= or gemm=, got"
                 f" model={self.model!r} gemm={self.gemm!r}"
             )
+        if isinstance(self.dataflow, Dataflow):
+            object.__setattr__(self, "dataflow", self.dataflow.value)
+        if self.dataflow is not None and self.dataflow not in DATAFLOW_NAMES:
+            raise ConfigError(
+                f"unknown dataflow {self.dataflow!r}; one of {DATAFLOW_NAMES}"
+            )
 
     @property
     def kind(self) -> str:
         return "model" if self.model is not None else "gemm"
+
+    def to_dict(self) -> dict:
+        gemm = None
+        if self.gemm is not None:
+            gemm = {
+                "m": self.gemm.m,
+                "n": self.gemm.n,
+                "k": self.gemm.k,
+                "dtype": self.gemm.dtype.value,
+                "alpha": self.gemm.alpha,
+                "beta": self.gemm.beta,
+            }
+        return {
+            "kind": self.kind,
+            "platform": self.platform,
+            "model": self.model,
+            "gemm": gemm,
+            "tag": self.tag,
+            "dataflow": self.dataflow,
+            "scheduler": self.scheduler,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimRequest":
+        gemm = data.get("gemm")
+        if gemm is not None:
+            gemm = GemmProblem(
+                m=gemm["m"],
+                n=gemm["n"],
+                k=gemm["k"],
+                dtype=DataType(gemm.get("dtype", "fp16")),
+                alpha=gemm.get("alpha", 1.0),
+                beta=gemm.get("beta", 0.0),
+            )
+        return cls(
+            platform=data["platform"],
+            model=data.get("model"),
+            gemm=gemm,
+            tag=data.get("tag"),
+            dataflow=data.get("dataflow"),
+            scheduler=data.get("scheduler"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimRequest":
+        return cls.from_dict(json.loads(text))
 
 
 def _check_kind(data: dict, expected: str, cls: type) -> dict:
@@ -79,6 +146,8 @@ class GemmReport:
     sm_efficiency: float
     cached: bool = False
     tag: str | None = None
+    dataflow: str | None = None
+    scheduler: str | None = None
 
     @property
     def milliseconds(self) -> float:
@@ -91,6 +160,8 @@ class GemmReport:
         platform: str,
         cached: bool = False,
         tag: str | None = None,
+        dataflow: str | None = None,
+        scheduler: str | None = None,
     ) -> "GemmReport":
         problem = timing.problem
         return cls(
@@ -110,6 +181,8 @@ class GemmReport:
             sm_efficiency=timing.sm_efficiency,
             cached=cached,
             tag=tag,
+            dataflow=dataflow,
+            scheduler=scheduler,
         )
 
     def to_dict(self) -> dict:
@@ -129,13 +202,20 @@ class GemmReport:
 
 @dataclass(frozen=True)
 class OpReport:
-    """One operator's stats inside a :class:`ModelReport`."""
+    """One operator's stats inside a :class:`ModelReport`.
+
+    ``energy`` is the operator's Joules per Fig 8 structure category
+    (``Global``/``Shared``/``Register``/``PE``/``Const``) when the platform
+    accounts energy, flattened to a plain dict so reports stay
+    JSON-portable.
+    """
 
     op_name: str
     group: str
     mode: str
     seconds: float
     flops: float
+    energy: dict[str, float] | None = None
 
 
 @dataclass(frozen=True)
@@ -182,6 +262,11 @@ class ModelReport:
                     mode=stat.mode,
                     seconds=stat.seconds,
                     flops=stat.flops,
+                    energy=(
+                        dict(stat.energy.joules)
+                        if stat.energy is not None
+                        else None
+                    ),
                 )
                 for stat in result.op_stats
             ),

@@ -26,12 +26,25 @@ from repro.api.results import (
     SimRequest,
 )
 from repro.dnn.graph import LayerGraph
-from repro.errors import ConfigError
+from repro.errors import BatchRequestError, ConfigError
 from repro.gemm.cache import CacheStats, TimingCache, process_cache
 from repro.gemm.executor import GemmExecutor
 from repro.gemm.problem import GemmProblem
 from repro.platforms.base import Platform
 from repro.systolic.dataflow import Dataflow
+
+
+def _coerce_dataflow(value: Dataflow | str | None) -> Dataflow | None:
+    """Normalize a dataflow given as enum or value name (``"ws"``)."""
+    if value is None or isinstance(value, Dataflow):
+        return value
+    try:
+        return Dataflow(value)
+    except ValueError:
+        names = tuple(flow.value for flow in Dataflow)
+        raise ConfigError(
+            f"unknown dataflow {value!r}; one of {names}"
+        ) from None
 
 
 class Session:
@@ -57,7 +70,14 @@ class Session:
         key = (spec, tuple(sorted(kwargs.items())))
         platform = self._platforms.get(key)
         if platform is None:
-            platform = build_platform(spec, cache=self.cache, **kwargs)
+            try:
+                platform = build_platform(spec, cache=self.cache, **kwargs)
+            except TypeError as error:
+                # e.g. a dataflow override on a platform without that axis
+                raise ConfigError(
+                    f"platform {spec!r} rejected options"
+                    f" {sorted(kwargs)}: {error}"
+                ) from None
             self._platforms[key] = platform
         return platform
 
@@ -102,14 +122,23 @@ class Session:
         problem: GemmProblem | int | Sequence[int],
         *,
         tag: str | None = None,
+        dataflow: Dataflow | str | None = None,
+        scheduler: str | None = None,
     ) -> GemmReport:
         """Time one GEMM on the platform of ``spec``.
 
         ``problem`` is a :class:`GemmProblem`, a single size ``n`` (meaning
         an ``n^3`` GEMM), or an ``(m, n, k)`` triple; bare sizes default to
-        the backend's native dtype.
+        the backend's native dtype. ``dataflow`` (enum or value name) and
+        ``scheduler`` override the executor defaults; the report echoes the
+        overrides it was produced under.
         """
-        executor = self.executor(spec)
+        flow = _coerce_dataflow(dataflow)
+        executor = self.executor(
+            spec,
+            dataflow=flow if flow is not None else Dataflow.SEMI_BROADCAST_WS,
+            scheduler=scheduler,
+        )
         problem = self._coerce_problem(executor, problem)
         # Per-key probe (not a global counter delta, which would mislabel
         # reports when other threads hit the shared cache concurrently).
@@ -118,7 +147,12 @@ class Session:
         )
         timing = executor.time_gemm(problem)
         return GemmReport.from_timing(
-            timing, platform=spec, cached=cached, tag=tag
+            timing,
+            platform=spec,
+            cached=cached,
+            tag=tag,
+            dataflow=flow.value if flow is not None else None,
+            scheduler=scheduler,
         )
 
     def run_model(
@@ -127,12 +161,47 @@ class Session:
         platform: str,
         *,
         tag: str | None = None,
+        platform_kwargs: dict | None = None,
     ) -> ModelReport:
-        """Run a whole model graph on a platform, both addressed by spec."""
+        """Run a whole model graph on a platform, both addressed by spec.
+
+        ``platform_kwargs`` (e.g. ``{"framework_overhead_s": 0.0}`` or a
+        ``dataflow`` override) are forwarded to the platform factory; each
+        distinct kwargs set gets its own memoized platform instance.
+        """
         graph = self.model(model)
-        result = self.platform(platform).run_model(graph)
+        result = self.platform(platform, **(platform_kwargs or {})).run_model(
+            graph
+        )
         return ModelReport.from_result(
             result, model=model, platform=platform, tag=tag
+        )
+
+    def run_request(
+        self,
+        request: SimRequest,
+        *,
+        platform_kwargs: dict | None = None,
+    ) -> GemmReport | ModelReport:
+        """Execute one :class:`SimRequest`, honoring its override fields."""
+        if request.kind == "gemm":
+            return self.time_gemm(
+                request.platform,
+                request.gemm,
+                tag=request.tag,
+                dataflow=request.dataflow,
+                scheduler=request.scheduler,
+            )
+        kwargs = dict(platform_kwargs or {})
+        if request.dataflow is not None:
+            kwargs["dataflow"] = Dataflow(request.dataflow)
+        if request.scheduler is not None:
+            kwargs["scheduler"] = request.scheduler
+        return self.run_model(
+            request.model,
+            request.platform,
+            tag=request.tag,
+            platform_kwargs=kwargs or None,
         )
 
     def run_batch(self, requests: Iterable[SimRequest]) -> BatchResult:
@@ -142,7 +211,9 @@ class Session:
         requests — the same model on several platforms, sweeps over
         overlapping layer shapes — are simulated once. The returned
         :class:`BatchResult` carries the cache counters observed at the end
-        of the batch.
+        of the batch. A request that fails is re-raised as
+        :class:`~repro.errors.BatchRequestError` carrying its batch index
+        and tag, with the original exception chained.
         """
         requests = list(requests)
         for request in requests:
@@ -151,20 +222,33 @@ class Session:
                     f"run_batch expects SimRequest items, got {request!r}"
                 )
         reports: list[GemmReport | ModelReport] = []
-        for request in requests:
-            if request.kind == "gemm":
-                reports.append(
-                    self.time_gemm(
-                        request.platform, request.gemm, tag=request.tag
-                    )
-                )
-            else:
-                reports.append(
-                    self.run_model(
-                        request.model, request.platform, tag=request.tag
-                    )
-                )
+        for index, request in enumerate(requests):
+            try:
+                reports.append(self.run_request(request))
+            except Exception as error:
+                raise BatchRequestError.wrap(error, request, index) from error
         return BatchResult(tuple(reports), self.cache.stats())
+
+    def run_sweep(
+        self,
+        spec,
+        *,
+        jobs: int = 1,
+        store=None,
+        resume: bool = False,
+    ):
+        """Run a :class:`~repro.sweep.grid.SweepSpec` (or pre-expanded
+        :class:`~repro.sweep.grid.SweepGrid`) through the sweep engine.
+
+        ``jobs`` > 1 shards the grid across worker processes and merges
+        their timing caches back into this session's cache on join; see
+        :func:`repro.sweep.run_sweep` for ``store``/``resume`` semantics.
+        """
+        from repro.sweep.workers import run_sweep
+
+        return run_sweep(
+            spec, jobs=jobs, store=store, resume=resume, session=self
+        )
 
     # -- cache introspection -----------------------------------------------------------
     @property

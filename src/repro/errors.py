@@ -37,3 +37,49 @@ class UnsupportedOperationError(LoweringError):
 
 class SchedulingError(ReproError):
     """The application-level resource scheduler hit an invalid state."""
+
+
+class BatchRequestError(ReproError):
+    """One request inside a batch or sweep failed.
+
+    Carries the failing request's position (``index``), its caller
+    ``tag``, and — for sweep points — the stable ``request_id``, so a
+    failure in request 37 of a long batch is diagnosable. The original
+    exception is chained as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        index: int | None = None,
+        tag: str | None = None,
+        request_id: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.index = index
+        self.tag = tag
+        self.request_id = request_id
+
+    @classmethod
+    def wrap(
+        cls,
+        error: Exception,
+        request,
+        index: int,
+        request_id: str | None = None,
+    ) -> "BatchRequestError":
+        """Build the wrapper for ``request`` (a SimRequest-shaped object).
+
+        The caller still raises it (``raise ... from error``) so the
+        original exception chains as ``__cause__``.
+        """
+        workload = request.model or str(request.gemm)
+        where = f" [{request_id}]" if request_id is not None else ""
+        return cls(
+            f"request {index}{where} ({request.kind} {workload} on"
+            f" {request.platform}, tag={request.tag!r}) failed: {error}",
+            index=index,
+            tag=request.tag,
+            request_id=request_id,
+        )

@@ -6,22 +6,60 @@ Paper: 2-SMA reaches 90.71% steady-state FLOP efficiency vs 68.46% for
 plain weight-stationary dataflow is 20-40% slower than the paper's
 semi-broadcast dataflow because the diagonal C drain must stage through
 the shared-memory banks.
+
+Both figures are expressed as sweep grids and executed through
+:mod:`repro.sweep`, so they shard across worker processes (``jobs``) and
+persist/resume through a :class:`~repro.sweep.store.ResultStore` exactly
+like any other sweep.
 """
 
 from __future__ import annotations
 
 from repro.api.session import Session
-from repro.config import DataType
 from repro.experiments.runner import ExperimentReport
-from repro.gemm.problem import GemmProblem
+from repro.sweep.grid import SweepGrid, SweepSpec, expand
+from repro.sweep.store import ResultStore
+from repro.sweep.workers import run_sweep
 from repro.systolic.dataflow import Dataflow
 
 DEFAULT_SIZES = tuple(2 ** p for p in range(7, 14))
 
 
+def fig7_left_grid(sizes: tuple[int, ...] = DEFAULT_SIZES) -> SweepGrid:
+    """The iso-FLOP grid: every size on 4-TC and on 2-SMA, FP16."""
+    return expand(
+        SweepSpec(
+            platforms=("gpu-tc", "sma:2"),
+            gemms=sizes,
+            gemm_dtype="fp16",
+            tag="fig7_left",
+        )
+    )
+
+
+def fig7_right_grid(sizes: tuple[int, ...] = DEFAULT_SIZES) -> SweepGrid:
+    """The dataflow-ablation grid: 2-SMA under both dataflows, FP16."""
+    return expand(
+        SweepSpec(
+            platforms=("sma:2",),
+            gemms=sizes,
+            gemm_dtype="fp16",
+            dataflows=(
+                Dataflow.SEMI_BROADCAST_WS.value,
+                Dataflow.WEIGHT_STATIONARY.value,
+            ),
+            tag="fig7_right",
+        )
+    )
+
+
 def run_fig7_left(
     sizes: tuple[int, ...] = DEFAULT_SIZES,
     session: Session | None = None,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    resume: bool = False,
 ) -> ExperimentReport:
     """2-SMA vs 4-TC: speedup and steady-state FLOP efficiency."""
     report = ExperimentReport(
@@ -29,14 +67,18 @@ def run_fig7_left(
         headers=["size", "tc_sm_eff", "sma_sm_eff", "speedup_2sma_vs_4tc"],
         notes="sm_eff: per-SM steady state; speedup: whole-GPU time ratio",
     )
-    session = session or Session()
-    tc = session.executor("gpu-tc")
-    sma = session.executor("sma:2")
+    result = run_sweep(
+        fig7_left_grid(sizes),
+        jobs=jobs,
+        store=store,
+        resume=resume,
+        session=session or Session(),
+    )
+    by_key = {(r.platform, r.n): r for r in result.reports}
     tc_effs, sma_effs, speedups = [], [], []
     for n in sizes:
-        problem = GemmProblem(n, n, n, dtype=DataType.FP16)
-        t_tc = tc.time_gemm(problem)
-        t_sma = sma.time_gemm(problem)
+        t_tc = by_key[("gpu-tc", n)]
+        t_sma = by_key[("sma:2", n)]
         speedup = t_tc.seconds / t_sma.seconds
         tc_effs.append(t_tc.sm_efficiency)
         sma_effs.append(t_sma.sm_efficiency)
@@ -61,6 +103,10 @@ def run_fig7_left(
 def run_fig7_right(
     sizes: tuple[int, ...] = DEFAULT_SIZES,
     session: Session | None = None,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    resume: bool = False,
 ) -> ExperimentReport:
     """Semi-broadcast vs TPU weight-stationary dataflow on the SMA units."""
     report = ExperimentReport(
@@ -68,14 +114,18 @@ def run_fig7_right(
         headers=["size", "normalized_cycles_ws", "normalized_cycles_sbws"],
         notes="normalized to the semi-broadcast dataflow (lower is better)",
     )
-    session = session or Session()
-    sbws = session.executor("sma:2", dataflow=Dataflow.SEMI_BROADCAST_WS)
-    ws = session.executor("sma:2", dataflow=Dataflow.WEIGHT_STATIONARY)
+    result = run_sweep(
+        fig7_right_grid(sizes),
+        jobs=jobs,
+        store=store,
+        resume=resume,
+        session=session or Session(),
+    )
+    by_key = {(r.dataflow, r.n): r for r in result.reports}
     ratios = []
     for n in sizes:
-        problem = GemmProblem(n, n, n, dtype=DataType.FP16)
-        t_sb = sbws.time_gemm(problem)
-        t_ws = ws.time_gemm(problem)
+        t_sb = by_key[(Dataflow.SEMI_BROADCAST_WS.value, n)]
+        t_ws = by_key[(Dataflow.WEIGHT_STATIONARY.value, n)]
         ratio = t_ws.seconds / t_sb.seconds
         ratios.append(ratio)
         report.add_row(n, ratio, 1.0)

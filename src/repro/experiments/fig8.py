@@ -7,90 +7,133 @@ averages: 4.6x / 5.6x / 7.5x, with 3-SMA 1.63x over 4-TC.
 
 Bottom: energy normalized to 4-TC with the Global / Shared / Register /
 PE / Const split. Paper: 2-SMA 0.88x, 3-SMA 0.77x of the 4-TC energy.
+
+The whole model x platform matrix is one sweep grid executed through
+:mod:`repro.sweep` (kernel study: zero framework overhead), so it shards
+across workers and persists/resumes like any other sweep; the energy
+figure reads the per-op energy dicts carried by the sweep's
+:class:`~repro.api.results.ModelReport` objects.
 """
 
 from __future__ import annotations
 
+from repro.api.results import ModelReport, OpReport
 from repro.api.session import Session
-from repro.dnn.graph import LayerGraph
-from repro.dnn.zoo import MODEL_BUILDERS, build_deeplab
 from repro.energy.accounting import CATEGORIES, EnergyBreakdown
 from repro.experiments.runner import ExperimentReport
-from repro.platforms.base import ModelRunResult, OpStats
+from repro.sweep.grid import SweepGrid, SweepSpec, expand
+from repro.sweep.store import ResultStore
+from repro.sweep.workers import run_sweep
 
 #: Groups included in the kernel-level comparison (the paper's workload:
 #: conv/FC layers plus the hybrid models' irregular operators).
 _IRREGULAR_GROUPS = ("RoIAlign", "NMS", "ArgMax")
 
+#: Fig 8 display label -> model spec (DeepLab without the CRF tail).
+FIG8_MODELS = (
+    ("AlexNet", "alexnet"),
+    ("VGG-A", "vgg_a"),
+    ("GoogLeNet", "googlenet"),
+    ("Mask R-CNN", "mask_rcnn"),
+    ("DeepLab", "deeplab:nocrf"),
+)
 
-def _fig8_builders():
-    builders = dict(MODEL_BUILDERS)
-    builders["DeepLab"] = lambda: build_deeplab(with_crf=False)
-    return builders
+#: Fig 8 display label -> platform spec, SIMD baseline first.
+FIG8_PLATFORMS = (
+    ("SIMD", "gpu-simd"),
+    ("4-TC", "gpu-tc"),
+    ("2-SMA", "sma:2"),
+    ("3-SMA", "sma:3"),
+)
 
 
-def _included(stat: OpStats) -> bool:
-    return stat.mode.startswith("gemm") or stat.group in _IRREGULAR_GROUPS
+def fig8_grid() -> SweepGrid:
+    """The iso-area grid: every Table II model on every configuration."""
+    return expand(
+        SweepSpec(
+            platforms=tuple(spec for _label, spec in FIG8_PLATFORMS),
+            models=tuple(spec for _label, spec in FIG8_MODELS),
+            framework_overhead_s=0.0,  # kernel study, no graph runtime
+            tag="fig8",
+        )
+    )
 
 
-def _kernel_seconds(result: ModelRunResult) -> float:
-    return sum(stat.seconds for stat in result.op_stats if _included(stat))
+def _included(op: OpReport) -> bool:
+    return op.mode.startswith("gemm") or op.group in _IRREGULAR_GROUPS
 
 
-def _kernel_energy(result: ModelRunResult) -> EnergyBreakdown:
+def _kernel_seconds(report: ModelReport) -> float:
+    return sum(op.seconds for op in report.ops if _included(op))
+
+
+def _kernel_energy(report: ModelReport) -> EnergyBreakdown:
     total = EnergyBreakdown()
-    for stat in result.op_stats:
-        if _included(stat) and stat.energy is not None:
-            total = total.merged(stat.energy)
+    for op in report.ops:
+        if _included(op) and op.energy is not None:
+            total = total.merged(EnergyBreakdown(joules=dict(op.energy)))
     return total
 
 
-def _platforms(session: Session):
-    """Kernel-study platforms (zero framework overhead), shared cache."""
-    specs = [
-        ("SIMD", "gpu-simd"),
-        ("4-TC", "gpu-tc"),
-        ("2-SMA", "sma:2"),
-        ("3-SMA", "sma:3"),
-    ]
-    return [
-        (label, session.platform(spec, framework_overhead_s=0.0))
-        for label, spec in specs
-    ]
+def _fig8_reports(
+    session: Session | None,
+    jobs: int,
+    store: ResultStore | None,
+    resume: bool,
+) -> dict[tuple[str, str], ModelReport]:
+    """Sweep the grid; reports keyed by (model label, platform label)."""
+    result = run_sweep(
+        fig8_grid(),
+        jobs=jobs,
+        store=store,
+        resume=resume,
+        session=session or Session(),
+    )
+    by_spec = {(r.model, r.platform): r for r in result.reports}
+    return {
+        (model_label, platform_label): by_spec[(model_spec, platform_spec)]
+        for model_label, model_spec in FIG8_MODELS
+        for platform_label, platform_spec in FIG8_PLATFORMS
+    }
 
 
-def run_fig8_speedup(session: Session | None = None) -> ExperimentReport:
+def run_fig8_speedup(
+    session: Session | None = None,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    resume: bool = False,
+) -> ExperimentReport:
     """Fig 8 (top): normalized speedup per model and configuration."""
     report = ExperimentReport(
         experiment="Fig 8 (top): iso-area normalized speedup",
-        headers=["model", "SIMD", "4-TC", "2-SMA", "3-SMA"],
+        headers=["model"] + [label for label, _spec in FIG8_PLATFORMS],
         notes=(
             "kernel-level comparison; our SIMD baseline models a"
             " CUTLASS-quality SGEMM and is faster than the paper's, so"
             " absolute speedups are lower while accelerator ratios match"
         ),
     )
-    platforms = _platforms(session or Session())
-    sums = {label: 0.0 for label, _p in platforms}
-    count = 0
+    reports = _fig8_reports(session, jobs, store, resume)
+    labels = [label for label, _spec in FIG8_PLATFORMS]
+    sums = {label: 0.0 for label in labels}
     tc_avg, sma3_avg, sma2_avg = [], [], []
-    for model_name, builder in _fig8_builders().items():
-        graph: LayerGraph = builder()
+    for model_label, _spec in FIG8_MODELS:
         seconds = {
-            label: _kernel_seconds(platform.run_model(graph))
-            for label, platform in platforms
+            label: _kernel_seconds(reports[(model_label, label)])
+            for label in labels
         }
         base = seconds["SIMD"]
         speedups = {label: base / value for label, value in seconds.items()}
-        report.add_row(model_name, *(speedups[label] for label, _p in platforms))
+        report.add_row(model_label, *(speedups[label] for label in labels))
         for label, value in speedups.items():
             sums[label] += value
         tc_avg.append(speedups["4-TC"])
         sma2_avg.append(speedups["2-SMA"])
         sma3_avg.append(speedups["3-SMA"])
-        count += 1
+    count = len(FIG8_MODELS)
     averages = {label: total / count for label, total in sums.items()}
-    report.add_row("Average", *(averages[label] for label, _p in platforms))
+    report.add_row("Average", *(averages[label] for label in labels))
 
     ratio_32 = averages["3-SMA"] / averages["4-TC"]
     ratio_22 = averages["2-SMA"] / averages["4-TC"]
@@ -112,27 +155,33 @@ def run_fig8_speedup(session: Session | None = None) -> ExperimentReport:
     return report
 
 
-def run_fig8_energy(session: Session | None = None) -> ExperimentReport:
+def run_fig8_energy(
+    session: Session | None = None,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    resume: bool = False,
+) -> ExperimentReport:
     """Fig 8 (bottom): energy normalized to 4-TC with structure split."""
     report = ExperimentReport(
         experiment="Fig 8 (bottom): normalized energy vs 4-TC",
         headers=["model", "config", "total"] + list(CATEGORIES),
         notes="each cell: fraction of the 4-TC total energy for that model",
     )
-    platforms = [p for p in _platforms(session or Session()) if p[0] != "SIMD"]
+    reports = _fig8_reports(session, jobs, store, resume)
+    labels = [label for label, _spec in FIG8_PLATFORMS if label != "SIMD"]
     ratios_2sma, ratios_3sma = [], []
-    for model_name, builder in _fig8_builders().items():
-        graph = builder()
+    for model_label, _spec in FIG8_MODELS:
         energies = {
-            label: _kernel_energy(platform.run_model(graph))
-            for label, platform in platforms
+            label: _kernel_energy(reports[(model_label, label)])
+            for label in labels
         }
         reference = energies["4-TC"].total
-        for label, _platform in platforms:
+        for label in labels:
             normalized = energies[label].normalized_to(reference)
             total = energies[label].total / reference if reference > 0 else 0.0
             report.add_row(
-                model_name, label, total,
+                model_label, label, total,
                 *(normalized[cat] for cat in CATEGORIES),
             )
             if label == "2-SMA":

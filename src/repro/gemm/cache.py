@@ -53,6 +53,33 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    @property
+    def total_hits(self) -> int:
+        """Hits across both layers (timings and sample windows)."""
+        return self.hits + self.window_hits
+
+    def since(self, baseline: "CacheStats") -> "CacheStats":
+        """Counters accumulated after ``baseline`` was snapshotted.
+
+        Lets benchmarks measure one phase (e.g. the warm half of a
+        cold-vs-warm comparison) against a shared long-lived cache.
+        """
+        return CacheStats(
+            hits=self.hits - baseline.hits,
+            misses=self.misses - baseline.misses,
+            window_hits=self.window_hits - baseline.window_hits,
+            window_misses=self.window_misses - baseline.window_misses,
+        )
+
+    def merged(self, other: "CacheStats") -> "CacheStats":
+        """Element-wise sum, used when folding worker caches together."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            window_hits=self.window_hits + other.window_hits,
+            window_misses=self.window_misses + other.window_misses,
+        )
+
     def to_dict(self) -> dict:
         return {
             "hits": self.hits,
@@ -61,6 +88,25 @@ class CacheStats:
             "window_hits": self.window_hits,
             "window_misses": self.window_misses,
         }
+
+
+@dataclass(frozen=True)
+class CacheEntries:
+    """Picklable snapshot of a :class:`TimingCache`'s contents.
+
+    Every value is a frozen dataclass of primitives (``GemmTiming``,
+    ``SmResult``) and every key a tuple of hashable config values, so a
+    snapshot can cross a process boundary — sweep workers export their
+    private caches this way and the parent folds them back in with
+    :meth:`TimingCache.merge`.
+    """
+
+    timings: dict[TimingKey, "GemmTiming"]
+    windows: dict[WindowKey, "SmResult"]
+    stats: CacheStats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self.timings) + len(self.windows)
 
 
 class TimingCache:
@@ -154,6 +200,48 @@ class TimingCache:
         with self._lock:
             self._windows[key] = result
 
+    # -- sharing across processes ------------------------------------------------------
+    def export_entries(self) -> CacheEntries:
+        """A picklable snapshot of every entry plus the counters."""
+        with self._lock:
+            return CacheEntries(
+                timings=dict(self._timings),
+                windows=dict(self._windows),
+                stats=CacheStats(
+                    hits=self._hits,
+                    misses=self._misses,
+                    window_hits=self._window_hits,
+                    window_misses=self._window_misses,
+                ),
+            )
+
+    def merge(self, entries: "CacheEntries | TimingCache") -> int:
+        """Fold another cache's entries into this one; returns entries added.
+
+        Existing keys win — both sides computed the same deterministic
+        simulation, so first-write-wins keeps results bit-identical to a
+        sequential run no matter the merge order. The other side's hit/miss
+        counters are accumulated so a sharded sweep reports the work its
+        workers actually did.
+        """
+        if isinstance(entries, TimingCache):
+            entries = entries.export_entries()
+        with self._lock:
+            added = 0
+            for key, timing in entries.timings.items():
+                if key not in self._timings:
+                    self._timings[key] = timing
+                    added += 1
+            for key, window in entries.windows.items():
+                if key not in self._windows:
+                    self._windows[key] = window
+                    added += 1
+            self._hits += entries.stats.hits
+            self._misses += entries.stats.misses
+            self._window_hits += entries.stats.window_hits
+            self._window_misses += entries.stats.window_misses
+            return added
+
     # -- introspection -----------------------------------------------------------------
     def stats(self) -> CacheStats:
         with self._lock:
@@ -164,6 +252,24 @@ class TimingCache:
                 window_misses=self._window_misses,
             )
 
+    def reset_stats(self) -> CacheStats:
+        """Zero the counters, keeping every entry; returns the old stats.
+
+        This is the warm half of a cold-vs-warm benchmark: reset after the
+        cold pass and the next :meth:`stats` call counts only the warm
+        lookups, with no fresh process needed.
+        """
+        with self._lock:
+            before = CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                window_hits=self._window_hits,
+                window_misses=self._window_misses,
+            )
+            self._hits = self._misses = 0
+            self._window_hits = self._window_misses = 0
+            return before
+
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
         with self._lock:
@@ -171,6 +277,25 @@ class TimingCache:
             self._windows.clear()
             self._hits = self._misses = 0
             self._window_hits = self._window_misses = 0
+
+    # -- pickling (the lock itself cannot cross a process boundary) --------------------
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {
+                "timings": dict(self._timings),
+                "windows": dict(self._windows),
+                "counters": (
+                    self._hits, self._misses,
+                    self._window_hits, self._window_misses,
+                ),
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self._lock = threading.Lock()
+        self._timings = state["timings"]
+        self._windows = state["windows"]
+        (self._hits, self._misses,
+         self._window_hits, self._window_misses) = state["counters"]
 
     def __len__(self) -> int:
         with self._lock:

@@ -25,10 +25,13 @@ class GpuSimdPlatform(GpuPlatformBase):
         system: SystemConfig | None = None,
         framework_overhead_s: float = DEFAULT_FRAMEWORK_OVERHEAD_S,
         cache: TimingCache | None = None,
+        scheduler: str | None = None,
     ) -> None:
         system = system or system_gpu_simd()
         super().__init__(system, "gpu-simd", framework_overhead_s)
-        self.executor = GemmExecutor(system, "simd", cache=cache)
+        self.executor = GemmExecutor(
+            system, "simd", scheduler=scheduler, cache=cache
+        )
 
     def run_op(self, op: Operator) -> OpStats:
         dims = op.gemm_dims()

@@ -35,12 +35,13 @@ class GpuSmaPlatform(GpuPlatformBase):
         dataflow: Dataflow = Dataflow.SEMI_BROADCAST_WS,
         framework_overhead_s: float = DEFAULT_FRAMEWORK_OVERHEAD_S,
         cache: TimingCache | None = None,
+        scheduler: str | None = None,
     ) -> None:
         system = system or system_sma(units)
         super().__init__(system, f"gpu-{system.sma.units_per_sm}sma",
                          framework_overhead_s)
         self.executor = GemmExecutor(system, "sma", dataflow=dataflow,
-                                     cache=cache)
+                                     scheduler=scheduler, cache=cache)
         self.mode_tracker = ModeSwitchTracker(system.sma)
 
     def run_op(self, op: Operator) -> OpStats:

@@ -23,10 +23,13 @@ class GpuTcPlatform(GpuPlatformBase):
         system: SystemConfig | None = None,
         framework_overhead_s: float = DEFAULT_FRAMEWORK_OVERHEAD_S,
         cache: TimingCache | None = None,
+        scheduler: str | None = None,
     ) -> None:
         system = system or system_gpu_4tc()
         super().__init__(system, "gpu-4tc", framework_overhead_s)
-        self.executor = GemmExecutor(system, "tc", cache=cache)
+        self.executor = GemmExecutor(
+            system, "tc", scheduler=scheduler, cache=cache
+        )
 
     def run_op(self, op: Operator) -> OpStats:
         dims = op.gemm_dims()

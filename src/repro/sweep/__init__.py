@@ -1,0 +1,40 @@
+"""``repro.sweep`` — parallel, resumable design-space sweeps.
+
+Turns one declarative :class:`SweepSpec` (platform range patterns like
+``"sma:2..4"``, model/GEMM workloads, dataflow/scheduler axes) into an
+ordered grid of content-addressed requests, runs it sharded across worker
+processes with timing-cache merge on join, and persists results in a
+sqlite :class:`ResultStore` so sweeps resume instead of recompute::
+
+    from repro.sweep import ResultStore, SweepSpec, run_sweep
+
+    spec = SweepSpec(platforms=("sma:2..4", "gpu-tc"), gemms=(1024, 4096))
+    with ResultStore("sweep.sqlite") as store:
+        result = run_sweep(spec, jobs=4, store=store, resume=True)
+    print(len(result.executed), "simulated,", len(result.loaded), "loaded")
+"""
+
+from repro.sweep.grid import (
+    SweepGrid,
+    SweepPoint,
+    SweepSpec,
+    expand,
+    expand_platform_spec,
+    request_fingerprint,
+)
+from repro.sweep.store import ResultStore, StoreDiff, open_store
+from repro.sweep.workers import SweepResult, run_sweep
+
+__all__ = [
+    "ResultStore",
+    "StoreDiff",
+    "SweepGrid",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "expand",
+    "expand_platform_spec",
+    "open_store",
+    "request_fingerprint",
+    "run_sweep",
+]

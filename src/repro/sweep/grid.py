@@ -1,0 +1,275 @@
+"""Declarative sweep specs expanded into an ordered, stable request grid.
+
+A :class:`SweepSpec` names the axes of a design-space sweep — platforms
+(with ``sma:2..4``-style range patterns), models and/or GEMM shapes, and
+optional dataflow/scheduler overrides. :func:`expand` turns it into a
+:class:`SweepGrid`: an ordered, duplicate-free tuple of
+:class:`SweepPoint`\\ s, each pairing a :class:`~repro.api.results.SimRequest`
+with a *stable request ID*.
+
+IDs are content-addressed (a SHA-256 over the request's canonical JSON),
+so the same logical request gets the same ID in every process, on every
+run, and across grid reorderings — which is what lets a
+:class:`~repro.sweep.store.ResultStore` written by one run resume another,
+and lets two stores be diffed across commits.
+
+Expansion order is deterministic: platforms (in spec order, ranges
+expanded low to high) outermost, then models before GEMMs, then dataflows,
+then schedulers. Duplicate requests (e.g. overlapping range patterns)
+keep their first position and are dropped thereafter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.api.registry import parse_spec, platform_entry
+from repro.api.results import SimRequest
+from repro.config import DataType
+from repro.errors import ConfigError
+from repro.gemm.problem import GemmProblem
+
+#: ``LO..HI`` range pattern inside one platform-spec argument.
+_RANGE_RE = re.compile(r"^(?P<lo>\d+)\.\.(?P<hi>\d+)$")
+
+
+def expand_platform_spec(spec: str) -> tuple[str, ...]:
+    """Expand range patterns in one platform spec.
+
+    ``"sma:2..4"`` becomes ``("sma:2", "sma:3", "sma:4")``; ranges compose
+    with other arguments (``"sma:2..3,fp32"``) and multiple ranges take
+    their cartesian product in argument order. A spec without ranges
+    expands to itself (canonicalized by the registry's spec parser).
+    """
+    name, args = parse_spec(spec)
+    if not args:
+        return (name,)
+    choices: list[tuple[str, ...]] = []
+    for arg in args:
+        match = _RANGE_RE.match(arg)
+        if match is None:
+            choices.append((arg,))
+            continue
+        lo, hi = int(match.group("lo")), int(match.group("hi"))
+        if lo > hi:
+            raise ConfigError(
+                f"platform range {arg!r} in {spec!r} is empty ({lo} > {hi})"
+            )
+        choices.append(tuple(str(value) for value in range(lo, hi + 1)))
+    return tuple(
+        f"{name}:{','.join(combo)}" for combo in itertools.product(*choices)
+    )
+
+
+def _coerce_gemm(
+    gemm: GemmProblem | int | Sequence[int], dtype: DataType
+) -> GemmProblem:
+    if isinstance(gemm, GemmProblem):
+        return gemm
+    if isinstance(gemm, int):
+        return GemmProblem(gemm, gemm, gemm, dtype=dtype)
+    dims = tuple(gemm)
+    if len(dims) != 3 or not all(isinstance(d, int) for d in dims):
+        raise ConfigError(
+            f"sweep GEMM must be a GemmProblem, n, or (m, n, k); got {gemm!r}"
+        )
+    m, n, k = dims
+    return GemmProblem(m, n, k, dtype=dtype)
+
+
+def _normalized(value) -> tuple:
+    if value is None:
+        return (None,)
+    if isinstance(value, (str, int)):
+        return (value,)
+    normalized = tuple(value)
+    return normalized if normalized else (None,)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The declarative axes of one sweep.
+
+    ``platforms`` may use range patterns (``"sma:2..4"``); ``models`` and
+    ``gemms`` are the workloads (at least one of the two must be
+    non-empty; bare GEMM sizes are coerced with ``gemm_dtype``).
+    ``dataflows``/``schedulers`` add override axes applied to every
+    workload (``None`` entries keep the platform default).
+    ``framework_overhead_s`` overrides the per-kernel-launch overhead of
+    model runs (kernel studies pass ``0.0``) and is folded into model
+    request fingerprints so stored results never leak across settings.
+    """
+
+    platforms: tuple[str, ...]
+    models: tuple[str, ...] = ()
+    gemms: tuple = ()
+    dataflows: tuple[str | None, ...] = (None,)
+    schedulers: tuple[str | None, ...] = (None,)
+    gemm_dtype: str = "fp16"
+    framework_overhead_s: float | None = None
+    tag: str | None = None
+
+    def __post_init__(self) -> None:
+        platforms = _normalized(self.platforms)
+        models = self.models
+        if isinstance(models, str):
+            models = (models,)
+        gemms = self.gemms
+        if isinstance(gemms, (int, GemmProblem)):
+            gemms = (gemms,)
+        object.__setattr__(self, "platforms", platforms)
+        object.__setattr__(self, "models", tuple(models))
+        object.__setattr__(self, "gemms", tuple(gemms))
+        object.__setattr__(self, "dataflows", _normalized(self.dataflows))
+        object.__setattr__(self, "schedulers", _normalized(self.schedulers))
+        if platforms == (None,):
+            raise ConfigError("sweep spec needs at least one platform")
+        if not self.models and not self.gemms:
+            raise ConfigError(
+                "sweep spec needs at least one model or GEMM workload"
+            )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid cell: a request plus its stable identity.
+
+    ``request_id`` is a short human-scannable handle
+    (``"<kind>-<12 hex>"``); ``fingerprint`` is the full content hash a
+    :class:`~repro.sweep.store.ResultStore` keys on alongside it.
+    """
+
+    index: int
+    request_id: str
+    fingerprint: str
+    request: SimRequest
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """An ordered, duplicate-free expansion of one :class:`SweepSpec`."""
+
+    points: tuple[SweepPoint, ...]
+    framework_overhead_s: float | None = None
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    @property
+    def request_ids(self) -> tuple[str, ...]:
+        return tuple(point.request_id for point in self.points)
+
+    def by_id(self) -> dict[str, SweepPoint]:
+        return {point.request_id: point for point in self.points}
+
+
+def request_fingerprint(
+    request: SimRequest, extras: dict | None = None
+) -> str:
+    """SHA-256 over the request's canonical JSON (plus sweep extras).
+
+    ``extras`` carries sweep-level knobs that change the result but live
+    outside :class:`SimRequest` (today: ``framework_overhead_s`` for model
+    requests), so two sweeps differing only in those never share stored
+    results.
+    """
+    payload = request.to_dict()
+    # The tag is an opaque display label, not identity: re-running a sweep
+    # under a different tag must still resume from the same stored results.
+    payload.pop("tag", None)
+    if extras:
+        payload["extras"] = dict(sorted(extras.items()))
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _point_extras(spec_overhead: float | None, kind: str) -> dict | None:
+    if spec_overhead is not None and kind == "model":
+        return {"framework_overhead_s": spec_overhead}
+    return None
+
+
+def expand(spec: SweepSpec) -> SweepGrid:
+    """Expand a spec into its ordered, duplicate-free request grid."""
+    platforms: list[str] = []
+    for raw in spec.platforms:
+        for platform in expand_platform_spec(raw):
+            platform_entry(platform)  # fail fast on unknown platforms
+            platforms.append(platform)
+    try:
+        dtype = DataType(spec.gemm_dtype)
+    except ValueError:
+        raise ConfigError(
+            f"unknown gemm dtype {spec.gemm_dtype!r}; one of"
+            f" {sorted(d.value for d in DataType)}"
+        ) from None
+
+    requests: list[SimRequest] = []
+    for platform in platforms:
+        for model in spec.models:
+            for dataflow, scheduler in itertools.product(
+                spec.dataflows, spec.schedulers
+            ):
+                requests.append(
+                    SimRequest(
+                        platform=platform,
+                        model=model,
+                        tag=spec.tag,
+                        dataflow=dataflow,
+                        scheduler=scheduler,
+                    )
+                )
+        for gemm in spec.gemms:
+            problem = _coerce_gemm(gemm, dtype)
+            for dataflow, scheduler in itertools.product(
+                spec.dataflows, spec.schedulers
+            ):
+                requests.append(
+                    SimRequest(
+                        platform=platform,
+                        gemm=problem,
+                        tag=spec.tag,
+                        dataflow=dataflow,
+                        scheduler=scheduler,
+                    )
+                )
+
+    points: list[SweepPoint] = []
+    seen: set[str] = set()
+    for request in requests:
+        fingerprint = request_fingerprint(
+            request, _point_extras(spec.framework_overhead_s, request.kind)
+        )
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        points.append(
+            SweepPoint(
+                index=len(points),
+                request_id=f"{request.kind}-{fingerprint[:12]}",
+                fingerprint=fingerprint,
+                request=request,
+            )
+        )
+    return SweepGrid(
+        points=tuple(points),
+        framework_overhead_s=spec.framework_overhead_s,
+    )
+
+
+__all__ = [
+    "SweepGrid",
+    "SweepPoint",
+    "SweepSpec",
+    "expand",
+    "expand_platform_spec",
+    "request_fingerprint",
+]

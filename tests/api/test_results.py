@@ -86,6 +86,65 @@ class TestModelReport:
         assert data["grouped_seconds"] == MODEL_REPORT.grouped_seconds()
 
 
+class TestSimRequestRoundTrip:
+    def test_gemm_request_round_trip(self):
+        request = SimRequest(
+            platform="sma:2",
+            gemm=GemmProblem(512, 256, 1024, beta=1.0),
+            tag="rt",
+            dataflow="ws",
+            scheduler="sma_rr",
+        )
+        assert SimRequest.from_json(request.to_json()) == request
+
+    def test_model_request_round_trip(self):
+        request = SimRequest(
+            platform="gpu-tc", model="alexnet", scheduler="lrr"
+        )
+        recovered = SimRequest.from_dict(request.to_dict())
+        assert recovered == request
+        assert recovered.dataflow is None
+
+    def test_dataflow_enum_normalized_to_value(self):
+        from repro.systolic.dataflow import Dataflow
+
+        request = SimRequest(
+            platform="sma:2",
+            gemm=GemmProblem(64, 64, 64),
+            dataflow=Dataflow.WEIGHT_STATIONARY,
+        )
+        assert request.dataflow == "ws"
+
+    def test_unknown_dataflow_rejected(self):
+        with pytest.raises(ConfigError):
+            SimRequest(
+                platform="sma:2",
+                gemm=GemmProblem(64, 64, 64),
+                dataflow="spiral",
+            )
+
+
+class TestOpReportEnergy:
+    def test_energy_dict_round_trips(self):
+        report = ModelReport(
+            model="alexnet",
+            platform="sma:2",
+            ops=(
+                OpReport(
+                    "conv1", "CNN&FC", "gemm-sma", 1e-3, 2e9,
+                    energy={"Global": 0.25, "PE": 0.5},
+                ),
+            ),
+        )
+        assert ModelReport.from_dict(report.to_dict()) == report
+
+    def test_live_model_report_carries_energy(self):
+        session = Session(cache=TimingCache())
+        report = session.run_model("alexnet", "sma:2")
+        assert any(op.energy for op in report.ops)
+        assert ModelReport.from_json(report.to_json()) == report
+
+
 class TestReportFromDict:
     def test_dispatch(self):
         assert report_from_dict(GEMM_REPORT.to_dict()) == GEMM_REPORT

@@ -4,7 +4,7 @@ import pytest
 
 from repro.api import Session, SimRequest, TimingCache
 from repro.config import DataType
-from repro.errors import ConfigError
+from repro.errors import BatchRequestError, ConfigError
 from repro.gemm.problem import GemmProblem
 from repro.systolic.dataflow import Dataflow
 
@@ -163,6 +163,50 @@ class TestRunBatch:
     def test_rejects_non_requests(self, session):
         with pytest.raises(ConfigError):
             session.run_batch(["alexnet"])
+
+    def test_failure_carries_index_and_tag(self, session):
+        """Satellite regression: a bad request mid-batch keeps its position."""
+        requests = [
+            SimRequest(platform="sma:2", gemm=SMALL, tag="ok"),
+            SimRequest(platform="sma:2", model="not_a_model", tag="broken"),
+        ]
+        with pytest.raises(BatchRequestError) as excinfo:
+            session.run_batch(requests)
+        error = excinfo.value
+        assert error.index == 1
+        assert error.tag == "broken"
+        assert "not_a_model" in str(error)
+        assert isinstance(error.__cause__, ConfigError)
+
+    def test_dataflow_override_honored(self, session):
+        """Satellite regression: request-level dataflow reaches the executor."""
+        batch = session.run_batch(
+            [
+                SimRequest(platform="sma:2", gemm=SMALL),
+                SimRequest(platform="sma:2", gemm=SMALL, dataflow="ws"),
+            ]
+        )
+        default, ws = batch.reports
+        assert ws.dataflow == "ws"
+        assert not ws.cached  # distinct executor config, distinct cache key
+        assert ws.seconds > default.seconds  # diagonal drain is slower
+
+    def test_override_on_incapable_platform_is_config_error(self, session):
+        """gpu-tc has no dataflow axis: the failure is a clean ConfigError
+        (wrapped with its batch position), not a raw TypeError."""
+        with pytest.raises(BatchRequestError) as excinfo:
+            session.run_batch(
+                [SimRequest(platform="gpu-tc", model="alexnet", dataflow="ws")]
+            )
+        assert isinstance(excinfo.value.__cause__, ConfigError)
+        assert "gpu-tc" in str(excinfo.value)
+
+    def test_scheduler_override_honored(self, session):
+        default = session.time_gemm("sma:2", SMALL)
+        lrr = session.time_gemm("sma:2", SMALL, scheduler="lrr")
+        assert lrr.scheduler == "lrr"
+        assert default.scheduler is None
+        assert not lrr.cached  # scheduler is part of the cache key
 
     def test_batch_json_export(self, session):
         batch = session.run_batch(

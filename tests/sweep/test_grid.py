@@ -1,0 +1,188 @@
+"""Grid expansion: determinism, dedup, order stability, range patterns."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.gemm.problem import GemmProblem
+from repro.sweep.grid import (
+    SweepSpec,
+    expand,
+    expand_platform_spec,
+    request_fingerprint,
+)
+
+
+class TestRangeExpansion:
+    def test_plain_spec_passes_through(self):
+        assert expand_platform_spec("gpu-tc") == ("gpu-tc",)
+        assert expand_platform_spec("sma:3") == ("sma:3",)
+
+    def test_simple_range(self):
+        assert expand_platform_spec("sma:2..4") == ("sma:2", "sma:3", "sma:4")
+
+    def test_range_with_trailing_arg(self):
+        assert expand_platform_spec("sma:2..3,fp32") == (
+            "sma:2,fp32",
+            "sma:3,fp32",
+        )
+
+    def test_degenerate_range(self):
+        assert expand_platform_spec("sma:3..3") == ("sma:3",)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ConfigError):
+            expand_platform_spec("sma:4..2")
+
+
+class TestSpecValidation:
+    def test_needs_platforms(self):
+        with pytest.raises(ConfigError):
+            expand(SweepSpec(platforms=(), gemms=(128,)))
+
+    def test_needs_workload(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(platforms=("sma:2",))
+
+    def test_unknown_platform_fails_fast(self):
+        with pytest.raises(ConfigError):
+            expand(SweepSpec(platforms=("warp-drive",), gemms=(128,)))
+
+    def test_bad_gemm_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            expand(SweepSpec(platforms=("sma:2",), gemms=((1, 2),)))
+
+    def test_unknown_dtype_rejected_as_config_error(self):
+        with pytest.raises(ConfigError):
+            expand(
+                SweepSpec(
+                    platforms=("sma:2",), gemms=(128,), gemm_dtype="banana"
+                )
+            )
+
+
+# Strategy: small specs drawn from real platform/model names, with
+# overlapping ranges so deduplication actually has work to do.
+_PLATFORMS = st.lists(
+    st.sampled_from(["gpu-tc", "gpu-simd", "sma:2", "sma:2..3", "sma:2..4"]),
+    min_size=1,
+    max_size=4,
+)
+_GEMMS = st.lists(
+    st.sampled_from([64, 128, (64, 128, 256), GemmProblem(32, 32, 32)]),
+    min_size=1,
+    max_size=3,
+)
+_DATAFLOWS = st.sampled_from([(None,), ("sbws",), ("sbws", "ws")])
+
+
+class TestExpansionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(platforms=_PLATFORMS, gemms=_GEMMS, dataflows=_DATAFLOWS)
+    def test_deterministic(self, platforms, gemms, dataflows):
+        spec = SweepSpec(
+            platforms=tuple(platforms),
+            gemms=tuple(gemms),
+            dataflows=dataflows,
+        )
+        first, second = expand(spec), expand(spec)
+        assert first == second
+        assert first.request_ids == second.request_ids
+
+    @settings(max_examples=60, deadline=None)
+    @given(platforms=_PLATFORMS, gemms=_GEMMS, dataflows=_DATAFLOWS)
+    def test_duplicate_free(self, platforms, gemms, dataflows):
+        grid = expand(
+            SweepSpec(
+                platforms=tuple(platforms),
+                gemms=tuple(gemms),
+                dataflows=dataflows,
+            )
+        )
+        ids = grid.request_ids
+        assert len(set(ids)) == len(ids)
+        fingerprints = [point.fingerprint for point in grid]
+        assert len(set(fingerprints)) == len(fingerprints)
+        requests = [point.request for point in grid]
+        assert len(set(requests)) == len(requests)
+
+    @settings(max_examples=60, deadline=None)
+    @given(platforms=_PLATFORMS, gemms=_GEMMS)
+    def test_order_stable_under_extension(self, platforms, gemms):
+        """Appending an axis value never reorders the existing points."""
+        base = expand(
+            SweepSpec(platforms=tuple(platforms), gemms=tuple(gemms))
+        )
+        extended = expand(
+            SweepSpec(
+                platforms=tuple(platforms) + ("gpu-tc",),
+                gemms=tuple(gemms) + (96,),
+            )
+        )
+        base_ids = set(base.request_ids)
+        surviving = [
+            rid for rid in extended.request_ids if rid in base_ids
+        ]
+        assert surviving == list(base.request_ids)
+
+    @settings(max_examples=60, deadline=None)
+    @given(platforms=_PLATFORMS, gemms=_GEMMS)
+    def test_indexes_are_positional(self, platforms, gemms):
+        grid = expand(
+            SweepSpec(platforms=tuple(platforms), gemms=tuple(gemms))
+        )
+        assert [point.index for point in grid] == list(range(len(grid)))
+
+
+class TestFingerprints:
+    def test_platform_order_does_not_change_point_identity(self):
+        forward = expand(
+            SweepSpec(platforms=("gpu-tc", "sma:2"), gemms=(128,))
+        )
+        backward = expand(
+            SweepSpec(platforms=("sma:2", "gpu-tc"), gemms=(128,))
+        )
+        assert set(forward.request_ids) == set(backward.request_ids)
+        assert forward.request_ids != backward.request_ids  # order follows spec
+
+    def test_overhead_extras_change_model_fingerprints_only(self):
+        plain = expand(
+            SweepSpec(
+                platforms=("sma:2",), models=("alexnet",), gemms=(128,)
+            )
+        )
+        kernel_study = expand(
+            SweepSpec(
+                platforms=("sma:2",),
+                models=("alexnet",),
+                gemms=(128,),
+                framework_overhead_s=0.0,
+            )
+        )
+        by_kind = lambda grid: {p.request.kind: p for p in grid}  # noqa: E731
+        assert (
+            by_kind(plain)["model"].fingerprint
+            != by_kind(kernel_study)["model"].fingerprint
+        )
+        assert (
+            by_kind(plain)["gemm"].fingerprint
+            == by_kind(kernel_study)["gemm"].fingerprint
+        )
+
+    def test_tag_does_not_change_identity(self):
+        """Re-running under a new --tag must resume from the same store."""
+        untagged = expand(SweepSpec(platforms=("sma:2",), gemms=(128,)))
+        tagged = expand(
+            SweepSpec(platforms=("sma:2",), gemms=(128,), tag="nightly")
+        )
+        assert untagged.request_ids == tagged.request_ids
+        assert [p.fingerprint for p in untagged] == [
+            p.fingerprint for p in tagged
+        ]
+
+    def test_fingerprint_is_content_hash_of_request(self):
+        grid = expand(SweepSpec(platforms=("sma:2",), gemms=(128,)))
+        point = grid.points[0]
+        assert point.fingerprint == request_fingerprint(point.request)
+        assert point.request_id == f"gemm-{point.fingerprint[:12]}"
