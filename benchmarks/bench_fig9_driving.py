@@ -1,4 +1,10 @@
-"""Fig 9: the autonomous-driving pipeline (latency + frame skipping)."""
+"""Fig 9: the autonomous-driving pipeline (latency + frame skipping).
+
+The pipeline now runs through the ``repro.schedule`` timeline (scenario
+declarations per platform and skip interval), so this benchmark tracks
+the end-to-end cost of lowering + scheduling + reporting; the scheduler
+layer alone is bounded by ``bench_scenario_multistream.py``.
+"""
 
 from benchmarks.conftest import run_and_report
 from repro.experiments import run_fig9_left, run_fig9_right

@@ -1,0 +1,80 @@
+"""Scheduler overhead: the timeline engine itself must stay cheap.
+
+The multi-stream scenario path adds a scheduling layer on top of the
+(cached) per-op pricing; this benchmark isolates that layer by pre-lowering
+a 3-stream scenario's tasks once and then timing only
+``TimelineScheduler.run``. Budget: < 50 us of scheduling overhead per op.
+
+Run with::
+
+    pytest benchmarks/bench_scenario_multistream.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import ScenarioSpec, Session, StreamSpec
+from repro.schedule.streams import instantiate_frames
+from repro.schedule.timeline import TimelineScheduler
+
+#: Scheduling-overhead budget per op (seconds).
+PER_OP_BUDGET_S = 50e-6
+
+SCENARIO = ScenarioSpec(
+    name="bench-multistream",
+    platform="sma:2",
+    frames=4,
+    policy="priority",
+    streams=(
+        StreamSpec(name="det", model="deeplab:nocrf", priority=3.0,
+                   skip_interval=4),
+        StreamSpec(name="tra", model="goturn", priority=2.0),
+        StreamSpec(name="loc", model="orb_slam", priority=1.0,
+                   period_s=0.033, deadline_s=0.100),
+    ),
+)
+
+
+def _lowered_plan():
+    session = Session()
+    platform = session.platform(
+        SCENARIO.platform, framework_overhead_s=50e-6
+    )
+    templates = {}
+    for stream in SCENARIO.streams:
+        platform.reset_schedule_state()
+        templates[stream.name] = platform.lower_model(
+            session.model(stream.model), stream=stream.name
+        )
+    return instantiate_frames(SCENARIO, templates)
+
+
+def test_scheduler_overhead_per_op(benchmark):
+    plan = _lowered_plan()
+    scheduler = TimelineScheduler(SCENARIO.policy)
+
+    timeline = benchmark.pedantic(
+        lambda: scheduler.run(plan.tasks), rounds=5, iterations=1
+    )
+    assert timeline.makespan_s > 0
+    per_op = benchmark.stats.stats.mean / len(plan.tasks)
+    print(
+        f"\n{len(plan.tasks)} tasks scheduled;"
+        f" {per_op * 1e6:.2f} us/op (budget {PER_OP_BUDGET_S * 1e6:.0f} us)"
+    )
+    assert per_op < PER_OP_BUDGET_S
+
+
+def test_scheduler_overhead_without_harness():
+    """Plain-timer fallback so the budget also gates `pytest benchmarks`
+    runs without --benchmark-only."""
+    plan = _lowered_plan()
+    scheduler = TimelineScheduler(SCENARIO.policy)
+    scheduler.run(plan.tasks)  # warm
+    start = time.perf_counter()
+    rounds = 3
+    for _ in range(rounds):
+        scheduler.run(plan.tasks)
+    per_op = (time.perf_counter() - start) / rounds / len(plan.tasks)
+    assert per_op < PER_OP_BUDGET_S

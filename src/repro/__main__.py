@@ -12,6 +12,10 @@ Usage::
     python -m repro bench 4096x1024x4096
     python -m repro sweep -p sma:2..4 -p gpu-tc -g 1024 -g 4096 --jobs 4 \
         --store sweep.sqlite --resume            # sharded, resumable sweep
+    python -m repro scenario -p sma:3 --frames 4 --policy priority \
+        -s "mask_rcnn@prio=3,deadline=0.2" -s deeplab -s vgg_a
+                                                 # multi-stream timeline
+    python -m repro store-diff old.sqlite new.sqlite  # regression gate
     python -m repro run fig7_left                # print one regenerated figure
     python -m repro run all                      # print everything
     python -m repro export [-o results]          # write every figure as CSV
@@ -20,16 +24,19 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.api import (
+    ScenarioSpec,
     Session,
     SimRequest,
+    StreamSpec,
     available_models,
     available_platforms,
 )
 from repro.common.tables import render_table
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.experiments.export import EXPERIMENT_RUNNERS, export_all
 from repro.platforms.base import REPORTING_GROUPS as GROUP_ORDER
 
@@ -138,14 +145,198 @@ def _cmd_bench(gemm: str, platforms: list[str], as_json: bool) -> int:
     return 0
 
 
+def _parse_stream(text: str) -> StreamSpec:
+    """Parse one ``-s MODEL[@key=value,...]`` stream option.
+
+    Keys: ``name``, ``prio``/``priority``, ``skip``, ``period``,
+    ``deadline`` (seconds). The model spec may itself carry ``:`` args
+    (``deeplab:nocrf``), hence the ``@`` separator.
+    """
+    model, _sep, rest = text.partition("@")
+    model = model.strip()
+    if not model:
+        raise ConfigError(f"stream {text!r} has no model spec")
+    options: dict = {"name": model, "model": model}
+    if rest:
+        for part in rest.split(","):
+            key, sep, value = part.partition("=")
+            key = key.strip().lower()
+            if not sep or not value.strip():
+                raise ConfigError(
+                    f"stream {text!r}: expected key=value, got {part!r}"
+                )
+            value = value.strip()
+            try:
+                if key in ("prio", "priority"):
+                    options["priority"] = float(value)
+                elif key == "skip":
+                    options["skip_interval"] = int(value)
+                elif key == "period":
+                    options["period_s"] = float(value)
+                elif key == "deadline":
+                    options["deadline_s"] = float(value)
+                elif key == "name":
+                    options["name"] = value
+                else:
+                    raise ConfigError(
+                        f"stream {text!r}: unknown key {key!r}; one of"
+                        " name, prio, skip, period, deadline"
+                    )
+            except ValueError:
+                raise ConfigError(
+                    f"stream {text!r}: bad value {value!r} for {key!r}"
+                ) from None
+    return StreamSpec(**options)
+
+
+def _load_scenario_file(path: str) -> ScenarioSpec:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return ScenarioSpec.from_json(handle.read())
+    except OSError as error:
+        raise ConfigError(f"cannot read scenario file {path!r}: {error}")
+
+
+def _cmd_scenario(args) -> int:
+    if args.spec:
+        if args.streams:
+            raise ConfigError(
+                "--spec already defines the streams; drop the -s options"
+            )
+        # Command-line flags re-target the file's spec: -p/--platform via
+        # run_scenario's platform argument, the rest by replacement.
+        scenario = _load_scenario_file(args.spec)
+        overrides = {
+            key: value
+            for key, value in (
+                ("frames", args.frames),
+                ("policy", args.policy),
+                ("name", args.name),
+            )
+            if value is not None
+        }
+        if overrides:
+            scenario = dataclasses.replace(scenario, **overrides)
+    else:
+        if not args.streams:
+            raise ConfigError(
+                "scenario needs -s/--stream options (or --spec FILE)"
+            )
+        streams = tuple(_parse_stream(text) for text in args.streams)
+        if not args.platform:
+            raise ConfigError("scenario needs -p/--platform")
+        scenario = ScenarioSpec(
+            name=args.name if args.name is not None else "scenario",
+            streams=streams,
+            platform=args.platform,
+            frames=args.frames if args.frames is not None else 1,
+            policy=args.policy if args.policy is not None else "fifo",
+        )
+    session = Session()
+    report = session.run_scenario(scenario, args.platform or None)
+    if args.json:
+        print(report.to_json(indent=2))
+        return 0
+    rows = [
+        [
+            stream.name,
+            stream.model,
+            stream.priority,
+            f"{stream.frames_run}/{stream.frames_run + stream.frames_skipped}",
+            stream.busy_s * 1e3,
+            stream.stretch,
+            stream.mean_latency_s * 1e3,
+            stream.max_latency_s * 1e3,
+            stream.deadline_misses,
+        ]
+        for stream in report.streams
+    ]
+    print(
+        render_table(
+            ["stream", "model", "prio", "frames", "busy_ms", "stretch",
+             "mean_lat_ms", "max_lat_ms", "misses"],
+            rows,
+            title=(
+                f"scenario {report.scenario!r} on {report.platform}"
+                f" ({report.policy} policy, {report.frames} frame(s))"
+            ),
+        )
+    )
+    print()
+    occupancy = ", ".join(
+        f"{kind}={fraction:.0%}"
+        for kind, fraction in sorted(report.occupancy.items())
+    )
+    print(
+        f"makespan {report.makespan_s * 1e3:.3f} ms,"
+        f" avg frame latency {report.avg_frame_latency_ms:.3f} ms"
+    )
+    print(
+        f"resource occupancy: {occupancy or 'n/a'};"
+        f" cross-stream mode switches: {report.mode_switches}"
+        f" ({report.switch_overhead_s * 1e6:.2f} us)"
+    )
+    _print_cache_line(session)
+    return 0
+
+
+def _cmd_store_diff(args) -> int:
+    import os
+
+    from repro.sweep import ResultStore
+
+    for path in (args.left, args.right):
+        # sqlite would silently create a missing file, which would make a
+        # mistyped baseline path pass the regression gate vacuously.
+        if not os.path.exists(path):
+            raise ConfigError(f"result store {path!r} does not exist")
+    with ResultStore(args.left) as left, ResultStore(args.right) as right:
+        diff = left.diff(right)
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "only_left": list(diff.only_left),
+                    "only_right": list(diff.only_right),
+                    "changed": list(diff.changed),
+                    "unchanged": list(diff.unchanged),
+                    "identical": diff.identical,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"store diff: {len(diff.unchanged)} unchanged,"
+            f" {len(diff.changed)} changed,"
+            f" {len(diff.only_left)} only in {args.left},"
+            f" {len(diff.only_right)} only in {args.right}"
+        )
+        for request_id in diff.changed:
+            print(f"  changed: {request_id}")
+    if diff.changed:
+        print(
+            "regression gate: result payloads changed for stored requests",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     from repro.sweep import ResultStore, SweepSpec, expand, run_sweep
 
     gemms = tuple(_parse_gemm(text) for text in (args.gemms or ()))
+    scenarios = tuple(
+        _load_scenario_file(path) for path in (args.scenarios or ())
+    )
     spec = SweepSpec(
         platforms=tuple(args.platforms),
         models=tuple(args.models or ()),
         gemms=gemms,
+        scenarios=scenarios,
         dataflows=tuple(args.dataflows) if args.dataflows else (None,),
         schedulers=tuple(args.schedulers) if args.schedulers else (None,),
         gemm_dtype=args.dtype,
@@ -168,7 +359,15 @@ def _cmd_sweep(args) -> int:
         rows = []
         for point, report in zip(grid.points, result.reports):
             request = point.request
-            workload = request.model or f"{report.m}x{report.n}x{report.k}"
+            if request.kind == "scenario":
+                workload = request.scenario.name
+                ms = report.avg_frame_latency_ms
+            elif request.kind == "model":
+                workload = request.model
+                ms = report.total_ms
+            else:
+                workload = f"{report.m}x{report.n}x{report.k}"
+                ms = report.milliseconds
             rows.append(
                 [
                     point.request_id,
@@ -176,11 +375,7 @@ def _cmd_sweep(args) -> int:
                     workload,
                     request.dataflow or "-",
                     request.scheduler or "-",
-                    (
-                        report.total_ms
-                        if request.kind == "model"
-                        else report.milliseconds
-                    ),
+                    ms,
                     "store" if point.request_id in result.loaded else "run",
                 ]
             )
@@ -305,8 +500,56 @@ def main(argv: list[str] | None = None) -> int:
         "--resume", action="store_true",
         help="skip requests already in the store (requires --store)",
     )
+    sweep_parser.add_argument(
+        "-S", "--scenario", action="append", dest="scenarios", metavar="FILE",
+        help="scenario JSON file (repeatable); re-targeted at each platform",
+    )
     sweep_parser.add_argument("--tag", default=None, help="label for reports")
     sweep_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    scenario_parser = sub.add_parser(
+        "scenario",
+        help="schedule N concurrent model streams on one platform timeline",
+    )
+    scenario_parser.add_argument(
+        "-p", "--platform", default=None,
+        help="platform spec, e.g. sma:3 (overrides --spec's platform)",
+    )
+    scenario_parser.add_argument(
+        "-s", "--stream", action="append", dest="streams",
+        metavar="MODEL[@k=v,...]",
+        help="stream spec (repeatable): model plus name/prio/skip/period/"
+        "deadline options, e.g. 'mask_rcnn@prio=3,deadline=0.2'",
+    )
+    scenario_parser.add_argument(
+        "--frames", type=int, default=None,
+        help="frames to simulate (default 1; overrides --spec)",
+    )
+    scenario_parser.add_argument(
+        "--policy", default=None, choices=("fifo", "priority", "exclusive"),
+        help="scheduling policy (default fifo; overrides --spec)",
+    )
+    scenario_parser.add_argument(
+        "--name", default=None,
+        help="scenario name for reports (overrides --spec)",
+    )
+    scenario_parser.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="load the scenario from a ScenarioSpec JSON file",
+    )
+    scenario_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    diff_parser = sub.add_parser(
+        "store-diff",
+        help="diff two result stores; exit 1 when stored results changed",
+    )
+    diff_parser.add_argument("left", help="baseline store (e.g. previous CI run)")
+    diff_parser.add_argument("right", help="current store")
+    diff_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
 
@@ -329,6 +572,10 @@ def main(argv: list[str] | None = None) -> int:
             )
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "scenario":
+            return _cmd_scenario(args)
+        if args.command == "store-diff":
+            return _cmd_store_diff(args)
         if args.command == "run":
             return _cmd_run(args.names)
         if args.command == "export":

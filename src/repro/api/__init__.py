@@ -33,7 +33,12 @@ from repro.api.results import (
     GemmReport,
     ModelReport,
     OpReport,
+    ScenarioSpec,
+    ScheduleReport,
+    ScheduleSegment,
     SimRequest,
+    StreamReport,
+    StreamSpec,
     report_from_dict,
 )
 from repro.api.session import Session
@@ -51,8 +56,13 @@ __all__ = [
     "GemmReport",
     "ModelReport",
     "OpReport",
+    "ScenarioSpec",
+    "ScheduleReport",
+    "ScheduleSegment",
     "Session",
     "SimRequest",
+    "StreamReport",
+    "StreamSpec",
     "TimingCache",
     "available_models",
     "available_platforms",

@@ -413,3 +413,38 @@ def _model_deeplab(*args: str) -> LayerGraph:
 def _model_goturn(*args: str) -> LayerGraph:
     _no_args("goturn", args)
     return build_goturn()
+
+
+@register_model(
+    "driving_det",
+    description="DeepLab on driving frames, no CRF (Fig 9 DET,"
+    " driving_det[:INPUT])",
+    aliases=("driving-det",),
+)
+def _model_driving_det(*args: str) -> LayerGraph:
+    # Imported lazily: repro.apps pulls in the Session facade, which is
+    # still mid-import while this registry module loads.
+    from repro.apps.tasks import build_detection_graph
+
+    if len(args) > 1:
+        raise ConfigError(
+            f"'driving_det' takes at most an INPUT argument, got {args}"
+        )
+    input_size = (
+        _int_arg("driving_det input", args[0], minimum=65) if args else None
+    )
+    if input_size is None:
+        return build_detection_graph()
+    return build_detection_graph(input_size)
+
+
+@register_model(
+    "orb_slam",
+    description="ORB-SLAM feature frontend + pose solve (Fig 9 LOC)",
+    aliases=("orb-slam",),
+)
+def _model_orb_slam(*args: str) -> LayerGraph:
+    from repro.apps.tasks import build_localization_graph
+
+    _no_args("orb_slam", args)
+    return build_localization_graph()

@@ -9,7 +9,7 @@ round-trip to an equal object — rather than only renderable tables.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass, field, fields
 
 from repro.config import DataType
 from repro.errors import ConfigError
@@ -17,6 +17,8 @@ from repro.gemm.cache import CacheStats
 from repro.gemm.executor import GemmTiming
 from repro.gemm.problem import GemmProblem
 from repro.platforms.base import ModelRunResult
+from repro.schedule.streams import FramePlan, ScenarioSpec, StreamSpec
+from repro.schedule.timeline import Timeline, TimelineSegment
 from repro.systolic.dataflow import Dataflow
 
 #: The dataflow names a request may carry (`Dataflow` enum values).
@@ -27,10 +29,12 @@ DATAFLOW_NAMES = tuple(flow.value for flow in Dataflow)
 class SimRequest:
     """One simulation request for :meth:`repro.api.session.Session.run_batch`.
 
-    Exactly one of ``model`` (a model spec such as ``"mask_rcnn"``) or
-    ``gemm`` (a :class:`GemmProblem`) must be set; ``platform`` is always a
-    platform spec such as ``"sma:3"``. ``tag`` is an opaque caller label
-    echoed into the resulting report.
+    Exactly one of ``model`` (a model spec such as ``"mask_rcnn"``),
+    ``gemm`` (a :class:`GemmProblem`), or ``scenario`` (a multi-stream
+    :class:`~repro.schedule.streams.ScenarioSpec`) must be set;
+    ``platform`` is always a platform spec such as ``"sma:3"`` (and binds
+    the scenario's platform when the scenario leaves it open). ``tag`` is
+    an opaque caller label echoed into the resulting report.
 
     ``dataflow`` (a :class:`Dataflow` value name such as ``"ws"``/``"sbws"``)
     and ``scheduler`` (``"gto"``/``"lrr"``/``"sma_rr"``) optionally override
@@ -41,15 +45,25 @@ class SimRequest:
     platform: str
     model: str | None = None
     gemm: GemmProblem | None = None
+    scenario: ScenarioSpec | None = None
     tag: str | None = None
     dataflow: str | None = None
     scheduler: str | None = None
 
     def __post_init__(self) -> None:
-        if (self.model is None) == (self.gemm is None):
+        workloads = [
+            kind
+            for kind, value in (
+                ("model", self.model),
+                ("gemm", self.gemm),
+                ("scenario", self.scenario),
+            )
+            if value is not None
+        ]
+        if len(workloads) != 1:
             raise ConfigError(
-                "SimRequest needs exactly one of model= or gemm=, got"
-                f" model={self.model!r} gemm={self.gemm!r}"
+                "SimRequest needs exactly one of model=, gemm=, or"
+                f" scenario=, got {workloads or 'none'}"
             )
         if isinstance(self.dataflow, Dataflow):
             object.__setattr__(self, "dataflow", self.dataflow.value)
@@ -60,7 +74,11 @@ class SimRequest:
 
     @property
     def kind(self) -> str:
-        return "model" if self.model is not None else "gemm"
+        if self.model is not None:
+            return "model"
+        if self.gemm is not None:
+            return "gemm"
+        return "scenario"
 
     def to_dict(self) -> dict:
         gemm = None
@@ -73,7 +91,7 @@ class SimRequest:
                 "alpha": self.gemm.alpha,
                 "beta": self.gemm.beta,
             }
-        return {
+        payload = {
             "kind": self.kind,
             "platform": self.platform,
             "model": self.model,
@@ -82,6 +100,12 @@ class SimRequest:
             "dataflow": self.dataflow,
             "scheduler": self.scheduler,
         }
+        # Only scenario requests carry the key: model/gemm dicts (and the
+        # content-addressed fingerprints derived from them) stay identical
+        # across commits that predate the scenario axis.
+        if self.scenario is not None:
+            payload["scenario"] = self.scenario.to_dict()
+        return payload
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -98,10 +122,14 @@ class SimRequest:
                 alpha=gemm.get("alpha", 1.0),
                 beta=gemm.get("beta", 0.0),
             )
+        scenario = data.get("scenario")
+        if scenario is not None:
+            scenario = ScenarioSpec.from_dict(scenario)
         return cls(
             platform=data["platform"],
             model=data.get("model"),
             gemm=gemm,
+            scenario=scenario,
             tag=data.get("tag"),
             dataflow=data.get("dataflow"),
             scheduler=data.get("scheduler"),
@@ -300,13 +328,184 @@ class ModelReport:
         return cls.from_dict(json.loads(text))
 
 
-def report_from_dict(data: dict) -> "GemmReport | ModelReport":
-    """Reconstruct either report type from its ``to_dict()`` form."""
+#: Schedule reports carry the engine's own segment type — a frozen
+#: primitives-only dataclass — so the timeline is exported without a
+#: parallel copy that could drift.
+ScheduleSegment = TimelineSegment
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """One stream's outcome inside a :class:`ScheduleReport`.
+
+    ``busy_s`` is the stream's full-speed work; ``elapsed_s`` the wall
+    time its tasks actually occupied — their ratio (:attr:`stretch`) is
+    the co-run contention the stream *experienced*, derived from the
+    schedule rather than assumed. Frame latencies are completion minus
+    release per executed frame.
+    """
+
+    name: str
+    model: str
+    priority: float
+    frames_run: int
+    frames_skipped: int
+    busy_s: float
+    elapsed_s: float
+    mean_latency_s: float
+    max_latency_s: float
+    deadline_misses: int
+
+    @property
+    def stretch(self) -> float:
+        if self.busy_s <= 0:
+            return 1.0
+        return self.elapsed_s / self.busy_s
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """The scheduled execution of one multi-stream scenario.
+
+    Everything is flattened to primitives: the timeline segments, the
+    per-stream latency/deadline outcomes, and per-resource occupancy
+    (fraction of the makespan each resource had work). Round-trips
+    losslessly through :meth:`to_dict`/:meth:`from_dict`.
+    """
+
+    scenario: str
+    platform: str
+    policy: str
+    frames: int
+    makespan_s: float
+    streams: tuple[StreamReport, ...] = ()
+    segments: tuple[TimelineSegment, ...] = ()
+    occupancy: dict[str, float] = field(default_factory=dict)
+    mode_switches: int = 0
+    switch_overhead_s: float = 0.0
+    tag: str | None = None
+
+    @property
+    def avg_frame_latency_s(self) -> float:
+        """Window-amortized latency: makespan over simulated frames."""
+        return self.makespan_s / self.frames if self.frames else 0.0
+
+    @property
+    def avg_frame_latency_ms(self) -> float:
+        return self.avg_frame_latency_s * 1e3
+
+    def stream(self, name: str) -> StreamReport:
+        for stream in self.streams:
+            if stream.name == name:
+                return stream
+        raise ConfigError(
+            f"schedule report has no stream {name!r}; streams:"
+            f" {[stream.name for stream in self.streams]}"
+        )
+
+    @classmethod
+    def from_timeline(
+        cls,
+        spec: ScenarioSpec,
+        platform: str,
+        timeline: Timeline,
+        plan: FramePlan,
+        tag: str | None = None,
+    ) -> "ScheduleReport":
+        """Assemble the report from an executed scenario timeline."""
+        by_stream: dict[str, list] = {}
+        for segment in timeline.segments:
+            by_stream.setdefault(segment.stream, []).append(segment)
+        latencies = plan.frame_latencies(timeline)
+        streams = []
+        for stream_spec in spec.streams:
+            segments = by_stream.get(stream_spec.name, [])
+            frames = latencies.get(stream_spec.name, [])
+            frame_latencies = [latency for *_ignored, latency, _miss in frames]
+            streams.append(
+                StreamReport(
+                    name=stream_spec.name,
+                    model=stream_spec.model,
+                    priority=stream_spec.priority,
+                    frames_run=len(frames),
+                    frames_skipped=plan.skipped.get(stream_spec.name, 0),
+                    busy_s=sum(segment.seconds for segment in segments),
+                    elapsed_s=sum(
+                        segment.end_s - segment.start_s for segment in segments
+                    ),
+                    mean_latency_s=(
+                        sum(frame_latencies) / len(frame_latencies)
+                        if frame_latencies
+                        else 0.0
+                    ),
+                    max_latency_s=(
+                        max(frame_latencies) if frame_latencies else 0.0
+                    ),
+                    deadline_misses=sum(
+                        1 for *_ignored, miss in frames if miss
+                    ),
+                )
+            )
+        return cls(
+            scenario=spec.name,
+            platform=platform,
+            policy=spec.policy,
+            frames=spec.frames,
+            makespan_s=timeline.makespan_s,
+            streams=tuple(streams),
+            segments=timeline.segments,
+            occupancy=timeline.occupancy(),
+            mode_switches=timeline.mode_switches,
+            switch_overhead_s=timeline.switch_overhead_s,
+            tag=tag,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "schedule",
+            "scenario": self.scenario,
+            "platform": self.platform,
+            "policy": self.policy,
+            "frames": self.frames,
+            "makespan_s": self.makespan_s,
+            "avg_frame_latency_s": self.avg_frame_latency_s,
+            "streams": [asdict(stream) for stream in self.streams],
+            "segments": [asdict(segment) for segment in self.segments],
+            "occupancy": dict(self.occupancy),
+            "mode_switches": self.mode_switches,
+            "switch_overhead_s": self.switch_overhead_s,
+            "tag": self.tag,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScheduleReport":
+        kwargs = _check_kind(data, "schedule", cls)
+        kwargs["streams"] = tuple(
+            StreamReport(**stream) for stream in data.get("streams", ())
+        )
+        kwargs["segments"] = tuple(
+            TimelineSegment(**segment) for segment in data.get("segments", ())
+        )
+        kwargs["occupancy"] = dict(data.get("occupancy", {}))
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScheduleReport":
+        return cls.from_dict(json.loads(text))
+
+
+def report_from_dict(data: dict) -> "GemmReport | ModelReport | ScheduleReport":
+    """Reconstruct any report type from its ``to_dict()`` form."""
     kind = data.get("kind")
     if kind == "gemm":
         return GemmReport.from_dict(data)
     if kind == "model":
         return ModelReport.from_dict(data)
+    if kind == "schedule":
+        return ScheduleReport.from_dict(data)
     raise ConfigError(f"unknown report kind {kind!r}")
 
 

@@ -18,11 +18,14 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from pathlib import Path
+
 from repro.api.registry import build_model, build_platform, gemm_config
 from repro.api.results import (
     BatchResult,
     GemmReport,
     ModelReport,
+    ScheduleReport,
     SimRequest,
 )
 from repro.dnn.graph import LayerGraph
@@ -31,6 +34,8 @@ from repro.gemm.cache import CacheStats, TimingCache, process_cache
 from repro.gemm.executor import GemmExecutor
 from repro.gemm.problem import GemmProblem
 from repro.platforms.base import Platform
+from repro.schedule.streams import ScenarioSpec, instantiate_frames
+from repro.schedule.timeline import TimelineScheduler
 from repro.systolic.dataflow import Dataflow
 
 
@@ -56,10 +61,23 @@ class Session:
         The :class:`TimingCache` shared by everything this session builds.
         Defaults to the process-wide cache, so independent sessions pool
         results; pass a fresh ``TimingCache()`` for isolation.
+    cache_path:
+        Optional on-disk cache file. When it exists its entries are merged
+        into the cache at construction (fresh processes start warm), and
+        the cache is written back by :meth:`close` (or leaving a
+        ``with Session(...)`` block) and after every :meth:`run_sweep`
+        join.
     """
 
-    def __init__(self, cache: TimingCache | None = None) -> None:
+    def __init__(
+        self,
+        cache: TimingCache | None = None,
+        cache_path: "str | Path | None" = None,
+    ) -> None:
         self.cache = cache if cache is not None else process_cache()
+        self.cache_path = Path(cache_path) if cache_path is not None else None
+        if self.cache_path is not None and self.cache_path.exists():
+            self.cache.load(self.cache_path)
         self._platforms: dict[tuple, Platform] = {}
         self._executors: dict[tuple, GemmExecutor] = {}
         self._models: dict[str, LayerGraph] = {}
@@ -177,12 +195,62 @@ class Session:
             result, model=model, platform=platform, tag=tag
         )
 
+    def run_scenario(
+        self,
+        scenario: ScenarioSpec | dict,
+        platform: str | None = None,
+        *,
+        tag: str | None = None,
+        platform_kwargs: dict | None = None,
+    ) -> ScheduleReport:
+        """Schedule a multi-stream scenario on one platform's timeline.
+
+        ``scenario`` is a :class:`~repro.schedule.streams.ScenarioSpec`
+        (or its dict form). ``platform`` binds the target when the spec
+        leaves it open — which is how a sweep re-targets one scenario
+        across a platform axis — and wins when both are given. Each
+        stream's model is lowered once from reset platform state (so
+        pricing is deterministic per request), frames are instantiated
+        with the stream's priority/period/skip settings, and the scenario
+        policy schedules the whole task set.
+        """
+        if isinstance(scenario, dict):
+            scenario = ScenarioSpec.from_dict(scenario)
+        if not isinstance(scenario, ScenarioSpec):
+            raise ConfigError(
+                f"run_scenario expects a ScenarioSpec, got {scenario!r}"
+            )
+        platform_spec = platform or scenario.platform
+        if platform_spec is None:
+            raise ConfigError(
+                f"scenario {scenario.name!r} names no platform; pass one"
+                " (e.g. session.run_scenario(spec, 'sma:3'))"
+            )
+        kwargs = dict(platform_kwargs or {})
+        if scenario.framework_overhead_s is not None:
+            kwargs.setdefault(
+                "framework_overhead_s", scenario.framework_overhead_s
+            )
+        target = self.platform(platform_spec, **kwargs)
+        templates = {}
+        for stream in scenario.streams:
+            target.reset_schedule_state()
+            templates[stream.name] = target.lower_model(
+                self.model(stream.model), stream=stream.name
+            )
+        target.reset_schedule_state()
+        plan = instantiate_frames(scenario, templates)
+        timeline = TimelineScheduler(scenario.policy).run(plan.tasks)
+        return ScheduleReport.from_timeline(
+            scenario, platform_spec, timeline, plan, tag=tag
+        )
+
     def run_request(
         self,
         request: SimRequest,
         *,
         platform_kwargs: dict | None = None,
-    ) -> GemmReport | ModelReport:
+    ) -> GemmReport | ModelReport | ScheduleReport:
         """Execute one :class:`SimRequest`, honoring its override fields."""
         if request.kind == "gemm":
             return self.time_gemm(
@@ -197,6 +265,13 @@ class Session:
             kwargs["dataflow"] = Dataflow(request.dataflow)
         if request.scheduler is not None:
             kwargs["scheduler"] = request.scheduler
+        if request.kind == "scenario":
+            return self.run_scenario(
+                request.scenario,
+                request.platform,
+                tag=request.tag,
+                platform_kwargs=kwargs or None,
+            )
         return self.run_model(
             request.model,
             request.platform,
@@ -246,9 +321,32 @@ class Session:
         """
         from repro.sweep.workers import run_sweep
 
-        return run_sweep(
+        result = run_sweep(
             spec, jobs=jobs, store=store, resume=resume, session=self
         )
+        if self.cache_path is not None:
+            # Worker caches were merged on join; persist so the next
+            # process starts warm (ROADMAP PR-2 follow-up).
+            self.cache.save(self.cache_path)
+        return result
+
+    # -- cache persistence / lifecycle -------------------------------------------------
+    def save_cache(self) -> int:
+        """Write the cache to ``cache_path`` now; returns entries saved."""
+        if self.cache_path is None:
+            raise ConfigError("session has no cache_path to save to")
+        return self.cache.save(self.cache_path)
+
+    def close(self) -> None:
+        """Persist the cache (when ``cache_path`` is set); idempotent."""
+        if self.cache_path is not None:
+            self.cache.save(self.cache_path)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- cache introspection -----------------------------------------------------------
     @property

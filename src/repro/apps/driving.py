@@ -1,19 +1,23 @@
 """Frame-latency model of the autonomous-driving pipeline (Fig 9).
 
-Execution models per platform (paper SS V-C):
+The pipeline is a *scenario declaration*: three concurrent streams — DET
+(DeepLab on driving frames), TRA (GOTURN), LOC (ORB-SLAM) — scheduled on
+one platform's timeline by :mod:`repro.schedule`. The platform's lowered
+resource claims, not per-platform hand-coded formulas, produce the
+paper's execution models (SS V-C):
 
-* **GPU (SIMD)** — the three tasks occupy the whole GPU one after another:
-  frame latency is their sum. The CNNs are slow, so the 100 ms single-frame
-  target is missed.
-* **SMA** — same sequential schedule, but the CNNs run in systolic mode.
-  With detection frame-skipping (run DET every N frames), the temporal
-  architecture interleaves DET's layers across the window at layer
-  granularity, amortizing its cost to DET/N per frame.
-* **TC** — DET and TRA run back to back on the TensorCores while LOC runs
-  concurrently on the SIMD units. Co-running is not free: the TC GEMM
-  kernels saturate the register-file ports and issue slots that LOC's
-  SIMD kernels also need (the spatial-integration cost), modelled as a
-  multiplicative contention factor on the co-running phase.
+* **GPU (SIMD)** — every task claims the SIMD pipelines in full, so the
+  streams time-multiplex the chip: frame latency is their sum.
+* **SMA** — the CNNs run in systolic mode, which *is* the SIMD MAC
+  substrate temporally reconfigured (their tasks claim both resources),
+  so the schedule stays effectively sequential — but faster, and with
+  detection frame-skipping the window amortizes DET to DET/N per frame.
+* **TC** — DET/TRA GEMMs run on the spatially-integrated TensorCores
+  while LOC co-runs on the SIMD units. Each TC GEMM task carries a
+  fractional SIMD claim measured from its kernel's register-file port
+  occupancy, so the co-run contention that stretches LOC (and flattens
+  the TC curve above SMA) is *derived* from the simulation rather than
+  hard-coded.
 
 The `skip_interval` sweep reproduces Fig 9 (right): SMA's frame latency
 drops by ~50% at N = 4 and stays below TC everywhere.
@@ -23,18 +27,56 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.results import ScheduleReport
 from repro.api.session import Session
-from repro.apps.tasks import DrivingWorkloads, build_driving_workloads
 from repro.errors import SchedulingError
-from repro.platforms.base import Platform
+from repro.schedule.streams import ScenarioSpec, StreamSpec
 
 #: The single-frame latency target (paper: 100 ms).
 LATENCY_TARGET_S = 0.100
 
-#: Slowdown of co-running SIMD work with TC GEMM kernels: the TC kernel
-#: alone saturates the RF write ports (repro.gpu pipeline measurement), so
-#: concurrent SIMD kernels roughly time-share the issue/LSU bandwidth.
-TC_CORUN_CONTENTION = 1.7
+#: Platform spec per pipeline kind (paper Fig 9 platforms).
+DRIVING_PLATFORMS = {"gpu": "gpu-simd", "tc": "gpu-tc", "sma": "sma:3"}
+
+
+def driving_scenario(
+    platform_kind: str,
+    skip_interval: int = 1,
+    *,
+    framework_overhead_s: float = 50e-6,
+    policy: str = "fifo",
+) -> ScenarioSpec:
+    """The Fig 9 pipeline as a scenario declaration.
+
+    The window is ``skip_interval`` frames: DET runs on the first frame
+    only (frame skipping) while TRA and LOC run every frame, so the
+    window makespan divided by the frame count is the amortized frame
+    latency the paper plots.
+    """
+    if platform_kind not in DRIVING_PLATFORMS:
+        raise SchedulingError(
+            f"unknown platform {platform_kind!r}; one of"
+            f" {sorted(DRIVING_PLATFORMS)}"
+        )
+    if skip_interval < 1:
+        raise SchedulingError("skip interval must be >= 1")
+    return ScenarioSpec(
+        name=f"driving-{platform_kind}-skip{skip_interval}",
+        platform=DRIVING_PLATFORMS[platform_kind],
+        frames=skip_interval,
+        policy=policy,
+        framework_overhead_s=framework_overhead_s,
+        streams=(
+            StreamSpec(
+                name="det",
+                model="driving_det",
+                priority=3.0,
+                skip_interval=skip_interval,
+            ),
+            StreamSpec(name="tra", model="goturn", priority=2.0),
+            StreamSpec(name="loc", model="orb_slam", priority=1.0),
+        ),
+    )
 
 
 @dataclass(frozen=True)
@@ -62,67 +104,46 @@ class DrivingPipeline:
 
     def __init__(
         self,
-        workloads: DrivingWorkloads | None = None,
         framework_overhead_s: float = 50e-6,
         session: Session | None = None,
     ) -> None:
-        self.workloads = workloads or build_driving_workloads()
+        self.framework_overhead_s = framework_overhead_s
         self.session = session or Session()
-        self._platforms: dict[str, Platform] = {
-            kind: self.session.platform(
-                spec, framework_overhead_s=framework_overhead_s
-            )
-            for kind, spec in (
-                ("gpu", "gpu-simd"), ("tc", "gpu-tc"), ("sma", "sma:3"),
-            )
-        }
-        self._task_cache: dict[tuple[str, str], float] = {}
+        self._reports: dict[tuple[str, int], ScheduleReport] = {}
 
-    def _task_seconds(self, platform_kind: str, task: str) -> float:
-        key = (platform_kind, task)
-        cached = self._task_cache.get(key)
-        if cached is not None:
-            return cached
-        platform = self._platforms[platform_kind]
-        graph = {
-            "det": self.workloads.detection,
-            "tra": self.workloads.tracking,
-            "loc": self.workloads.localization,
-        }[task]
-        seconds = platform.run_model(graph).total_seconds
-        self._task_cache[key] = seconds
-        return seconds
+    def schedule(
+        self, platform_kind: str, skip_interval: int = 1
+    ) -> ScheduleReport:
+        """The scheduled window (memoized per platform and interval)."""
+        key = (platform_kind, skip_interval)
+        report = self._reports.get(key)
+        if report is None:
+            spec = driving_scenario(
+                platform_kind,
+                skip_interval,
+                framework_overhead_s=self.framework_overhead_s,
+            )
+            report = self.session.run_scenario(spec)
+            self._reports[key] = report
+        return report
+
+    def corun_contention(self, platform_kind: str) -> float:
+        """Contention the LOC stream experiences at N=1 (derived)."""
+        return self.schedule(platform_kind, 1).stream("loc").stretch
 
     def frame_latency(
         self, platform_kind: str, skip_interval: int = 1
     ) -> FrameLatency:
         """Average frame latency with detection every ``skip_interval``."""
-        if platform_kind not in self._platforms:
-            raise SchedulingError(
-                f"unknown platform {platform_kind!r}; one of"
-                f" {sorted(self._platforms)}"
-            )
-        if skip_interval < 1:
-            raise SchedulingError("skip interval must be >= 1")
-        det = self._task_seconds(platform_kind, "det")
-        tra = self._task_seconds(platform_kind, "tra")
-        loc = self._task_seconds(platform_kind, "loc")
-        det_amortized = det / skip_interval
-
-        if platform_kind == "tc":
-            # CNNs on the TensorCores; LOC co-runs on the SIMD units but
-            # contends with the TC kernels' SIMD-side work.
-            latency = max(det_amortized + tra, loc) * TC_CORUN_CONTENTION
-        else:
-            # GPU and SMA run the tasks sequentially on the whole chip.
-            latency = det_amortized + tra + loc
+        report = self.schedule(platform_kind, skip_interval)
+        per_frame = float(report.frames)
         return FrameLatency(
             platform=platform_kind,
             skip_interval=skip_interval,
-            latency_s=latency,
-            detection_s=det,
-            tracking_s=tra,
-            localization_s=loc,
+            latency_s=report.avg_frame_latency_s,
+            detection_s=report.stream("det").busy_s,
+            tracking_s=report.stream("tra").busy_s / per_frame,
+            localization_s=report.stream("loc").busy_s / per_frame,
         )
 
     def sweep_skip(

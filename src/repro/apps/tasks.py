@@ -76,18 +76,33 @@ class DrivingWorkloads:
     localization: LayerGraph
 
 
+def build_detection_graph(
+    input_size: int = DETECTION_INPUT_SIZE,
+) -> LayerGraph:
+    """DET: DeepLab on driving frames (no CRF on the car)."""
+    return build_deeplab(with_crf=False, input_size=input_size)
+
+
+def build_localization_graph(
+    image_h: int = 480, image_w: int = 640, num_features: int = 2000
+) -> LayerGraph:
+    """LOC: the ORB-SLAM frontend as a one-op graph."""
+    localization = LayerGraph("ORB-SLAM")
+    localization.add(
+        OrbSlamFrontend.build(
+            image_h=image_h, image_w=image_w, num_features=num_features
+        )
+    )
+    localization.validate()
+    return localization
+
+
 def build_driving_workloads(
     detection_input: int = DETECTION_INPUT_SIZE,
 ) -> DrivingWorkloads:
     """DET = DeepLab (no CRF on the car), TRA = GOTURN, LOC = ORB-SLAM."""
-    detection = build_deeplab(with_crf=False, input_size=detection_input)
-
-    localization = LayerGraph("ORB-SLAM")
-    localization.add(OrbSlamFrontend.build())
-    localization.validate()
-
     return DrivingWorkloads(
-        detection=detection,
+        detection=build_detection_graph(detection_input),
         tracking=build_goturn(),
-        localization=localization,
+        localization=build_localization_graph(),
     )

@@ -75,6 +75,9 @@ class BatchRequestError(ReproError):
         original exception chains as ``__cause__``.
         """
         workload = request.model or str(request.gemm)
+        scenario = getattr(request, "scenario", None)
+        if scenario is not None:
+            workload = scenario.name
         where = f" [{request_id}]" if request_id is not None else ""
         return cls(
             f"request {index}{where} ({request.kind} {workload} on"

@@ -5,6 +5,11 @@ SMA — the GPU misses the 100 ms target, TC and SMA meet it with similar
 latencies. Right: frame latency vs detection skip interval N = 2..9 — SMA's
 temporal flexibility amortizes detection and stays below the TC curve,
 which flattens at its co-run contention floor.
+
+Both figures are thin scenario declarations: the pipeline builds a
+:class:`~repro.schedule.streams.ScenarioSpec` per (platform, N) and the
+timeline scheduler produces the frame latencies, with the TC co-run
+contention derived from the lowered tasks' resource claims.
 """
 
 from __future__ import annotations

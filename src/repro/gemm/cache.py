@@ -17,11 +17,14 @@ change DRAM traffic and therefore must never collide.
 
 from __future__ import annotations
 
+import pickle
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import TYPE_CHECKING, Hashable
 
 from repro.config import DataType, SystemConfig
+from repro.errors import ConfigError
 
 if TYPE_CHECKING:  # imported only for annotations; avoids import cycles
     from repro.gemm.executor import GemmTiming
@@ -241,6 +244,51 @@ class TimingCache:
             self._window_hits += entries.stats.window_hits
             self._window_misses += entries.stats.window_misses
             return added
+
+    # -- persistence (fresh processes start warm) --------------------------------------
+    def save(self, path: str | Path) -> int:
+        """Pickle every entry to ``path``; returns the entry count.
+
+        The payload is the same :class:`CacheEntries` snapshot sweep
+        workers ship across process boundaries, so a saved file is a
+        portable warm-start for any later process.
+        """
+        entries = self.export_entries()
+        path = Path(path)
+        try:
+            with open(path, "wb") as handle:
+                pickle.dump(entries, handle)
+        except OSError as error:
+            raise ConfigError(
+                f"cannot save timing cache to {path}: {error}"
+            ) from None
+        return len(entries)
+
+    def load(self, path: str | Path) -> int:
+        """Merge entries pickled by :meth:`save`; returns entries added.
+
+        The file's hit/miss counters are discarded — they describe the
+        process that wrote the file, and this process's statistics should
+        count only its own lookups against the pre-warmed entries.
+        """
+        path = Path(path)
+        try:
+            with open(path, "rb") as handle:
+                entries = pickle.load(handle)
+        except OSError as error:
+            raise ConfigError(
+                f"cannot load timing cache from {path}: {error}"
+            ) from None
+        except (pickle.UnpicklingError, EOFError, AttributeError) as error:
+            raise ConfigError(
+                f"corrupt timing-cache file {path}: {error}"
+            ) from None
+        if not isinstance(entries, CacheEntries):
+            raise ConfigError(
+                f"timing-cache file {path} holds"
+                f" {type(entries).__name__}, expected CacheEntries"
+            )
+        return self.merge(replace(entries, stats=CacheStats()))
 
     # -- introspection -----------------------------------------------------------------
     def stats(self) -> CacheStats:

@@ -1,9 +1,12 @@
 """Platform interface and the shared GPU operator execution logic.
 
-A platform executes a :class:`repro.dnn.graph.LayerGraph` operator by
-operator and reports per-op timing, energy, and the execution mode used.
-The Fig 3 breakdown groups ops into the paper's categories (CNN&FC,
-RoIAlign, NMS, ArgMax, CRF, Transfer).
+A platform *lowers* a :class:`repro.dnn.graph.LayerGraph` into
+:class:`~repro.schedule.timeline.OpTask`\\ s — per-op timing, energy,
+execution mode, and typed resource claims — and hands them to the
+timeline scheduler (:mod:`repro.schedule`). Single-model runs are the
+degenerate one-stream schedule; multi-stream scenarios share the same
+lowered tasks. The Fig 3 breakdown groups ops into the paper's categories
+(CNN&FC, RoIAlign, NMS, ArgMax, CRF, Transfer).
 """
 
 from __future__ import annotations
@@ -22,6 +25,8 @@ from repro.dnn.ops import (
     RoIAlign,
 )
 from repro.energy.accounting import EnergyBreakdown, EnergyLedger
+from repro.schedule.resources import ResourceClaim, claims_for_mode
+from repro.schedule.timeline import OpTask, Timeline, TimelineScheduler
 
 #: Per-op framework overhead (graph runtime, kernel dispatch) used by the
 #: end-to-end experiments (Fig 3 / Fig 9); pure kernel studies pass 0.
@@ -29,6 +34,27 @@ DEFAULT_FRAMEWORK_OVERHEAD_S = 100e-6
 
 #: The paper's Fig 3 reporting groups, in canonical table order.
 REPORTING_GROUPS = ("CNN&FC", "RoIAlign", "NMS", "ArgMax", "CRF", "Transfer")
+
+
+def substrate_mode(mode: str) -> str:
+    """Collapse a per-op mode label to its execution-substrate mode.
+
+    ``OpStats.mode`` labels carry backend detail (``"gemm-sma"``,
+    ``"tpu-lowered"``); the scheduler cares about *where* the op runs:
+    the temporally-switched MAC substrate (``simd``/``systolic``), the
+    TensorCores, a standalone array, the host, or the transfer link.
+    """
+    if "sma" in mode or "systolic" in mode:
+        return "systolic"
+    if "tc" in mode:
+        return "tc"
+    if "transfer" in mode:
+        return "transfer"
+    if "host" in mode or "cpu" in mode:
+        return "host"
+    if "tpu" in mode:
+        return "array"
+    return "simd"
 
 
 @dataclass(frozen=True)
@@ -45,11 +71,17 @@ class OpStats:
 
 @dataclass
 class ModelRunResult:
-    """Per-op stats plus aggregates for one model on one platform."""
+    """Per-op stats plus aggregates for one model on one platform.
+
+    ``timeline`` is the scheduled execution the stats came from (a
+    single-stream :class:`~repro.schedule.timeline.Timeline`); its
+    makespan equals ``total_seconds`` for the degenerate one-stream case.
+    """
 
     model_name: str
     platform_name: str
     op_stats: list[OpStats] = field(default_factory=list)
+    timeline: Timeline | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -102,16 +134,74 @@ class Platform(abc.ABC):
     def run_op(self, op: Operator) -> OpStats:
         """Execute one operator."""
 
-    def run_model(self, graph: LayerGraph) -> ModelRunResult:
-        """Execute a layer graph in topological order."""
-        result = ModelRunResult(model_name=graph.name, platform_name=self.name)
+    # -- lowering into the timeline scheduler -------------------------------------
+    def task_claims(self, op: Operator, stats: OpStats) -> tuple[ResourceClaim, ...]:
+        """The typed resource claims of one lowered operator.
+
+        The default maps the op's (normalized) mode label to a single full
+        claim, which makes any platform — including user-registered ones —
+        schedulable; platforms with measured co-run pressure (TensorCores)
+        or MAC aliasing (SMA) override this.
+        """
+        return claims_for_mode(substrate_mode(stats.mode))
+
+    def cross_switch_seconds(self) -> float:
+        """Extra cost when the scheduler flips the MAC substrate's mode
+        between tasks of *different* streams (intra-stream switches are
+        priced during lowering). Zero unless the platform reconfigures."""
+        return 0.0
+
+    def reset_schedule_state(self) -> None:
+        """Reset per-run lowering state (e.g. the SMA mode tracker) so a
+        scenario prices every stream from the same initial conditions."""
+
+    def lower_model(
+        self, graph: LayerGraph, *, stream: str | None = None
+    ) -> list[OpTask]:
+        """Lower a layer graph into a chained single-stream task list.
+
+        Each node becomes one :class:`OpTask` priced by :meth:`run_op`
+        (plus the per-launch framework overhead) with resource claims and
+        mode metadata; dependencies chain the tasks in topological order.
+        The per-op :class:`OpStats` ride along as the task payload.
+        """
+        stream = stream if stream is not None else graph.name
+        tasks: list[OpTask] = []
         for node in graph.topological_order():
             stats = self.run_op(node.op)
             overhead = self.framework_overhead_s * node.op.kernel_launches
-            result.op_stats.append(
-                replace(stats, seconds=stats.seconds + overhead)
+            stats = replace(stats, seconds=stats.seconds + overhead)
+            uid = len(tasks)
+            tasks.append(
+                OpTask(
+                    uid=uid,
+                    name=stats.op_name,
+                    seconds=stats.seconds,
+                    claims=self.task_claims(node.op, stats),
+                    mode=substrate_mode(stats.mode),
+                    stream=stream,
+                    deps=(uid - 1,) if uid else (),
+                    cross_switch_s=self.cross_switch_seconds(),
+                    payload=stats,
+                )
             )
-        return result
+        return tasks
+
+    def run_model(self, graph: LayerGraph) -> ModelRunResult:
+        """Execute a layer graph through the timeline scheduler.
+
+        A single model is the degenerate one-stream scenario: the lowered
+        chain runs one task at a time, so the per-op stats (and their sum)
+        are identical to the historical sequential execution.
+        """
+        tasks = self.lower_model(graph)
+        timeline = TimelineScheduler("fifo").run(tasks)
+        return ModelRunResult(
+            model_name=graph.name,
+            platform_name=self.name,
+            op_stats=[task.payload for task in tasks],
+            timeline=timeline,
+        )
 
 
 class GpuPlatformBase(Platform):

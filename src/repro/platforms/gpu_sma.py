@@ -21,7 +21,9 @@ from repro.platforms.base import (
     OpStats,
     reporting_group,
 )
+from repro.schedule.resources import ResourceClaim, ResourceKind
 from repro.sma.mode import ExecutionMode, ModeSwitchTracker
+from repro.sma.sync import partition_warps
 from repro.systolic.dataflow import Dataflow
 
 
@@ -75,3 +77,33 @@ class GpuSmaPlatform(GpuPlatformBase):
         return self.mode_tracker.reconfiguration_cycles / (
             self.gpu.clock_ghz * 1e9
         )
+
+    # -- scheduling hooks ---------------------------------------------------------
+    def task_claims(self, op: Operator, stats: OpStats) -> tuple[ResourceClaim, ...]:
+        # Temporal integration: the systolic array *is* the SIMD MAC
+        # substrate reconfigured, so a systolic task owns both — a
+        # co-scheduled SIMD stream time-multiplexes with it instead of
+        # running beside it (that spatial co-run is the TC platform).
+        if stats.mode == "gemm-sma":
+            return (
+                ResourceClaim(ResourceKind.ARRAY),
+                ResourceClaim(ResourceKind.SIMD),
+            )
+        return super().task_claims(op, stats)
+
+    def cross_switch_seconds(self) -> float:
+        """Drain/fill plus warp-set resync for a cross-stream mode flip.
+
+        Within one stream the lowering pass prices switches through the
+        mode tracker; when the scheduler interleaves *streams* on the MAC
+        substrate it charges this extra resync: the array reconfiguration
+        cycles plus one cooperative-group sync across both warp sets of
+        the double-buffered mapping (:mod:`repro.sma.sync`).
+        """
+        partition = partition_warps(self.gpu.max_warps_per_sm)
+        resync_cycles = float(len(partition.all_warps))
+        cycles = self.system.sma.reconfiguration_cycles + resync_cycles
+        return cycles / (self.gpu.clock_ghz * 1e9)
+
+    def reset_schedule_state(self) -> None:
+        self.mode_tracker = ModeSwitchTracker(self.system.sma)

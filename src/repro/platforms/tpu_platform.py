@@ -25,6 +25,7 @@ from repro.platforms.base import (
     Platform,
     reporting_group,
 )
+from repro.schedule.timeline import OpTask
 from repro.tpu.host import HostCpuModel, HostTransferModel
 from repro.tpu.lowering import (
     lower_argmax,
@@ -140,19 +141,37 @@ class TpuPlatform(Platform):
             + self.link.transfer(op.output_bytes).seconds
         )
 
-    def run_model(self, graph):  # noqa: D102 — see Platform.run_model
-        result = super().run_model(graph)
-        # Surface host round-trips as the Fig 3 "Transfer" group.
-        transfers = [
-            OpStats(
-                op_name=f"{stat.op_name}/transfer",
+    def lower_model(self, graph, *, stream: str | None = None):
+        """Lower the graph, surfacing host round-trips as Transfer tasks.
+
+        The transfer tasks ride the host link resource and are appended
+        after the compute chain (matching the historical report order);
+        each chains on its predecessor so the lowered list stays one
+        stream.
+        """
+        tasks = super().lower_model(graph, stream=stream)
+        stream_name = stream if stream is not None else graph.name
+        for task, node in zip(list(tasks), graph.nodes):
+            if task.payload.mode != "host":
+                continue
+            stats = OpStats(
+                op_name=f"{task.payload.op_name}/transfer",
                 group="Transfer",
                 mode="transfer",
-                seconds=self.transfer_seconds(op),
+                seconds=self.transfer_seconds(node.op),
                 flops=0.0,
             )
-            for stat, op in zip(result.op_stats, (n.op for n in graph.nodes))
-            if stat.mode == "host"
-        ]
-        result.op_stats.extend(transfers)
-        return result
+            uid = len(tasks)
+            tasks.append(
+                OpTask(
+                    uid=uid,
+                    name=stats.op_name,
+                    seconds=stats.seconds,
+                    claims=self.task_claims(node.op, stats),
+                    mode="transfer",
+                    stream=stream_name,
+                    deps=(uid - 1,),
+                    payload=stats,
+                )
+            )
+        return tasks

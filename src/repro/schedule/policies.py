@@ -1,0 +1,98 @@
+"""Scheduling policies: who runs, and with what share of the machine.
+
+A policy answers two questions for the timeline engine:
+
+* :meth:`~SchedulingPolicy.dispatch` — which ready tasks start now;
+* :meth:`~SchedulingPolicy.weight` — each running task's share weight in
+  the processor-sharing slowdown formula.
+
+``fifo`` runs everything that is ready with equal shares (fair temporal
+multiplexing — the default, and the degenerate single-stream case).
+``priority`` also runs everything, but shares contended resources in
+proportion to stream priority, so a latency-critical stream is stretched
+less by co-runners. ``exclusive`` serializes the whole machine, picking
+the highest-priority ready task — the strictest isolation, equivalent to
+the historical one-model-at-a-time execution even for multi-stream
+scenarios.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+
+POLICY_NAMES = ("fifo", "priority", "exclusive")
+
+
+class SchedulingPolicy:
+    """Base policy: dispatch every ready task, equal weights."""
+
+    name = "fifo"
+
+    def dispatch(self, ready: list, running: list) -> list:
+        """The ready tasks to start now (engine preserves this order)."""
+        return sorted(ready, key=lambda task: (task.release_s, task.uid))
+
+    def weight(self, task) -> float:
+        """The task's share weight on contended resources."""
+        return 1.0
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Run everything that is ready; equal shares (fair multiplexing)."""
+
+    name = "fifo"
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Run everything that is ready; shares proportional to priority."""
+
+    name = "priority"
+
+    def dispatch(self, ready: list, running: list) -> list:
+        return sorted(
+            ready, key=lambda task: (-task.weight, task.release_s, task.uid)
+        )
+
+    def weight(self, task) -> float:
+        return task.weight
+
+
+class ExclusivePolicy(SchedulingPolicy):
+    """One task on the machine at a time, highest priority first."""
+
+    name = "exclusive"
+
+    def dispatch(self, ready: list, running: list) -> list:
+        if running or not ready:
+            return []
+        best = min(ready, key=lambda task: (-task.weight, task.release_s, task.uid))
+        return [best]
+
+
+_POLICIES = {
+    "fifo": FifoPolicy,
+    "priority": PriorityPolicy,
+    "exclusive": ExclusivePolicy,
+}
+
+
+def make_policy(policy: "SchedulingPolicy | str") -> SchedulingPolicy:
+    """Resolve a policy instance from its name (or pass one through)."""
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    factory = _POLICIES.get(policy)
+    if factory is None:
+        raise SchedulingError(
+            f"unknown scheduling policy {policy!r}; one of {POLICY_NAMES}"
+        )
+    return factory()
+
+
+__all__ = [
+    "POLICY_NAMES",
+    "ExclusivePolicy",
+    "FifoPolicy",
+    "PriorityPolicy",
+    "SchedulingPolicy",
+    "make_policy",
+]

@@ -1,0 +1,97 @@
+"""Typed execution resources an :class:`~repro.schedule.timeline.OpTask` claims.
+
+The paper's platforms differ in *where* an operator's work lands: SIMD
+issue slots, the temporally-reconfigured systolic/LSMA array (which on SMA
+is the *same* MAC substrate as the SIMD lanes), the spatially-integrated
+TensorCores, the host link, or the host CPU. The scheduler reasons about
+contention purely through these typed claims:
+
+* a claim with ``fraction == 1.0`` is a *primary* claim — the task wants
+  the whole resource and time-shares it with other full claimants
+  (temporal integration: two systolic streams, or a systolic and a SIMD
+  kernel, multiplex the MACs);
+* a fractional claim is *ancillary* pressure — e.g. a TensorCore GEMM
+  kernel also occupies a measured fraction of the SIMD-side register-file
+  ports and issue slots (spatial integration's co-run cost), which is what
+  slows a concurrently-running SIMD kernel.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+
+
+class ResourceKind(enum.Enum):
+    """The execution resources a task can claim."""
+
+    SIMD = "simd"          # SIMD issue slots / CUDA-core pipelines
+    ARRAY = "array"        # systolic / LSMA array (temporal mode of the MACs)
+    TC = "tc"              # spatially-integrated TensorCores
+    TRANSFER = "transfer"  # PCIe / host link
+    HOST = "host"          # host CPU
+
+
+#: Canonical reporting order for occupancy tables.
+RESOURCE_ORDER = (
+    ResourceKind.SIMD,
+    ResourceKind.ARRAY,
+    ResourceKind.TC,
+    ResourceKind.TRANSFER,
+    ResourceKind.HOST,
+)
+
+
+@dataclass(frozen=True)
+class ResourceClaim:
+    """One task's demand on one resource.
+
+    ``fraction`` is the share of the resource the task occupies while
+    running at full speed; 1.0 claims the whole resource.
+    """
+
+    kind: ResourceKind
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, ResourceKind):
+            raise SchedulingError(f"not a resource kind: {self.kind!r}")
+        if not 0.0 < self.fraction <= 1.0:
+            raise SchedulingError(
+                f"claim fraction must be in (0, 1], got {self.fraction}"
+            )
+
+
+#: Default full claim per canonical substrate-mode label (the output of
+#: :func:`repro.platforms.base.substrate_mode`, which is the single place
+#: raw per-op mode strings are normalized).
+_MODE_CLAIMS = {
+    "simd": ResourceKind.SIMD,
+    "systolic": ResourceKind.ARRAY,
+    "tc": ResourceKind.TC,
+    "array": ResourceKind.ARRAY,
+    "transfer": ResourceKind.TRANSFER,
+    "host": ResourceKind.HOST,
+}
+
+
+def claims_for_mode(mode: str) -> tuple[ResourceClaim, ...]:
+    """Default resource claims for a canonical substrate-mode label.
+
+    Platforms with richer knowledge (measured ancillary fractions, the
+    SMA's MAC aliasing) override per-op; this mapping is the fallback that
+    makes any :class:`~repro.platforms.base.Platform` subclass — including
+    user-registered ones — schedulable out of the box. Unrecognized labels
+    fall back to the SIMD pipelines.
+    """
+    return (ResourceClaim(_MODE_CLAIMS.get(mode, ResourceKind.SIMD)),)
+
+
+__all__ = [
+    "RESOURCE_ORDER",
+    "ResourceClaim",
+    "ResourceKind",
+    "claims_for_mode",
+]

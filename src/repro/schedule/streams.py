@@ -1,0 +1,284 @@
+"""Multi-stream scenarios: concurrent model streams over one timeline.
+
+A :class:`ScenarioSpec` declares N concurrent model streams — each a
+registry model spec with a priority, an optional frame period/deadline,
+and a skip interval (run the model every Nth frame only, the paper's
+detection frame-skipping) — plus how many frames to simulate and the
+scheduling policy. :func:`instantiate_frames` turns per-stream lowered
+task templates into one flat task set for the
+:class:`~repro.schedule.timeline.TimelineScheduler`: per-frame task
+chains, serialized within a stream, released at the frame's arrival time,
+weighted by stream priority.
+
+Specs are frozen primitives with lossless JSON round-trip, so scenarios
+ride :class:`~repro.api.results.SimRequest` through the sweep engine and
+the result store exactly like model and GEMM workloads.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError, SchedulingError
+from repro.schedule.policies import POLICY_NAMES
+from repro.schedule.timeline import OpTask, Timeline
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One concurrent model stream inside a scenario.
+
+    ``priority`` is the stream's share weight under the ``priority``
+    policy (higher = larger share of contended resources).
+    ``skip_interval`` runs the model only on every Nth frame;
+    ``period_s`` releases frame k at ``k * period_s`` (``None`` releases
+    every frame at t=0 — back-to-back throughput mode); ``deadline_s``
+    marks a frame late when its completion trails its release by more.
+    """
+
+    name: str
+    model: str
+    priority: float = 1.0
+    skip_interval: int = 1
+    period_s: float | None = None
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("stream needs a non-empty name")
+        if not self.model:
+            raise ConfigError(f"stream {self.name!r} needs a model spec")
+        if self.priority <= 0:
+            raise ConfigError(
+                f"stream {self.name!r}: priority must be > 0, got"
+                f" {self.priority}"
+            )
+        if self.skip_interval < 1:
+            raise ConfigError(
+                f"stream {self.name!r}: skip interval must be >= 1, got"
+                f" {self.skip_interval}"
+            )
+        if self.period_s is not None and self.period_s < 0:
+            raise ConfigError(f"stream {self.name!r}: period must be >= 0")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigError(f"stream {self.name!r}: deadline must be > 0")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "model": self.model,
+            "priority": self.priority,
+            "skip_interval": self.skip_interval,
+            "period_s": self.period_s,
+            "deadline_s": self.deadline_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamSpec":
+        if not isinstance(data, dict):
+            raise ConfigError(f"stream spec must be an object, got {data!r}")
+        for key in ("name", "model"):
+            if key not in data:
+                raise ConfigError(f"stream spec is missing {key!r}: {data!r}")
+        return cls(
+            name=data["name"],
+            model=data["model"],
+            priority=data.get("priority", 1.0),
+            skip_interval=data.get("skip_interval", 1),
+            period_s=data.get("period_s"),
+            deadline_s=data.get("deadline_s"),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """N concurrent streams, a frame count, and a scheduling policy.
+
+    ``platform`` may be left ``None`` when the scenario is swept across a
+    platform axis (the sweep binds each grid point's platform);
+    ``framework_overhead_s`` overrides the per-kernel-launch overhead used
+    when lowering every stream's model.
+    """
+
+    name: str
+    streams: tuple[StreamSpec, ...]
+    platform: str | None = None
+    frames: int = 1
+    policy: str = "fifo"
+    framework_overhead_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("scenario needs a non-empty name")
+        streams = tuple(self.streams)
+        object.__setattr__(self, "streams", streams)
+        if not streams:
+            raise ConfigError(f"scenario {self.name!r} needs >= 1 stream")
+        names = [stream.name for stream in streams]
+        if len(set(names)) != len(names):
+            raise ConfigError(
+                f"scenario {self.name!r} has duplicate stream names: {names}"
+            )
+        if self.frames < 1:
+            raise ConfigError(
+                f"scenario {self.name!r}: frames must be >= 1, got"
+                f" {self.frames}"
+            )
+        if self.policy not in POLICY_NAMES:
+            raise ConfigError(
+                f"scenario {self.name!r}: unknown policy {self.policy!r};"
+                f" one of {POLICY_NAMES}"
+            )
+
+    def stream(self, name: str) -> StreamSpec:
+        for stream in self.streams:
+            if stream.name == name:
+                return stream
+        raise ConfigError(f"scenario {self.name!r} has no stream {name!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "platform": self.platform,
+            "frames": self.frames,
+            "policy": self.policy,
+            "framework_overhead_s": self.framework_overhead_s,
+            "streams": [stream.to_dict() for stream in self.streams],
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"scenario spec must be an object, got {data!r}"
+            )
+        if "name" not in data:
+            raise ConfigError(f"scenario spec is missing 'name': {data!r}")
+        return cls(
+            name=data["name"],
+            platform=data.get("platform"),
+            frames=data.get("frames", 1),
+            policy=data.get("policy", "fifo"),
+            framework_overhead_s=data.get("framework_overhead_s"),
+            streams=tuple(
+                StreamSpec.from_dict(item) for item in data.get("streams", ())
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigError(f"invalid scenario JSON: {error}") from None
+        return cls.from_dict(data)
+
+
+@dataclass(frozen=True)
+class FrameRun:
+    """One executed frame of one stream: its tasks and timing anchors."""
+
+    stream: str
+    frame: int
+    release_s: float
+    deadline_s: float | None
+    uids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class FramePlan:
+    """Instantiated tasks plus the per-frame bookkeeping for reporting."""
+
+    tasks: tuple[OpTask, ...]
+    runs: tuple[FrameRun, ...]
+    skipped: dict[str, int]
+
+    def frame_latencies(self, timeline: Timeline) -> dict[str, list[tuple]]:
+        """Per stream: ``(frame, release, completion, latency, missed)``."""
+        ends = {segment.uid: segment.end_s for segment in timeline.segments}
+        latencies: dict[str, list[tuple]] = {}
+        for run in self.runs:
+            completion = max(ends[uid] for uid in run.uids)
+            latency = completion - run.release_s
+            missed = run.deadline_s is not None and latency > run.deadline_s
+            latencies.setdefault(run.stream, []).append(
+                (run.frame, run.release_s, completion, latency, missed)
+            )
+        return latencies
+
+
+def instantiate_frames(
+    spec: ScenarioSpec, templates: dict[str, list[OpTask]]
+) -> FramePlan:
+    """Expand per-stream task templates into the scenario's frame tasks.
+
+    ``templates`` maps stream names to the platform-lowered single-run
+    task chain of that stream's model (uids and deps are re-based here).
+    """
+    for stream in spec.streams:
+        if stream.name not in templates:
+            raise SchedulingError(
+                f"no lowered tasks for stream {stream.name!r}"
+            )
+        if not templates[stream.name]:
+            raise SchedulingError(
+                f"stream {stream.name!r} lowered to an empty task list"
+            )
+    tasks: list[OpTask] = []
+    runs: list[FrameRun] = []
+    skipped: dict[str, int] = {}
+    uid = 0
+    for stream in spec.streams:
+        template = templates[stream.name]
+        previous_last: int | None = None
+        skipped[stream.name] = 0
+        for frame in range(spec.frames):
+            if frame % stream.skip_interval != 0:
+                skipped[stream.name] += 1
+                continue
+            release = (
+                frame * stream.period_s if stream.period_s is not None else 0.0
+            )
+            uids = []
+            for position, task in enumerate(template):
+                if position == 0:
+                    deps = () if previous_last is None else (previous_last,)
+                else:
+                    deps = (uid - 1,)
+                tasks.append(
+                    replace(
+                        task,
+                        uid=uid,
+                        stream=stream.name,
+                        frame=frame,
+                        deps=deps,
+                        release_s=release,
+                        weight=stream.priority,
+                    )
+                )
+                uids.append(uid)
+                uid += 1
+            previous_last = uids[-1]
+            runs.append(
+                FrameRun(
+                    stream=stream.name,
+                    frame=frame,
+                    release_s=release,
+                    deadline_s=stream.deadline_s,
+                    uids=tuple(uids),
+                )
+            )
+    return FramePlan(tasks=tuple(tasks), runs=tuple(runs), skipped=skipped)
+
+
+__all__ = [
+    "FramePlan",
+    "FrameRun",
+    "ScenarioSpec",
+    "StreamSpec",
+    "instantiate_frames",
+]

@@ -1,0 +1,305 @@
+"""The event-driven timeline: weighted processor sharing over typed resources.
+
+Execution is modelled as a fluid schedule. Every released task whose
+dependencies are met is (policy permitting) *running*; at any instant each
+resource's load is the weight-scaled sum of the running tasks' claims, and
+a task progresses at ``1 / slowdown`` where its slowdown is the highest
+relative load among the resources it claims::
+
+    slowdown(i) = max(1, max_r sum_j(claim_j(r) * w_j) / w_i)
+
+Two full claimants of one resource therefore time-multiplex it (each at
+half speed — the paper's temporal integration), while a fractional
+ancillary claim (a TensorCore GEMM's measured SIMD-side register-port
+pressure) stretches a co-running SIMD kernel by exactly that fraction —
+the spatial co-run contention, *derived* from the claims instead of
+hard-coded.
+
+The degenerate case — one stream, tasks chained by dependencies — runs
+each task alone at slowdown 1.0 and accumulates completion times as the
+plain left-to-right sum of durations, which is what keeps single-model
+runs bit-for-bit identical to the historical sequential ``run_model``
+loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.schedule.policies import SchedulingPolicy, make_policy
+from repro.schedule.resources import ResourceClaim, ResourceKind
+
+#: Modes that live on the (temporally shared) MAC substrate; dispatching a
+#: task whose mode differs from the substrate's current one is a mode
+#: switch (drain/fill + warp-set resync) when it crosses streams.
+_MAC_MODES = ("simd", "systolic")
+
+
+@dataclass(frozen=True)
+class OpTask:
+    """One schedulable unit of work with typed resource claims.
+
+    ``seconds`` is the task's duration when it runs alone at full speed
+    (contention stretches it). ``deps`` are uids of tasks that must finish
+    first; ``release_s`` is the earliest start time (frame arrival).
+    ``cross_switch_s`` is the extra reconfiguration cost charged if this
+    task flips the MAC substrate's mode relative to a *different* stream's
+    preceding task (intra-stream switches are already priced into
+    ``seconds`` by the platform's lowering pass). ``payload`` is opaque to
+    the engine (platforms carry their per-op stats there).
+    """
+
+    uid: int
+    name: str
+    seconds: float
+    claims: tuple[ResourceClaim, ...]
+    mode: str = "simd"
+    stream: str = "main"
+    frame: int = 0
+    deps: tuple[int, ...] = ()
+    release_s: float = 0.0
+    weight: float = 1.0
+    cross_switch_s: float = 0.0
+    payload: object = None
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise SchedulingError(
+                f"task {self.name!r} has negative duration {self.seconds}"
+            )
+        if self.weight <= 0:
+            raise SchedulingError(
+                f"task {self.name!r} has non-positive weight {self.weight}"
+            )
+        if not self.claims:
+            raise SchedulingError(f"task {self.name!r} claims no resources")
+
+
+@dataclass(frozen=True)
+class TimelineSegment:
+    """One task's placement on the timeline (completion-ordered)."""
+
+    uid: int
+    name: str
+    stream: str
+    frame: int
+    mode: str
+    start_s: float
+    end_s: float
+    seconds: float  # full-speed duration; end - start - seconds = stretch
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def stretch(self) -> float:
+        """Contention stretch factor (1.0 = ran unimpeded)."""
+        if self.seconds <= 0:
+            return 1.0
+        return self.elapsed_s / self.seconds
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """The scheduled execution: segments plus resource accounting."""
+
+    segments: tuple[TimelineSegment, ...]
+    makespan_s: float
+    busy_s: dict[ResourceKind, float] = field(default_factory=dict)
+    load_integral_s: dict[ResourceKind, float] = field(default_factory=dict)
+    mode_switches: int = 0
+    switch_overhead_s: float = 0.0
+
+    def occupancy(self) -> dict[str, float]:
+        """Fraction of the makespan each resource had work (by kind name)."""
+        if self.makespan_s <= 0:
+            return {kind.value: 0.0 for kind in self.busy_s}
+        return {
+            kind.value: busy / self.makespan_s
+            for kind, busy in self.busy_s.items()
+        }
+
+    def by_stream(self) -> dict[str, list[TimelineSegment]]:
+        streams: dict[str, list[TimelineSegment]] = {}
+        for segment in self.segments:
+            streams.setdefault(segment.stream, []).append(segment)
+        return streams
+
+
+class TimelineScheduler:
+    """Runs a task set to completion under a scheduling policy."""
+
+    def __init__(
+        self,
+        policy: SchedulingPolicy | str = "fifo",
+        max_events: int = 10_000_000,
+    ) -> None:
+        self.policy = make_policy(policy)
+        self.max_events = max_events
+
+    def run(self, tasks) -> Timeline:
+        tasks = list(tasks)
+        if not tasks:
+            return Timeline(segments=(), makespan_s=0.0)
+        by_uid = {task.uid: task for task in tasks}
+        if len(by_uid) != len(tasks):
+            raise SchedulingError("duplicate task uids in schedule")
+        unmet = {}
+        for task in tasks:
+            for dep in task.deps:
+                if dep not in by_uid:
+                    raise SchedulingError(
+                        f"task {task.name!r} depends on unknown uid {dep}"
+                    )
+            unmet[task.uid] = len(task.deps)
+        dependents: dict[int, list[int]] = {}
+        for task in tasks:
+            for dep in task.deps:
+                dependents.setdefault(dep, []).append(task.uid)
+
+        # Tasks whose deps are met, ordered by release time (then uid).
+        pending = sorted(
+            (task for task in tasks if unmet[task.uid] == 0),
+            key=lambda task: (task.release_s, task.uid),
+        )
+        ready: list[OpTask] = []
+        running: list[OpTask] = []
+        remaining = {task.uid: task.seconds for task in tasks}
+        start: dict[int, float] = {}
+        end: dict[int, float] = {}
+        busy: dict[ResourceKind, float] = {}
+        load_integral: dict[ResourceKind, float] = {}
+        completion_order: list[int] = []
+        substrate_mode: str | None = None
+        substrate_stream: str | None = None
+        mode_switches = 0
+        switch_overhead = 0.0
+
+        now = 0.0
+        events = 0
+        done = 0
+        while done < len(tasks):
+            events += 1
+            if events > self.max_events:
+                raise SchedulingError(
+                    f"schedule exceeded {self.max_events} events"
+                    " (policy starvation or zero-length livelock)"
+                )
+            # Release pending tasks that have arrived.
+            while pending and pending[0].release_s <= now:
+                ready.append(pending.pop(0))
+
+            # Policy decides which ready tasks start now.
+            dispatched = self.policy.dispatch(ready, running)
+            for task in dispatched:
+                ready.remove(task)
+                start[task.uid] = now
+                if any(claim.kind is ResourceKind.ARRAY for claim in task.claims) or (
+                    task.mode in _MAC_MODES
+                ):
+                    if (
+                        task.cross_switch_s > 0.0
+                        and substrate_mode is not None
+                        and substrate_mode != task.mode
+                        and substrate_stream != task.stream
+                    ):
+                        remaining[task.uid] += task.cross_switch_s
+                        mode_switches += 1
+                        switch_overhead += task.cross_switch_s
+                    substrate_mode = task.mode
+                    substrate_stream = task.stream
+                running.append(task)
+
+            if not running:
+                if pending:
+                    now = max(now, pending[0].release_s)
+                    continue
+                raise SchedulingError(
+                    f"policy {self.policy.name!r} dispatched nothing with"
+                    f" {len(ready)} ready tasks and nothing running"
+                )
+
+            # Weight-scaled loads and per-task slowdowns.
+            load: dict[ResourceKind, float] = {}
+            for task in running:
+                weight = self.policy.weight(task)
+                for claim in task.claims:
+                    load[claim.kind] = (
+                        load.get(claim.kind, 0.0) + claim.fraction * weight
+                    )
+            slowdown: dict[int, float] = {}
+            for task in running:
+                weight = self.policy.weight(task)
+                worst = 1.0
+                for claim in task.claims:
+                    worst = max(worst, load[claim.kind] / weight)
+                slowdown[task.uid] = worst
+
+            # Advance to the next completion or release.
+            dt = min(
+                remaining[task.uid] * slowdown[task.uid] for task in running
+            )
+            if pending:
+                dt = min(dt, pending[0].release_s - now)
+            dt = max(dt, 0.0)
+
+            if dt > 0.0:
+                for kind, amount in load.items():
+                    busy[kind] = busy.get(kind, 0.0) + dt
+                    load_integral[kind] = (
+                        load_integral.get(kind, 0.0) + min(amount, 1.0) * dt
+                    )
+                for task in running:
+                    remaining[task.uid] -= dt / slowdown[task.uid]
+                now += dt
+
+            # Complete finished tasks (FP dust below a relative epsilon).
+            finished = [
+                task
+                for task in running
+                if remaining[task.uid] <= 1e-12 * task.seconds + 1e-18
+            ]
+            for task in finished:
+                running.remove(task)
+                end[task.uid] = now
+                completion_order.append(task.uid)
+                done += 1
+                for successor in dependents.get(task.uid, ()):
+                    unmet[successor] -= 1
+                    if unmet[successor] == 0:
+                        follower = by_uid[successor]
+                        position = 0
+                        key = (follower.release_s, follower.uid)
+                        while position < len(pending) and (
+                            pending[position].release_s,
+                            pending[position].uid,
+                        ) <= key:
+                            position += 1
+                        pending.insert(position, follower)
+
+        segments = tuple(
+            TimelineSegment(
+                uid=uid,
+                name=by_uid[uid].name,
+                stream=by_uid[uid].stream,
+                frame=by_uid[uid].frame,
+                mode=by_uid[uid].mode,
+                start_s=start[uid],
+                end_s=end[uid],
+                seconds=by_uid[uid].seconds,
+            )
+            for uid in completion_order
+        )
+        return Timeline(
+            segments=segments,
+            makespan_s=now,
+            busy_s=busy,
+            load_integral_s=load_integral,
+            mode_switches=mode_switches,
+            switch_overhead_s=switch_overhead,
+        )
+
+
+__all__ = ["OpTask", "Timeline", "TimelineScheduler", "TimelineSegment"]

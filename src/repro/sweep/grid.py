@@ -25,7 +25,7 @@ import hashlib
 import itertools
 import json
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 from repro.api.registry import parse_spec, platform_entry
@@ -33,6 +33,7 @@ from repro.api.results import SimRequest
 from repro.config import DataType
 from repro.errors import ConfigError
 from repro.gemm.problem import GemmProblem
+from repro.schedule.streams import ScenarioSpec
 
 #: ``LO..HI`` range pattern inside one platform-spec argument.
 _RANGE_RE = re.compile(r"^(?P<lo>\d+)\.\.(?P<hi>\d+)$")
@@ -95,19 +96,23 @@ def _normalized(value) -> tuple:
 class SweepSpec:
     """The declarative axes of one sweep.
 
-    ``platforms`` may use range patterns (``"sma:2..4"``); ``models`` and
-    ``gemms`` are the workloads (at least one of the two must be
-    non-empty; bare GEMM sizes are coerced with ``gemm_dtype``).
+    ``platforms`` may use range patterns (``"sma:2..4"``); ``models``,
+    ``gemms``, and ``scenarios`` (multi-stream
+    :class:`~repro.schedule.streams.ScenarioSpec`\\ s, re-targeted at each
+    platform in the axis) are the workloads — at least one must be
+    non-empty; bare GEMM sizes are coerced with ``gemm_dtype``.
     ``dataflows``/``schedulers`` add override axes applied to every
     workload (``None`` entries keep the platform default).
     ``framework_overhead_s`` overrides the per-kernel-launch overhead of
-    model runs (kernel studies pass ``0.0``) and is folded into model
-    request fingerprints so stored results never leak across settings.
+    model and scenario runs (kernel studies pass ``0.0``) and is folded
+    into those request fingerprints so stored results never leak across
+    settings.
     """
 
     platforms: tuple[str, ...]
     models: tuple[str, ...] = ()
     gemms: tuple = ()
+    scenarios: tuple[ScenarioSpec, ...] = ()
     dataflows: tuple[str | None, ...] = (None,)
     schedulers: tuple[str | None, ...] = (None,)
     gemm_dtype: str = "fp16"
@@ -122,16 +127,26 @@ class SweepSpec:
         gemms = self.gemms
         if isinstance(gemms, (int, GemmProblem)):
             gemms = (gemms,)
+        scenarios = self.scenarios
+        if isinstance(scenarios, ScenarioSpec):
+            scenarios = (scenarios,)
+        for scenario in scenarios:
+            if not isinstance(scenario, ScenarioSpec):
+                raise ConfigError(
+                    f"sweep scenarios must be ScenarioSpec, got {scenario!r}"
+                )
         object.__setattr__(self, "platforms", platforms)
         object.__setattr__(self, "models", tuple(models))
         object.__setattr__(self, "gemms", tuple(gemms))
+        object.__setattr__(self, "scenarios", tuple(scenarios))
         object.__setattr__(self, "dataflows", _normalized(self.dataflows))
         object.__setattr__(self, "schedulers", _normalized(self.schedulers))
         if platforms == (None,):
             raise ConfigError("sweep spec needs at least one platform")
-        if not self.models and not self.gemms:
+        if not self.models and not self.gemms and not self.scenarios:
             raise ConfigError(
-                "sweep spec needs at least one model or GEMM workload"
+                "sweep spec needs at least one model, GEMM, or scenario"
+                " workload"
             )
 
 
@@ -192,7 +207,7 @@ def request_fingerprint(
 
 
 def _point_extras(spec_overhead: float | None, kind: str) -> dict | None:
-    if spec_overhead is not None and kind == "model":
+    if spec_overhead is not None and kind in ("model", "scenario"):
         return {"framework_overhead_s": spec_overhead}
     return None
 
@@ -236,6 +251,27 @@ def expand(spec: SweepSpec) -> SweepGrid:
                     SimRequest(
                         platform=platform,
                         gemm=problem,
+                        tag=spec.tag,
+                        dataflow=dataflow,
+                        scheduler=scheduler,
+                    )
+                )
+        for scenario in spec.scenarios:
+            # The grid's platform axis is the target: the request carries
+            # the platform and the embedded spec drops its own so the
+            # fingerprint has one canonical platform field.
+            bound = (
+                replace(scenario, platform=None)
+                if scenario.platform is not None
+                else scenario
+            )
+            for dataflow, scheduler in itertools.product(
+                spec.dataflows, spec.schedulers
+            ):
+                requests.append(
+                    SimRequest(
+                        platform=platform,
+                        scenario=bound,
                         tag=spec.tag,
                         dataflow=dataflow,
                         scheduler=scheduler,

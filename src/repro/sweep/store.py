@@ -75,6 +75,10 @@ class ResultStore:
     ) -> None:
         """Store (or overwrite) the report of one sweep point."""
         request = point.request
+        if request.scenario is not None:
+            workload = request.scenario.name
+        else:
+            workload = request.model or str(request.gemm)
         self._conn.execute(
             "INSERT OR REPLACE INTO results"
             " (request_id, fingerprint, kind, platform, workload, tag,"
@@ -85,7 +89,7 @@ class ResultStore:
                 point.fingerprint,
                 request.kind,
                 request.platform,
-                request.model or str(request.gemm),
+                workload,
                 request.tag,
                 json.dumps(report.to_dict(), sort_keys=True),
             ),

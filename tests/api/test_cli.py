@@ -45,3 +45,114 @@ class TestSimulate:
     def test_unknown_model_is_clean_error(self, capsys):
         assert main(["simulate", "resnext", "sma:2"]) == 2
         assert "unknown model" in capsys.readouterr().err
+
+
+class TestStoreDiff:
+    def _make_store(self, path, seconds=1.0):
+        from repro.api import SimRequest
+        from repro.api.results import GemmReport
+        from repro.sweep.grid import SweepPoint, request_fingerprint
+        from repro.sweep.store import ResultStore
+
+        request = SimRequest(platform="sma:2", gemm=None, model="alexnet")
+        fingerprint = request_fingerprint(request)
+        point = SweepPoint(
+            index=0,
+            request_id=f"model-{fingerprint[:12]}",
+            fingerprint=fingerprint,
+            request=request,
+        )
+        report = GemmReport(
+            platform="sma:2", backend="sma", m=1, n=1, k=1, dtype="fp16",
+            alpha=1.0, beta=0.0, seconds=seconds, cycles=1.0, tb_cycles=1.0,
+            tflops=1.0, efficiency=1.0, sm_efficiency=1.0,
+        )
+        with ResultStore(path) as store:
+            store.put(point, report)
+
+    def test_identical_stores_pass(self, tmp_path, capsys):
+        left, right = tmp_path / "a.sqlite", tmp_path / "b.sqlite"
+        self._make_store(left)
+        self._make_store(right)
+        assert main(["store-diff", str(left), str(right)]) == 0
+        assert "0 changed" in capsys.readouterr().out
+
+    def test_changed_payload_fails_the_gate(self, tmp_path, capsys):
+        left, right = tmp_path / "a.sqlite", tmp_path / "b.sqlite"
+        self._make_store(left, seconds=1.0)
+        self._make_store(right, seconds=2.0)
+        assert main(["store-diff", str(left), str(right)]) == 1
+        captured = capsys.readouterr()
+        assert "1 changed" in captured.out
+        assert "regression gate" in captured.err
+
+    def test_json_output(self, tmp_path, capsys):
+        left, right = tmp_path / "a.sqlite", tmp_path / "b.sqlite"
+        self._make_store(left)
+        self._make_store(right)
+        assert main(["store-diff", str(left), str(right), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["identical"] is True
+
+
+class TestScenarioCliErrors:
+    def test_needs_streams_or_spec(self, capsys):
+        assert main(["scenario", "-p", "sma:2"]) == 2
+        assert "stream" in capsys.readouterr().err
+
+    def test_bad_stream_option(self, capsys):
+        assert main(
+            ["scenario", "-p", "sma:2", "-s", "alexnet@bogus=1"]
+        ) == 2
+        assert "unknown key" in capsys.readouterr().err
+
+    def test_needs_platform(self, capsys):
+        assert main(["scenario", "-s", "alexnet"]) == 2
+        assert "platform" in capsys.readouterr().err
+
+    def test_missing_store_is_clean_error(self, tmp_path, capsys):
+        from repro.sweep.store import ResultStore
+
+        present = tmp_path / "present.sqlite"
+        ResultStore(present).close()
+        missing = tmp_path / "missing.sqlite"
+        assert main(["store-diff", str(missing), str(present)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+        assert not missing.exists()  # sqlite must not create it
+
+    def test_malformed_spec_json_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["scenario", "--spec", str(bad)]) == 2
+        assert "invalid scenario JSON" in capsys.readouterr().err
+
+    def test_spec_missing_keys_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x", "streams": [{"name": "a"}]}')
+        assert main(["scenario", "--spec", str(bad), "-p", "sma:2"]) == 2
+        assert "missing 'model'" in capsys.readouterr().err
+
+    def test_spec_conflicting_streams_rejected(self, tmp_path, capsys):
+        spec = tmp_path / "s.json"
+        spec.write_text(
+            '{"name": "x", "platform": "sma:2",'
+            ' "streams": [{"name": "a", "model": "alexnet"}]}'
+        )
+        assert main(
+            ["scenario", "--spec", str(spec), "-s", "goturn"]
+        ) == 2
+        assert "drop the -s" in capsys.readouterr().err
+
+    def test_spec_flags_override_file(self, tmp_path, capsys):
+        spec = tmp_path / "s.json"
+        spec.write_text(
+            '{"name": "x", "platform": "sma:2", "frames": 1,'
+            ' "streams": [{"name": "a", "model": "alexnet"}]}'
+        )
+        assert main(
+            ["scenario", "--spec", str(spec), "--frames", "2",
+             "--name", "renamed", "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["frames"] == 2
+        assert data["scenario"] == "renamed"

@@ -1,0 +1,144 @@
+"""User-defined platforms work end-to-end (ROADMAP PR-1 leftover).
+
+A ``register_platform``-decorated custom spec must flow through
+``Session.run_model``, sweep-grid expansion, and the scenario path exactly
+like the built-ins — including the default lowering into timeline tasks.
+"""
+
+import pytest
+
+from repro.api import ScenarioSpec, Session, StreamSpec, TimingCache
+from repro.api.registry import (
+    available_platforms,
+    register_platform,
+    unregister_platform,
+)
+from repro.dnn.ops import Operator
+from repro.errors import ConfigError
+from repro.platforms.base import OpStats, Platform, reporting_group
+from repro.schedule.resources import ResourceKind
+from repro.sweep import SweepSpec, expand, run_sweep
+from repro.sweep.store import ResultStore
+
+
+class ToyNpuPlatform(Platform):
+    """A fixed-rate accelerator: every op at ``tops`` TFLOP/s."""
+
+    def __init__(self, tops: float = 10.0, framework_overhead_s=10e-6):
+        super().__init__(f"toy-npu-{tops:g}", framework_overhead_s)
+        self.flops_per_s = tops * 1e12
+
+    def run_op(self, op: Operator) -> OpStats:
+        return OpStats(
+            op_name=op.name,
+            group=reporting_group(op),
+            mode="host",
+            seconds=max(op.flops, 1.0) / self.flops_per_s,
+            flops=op.flops,
+        )
+
+
+@pytest.fixture()
+def toy_npu():
+    name = "toy-npu"
+
+    @register_platform(
+        name, description="test-only fixed-rate NPU (toy-npu[:TOPS])"
+    )
+    def _build(*args, cache=None, **kwargs):
+        del cache
+        if len(args) > 1:
+            raise ConfigError(f"toy-npu takes at most TOPS, got {args}")
+        tops = float(args[0]) if args else 10.0
+        return ToyNpuPlatform(tops, **kwargs)
+
+    try:
+        yield name
+    finally:
+        unregister_platform(name)
+
+
+class TestRegistration:
+    def test_listed_and_buildable(self, toy_npu):
+        assert toy_npu in available_platforms()
+        session = Session(cache=TimingCache())
+        platform = session.platform("toy-npu:20")
+        assert platform.name == "toy-npu-20"
+
+    def test_unregistered_after_teardown(self):
+        with pytest.raises(ConfigError):
+            Session(cache=TimingCache()).platform("toy-npu")
+
+
+class TestRunModel:
+    def test_end_to_end(self, toy_npu):
+        session = Session(cache=TimingCache())
+        report = session.run_model("alexnet", "toy-npu:20")
+        assert report.platform == "toy-npu:20"
+        assert len(report.ops) == 18
+        assert report.total_seconds > 0
+
+    def test_default_lowering_schedules(self, toy_npu):
+        session = Session(cache=TimingCache())
+        platform = session.platform("toy-npu")
+        tasks = platform.lower_model(session.model("alexnet"))
+        # mode "host" maps to the HOST resource via the default claims.
+        assert all(
+            claim.kind is ResourceKind.HOST
+            for task in tasks
+            for claim in task.claims
+        )
+        result = platform.run_model(session.model("alexnet"))
+        assert result.timeline.makespan_s == result.total_seconds
+
+
+class TestSweepExpansion:
+    def test_grid_and_run(self, toy_npu, tmp_path):
+        spec = SweepSpec(
+            platforms=("toy-npu:10", "toy-npu:20"),
+            models=("alexnet",),
+        )
+        grid = expand(spec)
+        assert len(grid) == 2
+        with ResultStore(tmp_path / "npu.sqlite") as store:
+            result = run_sweep(
+                grid, store=store, session=Session(cache=TimingCache())
+            )
+            assert len(result.executed) == 2
+            resumed = run_sweep(
+                grid,
+                store=store,
+                resume=True,
+                session=Session(cache=TimingCache()),
+            )
+        assert resumed.executed == ()
+        assert [report.to_dict() for report in resumed.reports] == [
+            report.to_dict() for report in result.reports
+        ]
+
+    def test_unknown_platform_fails_fast(self):
+        with pytest.raises(ConfigError):
+            expand(SweepSpec(platforms=("toy-npu",), models=("alexnet",)))
+
+
+class TestScenarioPath:
+    def test_custom_platform_scenario(self, toy_npu):
+        session = Session(cache=TimingCache())
+        spec = ScenarioSpec(
+            name="npu-pair",
+            platform="toy-npu:20",
+            frames=2,
+            policy="priority",
+            streams=(
+                StreamSpec(name="fast", model="alexnet", priority=2.0),
+                StreamSpec(name="slow", model="goturn", skip_interval=2),
+            ),
+        )
+        report = session.run_scenario(spec)
+        assert report.platform == "toy-npu:20"
+        assert report.stream("fast").frames_run == 2
+        assert report.stream("slow").frames_run == 1
+        # Both streams contend for the single HOST resource: the schedule
+        # is work conserving, so the makespan is the total work.
+        total = report.stream("fast").busy_s + report.stream("slow").busy_s
+        assert report.makespan_s == pytest.approx(total)

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.apps.driving import LATENCY_TARGET_S, DrivingPipeline
+from repro.apps.driving import (
+    LATENCY_TARGET_S,
+    DrivingPipeline,
+    driving_scenario,
+)
 from repro.apps.tasks import OrbSlamFrontend, build_driving_workloads
 from repro.errors import SchedulingError
 
@@ -76,8 +80,94 @@ class TestFrameSkipping:
         assert len(rows) == 4
         assert {r.platform for r in rows} == {"tc", "sma"}
 
-    def test_detection_cost_amortized_exactly(self, pipeline):
+
+#: Fig 9 TC frame latency (ms) per skip interval, pinned to the values the
+#: derived co-run contention model reproduces (paper: TC meets the 100 ms
+#: target at N=1, then flattens at its contention floor above SMA).
+FIG9_TC_CURVE_MS = {
+    1: 64.234,
+    2: 48.536,
+    3: 43.591,
+    4: 41.119,
+    5: 39.636,
+    6: 38.647,
+    7: 37.941,
+    8: 37.411,
+    9: 36.999,
+}
+
+
+class TestFig9TcRegression:
+    def test_tc_curve_pinned(self, pipeline):
+        """The derived contention model reproduces the pinned TC curve."""
+        for interval, expected_ms in FIG9_TC_CURVE_MS.items():
+            latency = pipeline.frame_latency("tc", interval).latency_ms
+            assert latency == pytest.approx(expected_ms, rel=5e-3), interval
+
+    def test_tc_flattens_at_contention_floor(self, pipeline):
+        """Doubling N from 4 to 8 barely moves TC (the paper's plateau)."""
+        at4 = pipeline.frame_latency("tc", 4).latency_s
+        at8 = pipeline.frame_latency("tc", 8).latency_s
+        assert (at4 - at8) / at4 < 0.10
+
+    def test_tc_floor_stays_above_loc(self, pipeline):
+        """The floor is LOC stretched by co-run contention, not bare LOC."""
+        at9 = pipeline.frame_latency("tc", 9)
+        assert at9.latency_s > at9.localization_s * 1.15
+
+
+class TestDerivedContention:
+    def test_tc_corun_contention_matches_rf_saturation(self, pipeline):
+        """LOC's derived stretch on TC sits near the paper's ~1.7 factor.
+
+        The TC GEMM kernels' measured register-file port occupancy is
+        ~0.75, so LOC should be stretched by ~1.75 while they are in
+        flight (and by 2.0 against co-running SIMD ops), bracketing the
+        old hand-coded constant without hard-coding it.
+        """
+        contention = pipeline.corun_contention("tc")
+        assert 1.5 <= contention <= 2.1
+
+    def test_contention_is_derived_not_constant(self, pipeline):
+        """No TC_CORUN_CONTENTION constant survives in the app."""
+        import repro.apps.driving as driving
+
+        assert not hasattr(driving, "TC_CORUN_CONTENTION")
+
+    def test_temporal_platforms_time_multiplex(self, pipeline):
+        """On GPU/SMA the streams time-share the chip (stretch > 1)."""
+        for kind in ("gpu", "sma"):
+            assert pipeline.corun_contention(kind) > 1.0
+
+
+class TestScenarioDeclaration:
+    def test_scenario_spec_shape(self):
+        spec = driving_scenario("sma", 4)
+        assert spec.frames == 4
+        assert spec.platform == "sma:3"
+        assert [stream.name for stream in spec.streams] == [
+            "det", "tra", "loc",
+        ]
+        assert spec.stream("det").skip_interval == 4
+        assert spec.stream("loc").skip_interval == 1
+
+    def test_scenario_report_streams(self, pipeline):
+        report = pipeline.schedule("sma", 4)
+        assert report.stream("det").frames_run == 1
+        assert report.stream("det").frames_skipped == 3
+        assert report.stream("tra").frames_run == 4
+        assert report.makespan_s == pytest.approx(
+            report.avg_frame_latency_s * 4
+        )
+
+    def test_detection_cost_amortized(self, pipeline):
+        # Amortization is exact up to the cross-stream mode-switch resync
+        # the timeline now charges (a few warp-set syncs, O(100 ns) per
+        # window against a ~40 ms frame).
         one = pipeline.frame_latency("sma", 1)
         four = pipeline.frame_latency("sma", 4)
         expected = one.latency_s - 0.75 * one.detection_s
-        assert four.latency_s == pytest.approx(expected)
+        assert four.latency_s == pytest.approx(expected, abs=2e-6)
+        switch_overhead = pipeline.schedule("sma", 4).switch_overhead_s
+        assert 0.0 < switch_overhead < 1e-5
+        assert four.latency_s - expected <= switch_overhead

@@ -1,0 +1,104 @@
+"""Golden identity: scheduled single-stream runs equal the legacy loop.
+
+The refactor's contract is that ``Platform.run_model`` — now lowering into
+the timeline scheduler — reproduces the historical sequential per-op sum
+*bit-for-bit* for every registry platform x model pair.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api.registry import build_model, build_platform
+from repro.gemm.cache import TimingCache
+from repro.platforms.base import OpStats
+from repro.schedule.resources import ResourceKind
+
+PLATFORMS = ("gpu-simd", "gpu-tc", "sma:2", "sma:3", "tpu", "cpu")
+MODELS = ("alexnet", "vgg_a", "googlenet", "mask_rcnn", "deeplab", "goturn")
+
+#: One shared cache: identical GEMM shapes across the grid simulate once.
+_CACHE = TimingCache()
+
+
+def legacy_run_model(platform, graph) -> list[OpStats]:
+    """The pre-refactor sequential loop, reproduced verbatim."""
+    stats_list = []
+    for node in graph.topological_order():
+        stats = platform.run_op(node.op)
+        overhead = platform.framework_overhead_s * node.op.kernel_launches
+        stats_list.append(replace(stats, seconds=stats.seconds + overhead))
+    if platform.name == "tpu":
+        transfers = [
+            OpStats(
+                op_name=f"{stat.op_name}/transfer",
+                group="Transfer",
+                mode="transfer",
+                seconds=platform.transfer_seconds(op),
+                flops=0.0,
+            )
+            for stat, op in zip(
+                stats_list, (node.op for node in graph.nodes)
+            )
+            if stat.mode == "host"
+        ]
+        stats_list.extend(transfers)
+    return stats_list
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("platform_spec", PLATFORMS)
+def test_scheduled_run_bit_identical(platform_spec, model):
+    graph = build_model(model)
+    # Fresh platform instances per path: the SMA mode tracker is stateful
+    # across run_op calls, so both paths must start from the same state.
+    legacy = legacy_run_model(
+        build_platform(platform_spec, cache=_CACHE), graph
+    )
+    result = build_platform(platform_spec, cache=_CACHE).run_model(graph)
+
+    assert len(result.op_stats) == len(legacy)
+    for new, old in zip(result.op_stats, legacy):
+        assert new.op_name == old.op_name
+        assert new.mode == old.mode
+        assert new.seconds == old.seconds  # bit-for-bit, not approx
+    assert result.total_seconds == sum(stat.seconds for stat in legacy)
+
+
+@pytest.mark.parametrize("platform_spec", PLATFORMS)
+def test_single_stream_timeline_is_sequential(platform_spec):
+    result = build_platform(platform_spec, cache=_CACHE).run_model(
+        build_model("alexnet")
+    )
+    timeline = result.timeline
+    assert timeline is not None
+    # One stream => no contention: every segment runs unimpeded (stretch
+    # 1.0 up to float association in end - start) and the makespan is the
+    # plain sum of durations, bit-for-bit.
+    for segment in timeline.segments:
+        assert segment.stretch == pytest.approx(1.0)
+    assert timeline.makespan_s == result.total_seconds
+    assert timeline.mode_switches == 0
+
+
+def test_tc_gemm_tasks_carry_derived_simd_claims():
+    platform = build_platform("gpu-tc", cache=_CACHE)
+    tasks = platform.lower_model(build_model("alexnet"))
+    gemm_tasks = [task for task in tasks if task.mode == "tc"]
+    assert gemm_tasks, "alexnet lowers conv layers to TC GEMM tasks"
+    for task in gemm_tasks:
+        claims = {claim.kind: claim.fraction for claim in task.claims}
+        assert claims[ResourceKind.TC] == 1.0
+        # The measured RF-port pressure: substantial but fractional.
+        assert 0.3 <= claims[ResourceKind.SIMD] <= 1.0
+
+
+def test_sma_systolic_tasks_alias_the_mac_substrate():
+    platform = build_platform("sma:3", cache=_CACHE)
+    tasks = platform.lower_model(build_model("alexnet"))
+    systolic = [task for task in tasks if task.mode == "systolic"]
+    assert systolic
+    for task in systolic:
+        kinds = {claim.kind for claim in task.claims}
+        assert kinds == {ResourceKind.ARRAY, ResourceKind.SIMD}
+        assert task.cross_switch_s > 0.0

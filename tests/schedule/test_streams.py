@@ -1,0 +1,180 @@
+"""Scenario spec validation, frame instantiation, and JSON round-trips."""
+
+import pytest
+
+from repro.errors import ConfigError, SchedulingError
+from repro.schedule.resources import ResourceClaim, ResourceKind
+from repro.schedule.streams import (
+    ScenarioSpec,
+    StreamSpec,
+    instantiate_frames,
+)
+from repro.schedule.timeline import OpTask, TimelineScheduler
+
+SIMD = (ResourceClaim(ResourceKind.SIMD),)
+
+
+def template(count, stream="t"):
+    return [
+        OpTask(
+            uid=index,
+            name=f"{stream}/op{index}",
+            seconds=0.010,
+            claims=SIMD,
+            stream=stream,
+            deps=(index - 1,) if index else (),
+        )
+        for index in range(count)
+    ]
+
+
+def spec(**kwargs):
+    defaults = dict(
+        name="test",
+        streams=(
+            StreamSpec(name="a", model="alexnet"),
+            StreamSpec(name="b", model="goturn"),
+        ),
+        frames=2,
+    )
+    defaults.update(kwargs)
+    return ScenarioSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_needs_stream(self):
+        with pytest.raises(ConfigError):
+            ScenarioSpec(name="empty", streams=())
+
+    def test_duplicate_stream_names(self):
+        with pytest.raises(ConfigError):
+            spec(streams=(
+                StreamSpec(name="a", model="alexnet"),
+                StreamSpec(name="a", model="goturn"),
+            ))
+
+    def test_bad_policy(self):
+        with pytest.raises(ConfigError):
+            spec(policy="banana")
+
+    def test_bad_frames(self):
+        with pytest.raises(ConfigError):
+            spec(frames=0)
+
+    def test_stream_validation(self):
+        with pytest.raises(ConfigError):
+            StreamSpec(name="a", model="m", priority=0)
+        with pytest.raises(ConfigError):
+            StreamSpec(name="a", model="m", skip_interval=0)
+        with pytest.raises(ConfigError):
+            StreamSpec(name="a", model="m", deadline_s=0.0)
+        with pytest.raises(ConfigError):
+            StreamSpec(name="", model="m")
+
+    def test_stream_lookup(self):
+        scenario = spec()
+        assert scenario.stream("a").model == "alexnet"
+        with pytest.raises(ConfigError):
+            scenario.stream("zzz")
+
+
+class TestJsonRoundTrip:
+    def test_scenario_round_trip(self):
+        scenario = spec(
+            platform="sma:3",
+            policy="priority",
+            framework_overhead_s=1e-5,
+            streams=(
+                StreamSpec(name="a", model="alexnet", priority=2.5,
+                           skip_interval=3, period_s=0.033,
+                           deadline_s=0.050),
+                StreamSpec(name="b", model="goturn"),
+            ),
+        )
+        assert ScenarioSpec.from_json(scenario.to_json()) == scenario
+
+    def test_round_trip_preserves_defaults(self):
+        scenario = spec()
+        assert ScenarioSpec.from_dict(scenario.to_dict()) == scenario
+
+
+class TestInstantiation:
+    def test_frame_replication_and_chaining(self):
+        plan = instantiate_frames(
+            spec(frames=3), {"a": template(2, "a"), "b": template(1, "b")}
+        )
+        assert len(plan.tasks) == 3 * 2 + 3 * 1
+        # Stream a's frames chain: first task of frame k depends on the
+        # last task of frame k-1.
+        a_tasks = [task for task in plan.tasks if task.stream == "a"]
+        assert a_tasks[0].deps == ()
+        assert a_tasks[2].deps == (a_tasks[1].uid,)
+        assert [run.frame for run in plan.runs if run.stream == "a"] == [
+            0, 1, 2,
+        ]
+
+    def test_skip_interval(self):
+        scenario = spec(streams=(
+            StreamSpec(name="a", model="alexnet", skip_interval=2),
+            StreamSpec(name="b", model="goturn"),
+        ), frames=4)
+        plan = instantiate_frames(
+            scenario, {"a": template(1, "a"), "b": template(1, "b")}
+        )
+        a_frames = [run.frame for run in plan.runs if run.stream == "a"]
+        assert a_frames == [0, 2]
+        assert plan.skipped["a"] == 2
+        assert plan.skipped["b"] == 0
+
+    def test_periodic_release(self):
+        scenario = spec(streams=(
+            StreamSpec(name="a", model="alexnet", period_s=0.5),
+        ), frames=3)
+        plan = instantiate_frames(scenario, {"a": template(1, "a")})
+        assert [run.release_s for run in plan.runs] == [0.0, 0.5, 1.0]
+        for run in plan.runs:
+            task = plan.tasks[run.uids[0]]
+            assert task.release_s == run.release_s
+
+    def test_priority_becomes_weight(self):
+        scenario = spec(streams=(
+            StreamSpec(name="a", model="alexnet", priority=4.0),
+        ), frames=1)
+        plan = instantiate_frames(scenario, {"a": template(2, "a")})
+        assert all(task.weight == 4.0 for task in plan.tasks)
+
+    def test_missing_template_rejected(self):
+        with pytest.raises(SchedulingError):
+            instantiate_frames(spec(), {"a": template(1, "a")})
+
+    def test_empty_template_rejected(self):
+        with pytest.raises(SchedulingError):
+            instantiate_frames(
+                spec(), {"a": template(1, "a"), "b": []}
+            )
+
+
+class TestFrameLatencies:
+    def test_deadline_miss_detection(self):
+        # One stream, 6 ms of work per frame, released every 5 ms with a
+        # 7 ms deadline: the queue grows 1 ms per frame, so frame 2 is
+        # the first to miss.
+        scenario = ScenarioSpec(
+            name="late",
+            frames=3,
+            streams=(
+                StreamSpec(name="a", model="alexnet", period_s=0.005,
+                           deadline_s=0.007),
+            ),
+        )
+        work = [
+            OpTask(uid=0, name="a/op0", seconds=0.006, claims=SIMD,
+                   stream="a")
+        ]
+        plan = instantiate_frames(scenario, {"a": work})
+        timeline = TimelineScheduler().run(plan.tasks)
+        latencies = plan.frame_latencies(timeline)["a"]
+        misses = [miss for *_rest, miss in latencies]
+        assert misses == [False, False, True]
+        # Frame 2 releases at 10 ms, starts at 12 ms, ends at 18 ms.
+        assert latencies[2][3] == pytest.approx(0.008)

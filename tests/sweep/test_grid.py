@@ -186,3 +186,88 @@ class TestFingerprints:
         point = grid.points[0]
         assert point.fingerprint == request_fingerprint(point.request)
         assert point.request_id == f"gemm-{point.fingerprint[:12]}"
+
+
+class TestScenarioAxis:
+    def scenario(self, platform=None):
+        from repro.api import ScenarioSpec, StreamSpec
+
+        return ScenarioSpec(
+            name="duo",
+            platform=platform,
+            frames=2,
+            streams=(
+                StreamSpec(name="a", model="alexnet", priority=2.0),
+                StreamSpec(name="b", model="goturn"),
+            ),
+        )
+
+    def test_expansion_binds_platform_axis(self):
+        grid = expand(
+            SweepSpec(platforms=("sma:2..3",), scenarios=(self.scenario(),))
+        )
+        assert [point.request.platform for point in grid] == [
+            "sma:2", "sma:3",
+        ]
+        for point in grid:
+            assert point.request.kind == "scenario"
+            assert point.request.scenario.platform is None
+            assert point.request_id.startswith("scenario-")
+
+    def test_embedded_platform_stripped_for_identity(self):
+        # A scenario that names its own platform expands to the same
+        # fingerprints as one that leaves it open: the grid's platform
+        # axis is the single source of identity.
+        open_grid = expand(
+            SweepSpec(platforms=("sma:2",), scenarios=(self.scenario(),))
+        )
+        bound_grid = expand(
+            SweepSpec(
+                platforms=("sma:2",),
+                scenarios=(self.scenario(platform="gpu-tc"),),
+            )
+        )
+        assert open_grid.request_ids == bound_grid.request_ids
+
+    def test_fingerprint_sensitive_to_scenario_content(self):
+        from repro.api import ScenarioSpec, StreamSpec
+
+        other = ScenarioSpec(
+            name="duo",
+            frames=3,  # different window
+            streams=(
+                StreamSpec(name="a", model="alexnet", priority=2.0),
+                StreamSpec(name="b", model="goturn"),
+            ),
+        )
+        left = expand(
+            SweepSpec(platforms=("sma:2",), scenarios=(self.scenario(),))
+        )
+        right = expand(SweepSpec(platforms=("sma:2",), scenarios=(other,)))
+        assert left.request_ids != right.request_ids
+
+    def test_framework_overhead_in_scenario_fingerprint(self):
+        base = SweepSpec(platforms=("sma:2",), scenarios=(self.scenario(),))
+        fast = SweepSpec(
+            platforms=("sma:2",),
+            scenarios=(self.scenario(),),
+            framework_overhead_s=0.0,
+        )
+        assert expand(base).request_ids != expand(fast).request_ids
+
+    def test_mixed_workloads_keep_order(self):
+        grid = expand(
+            SweepSpec(
+                platforms=("sma:2",),
+                models=("alexnet",),
+                gemms=(128,),
+                scenarios=(self.scenario(),),
+            )
+        )
+        assert [point.request.kind for point in grid] == [
+            "model", "gemm", "scenario",
+        ]
+
+    def test_rejects_non_scenario(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(platforms=("sma:2",), scenarios=("nope",))
