@@ -1,0 +1,98 @@
+"""Serving overhead: admission control must not slow the engine down.
+
+Open-loop serving adds two engine-side costs on top of PR 3's timeline
+scheduling: QoS review at every event (queued-frame bookkeeping) and the
+extra expiry events a ``drop_late`` policy schedules. This benchmark
+times the engine over a saturating Poisson trace with admission control
+attached and holds it to the same per-op budget as the closed-loop
+scenario benchmark.
+
+Run with::
+
+    pytest benchmarks/bench_serving_trace.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import ScenarioSpec, Session, StreamSpec
+from repro.schedule.streams import instantiate_frames
+from repro.schedule.timeline import TimelineScheduler
+from repro.serving import ArrivalSpec, QosSpec, make_qos
+
+#: Scheduling-overhead budget per op (seconds) — same as the closed-loop
+#: multistream benchmark: QoS must ride along for free at this scale.
+PER_OP_BUDGET_S = 50e-6
+
+#: Offered well above what the platform sustains, so the queue actually
+#: builds and the drop path is exercised, not just the happy path.
+SCENARIO = ScenarioSpec(
+    name="bench-serving-trace",
+    platform="sma:2",
+    frames=16,
+    policy="priority",
+    qos=QosSpec(kind="drop_late"),
+    streams=(
+        StreamSpec(name="det", model="deeplab:nocrf", priority=3.0,
+                   deadline_s=0.100,
+                   arrivals=ArrivalSpec(kind="poisson", rate_hz=60.0, seed=1)),
+        StreamSpec(name="tra", model="goturn", priority=2.0,
+                   deadline_s=0.100,
+                   arrivals=ArrivalSpec(kind="mmpp", rate_hz=40.0, seed=2)),
+        StreamSpec(name="loc", model="orb_slam", priority=1.0,
+                   deadline_s=0.100,
+                   arrivals=ArrivalSpec(kind="poisson", rate_hz=60.0, seed=3)),
+    ),
+)
+
+
+def _lowered_plan():
+    session = Session()
+    platform = session.platform(
+        SCENARIO.platform, framework_overhead_s=50e-6
+    )
+    templates = {}
+    for stream in SCENARIO.streams:
+        platform.reset_schedule_state()
+        templates[stream.name] = platform.lower_model(
+            session.model(stream.model), stream=stream.name
+        )
+    return instantiate_frames(SCENARIO, templates)
+
+
+def test_serving_overhead_per_op(benchmark):
+    plan = _lowered_plan()
+    scheduler = TimelineScheduler(
+        SCENARIO.policy, qos=make_qos(SCENARIO.qos)
+    )
+
+    timeline = benchmark.pedantic(
+        lambda: scheduler.run(plan.tasks), rounds=5, iterations=1
+    )
+    assert timeline.makespan_s > 0
+    assert timeline.drops, "saturating trace must exercise the drop path"
+    per_op = benchmark.stats.stats.mean / len(plan.tasks)
+    print(
+        f"\n{len(plan.tasks)} tasks scheduled, {len(timeline.drops)}"
+        f" dropped; {per_op * 1e6:.2f} us/op"
+        f" (budget {PER_OP_BUDGET_S * 1e6:.0f} us)"
+    )
+    assert per_op < PER_OP_BUDGET_S
+
+
+def test_serving_overhead_without_harness():
+    """Plain-timer fallback so the budget also gates `pytest benchmarks`
+    runs without --benchmark-only."""
+    plan = _lowered_plan()
+    scheduler = TimelineScheduler(
+        SCENARIO.policy, qos=make_qos(SCENARIO.qos)
+    )
+    timeline = scheduler.run(plan.tasks)  # warm
+    assert timeline.drops
+    start = time.perf_counter()
+    rounds = 3
+    for _ in range(rounds):
+        scheduler.run(plan.tasks)
+    per_op = (time.perf_counter() - start) / rounds / len(plan.tasks)
+    assert per_op < PER_OP_BUDGET_S

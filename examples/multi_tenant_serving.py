@@ -6,7 +6,11 @@ Three tenants share one SMA device: a latency-critical detector
 classifier (VGG-A) that runs every other frame. The timeline scheduler
 shares the MAC substrate by priority, tracks per-tenant frame deadlines,
 and reports where every microsecond went — then a sweep re-targets the
-same scenario across sma:2..4 to size the deployment.
+same scenario across sma:2..4 to size the deployment, and the SLO
+explorer offers the tenants *open-loop* Poisson traffic (with
+deadline-slip admission control shedding hopeless frames) to find the
+max arrival rate each SMA configuration sustains under a p95 latency
+SLO.
 
 Usage::
 
@@ -19,6 +23,8 @@ import sys
 
 from repro.api import ScenarioSpec, Session, StreamSpec
 from repro.common.tables import render_table
+from repro.serving import QosSpec
+from repro.serving.slo import explore_slo
 from repro.sweep import SweepSpec, run_sweep
 
 
@@ -102,11 +108,64 @@ def main() -> None:
             title="deployment sizing: same tenants, sma:2..4",
         )
     )
+    # Open-loop SLO exploration: how much Poisson traffic can each SMA
+    # configuration absorb before p95 latency breaks 400 ms? Frames that
+    # can no longer meet their deadline are shed by admission control.
+    print()
+    slo_ms = 400.0
+    exploration = explore_slo(
+        ScenarioSpec(
+            name="multi-tenant-slo",
+            frames=3 if quick else 8,
+            policy=scenario.policy,
+            qos=QosSpec(kind="drop_late"),
+            streams=tuple(
+                StreamSpec(
+                    name=stream.name,
+                    model=stream.model,
+                    priority=stream.priority,
+                    skip_interval=stream.skip_interval,
+                    deadline_s=stream.deadline_s or 0.400,
+                )
+                for stream in scenario.streams
+            ),
+        ),
+        platforms=("sma:2", "sma:3", "sma:4"),
+        rates=(2.0, 5.0) if quick else (2.0, 5.0, 8.0, 12.0),
+        slo_s=slo_ms / 1e3,
+        max_drop_fraction=0.25,
+        session=session,
+    )
+    slo_rows = [
+        [
+            point.platform,
+            point.rate_hz,
+            f"{point.completed}/{point.offered}",
+            point.dropped,
+            point.p95_s * 1e3,
+            point.goodput_fps,
+            "yes" if point.meets_slo else "NO",
+        ]
+        for point in exploration.points
+    ]
+    print(
+        render_table(
+            ["platform", "rate_hz", "done/offered", "drops", "p95_ms",
+             "goodput_fps", "slo"],
+            slo_rows,
+            title=f"open-loop SLO exploration: p95 <= {slo_ms:g} ms",
+        )
+    )
+    print()
+    for platform, rate in exploration.max_sustainable.items():
+        shown = f"{rate:g} Hz/tenant" if rate is not None else "none"
+        print(f"max sustainable offered rate on {platform}: {shown}")
+
     print()
     stats = session.cache_stats
     print(
         f"shared GEMM cache: {stats.hits} hits / {stats.misses} misses"
-        f" across the scenario and the sweep"
+        f" across the scenario, the sweep, and the SLO exploration"
     )
 
 

@@ -15,6 +15,12 @@ Usage::
     python -m repro scenario -p sma:3 --frames 4 --policy priority \
         -s "mask_rcnn@prio=3,deadline=0.2" -s deeplab -s vgg_a
                                                  # multi-stream timeline
+    python -m repro serve -p sma:3 --frames 16 --qos drop_late \
+        -s "mask_rcnn@deadline=0.2,rate=15" -s "vgg_a@rate=15" \
+        --save-trace trace.json                  # open-loop serving
+    python -m repro serve --spec scenario.json --trace trace.json --json
+    python -m repro serve -p sma:3 -p gpu-tc -s "deeplab@deadline=0.1" \
+        --explore --rates 5,10,20 --slo-ms 100   # SLO explorer
     python -m repro store-diff old.sqlite new.sqlite  # regression gate
     python -m repro run fig7_left                # print one regenerated figure
     python -m repro run all                      # print everything
@@ -149,14 +155,19 @@ def _parse_stream(text: str) -> StreamSpec:
     """Parse one ``-s MODEL[@key=value,...]`` stream option.
 
     Keys: ``name``, ``prio``/``priority``, ``skip``, ``period``,
-    ``deadline`` (seconds). The model spec may itself carry ``:`` args
-    (``deeplab:nocrf``), hence the ``@`` separator.
+    ``deadline`` (seconds), plus the open-loop arrival keys ``rate``
+    (Hz), ``arrival`` (``poisson``/``mmpp``/``fixed``), and ``seed``.
+    The model spec may itself carry ``:`` args (``deeplab:nocrf``),
+    hence the ``@`` separator.
     """
+    from repro.serving import ArrivalSpec
+
     model, _sep, rest = text.partition("@")
     model = model.strip()
     if not model:
         raise ConfigError(f"stream {text!r} has no model spec")
     options: dict = {"name": model, "model": model}
+    arrival: dict = {}
     if rest:
         for part in rest.split(","):
             key, sep, value = part.partition("=")
@@ -177,15 +188,25 @@ def _parse_stream(text: str) -> StreamSpec:
                     options["deadline_s"] = float(value)
                 elif key == "name":
                     options["name"] = value
+                elif key == "rate":
+                    arrival["rate_hz"] = float(value)
+                elif key == "arrival":
+                    arrival["kind"] = value
+                elif key == "seed":
+                    arrival["seed"] = int(value)
                 else:
                     raise ConfigError(
                         f"stream {text!r}: unknown key {key!r}; one of"
-                        " name, prio, skip, period, deadline"
+                        " name, prio, skip, period, deadline, rate,"
+                        " arrival, seed"
                     )
             except ValueError:
                 raise ConfigError(
                     f"stream {text!r}: bad value {value!r} for {key!r}"
                 ) from None
+    if arrival:
+        arrival.setdefault("kind", "poisson")
+        options["arrivals"] = ArrivalSpec(**arrival)
     return StreamSpec(**options)
 
 
@@ -197,7 +218,8 @@ def _load_scenario_file(path: str) -> ScenarioSpec:
         raise ConfigError(f"cannot read scenario file {path!r}: {error}")
 
 
-def _cmd_scenario(args) -> int:
+def _scenario_from_args(args, platform: str | None, command: str) -> ScenarioSpec:
+    """Build the scenario a ``scenario``/``serve`` invocation describes."""
     if args.spec:
         if args.streams:
             raise ConfigError(
@@ -220,18 +242,23 @@ def _cmd_scenario(args) -> int:
     else:
         if not args.streams:
             raise ConfigError(
-                "scenario needs -s/--stream options (or --spec FILE)"
+                f"{command} needs -s/--stream options (or --spec FILE)"
             )
         streams = tuple(_parse_stream(text) for text in args.streams)
-        if not args.platform:
-            raise ConfigError("scenario needs -p/--platform")
+        if not platform:
+            raise ConfigError(f"{command} needs -p/--platform")
         scenario = ScenarioSpec(
-            name=args.name if args.name is not None else "scenario",
+            name=args.name if args.name is not None else command,
             streams=streams,
-            platform=args.platform,
+            platform=platform,
             frames=args.frames if args.frames is not None else 1,
             policy=args.policy if args.policy is not None else "fifo",
         )
+    return scenario
+
+
+def _cmd_scenario(args) -> int:
+    scenario = _scenario_from_args(args, args.platform, "scenario")
     session = Session()
     report = session.run_scenario(scenario, args.platform or None)
     if args.json:
@@ -277,6 +304,200 @@ def _cmd_scenario(args) -> int:
         f" ({report.switch_overhead_s * 1e6:.2f} us)"
     )
     _print_cache_line(session)
+    return 0
+
+
+def _parse_qos(text: str):
+    """Parse a ``--qos KIND[:PARAM]`` option into a :class:`QosSpec`.
+
+    ``drop_late[:SLACK_S]``, ``queue_cap:CAP``, ``shed:CAP[:MIN_PRIO]``.
+    """
+    from repro.serving import QosSpec
+
+    kind, _sep, rest = text.partition(":")
+    kind = kind.strip()
+    parts = [part.strip() for part in rest.split(":") if part.strip()]
+    try:
+        if kind == "drop_late":
+            if len(parts) > 1:
+                raise ConfigError(
+                    f"qos {text!r}: drop_late takes at most one slack value"
+                )
+            return QosSpec(
+                kind=kind, slack_s=float(parts[0]) if parts else 0.0
+            )
+        if kind in ("queue_cap", "shed"):
+            if not parts:
+                raise ConfigError(f"qos {text!r}: {kind} needs a cap")
+            if kind == "queue_cap" and len(parts) > 1:
+                raise ConfigError(f"qos {text!r}: queue_cap takes one cap")
+            if len(parts) > 2:
+                raise ConfigError(
+                    f"qos {text!r}: shed takes cap[:min_priority]"
+                )
+            return QosSpec(
+                kind=kind,
+                cap=int(parts[0]),
+                min_priority=float(parts[1]) if len(parts) == 2 else None,
+            )
+    except ValueError:
+        raise ConfigError(f"qos {text!r}: bad numeric parameter") from None
+    from repro.serving import QOS_KINDS
+
+    raise ConfigError(f"unknown qos kind {kind!r}; one of {QOS_KINDS}")
+
+
+def _parse_rates(text: str) -> tuple[float, ...]:
+    try:
+        rates = tuple(
+            float(part) for part in text.split(",") if part.strip()
+        )
+    except ValueError:
+        raise ConfigError(
+            f"bad --rates {text!r}; expected comma-separated Hz values"
+        ) from None
+    if not rates:
+        raise ConfigError("--rates needs at least one arrival rate")
+    return rates
+
+
+def _print_serving_report(report, session: Session) -> None:
+    rows = [
+        [
+            stream.name,
+            stream.model,
+            f"{stream.completed}/{stream.offered}",
+            stream.dropped,
+            stream.missed,
+            stream.p50_s * 1e3,
+            stream.p95_s * 1e3,
+            stream.p99_s * 1e3,
+            stream.goodput_fps,
+        ]
+        for stream in report.streams
+    ]
+    qos = (report.qos or {}).get("kind", "none")
+    print(
+        render_table(
+            ["stream", "model", "done/offered", "drops", "misses",
+             "p50_ms", "p95_ms", "p99_ms", "goodput_fps"],
+            rows,
+            title=(
+                f"serving {report.scenario!r} on {report.platform}"
+                f" ({report.policy} policy, qos={qos},"
+                f" {report.frames} frame slot(s))"
+            ),
+        )
+    )
+    print()
+    print(
+        f"makespan {report.makespan_s * 1e3:.3f} ms;"
+        f" {report.completed}/{report.offered} frames completed,"
+        f" {report.dropped} dropped, {report.missed} missed;"
+        f" p95 {report.p95_s * 1e3:.3f} ms,"
+        f" goodput {report.goodput_fps:.2f} fps"
+    )
+    _print_cache_line(session)
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving import ArrivalTrace
+    from repro.serving.slo import (
+        apply_trace,
+        explore_slo,
+        scenario_at_rate,
+        trace_scenario,
+    )
+
+    platforms = tuple(args.platforms or ())
+    if args.explore:
+        # Reject rather than silently ignore single-run-only options.
+        for flag, value in (
+            ("--trace", args.trace),
+            ("--save-trace", args.save_trace),
+            ("--rate", args.rate),
+        ):
+            if value is not None:
+                raise ConfigError(
+                    f"--explore and {flag} are exclusive ({flag} applies"
+                    " to a single serving run)"
+                )
+    qos = _parse_qos(args.qos) if args.qos else None
+    platform = platforms[0] if platforms else None
+    scenario = _scenario_from_args(args, platform, "serve")
+    if qos is not None:
+        scenario = dataclasses.replace(scenario, qos=qos)
+
+    if args.explore:
+        if not args.rates:
+            raise ConfigError("--explore needs --rates R1,R2,...")
+        if not platforms:
+            raise ConfigError("--explore needs -p/--platform")
+        percentiles = {"p50": 50.0, "p95": 95.0, "p99": 99.0}
+        session = Session()
+        report = explore_slo(
+            scenario,
+            platforms,
+            _parse_rates(args.rates),
+            slo_s=args.slo_ms / 1e3,
+            percentile_q=percentiles[args.percentile],
+            max_drop_fraction=args.max_drop_fraction,
+            seed=args.seed,
+            session=session,
+            jobs=args.jobs,
+        )
+        if args.json:
+            print(report.to_json(indent=2))
+            return 0
+        rows = [
+            [
+                point.platform,
+                point.rate_hz,
+                f"{point.completed}/{point.offered}",
+                point.dropped,
+                point.missed,
+                point.p50_s * 1e3,
+                point.p95_s * 1e3,
+                point.p99_s * 1e3,
+                point.goodput_fps,
+                "yes" if point.meets_slo else "NO",
+            ]
+            for point in report.points
+        ]
+        print(
+            render_table(
+                ["platform", "rate_hz", "done/offered", "drops", "misses",
+                 "p50_ms", "p95_ms", "p99_ms", "goodput_fps", "slo"],
+                rows,
+                title=(
+                    f"SLO exploration of {report.scenario!r}:"
+                    f" {args.percentile} <= {args.slo_ms:g} ms"
+                ),
+            )
+        )
+        print()
+        for platform_spec, rate in report.max_sustainable.items():
+            shown = f"{rate:g} Hz" if rate is not None else "none"
+            print(f"max sustainable rate on {platform_spec}: {shown}")
+        _print_cache_line(session)
+        return 0
+
+    if len(platforms) > 1:
+        raise ConfigError("serve runs on one platform; use --explore to sweep")
+    if args.rate is not None:
+        scenario = scenario_at_rate(scenario, args.rate, seed=args.seed)
+    if args.trace:
+        scenario = apply_trace(scenario, ArrivalTrace.load(args.trace))
+    session = Session()
+    report = session.run_serving(scenario, platform or None)
+    if args.save_trace:
+        trace_scenario(scenario).save(args.save_trace)
+    if args.json:
+        print(report.to_json(indent=2))
+        return 0
+    _print_serving_report(report, session)
+    if args.save_trace:
+        print(f"arrival trace written to {args.save_trace}")
     return 0
 
 
@@ -543,6 +764,84 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="serve streams open-loop (arrival traces, QoS, SLO explorer)",
+    )
+    serve_parser.add_argument(
+        "-p", "--platform", action="append", dest="platforms",
+        help="platform spec (repeatable with --explore), e.g. sma:3",
+    )
+    serve_parser.add_argument(
+        "-s", "--stream", action="append", dest="streams",
+        metavar="MODEL[@k=v,...]",
+        help="stream spec (repeatable): scenario keys plus rate/arrival/"
+        "seed, e.g. 'mask_rcnn@prio=3,deadline=0.2,rate=20'",
+    )
+    serve_parser.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="load the scenario from a ScenarioSpec JSON file",
+    )
+    serve_parser.add_argument(
+        "--frames", type=int, default=None,
+        help="frame slots to simulate per stream (overrides --spec)",
+    )
+    serve_parser.add_argument(
+        "--policy", default=None, choices=("fifo", "priority", "exclusive"),
+        help="scheduling policy (default fifo; overrides --spec)",
+    )
+    serve_parser.add_argument(
+        "--name", default=None, help="scenario name (overrides --spec)",
+    )
+    serve_parser.add_argument(
+        "--qos", default=None, metavar="KIND[:PARAM]",
+        help="admission control: drop_late[:slack_s], queue_cap:N,"
+        " shed:N[:min_prio]",
+    )
+    serve_parser.add_argument(
+        "--rate", type=float, default=None, metavar="HZ",
+        help="offer every stream at this Poisson rate (overrides periods)",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=0, help="arrival seed for --rate/--explore",
+    )
+    serve_parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="replay a recorded ArrivalTrace JSON file",
+    )
+    serve_parser.add_argument(
+        "--save-trace", default=None, metavar="FILE", dest="save_trace",
+        help="write the materialized arrival trace for later --trace replay",
+    )
+    serve_parser.add_argument(
+        "--explore", action="store_true",
+        help="sweep --rates across every -p platform and report SLO limits",
+    )
+    serve_parser.add_argument(
+        "--rates", default=None, metavar="R1,R2,...",
+        help="arrival rates (Hz) for --explore",
+    )
+    serve_parser.add_argument(
+        "--slo-ms", type=float, default=100.0, dest="slo_ms",
+        help="latency SLO in milliseconds (default 100)",
+    )
+    serve_parser.add_argument(
+        "--percentile", default="p95", choices=("p50", "p95", "p99"),
+        help="tail percentile judged against the SLO (default p95)",
+    )
+    serve_parser.add_argument(
+        "--max-drop-fraction", type=float, default=0.0,
+        dest="max_drop_fraction",
+        help="largest admissible drop fraction per point (default 0)",
+    )
+    serve_parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for --explore",
+    )
+    serve_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
     diff_parser = sub.add_parser(
         "store-diff",
         help="diff two result stores; exit 1 when stored results changed",
@@ -574,6 +873,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sweep(args)
         if args.command == "scenario":
             return _cmd_scenario(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "store-diff":
             return _cmd_store_diff(args)
         if args.command == "run":

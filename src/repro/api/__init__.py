@@ -36,6 +36,9 @@ from repro.api.results import (
     ScenarioSpec,
     ScheduleReport,
     ScheduleSegment,
+    ServingFrame,
+    ServingReport,
+    ServingStreamReport,
     SimRequest,
     StreamReport,
     StreamSpec,
@@ -59,6 +62,9 @@ __all__ = [
     "ScenarioSpec",
     "ScheduleReport",
     "ScheduleSegment",
+    "ServingFrame",
+    "ServingReport",
+    "ServingStreamReport",
     "Session",
     "SimRequest",
     "StreamReport",

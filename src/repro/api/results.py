@@ -16,8 +16,14 @@ from repro.errors import ConfigError
 from repro.gemm.cache import CacheStats
 from repro.gemm.executor import GemmTiming
 from repro.gemm.problem import GemmProblem
+from repro.common.stats import percentile
 from repro.platforms.base import ModelRunResult
-from repro.schedule.streams import FramePlan, ScenarioSpec, StreamSpec
+from repro.schedule.streams import (
+    FramePlan,
+    FrameRecord,
+    ScenarioSpec,
+    StreamSpec,
+)
 from repro.schedule.timeline import Timeline, TimelineSegment
 from repro.systolic.dataflow import Dataflow
 
@@ -49,6 +55,7 @@ class SimRequest:
     tag: str | None = None
     dataflow: str | None = None
     scheduler: str | None = None
+    serving: bool = False
 
     def __post_init__(self) -> None:
         workloads = [
@@ -65,6 +72,8 @@ class SimRequest:
                 "SimRequest needs exactly one of model=, gemm=, or"
                 f" scenario=, got {workloads or 'none'}"
             )
+        if self.serving and self.scenario is None:
+            raise ConfigError("serving=True requires a scenario workload")
         if isinstance(self.dataflow, Dataflow):
             object.__setattr__(self, "dataflow", self.dataflow.value)
         if self.dataflow is not None and self.dataflow not in DATAFLOW_NAMES:
@@ -78,7 +87,7 @@ class SimRequest:
             return "model"
         if self.gemm is not None:
             return "gemm"
-        return "scenario"
+        return "serving" if self.serving else "scenario"
 
     def to_dict(self) -> dict:
         gemm = None
@@ -133,6 +142,7 @@ class SimRequest:
             tag=data.get("tag"),
             dataflow=data.get("dataflow"),
             scheduler=data.get("scheduler"),
+            serving=data.get("kind") == "serving",
         )
 
     @classmethod
@@ -355,6 +365,7 @@ class StreamReport:
     mean_latency_s: float
     max_latency_s: float
     deadline_misses: int
+    frames_dropped: int = 0
 
     @property
     def stretch(self) -> float:
@@ -416,12 +427,16 @@ class ScheduleReport:
         by_stream: dict[str, list] = {}
         for segment in timeline.segments:
             by_stream.setdefault(segment.stream, []).append(segment)
-        latencies = plan.frame_latencies(timeline)
+        records = plan.frame_records(timeline)
         streams = []
         for stream_spec in spec.streams:
             segments = by_stream.get(stream_spec.name, [])
-            frames = latencies.get(stream_spec.name, [])
-            frame_latencies = [latency for *_ignored, latency, _miss in frames]
+            frames = [
+                record
+                for record in records.get(stream_spec.name, [])
+                if not record.dropped
+            ]
+            frame_latencies = [record.latency_s for record in frames]
             streams.append(
                 StreamReport(
                     name=stream_spec.name,
@@ -442,7 +457,12 @@ class ScheduleReport:
                         max(frame_latencies) if frame_latencies else 0.0
                     ),
                     deadline_misses=sum(
-                        1 for *_ignored, miss in frames if miss
+                        1 for record in frames if record.missed
+                    ),
+                    frames_dropped=sum(
+                        1
+                        for record in records.get(stream_spec.name, [])
+                        if record.dropped
                     ),
                 )
             )
@@ -497,7 +517,244 @@ class ScheduleReport:
         return cls.from_dict(json.loads(text))
 
 
-def report_from_dict(data: dict) -> "GemmReport | ModelReport | ScheduleReport":
+#: Serving frame outcomes reuse the schedule package's own record type —
+#: a frozen primitives-only dataclass — so the per-frame data is exported
+#: without a parallel copy that could drift.
+ServingFrame = FrameRecord
+
+
+@dataclass(frozen=True)
+class ServingStreamReport:
+    """One stream's open-loop outcome inside a :class:`ServingReport`.
+
+    ``offered`` counts the frames the arrival process released (after
+    frame skipping); they partition into ``completed`` and ``dropped``.
+    Latency statistics are nearest-rank percentiles over the completed
+    frames only, and ``goodput_fps`` is deadline-met completions per
+    second of makespan — the throughput the SLO actually credits.
+    """
+
+    name: str
+    model: str
+    priority: float
+    offered: int
+    completed: int
+    dropped: int
+    missed: int
+    skipped: int
+    mean_latency_s: float
+    max_latency_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    goodput_fps: float
+    frames: tuple[ServingFrame, ...] = ()
+
+    @property
+    def drop_fraction(self) -> float:
+        return self.dropped / self.offered if self.offered else 0.0
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """The open-loop serving outcome of one scenario on one platform.
+
+    Everything is flattened to primitives — per-stream percentiles and
+    goodput plus the per-frame outcome records — and round-trips
+    losslessly through :meth:`to_dict`/:meth:`from_dict`, so serving runs
+    ride the sweep engine and result store like every other workload.
+    ``qos`` echoes the scenario's admission-control spec (its dict form).
+    """
+
+    scenario: str
+    platform: str
+    policy: str
+    frames: int
+    makespan_s: float
+    streams: tuple[ServingStreamReport, ...] = ()
+    occupancy: dict[str, float] = field(default_factory=dict)
+    mode_switches: int = 0
+    switch_overhead_s: float = 0.0
+    qos: dict | None = None
+    tag: str | None = None
+
+    def stream(self, name: str) -> ServingStreamReport:
+        for stream in self.streams:
+            if stream.name == name:
+                return stream
+        raise ConfigError(
+            f"serving report has no stream {name!r}; streams:"
+            f" {[stream.name for stream in self.streams]}"
+        )
+
+    # -- aggregates (derived, not stored) ----------------------------------------------
+    @property
+    def offered(self) -> int:
+        return sum(stream.offered for stream in self.streams)
+
+    @property
+    def completed(self) -> int:
+        return sum(stream.completed for stream in self.streams)
+
+    @property
+    def dropped(self) -> int:
+        return sum(stream.dropped for stream in self.streams)
+
+    @property
+    def missed(self) -> int:
+        return sum(stream.missed for stream in self.streams)
+
+    @property
+    def drop_fraction(self) -> float:
+        return self.dropped / self.offered if self.offered else 0.0
+
+    @property
+    def goodput_fps(self) -> float:
+        return sum(stream.goodput_fps for stream in self.streams)
+
+    def completed_latencies(self) -> list[float]:
+        """Every completed frame's latency, across all streams."""
+        return [
+            frame.latency_s
+            for stream in self.streams
+            for frame in stream.frames
+            if not frame.dropped
+        ]
+
+    def latency_percentile(self, q: float) -> float:
+        """Nearest-rank latency percentile across every completed frame."""
+        return percentile(self.completed_latencies(), q)
+
+    @property
+    def p50_s(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p95_s(self) -> float:
+        return self.latency_percentile(95)
+
+    @property
+    def p99_s(self) -> float:
+        return self.latency_percentile(99)
+
+    @property
+    def avg_frame_latency_s(self) -> float:
+        """Window-amortized latency (mirrors :class:`ScheduleReport`)."""
+        return self.makespan_s / self.frames if self.frames else 0.0
+
+    @property
+    def avg_frame_latency_ms(self) -> float:
+        return self.avg_frame_latency_s * 1e3
+
+    @classmethod
+    def from_timeline(
+        cls,
+        spec: ScenarioSpec,
+        platform: str,
+        timeline: Timeline,
+        plan: FramePlan,
+        tag: str | None = None,
+    ) -> "ServingReport":
+        """Assemble the report from an executed scenario timeline."""
+        records = plan.frame_records(timeline)
+        streams = []
+        for stream_spec in spec.streams:
+            frames = tuple(records.get(stream_spec.name, ()))
+            done = [frame for frame in frames if not frame.dropped]
+            latencies = [frame.latency_s for frame in done]
+            met = sum(1 for frame in done if not frame.missed)
+            streams.append(
+                ServingStreamReport(
+                    name=stream_spec.name,
+                    model=stream_spec.model,
+                    priority=stream_spec.priority,
+                    offered=len(frames),
+                    completed=len(done),
+                    dropped=len(frames) - len(done),
+                    missed=sum(1 for frame in done if frame.missed),
+                    skipped=plan.skipped.get(stream_spec.name, 0),
+                    mean_latency_s=(
+                        sum(latencies) / len(latencies) if latencies else 0.0
+                    ),
+                    max_latency_s=max(latencies) if latencies else 0.0,
+                    p50_s=percentile(latencies, 50),
+                    p95_s=percentile(latencies, 95),
+                    p99_s=percentile(latencies, 99),
+                    goodput_fps=(
+                        met / timeline.makespan_s
+                        if timeline.makespan_s > 0
+                        else 0.0
+                    ),
+                    frames=frames,
+                )
+            )
+        return cls(
+            scenario=spec.name,
+            platform=platform,
+            policy=spec.policy,
+            frames=spec.frames,
+            makespan_s=timeline.makespan_s,
+            streams=tuple(streams),
+            occupancy=timeline.occupancy(),
+            mode_switches=timeline.mode_switches,
+            switch_overhead_s=timeline.switch_overhead_s,
+            qos=spec.qos.to_dict() if spec.qos is not None else None,
+            tag=tag,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "serving",
+            "scenario": self.scenario,
+            "platform": self.platform,
+            "policy": self.policy,
+            "frames": self.frames,
+            "makespan_s": self.makespan_s,
+            "offered": self.offered,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "missed": self.missed,
+            "goodput_fps": self.goodput_fps,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+            "streams": [asdict(stream) for stream in self.streams],
+            "occupancy": dict(self.occupancy),
+            "mode_switches": self.mode_switches,
+            "switch_overhead_s": self.switch_overhead_s,
+            "qos": dict(self.qos) if self.qos is not None else None,
+            "tag": self.tag,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServingReport":
+        kwargs = _check_kind(data, "serving", cls)
+        kwargs["streams"] = tuple(
+            ServingStreamReport(
+                **{
+                    **stream,
+                    "frames": tuple(
+                        ServingFrame(**frame)
+                        for frame in stream.get("frames", ())
+                    ),
+                }
+            )
+            for stream in data.get("streams", ())
+        )
+        kwargs["occupancy"] = dict(data.get("occupancy", {}))
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServingReport":
+        return cls.from_dict(json.loads(text))
+
+
+def report_from_dict(
+    data: dict,
+) -> "GemmReport | ModelReport | ScheduleReport | ServingReport":
     """Reconstruct any report type from its ``to_dict()`` form."""
     kind = data.get("kind")
     if kind == "gemm":
@@ -506,6 +763,8 @@ def report_from_dict(data: dict) -> "GemmReport | ModelReport | ScheduleReport":
         return ModelReport.from_dict(data)
     if kind == "schedule":
         return ScheduleReport.from_dict(data)
+    if kind == "serving":
+        return ServingReport.from_dict(data)
     raise ConfigError(f"unknown report kind {kind!r}")
 
 

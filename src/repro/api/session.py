@@ -26,6 +26,7 @@ from repro.api.results import (
     GemmReport,
     ModelReport,
     ScheduleReport,
+    ServingReport,
     SimRequest,
 )
 from repro.dnn.graph import LayerGraph
@@ -36,6 +37,7 @@ from repro.gemm.problem import GemmProblem
 from repro.platforms.base import Platform
 from repro.schedule.streams import ScenarioSpec, instantiate_frames
 from repro.schedule.timeline import TimelineScheduler
+from repro.serving.qos import make_qos
 from repro.systolic.dataflow import Dataflow
 
 
@@ -214,6 +216,44 @@ class Session:
         with the stream's priority/period/skip settings, and the scenario
         policy schedules the whole task set.
         """
+        spec, platform_spec, plan, timeline = self._schedule_scenario(
+            scenario, platform, platform_kwargs
+        )
+        return ScheduleReport.from_timeline(
+            spec, platform_spec, timeline, plan, tag=tag
+        )
+
+    def run_serving(
+        self,
+        scenario: ScenarioSpec | dict,
+        platform: str | None = None,
+        *,
+        tag: str | None = None,
+        platform_kwargs: dict | None = None,
+    ) -> ServingReport:
+        """Serve a scenario open-loop and report tail latencies and drops.
+
+        Same execution path as :meth:`run_scenario` — streams with
+        ``arrivals`` release frames at their (seeded, deterministic)
+        arrival times, and the scenario's ``qos`` admission policy may
+        drop frames — but the result is a :class:`ServingReport`:
+        per-stream p50/p95/p99 latency, goodput, and per-frame outcome
+        records, the serving-side view of the same timeline.
+        """
+        spec, platform_spec, plan, timeline = self._schedule_scenario(
+            scenario, platform, platform_kwargs
+        )
+        return ServingReport.from_timeline(
+            spec, platform_spec, timeline, plan, tag=tag
+        )
+
+    def _schedule_scenario(
+        self,
+        scenario: ScenarioSpec | dict,
+        platform: str | None,
+        platform_kwargs: dict | None,
+    ):
+        """Lower, instantiate, and schedule one scenario (shared path)."""
         if isinstance(scenario, dict):
             scenario = ScenarioSpec.from_dict(scenario)
         if not isinstance(scenario, ScenarioSpec):
@@ -240,17 +280,17 @@ class Session:
             )
         target.reset_schedule_state()
         plan = instantiate_frames(scenario, templates)
-        timeline = TimelineScheduler(scenario.policy).run(plan.tasks)
-        return ScheduleReport.from_timeline(
-            scenario, platform_spec, timeline, plan, tag=tag
+        scheduler = TimelineScheduler(
+            scenario.policy, qos=make_qos(scenario.qos)
         )
+        return scenario, platform_spec, plan, scheduler.run(plan.tasks)
 
     def run_request(
         self,
         request: SimRequest,
         *,
         platform_kwargs: dict | None = None,
-    ) -> GemmReport | ModelReport | ScheduleReport:
+    ) -> GemmReport | ModelReport | ScheduleReport | ServingReport:
         """Execute one :class:`SimRequest`, honoring its override fields."""
         if request.kind == "gemm":
             return self.time_gemm(
@@ -265,6 +305,13 @@ class Session:
             kwargs["dataflow"] = Dataflow(request.dataflow)
         if request.scheduler is not None:
             kwargs["scheduler"] = request.scheduler
+        if request.kind == "serving":
+            return self.run_serving(
+                request.scenario,
+                request.platform,
+                tag=request.tag,
+                platform_kwargs=kwargs or None,
+            )
         if request.kind == "scenario":
             return self.run_scenario(
                 request.scenario,

@@ -1,6 +1,10 @@
 """End-to-end applications: the Fig 9 autonomous-driving pipeline."""
 
-from repro.apps.driving import DrivingPipeline, FrameLatency
+from repro.apps.driving import (
+    DrivingPipeline,
+    FrameLatency,
+    open_loop_driving_scenario,
+)
 from repro.apps.tasks import (
     DrivingWorkloads,
     OrbSlamFrontend,
@@ -13,4 +17,5 @@ __all__ = [
     "FrameLatency",
     "OrbSlamFrontend",
     "build_driving_workloads",
+    "open_loop_driving_scenario",
 ]

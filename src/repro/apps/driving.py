@@ -31,6 +31,8 @@ from repro.api.results import ScheduleReport
 from repro.api.session import Session
 from repro.errors import SchedulingError
 from repro.schedule.streams import ScenarioSpec, StreamSpec
+from repro.serving.qos import QosSpec
+from repro.serving.traces import ArrivalSpec
 
 #: The single-frame latency target (paper: 100 ms).
 LATENCY_TARGET_S = 0.100
@@ -75,6 +77,69 @@ def driving_scenario(
             ),
             StreamSpec(name="tra", model="goturn", priority=2.0),
             StreamSpec(name="loc", model="orb_slam", priority=1.0),
+        ),
+    )
+
+
+def open_loop_driving_scenario(
+    platform_kind: str | None = None,
+    *,
+    rate_hz: float = 10.0,
+    frames: int = 16,
+    seed: int = 0,
+    arrival_kind: str = "poisson",
+    deadline_s: float = LATENCY_TARGET_S,
+    qos: QosSpec | None = None,
+    framework_overhead_s: float = 50e-6,
+    policy: str = "priority",
+) -> ScenarioSpec:
+    """The Fig 9 pipeline as an *open-loop serving* workload.
+
+    Camera frames arrive on their own clock — each of DET/TRA/LOC is
+    offered ``rate_hz`` stochastic arrivals instead of the closed-loop
+    fixed window — and every frame carries the paper's latency target as
+    its deadline. ``platform_kind`` may be ``None`` to leave the target
+    open for a platform sweep (the SLO explorer's axis).
+    """
+    if platform_kind is not None and platform_kind not in DRIVING_PLATFORMS:
+        raise SchedulingError(
+            f"unknown platform {platform_kind!r}; one of"
+            f" {sorted(DRIVING_PLATFORMS)}"
+        )
+    arrivals = ArrivalSpec(kind=arrival_kind, rate_hz=rate_hz, seed=seed)
+    return ScenarioSpec(
+        name=f"driving-open-loop-{rate_hz:g}hz",
+        platform=(
+            DRIVING_PLATFORMS[platform_kind]
+            if platform_kind is not None
+            else None
+        ),
+        frames=frames,
+        policy=policy,
+        framework_overhead_s=framework_overhead_s,
+        qos=qos,
+        streams=(
+            StreamSpec(
+                name="det",
+                model="driving_det",
+                priority=3.0,
+                deadline_s=deadline_s,
+                arrivals=arrivals,
+            ),
+            StreamSpec(
+                name="tra",
+                model="goturn",
+                priority=2.0,
+                deadline_s=deadline_s,
+                arrivals=arrivals,
+            ),
+            StreamSpec(
+                name="loc",
+                model="orb_slam",
+                priority=1.0,
+                deadline_s=deadline_s,
+                arrivals=arrivals,
+            ),
         ),
     )
 

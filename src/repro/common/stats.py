@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 from collections import defaultdict
 from typing import Iterable, Iterator, Mapping
 
@@ -77,3 +79,19 @@ class CounterBag:
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counts.items()))
         return f"CounterBag({inner})"
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (0.0 for an empty input).
+
+    Nearest rank (no interpolation) keeps tail-latency numbers
+    deterministic and exactly equal to an observed sample, which is what
+    lets serving reports round-trip bit-for-bit through JSON.
+    """
+    if not 0.0 < q <= 100.0:
+        raise ValueError(f"percentile must be in (0, 100], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]

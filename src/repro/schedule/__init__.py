@@ -39,12 +39,14 @@ from repro.schedule.resources import (
 )
 from repro.schedule.streams import (
     FramePlan,
+    FrameRecord,
     FrameRun,
     ScenarioSpec,
     StreamSpec,
     instantiate_frames,
 )
 from repro.schedule.timeline import (
+    DropRecord,
     OpTask,
     Timeline,
     TimelineScheduler,
@@ -54,9 +56,11 @@ from repro.schedule.timeline import (
 __all__ = [
     "POLICY_NAMES",
     "RESOURCE_ORDER",
+    "DropRecord",
     "ExclusivePolicy",
     "FifoPolicy",
     "FramePlan",
+    "FrameRecord",
     "FrameRun",
     "OpTask",
     "PriorityPolicy",

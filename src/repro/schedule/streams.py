@@ -23,6 +23,8 @@ from dataclasses import dataclass, replace
 from repro.errors import ConfigError, SchedulingError
 from repro.schedule.policies import POLICY_NAMES
 from repro.schedule.timeline import OpTask, Timeline
+from repro.serving.qos import QosSpec
+from repro.serving.traces import ArrivalSpec, generate_arrivals
 
 
 @dataclass(frozen=True)
@@ -35,6 +37,11 @@ class StreamSpec:
     ``period_s`` releases frame k at ``k * period_s`` (``None`` releases
     every frame at t=0 — back-to-back throughput mode); ``deadline_s``
     marks a frame late when its completion trails its release by more.
+
+    ``arrivals`` switches the stream to *open-loop* release: frame k is
+    released at the arrival process's k-th arrival time instead of the
+    periodic cadence (the two are exclusive — a periodic release *is* the
+    degenerate ``fixed`` arrival trace).
     """
 
     name: str
@@ -43,6 +50,7 @@ class StreamSpec:
     skip_interval: int = 1
     period_s: float | None = None
     deadline_s: float | None = None
+    arrivals: ArrivalSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -63,9 +71,38 @@ class StreamSpec:
             raise ConfigError(f"stream {self.name!r}: period must be >= 0")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ConfigError(f"stream {self.name!r}: deadline must be > 0")
+        if isinstance(self.arrivals, dict):
+            object.__setattr__(
+                self, "arrivals", ArrivalSpec.from_dict(self.arrivals)
+            )
+        if self.arrivals is not None:
+            if not isinstance(self.arrivals, ArrivalSpec):
+                raise ConfigError(
+                    f"stream {self.name!r}: arrivals must be an ArrivalSpec,"
+                    f" got {self.arrivals!r}"
+                )
+            if self.period_s is not None:
+                raise ConfigError(
+                    f"stream {self.name!r}: period_s and arrivals are"
+                    " exclusive (a period is a fixed arrival trace)"
+                )
+
+    def release_times(self, frames: int) -> tuple[float, ...]:
+        """Release time per frame slot (may be shorter for replay traces).
+
+        Closed-loop streams release frame k at ``k * period_s`` (or all
+        at t=0 without a period); open-loop streams release at the
+        arrival process's times, salted by the stream name so sibling
+        streams draw independent deterministic arrivals.
+        """
+        if self.arrivals is None:
+            if self.period_s is None:
+                return tuple(0.0 for _ in range(frames))
+            return tuple(frame * self.period_s for frame in range(frames))
+        return generate_arrivals(self.arrivals, frames, salt=self.name)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "name": self.name,
             "model": self.model,
             "priority": self.priority,
@@ -73,6 +110,12 @@ class StreamSpec:
             "period_s": self.period_s,
             "deadline_s": self.deadline_s,
         }
+        # Emitted only when set so closed-loop specs (and the sweep
+        # fingerprints derived from them) are byte-identical to the
+        # pre-serving format.
+        if self.arrivals is not None:
+            payload["arrivals"] = self.arrivals.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "StreamSpec":
@@ -81,6 +124,7 @@ class StreamSpec:
         for key in ("name", "model"):
             if key not in data:
                 raise ConfigError(f"stream spec is missing {key!r}: {data!r}")
+        arrivals = data.get("arrivals")
         return cls(
             name=data["name"],
             model=data["model"],
@@ -88,6 +132,11 @@ class StreamSpec:
             skip_interval=data.get("skip_interval", 1),
             period_s=data.get("period_s"),
             deadline_s=data.get("deadline_s"),
+            arrivals=(
+                ArrivalSpec.from_dict(arrivals)
+                if arrivals is not None
+                else None
+            ),
         )
 
 
@@ -107,6 +156,7 @@ class ScenarioSpec:
     frames: int = 1
     policy: str = "fifo"
     framework_overhead_s: float | None = None
+    qos: QosSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -130,6 +180,13 @@ class ScenarioSpec:
                 f"scenario {self.name!r}: unknown policy {self.policy!r};"
                 f" one of {POLICY_NAMES}"
             )
+        if isinstance(self.qos, dict):
+            object.__setattr__(self, "qos", QosSpec.from_dict(self.qos))
+        if self.qos is not None and not isinstance(self.qos, QosSpec):
+            raise ConfigError(
+                f"scenario {self.name!r}: qos must be a QosSpec, got"
+                f" {self.qos!r}"
+            )
 
     def stream(self, name: str) -> StreamSpec:
         for stream in self.streams:
@@ -138,7 +195,7 @@ class ScenarioSpec:
         raise ConfigError(f"scenario {self.name!r} has no stream {name!r}")
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "name": self.name,
             "platform": self.platform,
             "frames": self.frames,
@@ -146,6 +203,11 @@ class ScenarioSpec:
             "framework_overhead_s": self.framework_overhead_s,
             "streams": [stream.to_dict() for stream in self.streams],
         }
+        # Conditional for the same fingerprint-stability reason as
+        # StreamSpec.arrivals.
+        if self.qos is not None:
+            payload["qos"] = self.qos.to_dict()
+        return payload
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -158,12 +220,14 @@ class ScenarioSpec:
             )
         if "name" not in data:
             raise ConfigError(f"scenario spec is missing 'name': {data!r}")
+        qos = data.get("qos")
         return cls(
             name=data["name"],
             platform=data.get("platform"),
             frames=data.get("frames", 1),
             policy=data.get("policy", "fifo"),
             framework_overhead_s=data.get("framework_overhead_s"),
+            qos=QosSpec.from_dict(qos) if qos is not None else None,
             streams=tuple(
                 StreamSpec.from_dict(item) for item in data.get("streams", ())
             ),
@@ -190,6 +254,21 @@ class FrameRun:
 
 
 @dataclass(frozen=True)
+class FrameRecord:
+    """One frame's outcome after scheduling (completed or dropped)."""
+
+    stream: str
+    frame: int
+    release_s: float
+    deadline_s: float | None
+    completion_s: float | None
+    latency_s: float | None
+    missed: bool
+    dropped: bool
+    drop_reason: str | None = None
+
+
+@dataclass(frozen=True)
 class FramePlan:
     """Instantiated tasks plus the per-frame bookkeeping for reporting."""
 
@@ -197,17 +276,65 @@ class FramePlan:
     runs: tuple[FrameRun, ...]
     skipped: dict[str, int]
 
-    def frame_latencies(self, timeline: Timeline) -> dict[str, list[tuple]]:
-        """Per stream: ``(frame, release, completion, latency, missed)``."""
+    def frame_records(self, timeline: Timeline) -> dict[str, list[FrameRecord]]:
+        """Per stream: every instantiated frame's outcome, in frame order.
+
+        Frames cancelled by admission control come back with
+        ``dropped=True`` and no completion/latency.
+        """
         ends = {segment.uid: segment.end_s for segment in timeline.segments}
-        latencies: dict[str, list[tuple]] = {}
+        drops = {record.uid: record for record in timeline.drops}
+        records: dict[str, list[FrameRecord]] = {}
         for run in self.runs:
-            completion = max(ends[uid] for uid in run.uids)
-            latency = completion - run.release_s
-            missed = run.deadline_s is not None and latency > run.deadline_s
-            latencies.setdefault(run.stream, []).append(
-                (run.frame, run.release_s, completion, latency, missed)
+            drop = next(
+                (drops[uid] for uid in run.uids if uid in drops), None
             )
+            if drop is not None:
+                record = FrameRecord(
+                    stream=run.stream,
+                    frame=run.frame,
+                    release_s=run.release_s,
+                    deadline_s=run.deadline_s,
+                    completion_s=None,
+                    latency_s=None,
+                    missed=False,
+                    dropped=True,
+                    drop_reason=drop.reason,
+                )
+            else:
+                completion = max(ends[uid] for uid in run.uids)
+                latency = completion - run.release_s
+                record = FrameRecord(
+                    stream=run.stream,
+                    frame=run.frame,
+                    release_s=run.release_s,
+                    deadline_s=run.deadline_s,
+                    completion_s=completion,
+                    latency_s=latency,
+                    missed=(
+                        run.deadline_s is not None and latency > run.deadline_s
+                    ),
+                    dropped=False,
+                )
+            records.setdefault(run.stream, []).append(record)
+        return records
+
+    def frame_latencies(self, timeline: Timeline) -> dict[str, list[tuple]]:
+        """Per stream: ``(frame, release, completion, latency, missed)``
+        for every *completed* frame (dropped frames are omitted)."""
+        latencies: dict[str, list[tuple]] = {}
+        for stream, records in self.frame_records(timeline).items():
+            latencies[stream] = [
+                (
+                    record.frame,
+                    record.release_s,
+                    record.completion_s,
+                    record.latency_s,
+                    record.missed,
+                )
+                for record in records
+                if not record.dropped
+            ]
         return latencies
 
 
@@ -218,6 +345,10 @@ def instantiate_frames(
 
     ``templates`` maps stream names to the platform-lowered single-run
     task chain of that stream's model (uids and deps are re-based here).
+    Frame k of a stream is released at the stream's k-th release time —
+    periodic for closed-loop streams, the arrival process's times for
+    open-loop ones (a replay trace shorter than ``spec.frames`` simply
+    yields fewer frames).
     """
     for stream in spec.streams:
         if stream.name not in templates:
@@ -236,13 +367,10 @@ def instantiate_frames(
         template = templates[stream.name]
         previous_last: int | None = None
         skipped[stream.name] = 0
-        for frame in range(spec.frames):
+        for frame, release in enumerate(stream.release_times(spec.frames)):
             if frame % stream.skip_interval != 0:
                 skipped[stream.name] += 1
                 continue
-            release = (
-                frame * stream.period_s if stream.period_s is not None else 0.0
-            )
             uids = []
             for position, task in enumerate(template):
                 if position == 0:
@@ -258,6 +386,8 @@ def instantiate_frames(
                         deps=deps,
                         release_s=release,
                         weight=stream.priority,
+                        deadline_s=stream.deadline_s,
+                        frame_head=position == 0,
                     )
                 )
                 uids.append(uid)
@@ -277,6 +407,7 @@ def instantiate_frames(
 
 __all__ = [
     "FramePlan",
+    "FrameRecord",
     "FrameRun",
     "ScenarioSpec",
     "StreamSpec",

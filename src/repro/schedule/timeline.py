@@ -46,8 +46,11 @@ class OpTask:
     ``cross_switch_s`` is the extra reconfiguration cost charged if this
     task flips the MAC substrate's mode relative to a *different* stream's
     preceding task (intra-stream switches are already priced into
-    ``seconds`` by the platform's lowering pass). ``payload`` is opaque to
-    the engine (platforms carry their per-op stats there).
+    ``seconds`` by the platform's lowering pass). ``deadline_s`` and
+    ``frame_head`` carry the owning frame's QoS anchors: an admission
+    policy sees queued frame-head tasks and may drop the whole frame
+    before it starts. ``payload`` is opaque to the engine (platforms
+    carry their per-op stats there).
     """
 
     uid: int
@@ -61,6 +64,8 @@ class OpTask:
     release_s: float = 0.0
     weight: float = 1.0
     cross_switch_s: float = 0.0
+    deadline_s: float | None = None
+    frame_head: bool = False
     payload: object = None
 
     def __post_init__(self) -> None:
@@ -102,8 +107,24 @@ class TimelineSegment:
 
 
 @dataclass(frozen=True)
+class DropRecord:
+    """One task cancelled by admission control before it started."""
+
+    uid: int
+    name: str
+    stream: str
+    frame: int
+    time_s: float
+    reason: str
+
+
+@dataclass(frozen=True)
 class Timeline:
-    """The scheduled execution: segments plus resource accounting."""
+    """The scheduled execution: segments plus resource accounting.
+
+    ``drops`` lists the tasks an admission policy cancelled (whole frames
+    at a time); dropped tasks never appear in ``segments``.
+    """
 
     segments: tuple[TimelineSegment, ...]
     makespan_s: float
@@ -111,6 +132,7 @@ class Timeline:
     load_integral_s: dict[ResourceKind, float] = field(default_factory=dict)
     mode_switches: int = 0
     switch_overhead_s: float = 0.0
+    drops: tuple[DropRecord, ...] = ()
 
     def occupancy(self) -> dict[str, float]:
         """Fraction of the makespan each resource had work (by kind name)."""
@@ -129,15 +151,26 @@ class Timeline:
 
 
 class TimelineScheduler:
-    """Runs a task set to completion under a scheduling policy."""
+    """Runs a task set to completion under a scheduling policy.
+
+    ``qos`` is an optional admission policy (see
+    :mod:`repro.serving.qos`): any object with ``review(now, queued)``
+    returning ``(frame_head_task, reason)`` pairs to drop, and
+    ``next_event(now, queued)`` returning the next time its decision
+    could change. Dropped frames are cancelled whole — the head and its
+    same-frame dependents never run — while cross-frame dependents (the
+    stream's next frame) are released as if the frame had completed.
+    """
 
     def __init__(
         self,
         policy: SchedulingPolicy | str = "fifo",
         max_events: int = 10_000_000,
+        qos=None,
     ) -> None:
         self.policy = make_policy(policy)
         self.max_events = max_events
+        self.qos = qos
 
     def run(self, tasks) -> Timeline:
         tasks = list(tasks)
@@ -176,10 +209,78 @@ class TimelineScheduler:
         substrate_stream: str | None = None
         mode_switches = 0
         switch_overhead = 0.0
+        dropped: set[int] = set()
+        drop_records: list[DropRecord] = []
+        heads = sorted(
+            (task for task in tasks if task.frame_head),
+            key=lambda task: (task.release_s, task.uid),
+        )
 
         now = 0.0
         events = 0
         done = 0
+
+        def admit_to_pending(follower: OpTask) -> None:
+            position = 0
+            key = (follower.release_s, follower.uid)
+            while position < len(pending) and (
+                pending[position].release_s,
+                pending[position].uid,
+            ) <= key:
+                position += 1
+            pending.insert(position, follower)
+
+        def satisfy_dep(successor_uid: int) -> None:
+            unmet[successor_uid] -= 1
+            if unmet[successor_uid] == 0 and successor_uid not in dropped:
+                admit_to_pending(by_uid[successor_uid])
+
+        def drop_frame(head: OpTask, reason: str) -> None:
+            """Cancel ``head`` and its same-frame dependents at ``now``."""
+            nonlocal done
+            stack = [head]
+            while stack:
+                task = stack.pop()
+                if task.uid in dropped or task.uid in end:
+                    continue
+                dropped.add(task.uid)
+                drop_records.append(
+                    DropRecord(
+                        uid=task.uid,
+                        name=task.name,
+                        stream=task.stream,
+                        frame=task.frame,
+                        time_s=now,
+                        reason=reason,
+                    )
+                )
+                done += 1
+                if task in ready:
+                    ready.remove(task)
+                elif task in pending:
+                    pending.remove(task)
+                for successor_uid in dependents.get(task.uid, ()):
+                    successor = by_uid[successor_uid]
+                    if (
+                        successor.stream == task.stream
+                        and successor.frame == task.frame
+                    ):
+                        stack.append(successor)
+                    else:
+                        satisfy_dep(successor_uid)
+
+        def queued_frames() -> dict[str, list[OpTask]]:
+            """Arrived-but-unstarted frame heads per stream, arrival order."""
+            queued: dict[str, list[OpTask]] = {}
+            for head in heads:
+                if (
+                    head.release_s <= now
+                    and head.uid not in start
+                    and head.uid not in dropped
+                ):
+                    queued.setdefault(head.stream, []).append(head)
+            return queued
+
         while done < len(tasks):
             events += 1
             if events > self.max_events:
@@ -190,6 +291,13 @@ class TimelineScheduler:
             # Release pending tasks that have arrived.
             while pending and pending[0].release_s <= now:
                 ready.append(pending.pop(0))
+
+            # Admission control sheds queued frames before dispatch.
+            if self.qos is not None:
+                for head, reason in self.qos.review(now, queued_frames()):
+                    drop_frame(head, reason)
+                if done >= len(tasks):
+                    break
 
             # Policy decides which ready tasks start now.
             dispatched = self.policy.dispatch(ready, running)
@@ -237,12 +345,16 @@ class TimelineScheduler:
                     worst = max(worst, load[claim.kind] / weight)
                 slowdown[task.uid] = worst
 
-            # Advance to the next completion or release.
+            # Advance to the next completion, release, or QoS expiry.
             dt = min(
                 remaining[task.uid] * slowdown[task.uid] for task in running
             )
             if pending:
                 dt = min(dt, pending[0].release_s - now)
+            if self.qos is not None:
+                horizon = self.qos.next_event(now, queued_frames())
+                if horizon is not None:
+                    dt = min(dt, horizon - now)
             dt = max(dt, 0.0)
 
             if dt > 0.0:
@@ -267,17 +379,7 @@ class TimelineScheduler:
                 completion_order.append(task.uid)
                 done += 1
                 for successor in dependents.get(task.uid, ()):
-                    unmet[successor] -= 1
-                    if unmet[successor] == 0:
-                        follower = by_uid[successor]
-                        position = 0
-                        key = (follower.release_s, follower.uid)
-                        while position < len(pending) and (
-                            pending[position].release_s,
-                            pending[position].uid,
-                        ) <= key:
-                            position += 1
-                        pending.insert(position, follower)
+                    satisfy_dep(successor)
 
         segments = tuple(
             TimelineSegment(
@@ -299,7 +401,14 @@ class TimelineScheduler:
             load_integral_s=load_integral,
             mode_switches=mode_switches,
             switch_overhead_s=switch_overhead,
+            drops=tuple(drop_records),
         )
 
 
-__all__ = ["OpTask", "Timeline", "TimelineScheduler", "TimelineSegment"]
+__all__ = [
+    "DropRecord",
+    "OpTask",
+    "Timeline",
+    "TimelineScheduler",
+    "TimelineSegment",
+]

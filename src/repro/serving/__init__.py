@@ -1,0 +1,74 @@
+"""``repro.serving`` — open-loop serving on the timeline scheduler.
+
+The PR-3 scheduler proves the paper's flexibility claim for closed-loop,
+fixed-frame scenarios; this package models the production regime the
+ROADMAP north-star targets — stochastic traffic from many users with
+tail-latency SLOs:
+
+* :mod:`~repro.serving.traces` — seeded, deterministic open-loop arrival
+  generators (fixed / Poisson / MMPP / replay-from-JSON) and the
+  :class:`ArrivalTrace` wire format;
+* :mod:`~repro.serving.qos` — admission-control policies (deadline-slip
+  drops, queue caps, priority load-shedding) plugged into the timeline
+  engine as first-class policy objects;
+* :mod:`~repro.serving.slo` — a latency-SLO explorer sweeping arrival
+  rate x platform through :mod:`repro.sweep`, reporting p50/p95/p99,
+  goodput, and the max sustainable rate under an SLO per config.
+
+Closed-loop periodic release is the degenerate case of a ``fixed``
+arrival trace, so every pre-serving scenario reproduces bit-for-bit.
+"""
+
+from repro.serving.traces import (
+    ARRIVAL_KINDS,
+    ArrivalSpec,
+    ArrivalTrace,
+    generate_arrivals,
+    stream_seed,
+)
+from repro.serving.qos import (
+    QOS_KINDS,
+    AdmissionPolicy,
+    DropLatePolicy,
+    QosSpec,
+    QueueCapPolicy,
+    ShedPolicy,
+    make_qos,
+)
+
+#: Names resolved lazily from :mod:`repro.serving.slo` — that module pulls
+#: in the api/sweep stack, which itself imports the schedule package (and
+#: through it this package), so an eager import here would be circular.
+_SLO_EXPORTS = (
+    "SloPoint",
+    "SloReport",
+    "explore_slo",
+    "scenario_at_rate",
+    "trace_scenario",
+    "apply_trace",
+)
+
+
+def __getattr__(name: str):
+    if name in _SLO_EXPORTS:
+        from repro.serving import slo
+
+        return getattr(slo, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "QOS_KINDS",
+    "AdmissionPolicy",
+    "ArrivalSpec",
+    "ArrivalTrace",
+    "DropLatePolicy",
+    "QosSpec",
+    "QueueCapPolicy",
+    "ShedPolicy",
+    "generate_arrivals",
+    "make_qos",
+    "stream_seed",
+    *_SLO_EXPORTS,
+]

@@ -20,6 +20,7 @@ from repro.sweep.grid import (
     SweepSpec,
     expand,
     expand_platform_spec,
+    grid_from_requests,
     request_fingerprint,
 )
 from repro.sweep.store import ResultStore, StoreDiff, open_store
@@ -34,6 +35,7 @@ __all__ = [
     "SweepSpec",
     "expand",
     "expand_platform_spec",
+    "grid_from_requests",
     "open_store",
     "request_fingerprint",
     "run_sweep",

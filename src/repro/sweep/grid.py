@@ -207,9 +207,48 @@ def request_fingerprint(
 
 
 def _point_extras(spec_overhead: float | None, kind: str) -> dict | None:
-    if spec_overhead is not None and kind in ("model", "scenario"):
+    if spec_overhead is not None and kind in ("model", "scenario", "serving"):
         return {"framework_overhead_s": spec_overhead}
     return None
+
+
+def grid_from_requests(
+    requests, framework_overhead_s: float | None = None
+) -> SweepGrid:
+    """Build a grid directly from pre-constructed requests.
+
+    This is the assembly half of :func:`expand` — content-addressed IDs,
+    duplicate elision, stable order — for callers that generate their own
+    request axes (e.g. the serving SLO explorer's arrival-rate grid)
+    instead of declaring a :class:`SweepSpec`. Such grids shard, persist,
+    and resume through the sweep engine exactly like declarative ones.
+    """
+    points: list[SweepPoint] = []
+    seen: set[str] = set()
+    for request in requests:
+        if not isinstance(request, SimRequest):
+            raise ConfigError(
+                f"grid_from_requests expects SimRequest items, got"
+                f" {request!r}"
+            )
+        fingerprint = request_fingerprint(
+            request, _point_extras(framework_overhead_s, request.kind)
+        )
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        points.append(
+            SweepPoint(
+                index=len(points),
+                request_id=f"{request.kind}-{fingerprint[:12]}",
+                fingerprint=fingerprint,
+                request=request,
+            )
+        )
+    return SweepGrid(
+        points=tuple(points),
+        framework_overhead_s=framework_overhead_s,
+    )
 
 
 def expand(spec: SweepSpec) -> SweepGrid:
@@ -278,26 +317,8 @@ def expand(spec: SweepSpec) -> SweepGrid:
                     )
                 )
 
-    points: list[SweepPoint] = []
-    seen: set[str] = set()
-    for request in requests:
-        fingerprint = request_fingerprint(
-            request, _point_extras(spec.framework_overhead_s, request.kind)
-        )
-        if fingerprint in seen:
-            continue
-        seen.add(fingerprint)
-        points.append(
-            SweepPoint(
-                index=len(points),
-                request_id=f"{request.kind}-{fingerprint[:12]}",
-                fingerprint=fingerprint,
-                request=request,
-            )
-        )
-    return SweepGrid(
-        points=tuple(points),
-        framework_overhead_s=spec.framework_overhead_s,
+    return grid_from_requests(
+        requests, framework_overhead_s=spec.framework_overhead_s
     )
 
 
@@ -307,5 +328,6 @@ __all__ = [
     "SweepSpec",
     "expand",
     "expand_platform_spec",
+    "grid_from_requests",
     "request_fingerprint",
 ]

@@ -1,0 +1,238 @@
+"""Property-based invariants of the timeline engine (hypothesis).
+
+The weighted processor-sharing engine must hold these for *any* task set
+and policy, with or without admission control:
+
+* capacity conservation — no resource serves more than one second of
+  work per second of makespan;
+* work conservation — per-stream executed full-speed seconds equal the
+  sum of the stream's (non-dropped) task durations under every policy;
+* monotone event times — segments are completion-ordered, every segment
+  starts at or after its release and ends at or after its start;
+* determinism — identical inputs (and identical arrival seeds) produce
+  bit-identical timelines and ScheduleReports.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.results import ScheduleReport, ServingReport
+from repro.schedule.policies import POLICY_NAMES
+from repro.schedule.resources import ResourceClaim, ResourceKind
+from repro.schedule.streams import ScenarioSpec, StreamSpec, instantiate_frames
+from repro.schedule.timeline import OpTask, TimelineScheduler
+from repro.serving.qos import QosSpec, make_qos
+from repro.serving.traces import ArrivalSpec
+
+#: Claim shapes drawn per task: full SIMD, the SMA MAC aliasing pair, a
+#: TC kernel with fractional SIMD pressure, and a transfer.
+CLAIM_CHOICES = (
+    (ResourceClaim(ResourceKind.SIMD),),
+    (ResourceClaim(ResourceKind.ARRAY), ResourceClaim(ResourceKind.SIMD)),
+    (ResourceClaim(ResourceKind.TC), ResourceClaim(ResourceKind.SIMD, 0.4)),
+    (ResourceClaim(ResourceKind.TRANSFER),),
+)
+
+_SECONDS = st.floats(
+    min_value=0.0, max_value=2.0, allow_nan=False, allow_infinity=False
+)
+_RELEASE = st.floats(
+    min_value=0.0, max_value=5.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def task_sets(draw):
+    """Frame-chained multi-stream task sets (the shape platforms emit)."""
+    tasks = []
+    uid = 0
+    stream_count = draw(st.integers(min_value=1, max_value=3))
+    for stream_index in range(stream_count):
+        stream = f"s{stream_index}"
+        weight = draw(
+            st.floats(min_value=0.5, max_value=4.0, allow_nan=False)
+        )
+        deadline = draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=0.1, max_value=4.0, allow_nan=False),
+            )
+        )
+        previous_last = None
+        for frame in range(draw(st.integers(min_value=1, max_value=3))):
+            release = draw(_RELEASE)
+            chain = draw(st.integers(min_value=1, max_value=3))
+            for position in range(chain):
+                if position == 0:
+                    deps = () if previous_last is None else (previous_last,)
+                else:
+                    deps = (uid - 1,)
+                tasks.append(
+                    OpTask(
+                        uid=uid,
+                        name=f"{stream}/f{frame}/op{position}",
+                        seconds=draw(_SECONDS),
+                        claims=draw(st.sampled_from(CLAIM_CHOICES)),
+                        stream=stream,
+                        frame=frame,
+                        deps=deps,
+                        release_s=release,
+                        weight=weight,
+                        deadline_s=deadline,
+                        frame_head=position == 0,
+                    )
+                )
+                uid += 1
+            previous_last = uid - 1
+    return tasks
+
+
+QOS_CHOICES = (
+    None,
+    QosSpec(kind="drop_late"),
+    QosSpec(kind="queue_cap", cap=1),
+    QosSpec(kind="shed", cap=2),
+)
+
+
+@given(tasks=task_sets(), policy=st.sampled_from(POLICY_NAMES),
+       qos=st.sampled_from(QOS_CHOICES))
+@settings(max_examples=60, deadline=None)
+def test_no_resource_oversubscribed(tasks, policy, qos):
+    """Per resource: executed claim-seconds never exceed the makespan."""
+    timeline = TimelineScheduler(policy, qos=make_qos(qos)).run(tasks)
+    executed = {task.uid: task for task in tasks}
+    service: dict = {}
+    for segment in timeline.segments:
+        for claim in executed[segment.uid].claims:
+            service[claim.kind] = (
+                service.get(claim.kind, 0.0) + claim.fraction * segment.seconds
+            )
+    for kind, total in service.items():
+        assert total <= timeline.makespan_s * (1 + 1e-9) + 1e-12, (
+            f"{kind} oversubscribed: {total} claim-seconds in"
+            f" {timeline.makespan_s}s"
+        )
+
+
+@given(tasks=task_sets())
+@settings(max_examples=40, deadline=None)
+def test_per_stream_busy_time_conserved_across_policies(tasks):
+    """Without drops, every policy executes exactly the lowered work."""
+    expected: dict = {}
+    for task in tasks:
+        expected[task.stream] = expected.get(task.stream, 0.0) + task.seconds
+    for policy in POLICY_NAMES:
+        timeline = TimelineScheduler(policy).run(tasks)
+        busy: dict = {}
+        for segment in timeline.segments:
+            busy[segment.stream] = (
+                busy.get(segment.stream, 0.0) + segment.seconds
+            )
+        for stream, seconds in expected.items():
+            assert busy.get(stream, 0.0) == seconds  # bit-for-bit
+
+
+@given(tasks=task_sets(), policy=st.sampled_from(POLICY_NAMES),
+       qos=st.sampled_from(QOS_CHOICES))
+@settings(max_examples=60, deadline=None)
+def test_event_times_monotone(tasks, policy, qos):
+    timeline = TimelineScheduler(policy, qos=make_qos(qos)).run(tasks)
+    released = {task.uid: task.release_s for task in tasks}
+    previous_end = 0.0
+    for segment in timeline.segments:
+        assert segment.end_s >= previous_end  # completion-ordered
+        assert segment.start_s >= released[segment.uid]
+        assert segment.end_s >= segment.start_s
+        # The engine forgives FP dust (1e-12 relative + 1e-18 absolute)
+        # when completing tasks; mirror that allowance here.
+        assert segment.elapsed_s >= segment.seconds * (1 - 1e-9) - 1e-9
+        previous_end = segment.end_s
+    assert timeline.makespan_s >= previous_end
+    for record in timeline.drops:
+        assert record.time_s >= released[record.uid]
+
+
+@given(tasks=task_sets(), policy=st.sampled_from(POLICY_NAMES),
+       qos=st.sampled_from(QOS_CHOICES))
+@settings(max_examples=40, deadline=None)
+def test_every_task_completes_or_drops_exactly_once(tasks, policy, qos):
+    timeline = TimelineScheduler(policy, qos=make_qos(qos)).run(tasks)
+    completed = {segment.uid for segment in timeline.segments}
+    dropped = {record.uid for record in timeline.drops}
+    assert completed.isdisjoint(dropped)
+    assert len(timeline.segments) == len(completed)
+    assert len(timeline.drops) == len(dropped)
+    assert completed | dropped == {task.uid for task in tasks}
+    # Drops cancel whole frames: a frame never half-runs.
+    frames = {}
+    for task in tasks:
+        frames.setdefault((task.stream, task.frame), set()).add(task.uid)
+    for uids in frames.values():
+        assert uids <= completed or uids <= dropped
+
+
+@given(tasks=task_sets(), policy=st.sampled_from(POLICY_NAMES),
+       qos=st.sampled_from(QOS_CHOICES))
+@settings(max_examples=30, deadline=None)
+def test_engine_is_deterministic(tasks, policy, qos):
+    first = TimelineScheduler(policy, qos=make_qos(qos)).run(tasks)
+    second = TimelineScheduler(policy, qos=make_qos(qos)).run(tasks)
+    assert first.segments == second.segments
+    assert first.drops == second.drops
+    assert first.makespan_s == second.makespan_s
+    assert first.busy_s == second.busy_s
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       rate=st.floats(min_value=0.5, max_value=50.0, allow_nan=False),
+       policy=st.sampled_from(POLICY_NAMES),
+       qos=st.sampled_from(QOS_CHOICES))
+@settings(max_examples=25, deadline=None)
+def test_identical_seeds_give_bit_identical_reports(seed, rate, policy, qos):
+    """Same arrival seed => byte-identical Schedule/Serving reports."""
+    spec = ScenarioSpec(
+        name="seeded",
+        frames=4,
+        policy=policy,
+        qos=qos,
+        streams=(
+            StreamSpec(
+                name="a",
+                model="m",
+                priority=2.0,
+                deadline_s=0.8,
+                arrivals=ArrivalSpec(kind="poisson", rate_hz=rate, seed=seed),
+            ),
+            StreamSpec(
+                name="b",
+                model="m",
+                arrivals=ArrivalSpec(kind="mmpp", rate_hz=rate, seed=seed),
+            ),
+        ),
+    )
+    template = [
+        OpTask(
+            uid=index,
+            name=f"op{index}",
+            seconds=0.2,
+            claims=CLAIM_CHOICES[index % len(CLAIM_CHOICES)],
+            deps=(index - 1,) if index else (),
+        )
+        for index in range(3)
+    ]
+
+    def reports():
+        plan = instantiate_frames(spec, {"a": template, "b": template})
+        timeline = TimelineScheduler(
+            spec.policy, qos=make_qos(spec.qos)
+        ).run(plan.tasks)
+        return (
+            ScheduleReport.from_timeline(spec, "synthetic", timeline, plan),
+            ServingReport.from_timeline(spec, "synthetic", timeline, plan),
+        )
+
+    schedule_a, serving_a = reports()
+    schedule_b, serving_b = reports()
+    assert schedule_a.to_json() == schedule_b.to_json()
+    assert serving_a.to_json() == serving_b.to_json()

@@ -178,3 +178,111 @@ class TestFrameLatencies:
         assert misses == [False, False, True]
         # Frame 2 releases at 10 ms, starts at 12 ms, ends at 18 ms.
         assert latencies[2][3] == pytest.approx(0.008)
+
+
+class TestDeadlineEdgeCases:
+    """Untested deadline-logic corners (zero-length frames, exact-deadline
+    releases, skip x admission drops, empty scenarios)."""
+
+    def _single_stream(self, seconds, *, frames=3, period=0.005,
+                       deadline=0.005, qos=None, skip=1):
+        scenario = ScenarioSpec(
+            name="edge",
+            frames=frames,
+            qos=qos,
+            streams=(
+                StreamSpec(name="a", model="alexnet", period_s=period,
+                           deadline_s=deadline, skip_interval=skip),
+            ),
+        )
+        work = [
+            OpTask(uid=0, name="a/op0", seconds=seconds, claims=SIMD,
+                   stream="a")
+        ]
+        return scenario, instantiate_frames(scenario, {"a": work})
+
+    def test_zero_length_frames_complete_instantly_and_never_miss(self):
+        scenario, plan = self._single_stream(0.0)
+        timeline = TimelineScheduler().run(plan.tasks)
+        latencies = plan.frame_latencies(timeline)["a"]
+        assert [latency for *_rest, latency, _miss in latencies] == [
+            0.0, 0.0, 0.0,
+        ]
+        assert all(not miss for *_rest, miss in latencies)
+        # Completions land exactly on the releases.
+        assert [completion for _f, _r, completion, *_rest in latencies] == [
+            0.0, 0.005, 0.010,
+        ]
+
+    def test_latency_exactly_at_deadline_is_not_a_miss(self):
+        # Work exactly equals the deadline: latency == deadline_s must
+        # count as on-time (the miss predicate is strict >). Powers of
+        # two keep every sum exactly representable, so the equality is
+        # genuinely exercised rather than dodged by FP noise.
+        scenario, plan = self._single_stream(0.5, period=0.5, deadline=0.5)
+        timeline = TimelineScheduler().run(plan.tasks)
+        latencies = plan.frame_latencies(timeline)["a"]
+        for *_rest, latency, miss in latencies:
+            assert latency == 0.5
+            assert not miss
+
+    def test_latency_barely_over_deadline_misses(self):
+        scenario, plan = self._single_stream(0.0051, period=0.0051,
+                                             deadline=0.005)
+        timeline = TimelineScheduler().run(plan.tasks)
+        assert all(
+            miss for *_rest, miss in plan.frame_latencies(timeline)["a"]
+        )
+
+    def test_skip_interval_interacts_with_admission_drops(self):
+        from repro.serving.qos import QosSpec, make_qos
+
+        # Every other frame skipped; the surviving frames are overloaded
+        # (10 ms work offered every 2x2.5 ms) so drop_late sheds some.
+        scenario, plan = self._single_stream(
+            0.010, frames=8, period=0.0025, deadline=0.004,
+            qos=QosSpec(kind="drop_late"), skip=2,
+        )
+        timeline = TimelineScheduler(
+            scenario.policy, qos=make_qos(scenario.qos)
+        ).run(plan.tasks)
+        records = plan.frame_records(timeline)["a"]
+        # Skipped frames never become records (not offered, not dropped).
+        assert [record.frame for record in records] == [0, 2, 4, 6]
+        assert plan.skipped["a"] == 4
+        dropped = [record for record in records if record.dropped]
+        completed = [record for record in records if not record.dropped]
+        assert dropped and completed
+        assert len(dropped) + len(completed) == 4
+        # frame_latencies only reports completed frames.
+        assert len(plan.frame_latencies(timeline)["a"]) == len(completed)
+
+    def test_empty_scenario_is_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioSpec(name="empty", streams=())
+        with pytest.raises(ConfigError):
+            ScenarioSpec(name="empty", streams=(), frames=0)
+
+    def test_zero_frames_rejected(self):
+        with pytest.raises(ConfigError):
+            spec(frames=0)
+
+    def test_all_streams_replayed_empty_yields_empty_timeline(self):
+        from repro.serving.traces import ArrivalSpec
+
+        scenario = ScenarioSpec(
+            name="empty-replay",
+            frames=4,
+            streams=(
+                StreamSpec(
+                    name="a", model="alexnet",
+                    arrivals=ArrivalSpec(kind="replay", times_s=()),
+                ),
+            ),
+        )
+        plan = instantiate_frames(scenario, {"a": template(2, "a")})
+        assert plan.tasks == ()
+        assert plan.runs == ()
+        timeline = TimelineScheduler().run(plan.tasks)
+        assert timeline.makespan_s == 0.0
+        assert plan.frame_latencies(timeline) == {}

@@ -1,0 +1,225 @@
+"""Arrival-trace generators: determinism, validation, and replay."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.schedule.resources import ResourceClaim, ResourceKind
+from repro.schedule.streams import ScenarioSpec, StreamSpec, instantiate_frames
+from repro.schedule.timeline import OpTask
+from repro.serving.traces import (
+    ArrivalSpec,
+    ArrivalTrace,
+    generate_arrivals,
+    stream_seed,
+)
+
+SIMD = (ResourceClaim(ResourceKind.SIMD),)
+
+
+def template(count):
+    return [
+        OpTask(
+            uid=index,
+            name=f"op{index}",
+            seconds=0.010,
+            claims=SIMD,
+            deps=(index - 1,) if index else (),
+        )
+        for index in range(count)
+    ]
+
+
+class TestSpecValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            ArrivalSpec(kind="uniform", rate_hz=1.0)
+
+    def test_poisson_needs_rate(self):
+        with pytest.raises(ConfigError):
+            ArrivalSpec(kind="poisson")
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            ArrivalSpec(kind="poisson", rate_hz=0.0)
+
+    def test_fixed_needs_exactly_one_of_rate_or_period(self):
+        with pytest.raises(ConfigError):
+            ArrivalSpec(kind="fixed")
+        with pytest.raises(ConfigError):
+            ArrivalSpec(kind="fixed", rate_hz=2.0, period_s=0.5)
+
+    def test_replay_needs_sorted_nonnegative_times(self):
+        with pytest.raises(ConfigError):
+            ArrivalSpec(kind="replay")
+        with pytest.raises(ConfigError):
+            ArrivalSpec(kind="replay", times_s=(0.2, 0.1))
+        with pytest.raises(ConfigError):
+            ArrivalSpec(kind="replay", times_s=(-0.1, 0.1))
+
+    def test_replay_cannot_be_rerated(self):
+        spec = ArrivalSpec(kind="replay", times_s=(0.0, 1.0))
+        with pytest.raises(ConfigError):
+            spec.at_rate(10.0)
+
+    def test_mmpp_parameter_validation(self):
+        with pytest.raises(ConfigError):
+            ArrivalSpec(kind="mmpp", rate_hz=5.0, burst_fraction=1.5)
+        with pytest.raises(ConfigError):
+            ArrivalSpec(kind="mmpp", rate_hz=5.0, dwell=0)
+
+    def test_json_round_trip(self):
+        for spec in (
+            ArrivalSpec(kind="poisson", rate_hz=12.5, seed=7),
+            ArrivalSpec(kind="fixed", period_s=0.04),
+            ArrivalSpec(kind="mmpp", rate_hz=4.0, burst_rate_hz=20.0,
+                        burst_fraction=0.2, dwell=4, seed=3),
+            ArrivalSpec(kind="replay", times_s=(0.0, 0.5, 1.25)),
+        ):
+            assert ArrivalSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestGenerators:
+    def test_fixed_matches_periodic_release_bit_for_bit(self):
+        # Closed-loop periodic release is the degenerate fixed trace.
+        period = 0.033
+        stream = StreamSpec(name="a", model="m", period_s=period)
+        open_loop = StreamSpec(
+            name="a",
+            model="m",
+            arrivals=ArrivalSpec(kind="fixed", period_s=period),
+        )
+        assert stream.release_times(7) == open_loop.release_times(7)
+        assert stream.release_times(7) == tuple(
+            frame * period for frame in range(7)
+        )
+
+    def test_fixed_scenario_schedules_identically(self):
+        closed = ScenarioSpec(
+            name="x",
+            frames=4,
+            streams=(StreamSpec(name="a", model="m", period_s=0.02),),
+        )
+        open_loop = ScenarioSpec(
+            name="x",
+            frames=4,
+            streams=(
+                StreamSpec(
+                    name="a",
+                    model="m",
+                    arrivals=ArrivalSpec(kind="fixed", period_s=0.02),
+                ),
+            ),
+        )
+        templates = {"a": template(3)}
+        plan_closed = instantiate_frames(closed, templates)
+        plan_open = instantiate_frames(open_loop, templates)
+        assert plan_closed.tasks == plan_open.tasks
+
+    def test_poisson_deterministic_per_seed_and_salt(self):
+        spec = ArrivalSpec(kind="poisson", rate_hz=20.0, seed=5)
+        first = generate_arrivals(spec, 50, salt="det")
+        again = generate_arrivals(spec, 50, salt="det")
+        other_salt = generate_arrivals(spec, 50, salt="tra")
+        other_seed = generate_arrivals(
+            ArrivalSpec(kind="poisson", rate_hz=20.0, seed=6), 50, salt="det"
+        )
+        assert first == again
+        assert first != other_salt
+        assert first != other_seed
+
+    def test_poisson_times_sorted_positive_and_rate_scaled(self):
+        spec = ArrivalSpec(kind="poisson", rate_hz=50.0, seed=0)
+        times = generate_arrivals(spec, 400, salt="s")
+        assert all(t > 0 for t in times)
+        assert list(times) == sorted(times)
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(1 / 50.0, rel=0.25)
+
+    def test_mmpp_bursts_between_base_and_burst_rate(self):
+        spec = ArrivalSpec(
+            kind="mmpp", rate_hz=10.0, burst_rate_hz=100.0,
+            burst_fraction=0.3, seed=2,
+        )
+        times = generate_arrivals(spec, 500, salt="s")
+        assert list(times) == sorted(times)
+        mean_gap = times[-1] / len(times)
+        assert 1 / 100.0 < mean_gap < 1 / 10.0
+        assert generate_arrivals(spec, 500, salt="s") == times
+
+    def test_replay_truncates_to_available_times(self):
+        spec = ArrivalSpec(kind="replay", times_s=(0.0, 0.1, 0.2))
+        assert generate_arrivals(spec, 5) == (0.0, 0.1, 0.2)
+        assert generate_arrivals(spec, 2) == (0.0, 0.1)
+        assert generate_arrivals(spec, 0) == ()
+
+    def test_stream_seed_is_stable(self):
+        # Pinned: a cross-process determinism anchor (hash() is salted,
+        # this derivation must not be).
+        assert stream_seed(0, "det") == stream_seed(0, "det")
+        assert stream_seed(0, "det") != stream_seed(1, "det")
+        assert stream_seed(0, "det") == 6776629297942328754
+
+
+class TestArrivalTrace:
+    def test_json_round_trip_is_exact(self):
+        spec = ArrivalSpec(kind="poisson", rate_hz=17.0, seed=11)
+        trace = ArrivalTrace(
+            streams={"a": generate_arrivals(spec, 20, salt="a")},
+            scenario="x",
+            frames=20,
+        )
+        restored = ArrivalTrace.from_json(trace.to_json())
+        assert restored == trace
+        # Float times survive JSON bit-for-bit (repr round-trip).
+        assert restored.streams["a"] == trace.streams["a"]
+
+    def test_save_and_load(self, tmp_path):
+        trace = ArrivalTrace(streams={"a": (0.0, 0.25)}, frames=2)
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        assert ArrivalTrace.load(path) == trace
+
+    def test_load_missing_file_is_config_error(self, tmp_path):
+        with pytest.raises(ConfigError):
+            ArrivalTrace.load(tmp_path / "nope.json")
+
+
+class TestStreamSpecIntegration:
+    def test_arrivals_and_period_are_exclusive(self):
+        with pytest.raises(ConfigError):
+            StreamSpec(
+                name="a",
+                model="m",
+                period_s=0.1,
+                arrivals=ArrivalSpec(kind="poisson", rate_hz=5.0),
+            )
+
+    def test_stream_round_trip_with_arrivals(self):
+        stream = StreamSpec(
+            name="a",
+            model="m",
+            deadline_s=0.1,
+            arrivals=ArrivalSpec(kind="poisson", rate_hz=5.0, seed=2),
+        )
+        assert StreamSpec.from_dict(stream.to_dict()) == stream
+
+    def test_closed_loop_dict_has_no_arrivals_key(self):
+        # Fingerprint stability: pre-serving scenario payloads unchanged.
+        stream = StreamSpec(name="a", model="m", period_s=0.1)
+        assert "arrivals" not in stream.to_dict()
+
+    def test_replay_shorter_than_frames_yields_fewer_frames(self):
+        spec = ScenarioSpec(
+            name="x",
+            frames=6,
+            streams=(
+                StreamSpec(
+                    name="a",
+                    model="m",
+                    arrivals=ArrivalSpec(kind="replay", times_s=(0.0, 0.3)),
+                ),
+            ),
+        )
+        plan = instantiate_frames(spec, {"a": template(2)})
+        assert len(plan.runs) == 2
+        assert [run.release_s for run in plan.runs] == [0.0, 0.3]

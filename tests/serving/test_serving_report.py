@@ -1,0 +1,161 @@
+"""ServingReport plumbing: requests, session, sweep/store integration."""
+
+import pytest
+
+from repro.api import (
+    ScenarioSpec,
+    ServingReport,
+    Session,
+    SimRequest,
+    StreamSpec,
+    report_from_dict,
+)
+from repro.errors import ConfigError
+from repro.gemm.cache import TimingCache
+from repro.serving import ArrivalSpec, QosSpec
+from repro.serving.slo import apply_trace, scenario_at_rate, trace_scenario
+from repro.sweep import ResultStore, grid_from_requests, run_sweep
+from repro.sweep.grid import request_fingerprint
+
+
+def serving_scenario(frames=3, qos=None):
+    return ScenarioSpec(
+        name="serving-report",
+        frames=frames,
+        policy="priority",
+        qos=qos,
+        streams=(
+            StreamSpec(
+                name="a",
+                model="alexnet",
+                priority=2.0,
+                deadline_s=0.100,
+                arrivals=ArrivalSpec(kind="poisson", rate_hz=30.0, seed=4),
+            ),
+            StreamSpec(
+                name="b",
+                model="goturn",
+                arrivals=ArrivalSpec(kind="poisson", rate_hz=30.0, seed=4),
+            ),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+@pytest.fixture(scope="module")
+def report(session):
+    return session.run_serving(serving_scenario(), "sma:2")
+
+
+class TestSimRequestServing:
+    def test_kind_and_round_trip(self):
+        request = SimRequest(
+            platform="sma:2", scenario=serving_scenario(), serving=True
+        )
+        assert request.kind == "serving"
+        restored = SimRequest.from_json(request.to_json())
+        assert restored == request
+        assert restored.kind == "serving"
+
+    def test_serving_requires_scenario(self):
+        with pytest.raises(ConfigError):
+            SimRequest(platform="sma:2", model="alexnet", serving=True)
+
+    def test_serving_and_schedule_fingerprints_differ(self):
+        scenario = serving_scenario()
+        plain = SimRequest(platform="sma:2", scenario=scenario)
+        serving = SimRequest(
+            platform="sma:2", scenario=scenario, serving=True
+        )
+        assert request_fingerprint(plain) != request_fingerprint(serving)
+
+    def test_closed_loop_fingerprint_unchanged_by_serving_fields(self):
+        # The serving/arrivals/qos keys are emitted only when set, so
+        # every pre-serving request fingerprint (and with it the CI
+        # store-diff regression gate) is untouched by this refactor.
+        scenario = ScenarioSpec(
+            name="x",
+            frames=2,
+            streams=(StreamSpec(name="a", model="alexnet", period_s=0.1),),
+        )
+        request = SimRequest(platform="sma:2", scenario=scenario)
+        payload = request.to_json()
+        for needle in ("arrivals", "qos", "serving"):
+            assert needle not in payload
+
+
+class TestRunServing:
+    def test_accounting(self, report):
+        assert report.platform == "sma:2"
+        assert report.offered == report.completed + report.dropped
+        assert report.offered == 6  # 3 frames x 2 streams
+        for stream in report.streams:
+            assert stream.p50_s <= stream.p95_s <= stream.p99_s
+            assert len(stream.frames) == stream.offered
+        assert report.goodput_fps > 0
+
+    def test_json_round_trip(self, report):
+        restored = ServingReport.from_json(report.to_json())
+        assert restored == report
+        assert report_from_dict(report.to_dict()) == report
+
+    def test_deterministic_across_sessions(self, report):
+        fresh = Session(cache=TimingCache())
+        again = fresh.run_serving(serving_scenario(), "sma:2")
+        assert again.to_json() == report.to_json()
+
+    def test_matches_run_request(self, session, report):
+        request = SimRequest(
+            platform="sma:2", scenario=serving_scenario(), serving=True
+        )
+        assert session.run_request(request) == report
+
+    def test_trace_replay_reproduces_exactly(self, session, report):
+        scenario = serving_scenario()
+        trace = trace_scenario(scenario)
+        replayed = session.run_serving(apply_trace(scenario, trace), "sma:2")
+        assert replayed.to_json() == report.to_json()
+
+
+class TestServingSweep:
+    def test_rides_store_and_resume(self, session, report):
+        request = SimRequest(
+            platform="sma:2", scenario=serving_scenario(), serving=True
+        )
+        grid = grid_from_requests([request])
+        assert grid.points[0].request_id.startswith("serving-")
+        with ResultStore(":memory:") as store:
+            first = run_sweep(grid, store=store, session=session)
+            assert first.reports[0] == report
+            resumed = run_sweep(
+                grid, store=store, resume=True, session=session
+            )
+            assert not resumed.executed
+            assert resumed.reports[0] == report
+
+    def test_scenario_at_rate_renames_and_rerates(self):
+        scenario = serving_scenario()
+        rated = scenario_at_rate(scenario, 12.5)
+        assert rated.name == "serving-report@12.5hz"
+        assert all(
+            stream.arrivals.rate_hz == 12.5 for stream in rated.streams
+        )
+        # Closed-loop streams gain a process; kinds are preserved.
+        assert all(
+            stream.arrivals.kind == "poisson" for stream in rated.streams
+        )
+
+
+class TestScheduleReportDrops:
+    def test_schedule_report_counts_dropped_frames(self, session):
+        scenario = serving_scenario(qos=QosSpec(kind="queue_cap", cap=1))
+        serving = session.run_serving(scenario, "sma:2")
+        schedule = session.run_scenario(scenario, "sma:2")
+        for stream in schedule.streams:
+            counterpart = serving.stream(stream.name)
+            assert stream.frames_dropped == counterpart.dropped
+            assert stream.frames_run == counterpart.completed

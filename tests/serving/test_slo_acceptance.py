@@ -1,0 +1,75 @@
+"""Acceptance: the SLO explorer reproduces the paper's serving claim.
+
+At equal silicon area (the Fig 8 iso-area configurations), temporal
+integration must sustain at least as much open-loop driving traffic under
+the paper's 100 ms latency target as the spatially-integrated TensorCore
+baseline — flexibility without the efficiency give-back.
+"""
+
+import pytest
+
+from repro.api import Session
+from repro.apps import open_loop_driving_scenario
+from repro.errors import ConfigError
+from repro.serving.slo import SloReport, explore_slo
+
+RATES = (10.0, 11.0, 12.0, 12.5, 13.0, 14.0)
+
+
+@pytest.fixture(scope="module")
+def exploration() -> SloReport:
+    session = Session()
+    scenario = open_loop_driving_scenario(frames=12, seed=3)
+    return explore_slo(
+        scenario,
+        platforms=("sma:3", "gpu-tc"),
+        rates=RATES,
+        slo_s=0.100,
+        session=session,
+    )
+
+
+class TestDrivingSlo:
+    def test_sma_sustains_at_least_tc_rate_at_equal_area(self, exploration):
+        sma = exploration.max_sustainable_rate("sma:3")
+        tc = exploration.max_sustainable_rate("gpu-tc")
+        assert sma is not None, "sma:3 must sustain some driving rate"
+        assert tc is not None, "gpu-tc must sustain some driving rate"
+        assert sma >= tc
+
+    def test_sma_tail_latency_dominates_tc_pointwise(self, exploration):
+        for rate in RATES:
+            sma = next(
+                p for p in exploration.platform_points("sma:3")
+                if p.rate_hz == rate
+            )
+            tc = next(
+                p for p in exploration.platform_points("gpu-tc")
+                if p.rate_hz == rate
+            )
+            assert sma.p95_s <= tc.p95_s * 1.05, (
+                f"sma:3 p95 should not trail gpu-tc at {rate} Hz"
+            )
+
+    def test_latency_monotone_in_offered_rate(self, exploration):
+        for platform in exploration.platforms:
+            points = exploration.platform_points(platform)
+            tails = [point.p95_s for point in points]
+            assert tails == sorted(tails)
+
+    def test_report_export(self, exploration):
+        data = exploration.to_dict()
+        assert data["kind"] == "slo"
+        assert len(data["points"]) == len(RATES) * 2
+        assert set(data["max_sustainable"]) == {"sma:3", "gpu-tc"}
+
+    def test_explorer_input_validation(self):
+        scenario = open_loop_driving_scenario(frames=2)
+        with pytest.raises(ConfigError):
+            explore_slo(scenario, platforms=(), rates=(1.0,), slo_s=0.1)
+        with pytest.raises(ConfigError):
+            explore_slo(scenario, platforms=("sma:3",), rates=(), slo_s=0.1)
+        with pytest.raises(ConfigError):
+            explore_slo(
+                scenario, platforms=("sma:3",), rates=(1.0,), slo_s=0.0
+            )
