@@ -1,0 +1,76 @@
+"""Cold vs warm submission against a running cluster server.
+
+The cluster's value proposition, measured: the first submission to a
+fresh server simulates everything (cold misses); resubmitting the same
+grid against the still-running server is answered from the warm pool
+cache (hits, no simulations) and must be decisively faster. The status
+round-trip also pins the protocol's per-request overhead — the service
+must not tax small submissions.
+"""
+
+import time
+
+from repro.api import Session, TimingCache
+from repro.cluster import ClusterClient, ClusterServer
+from repro.sweep import SweepSpec, expand, run_sweep
+
+GRID = expand(SweepSpec(platforms=("sma:2",), gemms=(256, 512, 1024)))
+
+#: Generous loopback budget per status RPC (encode + TCP + decode).
+PROTOCOL_OVERHEAD_BUDGET_S = 0.050
+
+
+def test_cold_vs_warm_submission(benchmark):
+    with ClusterServer(jobs=1) as server:
+        server.start()
+        points = tuple(GRID)
+
+        def cold_then_warm():
+            with ClusterClient(server.address) as client:
+                t0 = time.perf_counter()
+                cold_reports, _ = client.submit_points(points)
+                t1 = time.perf_counter()
+                warm_reports, warm_delta = client.submit_points(points)
+                t2 = time.perf_counter()
+                status = client.status()
+            return (
+                t1 - t0, t2 - t1, cold_reports, warm_reports, warm_delta,
+                status,
+            )
+
+        cold_s, warm_s, cold_reports, warm_reports, warm_delta, status = (
+            benchmark.pedantic(cold_then_warm, rounds=1, iterations=1)
+        )
+
+        with ClusterClient(server.address) as client:
+            client.status()  # connection + first-call setup out of the loop
+            rounds = 25
+            t0 = time.perf_counter()
+            for _ in range(rounds):
+                client.status()
+            per_rpc_s = (time.perf_counter() - t0) / rounds
+
+    print()
+    print(f"cold submission: {cold_s * 1e3:.1f} ms ({len(points)} points)")
+    print(f"warm submission: {warm_s * 1e3:.1f} ms")
+    print(f"speedup: {cold_s / warm_s:.1f}x")
+    print(f"protocol overhead: {per_rpc_s * 1e6:.0f} us per status RPC")
+
+    local = run_sweep(GRID, session=Session(cache=TimingCache()))
+    assert cold_reports == local.report_by_id()
+    # Warm answers come from the cache: hits > 0 via /status, no new
+    # entries shipped, and identical timings wearing cached=True.
+    assert status["cache"]["hits"] >= len(points)
+    assert len(warm_delta.timings) == 0
+    assert all(report.cached for report in warm_reports.values())
+    assert {rid: r.seconds for rid, r in warm_reports.items()} == {
+        rid: r.seconds for rid, r in cold_reports.items()
+    }
+    assert warm_s < cold_s / 2, (
+        f"warm submission ({warm_s * 1e3:.1f} ms) should beat cold"
+        f" ({cold_s * 1e3:.1f} ms) by at least 2x"
+    )
+    assert per_rpc_s < PROTOCOL_OVERHEAD_BUDGET_S, (
+        f"status RPC costs {per_rpc_s * 1e3:.2f} ms; budget is"
+        f" {PROTOCOL_OVERHEAD_BUDGET_S * 1e3:.0f} ms"
+    )

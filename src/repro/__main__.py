@@ -21,6 +21,15 @@ Usage::
     python -m repro serve --spec scenario.json --trace trace.json --json
     python -m repro serve -p sma:3 -p gpu-tc -s "deeplab@deadline=0.1" \
         --explore --rates 5,10,20 --slo-ms 100   # SLO explorer
+    python -m repro serve -p sma:3 -s "deeplab@deadline=0.1" --explore \
+        --rates 4,64 --search bisect --slo-ms 100  # bisect to the max rate
+    python -m repro cluster serve --port 7070 --jobs 4  # warm sweep service
+    python -m repro cluster status 127.0.0.1:7070
+    python -m repro cluster sweep -p sma:2..4 -g 1024 --store sweep.sqlite \
+        --server 127.0.0.1:7070 --server 10.0.0.2:7070  # cross-host shards
+    python -m repro cluster serving -p sma:3 --frames 8 \
+        -s "mask_rcnn@rate=15" -s "vgg_a@rate=15" \
+        --server 127.0.0.1:7070 --server 127.0.0.1:7071  # split one trace
     python -m repro store-diff old.sqlite new.sqlite  # regression gate
     python -m repro run fig7_left                # print one regenerated figure
     python -m repro run all                      # print everything
@@ -445,6 +454,8 @@ def _cmd_serve(args) -> int:
             seed=args.seed,
             session=session,
             jobs=args.jobs,
+            mode=args.search,
+            tolerance_hz=args.tolerance_hz,
         )
         if args.json:
             print(report.to_json(indent=2))
@@ -546,8 +557,9 @@ def _cmd_store_diff(args) -> int:
     return 0
 
 
-def _cmd_sweep(args) -> int:
-    from repro.sweep import ResultStore, SweepSpec, expand, run_sweep
+def _build_sweep_grid(args):
+    """Expand the sweep grid a ``sweep``-shaped argparse namespace names."""
+    from repro.sweep import SweepSpec, expand
 
     gemms = tuple(_parse_gemm(text) for text in (args.gemms or ()))
     scenarios = tuple(
@@ -563,7 +575,64 @@ def _cmd_sweep(args) -> int:
         gemm_dtype=args.dtype,
         tag=args.tag,
     )
-    grid = expand(spec)
+    return expand(spec)
+
+
+def _print_sweep_result(grid, result, workers_label, store, as_json) -> int:
+    if as_json:
+        print(result.to_json(indent=2))
+        return 0
+    rows = []
+    for point, report in zip(grid.points, result.reports):
+        request = point.request
+        if request.kind in ("scenario", "serving"):
+            workload = request.scenario.name
+            ms = report.avg_frame_latency_ms
+        elif request.kind == "model":
+            workload = request.model
+            ms = report.total_ms
+        else:
+            workload = f"{report.m}x{report.n}x{report.k}"
+            ms = report.milliseconds
+        rows.append(
+            [
+                point.request_id,
+                request.platform,
+                workload,
+                request.dataflow or "-",
+                request.scheduler or "-",
+                ms,
+                "store" if point.request_id in result.loaded else "run",
+            ]
+        )
+    print(
+        render_table(
+            ["request", "platform", "workload", "dataflow", "scheduler",
+             "ms", "source"],
+            rows,
+            title=(
+                f"sweep: {len(grid)} requests, {workers_label},"
+                f" {len(result.executed)} simulated,"
+                f" {len(result.loaded)} loaded from store"
+            ),
+        )
+    )
+    print()
+    stats = result.cache_stats
+    print(
+        f"merged GEMM cache: {stats.hits} hits / {stats.misses} misses"
+        f" ({stats.hit_rate:.0%} hit rate),"
+        f" {stats.window_hits} window hits"
+    )
+    if store is not None:
+        print(f"result store: {store.path} ({len(store)} results)")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.sweep import ResultStore, run_sweep
+
+    grid = _build_sweep_grid(args)
     session = Session()
     store = ResultStore(args.store) if args.store else None
     try:
@@ -574,57 +643,152 @@ def _cmd_sweep(args) -> int:
             resume=args.resume,
             session=session,
         )
-        if args.json:
-            print(result.to_json(indent=2))
-            return 0
-        rows = []
-        for point, report in zip(grid.points, result.reports):
-            request = point.request
-            if request.kind == "scenario":
-                workload = request.scenario.name
-                ms = report.avg_frame_latency_ms
-            elif request.kind == "model":
-                workload = request.model
-                ms = report.total_ms
-            else:
-                workload = f"{report.m}x{report.n}x{report.k}"
-                ms = report.milliseconds
-            rows.append(
-                [
-                    point.request_id,
-                    request.platform,
-                    workload,
-                    request.dataflow or "-",
-                    request.scheduler or "-",
-                    ms,
-                    "store" if point.request_id in result.loaded else "run",
-                ]
-            )
-        print(
-            render_table(
-                ["request", "platform", "workload", "dataflow", "scheduler",
-                 "ms", "source"],
-                rows,
-                title=(
-                    f"sweep: {len(grid)} requests, {args.jobs} worker(s),"
-                    f" {len(result.executed)} simulated,"
-                    f" {len(result.loaded)} loaded from store"
-                ),
-            )
+        return _print_sweep_result(
+            grid, result, f"{args.jobs} worker(s)", store, args.json
         )
-        print()
-        stats = result.cache_stats
-        print(
-            f"merged GEMM cache: {stats.hits} hits / {stats.misses} misses"
-            f" ({stats.hit_rate:.0%} hit rate),"
-            f" {stats.window_hits} window hits"
-        )
-        if store is not None:
-            print(f"result store: {store.path} ({len(store)} results)")
-        return 0
     finally:
         if store is not None:
             store.close()
+
+
+def _cmd_cluster_serve(args) -> int:
+    from repro.cluster import ClusterServer, serve_stdio
+
+    if args.stdio:
+        serve_stdio(jobs=args.jobs, cache_path=args.cache)
+        return 0
+    server = ClusterServer(
+        host=args.host, port=args.port, jobs=args.jobs, cache_path=args.cache
+    )
+    host, port = server.start()
+    print(
+        f"cluster server listening on {host}:{port}"
+        f" (jobs={args.jobs}, protocol v{_protocol_version()})",
+        flush=True,
+    )
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("cluster server interrupted; shutting down", file=sys.stderr)
+        server.close()
+    return 0
+
+
+def _protocol_version() -> int:
+    from repro.cluster import PROTOCOL_VERSION
+
+    return PROTOCOL_VERSION
+
+
+def _cmd_cluster_status(args) -> int:
+    from repro.cluster import ClusterClient
+
+    with ClusterClient(args.address) as client:
+        status = client.status()
+    if args.json:
+        import json
+
+        print(json.dumps(status, indent=2))
+        return 0
+    cache = status["cache"]
+    print(
+        f"cluster server {status['address']}: {status['state']}"
+        f" (protocol v{status['protocol']}, {status['jobs']} worker(s))"
+    )
+    print(
+        f"  submissions: {status['submissions']}"
+        f" ({status['points']} points, {status['inflight']} in flight)"
+    )
+    print(
+        f"  cache: {cache['timings']} timings / {cache['windows']} windows;"
+        f" {cache['hits']} hits / {cache['misses']} misses"
+    )
+    return 0
+
+
+def _cmd_cluster_sweep(args) -> int:
+    from repro.cluster import run_sweep_remote
+    from repro.sweep import ResultStore
+
+    grid = _build_sweep_grid(args)
+    session = Session()
+    store = ResultStore(args.store) if args.store else None
+    try:
+        result = run_sweep_remote(
+            grid,
+            args.servers,
+            store=store,
+            resume=args.resume,
+            session=session,
+        )
+        return _print_sweep_result(
+            grid,
+            result,
+            f"{len(args.servers)} server(s)",
+            store,
+            args.json,
+        )
+    finally:
+        if store is not None:
+            store.close()
+
+
+def _cmd_cluster_serving(args) -> int:
+    from repro.cluster import run_serving_split
+
+    if bool(args.servers) == bool(args.local):
+        raise ConfigError(
+            "cluster serving needs either --server ADDR (remote) or"
+            " --local (in-process split), not both"
+        )
+    platforms = tuple(args.platforms or ())
+    if len(platforms) > 1:
+        raise ConfigError("cluster serving takes one -p/--platform")
+    platform = platforms[0] if platforms else None
+    qos = _parse_qos(args.qos) if args.qos else None
+    scenario = _scenario_from_args(args, platform, "cluster serving")
+    if qos is not None:
+        scenario = dataclasses.replace(scenario, qos=qos)
+    if args.rate is not None:
+        from repro.serving.slo import scenario_at_rate
+
+        scenario = scenario_at_rate(scenario, args.rate, seed=args.seed)
+    session = Session()
+    report = run_serving_split(
+        scenario,
+        platform,
+        partitions=args.partitions,
+        servers=args.servers or None,
+        session=session if not args.servers else None,
+    )
+    if args.json:
+        print(report.to_json(indent=2))
+        return 0
+    _print_serving_report(report, session)
+    return 0
+
+
+def _cmd_cluster_signal(args, verb: str) -> int:
+    from repro.cluster import ClusterClient
+
+    with ClusterClient(args.address) as client:
+        response = client.drain() if verb == "drain" else client.shutdown()
+    print(f"cluster server {args.address}: {response.get('state', verb)}")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    if args.cluster_command == "serve":
+        return _cmd_cluster_serve(args)
+    if args.cluster_command == "status":
+        return _cmd_cluster_status(args)
+    if args.cluster_command == "sweep":
+        return _cmd_cluster_sweep(args)
+    if args.cluster_command == "serving":
+        return _cmd_cluster_serving(args)
+    if args.cluster_command in ("drain", "shutdown"):
+        return _cmd_cluster_signal(args, args.cluster_command)
+    raise AssertionError("unreachable")
 
 
 def _cmd_run(names: list[str]) -> int:
@@ -682,52 +846,60 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
 
+    def add_sweep_axes(parser) -> None:
+        """Workload/store options shared by `sweep` and `cluster sweep`."""
+        parser.add_argument(
+            "-p", "--platform", action="append", dest="platforms",
+            required=True,
+            help="platform spec (repeatable); ranges like sma:2..4 expand",
+        )
+        parser.add_argument(
+            "-m", "--model", action="append", dest="models",
+            help="model spec (repeatable), e.g. mask_rcnn",
+        )
+        parser.add_argument(
+            "-g", "--gemm", action="append", dest="gemms",
+            help="GEMM workload (repeatable): N or MxNxK",
+        )
+        parser.add_argument(
+            "--dataflow", action="append", dest="dataflows",
+            help="dataflow override axis (repeatable): ws, sbws, os",
+        )
+        parser.add_argument(
+            "--scheduler", action="append", dest="schedulers",
+            help="scheduler override axis (repeatable): gto, lrr, sma_rr",
+        )
+        parser.add_argument(
+            "--dtype", default="fp16", help="dtype of bare GEMM sizes",
+        )
+        parser.add_argument(
+            "--store", default=None, metavar="PATH",
+            help="sqlite result store; results persist as they finish",
+        )
+        parser.add_argument(
+            "--resume", action="store_true",
+            help="skip requests already in the store (requires --store)",
+        )
+        parser.add_argument(
+            "-S", "--scenario", action="append", dest="scenarios",
+            metavar="FILE",
+            help="scenario JSON file (repeatable); re-targeted per platform",
+        )
+        parser.add_argument(
+            "--tag", default=None, help="label for reports"
+        )
+        parser.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
+
     sweep_parser = sub.add_parser(
         "sweep",
         help="expand a spec grid and run it, optionally sharded/resumable",
     )
-    sweep_parser.add_argument(
-        "-p", "--platform", action="append", dest="platforms", required=True,
-        help="platform spec (repeatable); ranges like sma:2..4 expand",
-    )
-    sweep_parser.add_argument(
-        "-m", "--model", action="append", dest="models",
-        help="model spec (repeatable), e.g. mask_rcnn",
-    )
-    sweep_parser.add_argument(
-        "-g", "--gemm", action="append", dest="gemms",
-        help="GEMM workload (repeatable): N or MxNxK",
-    )
-    sweep_parser.add_argument(
-        "--dataflow", action="append", dest="dataflows",
-        help="dataflow override axis (repeatable): ws, sbws, os",
-    )
-    sweep_parser.add_argument(
-        "--scheduler", action="append", dest="schedulers",
-        help="scheduler override axis (repeatable): gto, lrr, sma_rr",
-    )
-    sweep_parser.add_argument(
-        "--dtype", default="fp16", help="dtype of bare GEMM sizes",
-    )
+    add_sweep_axes(sweep_parser)
     sweep_parser.add_argument(
         "-j", "--jobs", type=int, default=1,
         help="worker processes; caches merge back on join",
-    )
-    sweep_parser.add_argument(
-        "--store", default=None, metavar="PATH",
-        help="sqlite result store; results persist as they finish",
-    )
-    sweep_parser.add_argument(
-        "--resume", action="store_true",
-        help="skip requests already in the store (requires --store)",
-    )
-    sweep_parser.add_argument(
-        "-S", "--scenario", action="append", dest="scenarios", metavar="FILE",
-        help="scenario JSON file (repeatable); re-targeted at each platform",
-    )
-    sweep_parser.add_argument("--tag", default=None, help="label for reports")
-    sweep_parser.add_argument(
-        "--json", action="store_true", help="emit machine-readable JSON"
     )
 
     scenario_parser = sub.add_parser(
@@ -819,7 +991,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve_parser.add_argument(
         "--rates", default=None, metavar="R1,R2,...",
-        help="arrival rates (Hz) for --explore",
+        help="arrival rates (Hz) for --explore (the bracket for bisect)",
+    )
+    serve_parser.add_argument(
+        "--search", default="grid", choices=("grid", "bisect"),
+        help="--explore strategy: evaluate every rate, or bisect the"
+        " bracket to the max sustainable rate (default grid)",
+    )
+    serve_parser.add_argument(
+        "--tolerance-hz", type=float, default=1.0, dest="tolerance_hz",
+        help="bisect convergence tolerance in Hz (default 1)",
     )
     serve_parser.add_argument(
         "--slo-ms", type=float, default=100.0, dest="slo_ms",
@@ -841,6 +1022,117 @@ def main(argv: list[str] | None = None) -> int:
     serve_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
+
+    cluster_parser = sub.add_parser(
+        "cluster",
+        help="long-lived simulation service: serve, submit, introspect",
+    )
+    cluster_sub = cluster_parser.add_subparsers(
+        dest="cluster_command", required=True
+    )
+
+    cserve_parser = cluster_sub.add_parser(
+        "serve", help="run a cluster server (warm worker pool, shared cache)"
+    )
+    cserve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    cserve_parser.add_argument(
+        "--port", type=int, default=7070,
+        help="TCP port (0 picks an ephemeral one; default 7070)",
+    )
+    cserve_parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes in the warm pool",
+    )
+    cserve_parser.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="pre-warm the pool cache from a saved TimingCache file",
+    )
+    cserve_parser.add_argument(
+        "--stdio", action="store_true",
+        help="speak the protocol over stdin/stdout instead of TCP",
+    )
+
+    cstatus_parser = cluster_sub.add_parser(
+        "status", help="query a running server's state and cache counters"
+    )
+    cstatus_parser.add_argument("address", help="server address host:port")
+    cstatus_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    csweep_parser = cluster_sub.add_parser(
+        "sweep", help="run a sweep sharded across cluster servers"
+    )
+    add_sweep_axes(csweep_parser)
+    csweep_parser.add_argument(
+        "--server", action="append", dest="servers", required=True,
+        metavar="HOST:PORT",
+        help="cluster server (repeatable); shards round-robin across them",
+    )
+
+    cserving_parser = cluster_sub.add_parser(
+        "serving",
+        help="split one serving trace across platform instances and merge",
+    )
+    cserving_parser.add_argument(
+        "-p", "--platform", action="append", dest="platforms",
+        help="platform spec each partition instantiates, e.g. sma:3",
+    )
+    cserving_parser.add_argument(
+        "-s", "--stream", action="append", dest="streams",
+        metavar="MODEL[@k=v,...]",
+        help="stream spec (repeatable), as in `repro serve`",
+    )
+    cserving_parser.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="load the scenario from a ScenarioSpec JSON file",
+    )
+    cserving_parser.add_argument(
+        "--frames", type=int, default=None,
+        help="frame slots per stream (overrides --spec)",
+    )
+    cserving_parser.add_argument(
+        "--policy", default=None, choices=("fifo", "priority", "exclusive"),
+        help="scheduling policy (overrides --spec)",
+    )
+    cserving_parser.add_argument(
+        "--name", default=None, help="scenario name (overrides --spec)"
+    )
+    cserving_parser.add_argument(
+        "--qos", default=None, metavar="KIND[:PARAM]",
+        help="admission control, as in `repro serve`",
+    )
+    cserving_parser.add_argument(
+        "--rate", type=float, default=None, metavar="HZ",
+        help="offer every stream at this Poisson rate",
+    )
+    cserving_parser.add_argument(
+        "--seed", type=int, default=0, help="arrival seed for --rate"
+    )
+    cserving_parser.add_argument(
+        "--server", action="append", dest="servers", metavar="HOST:PORT",
+        help="cluster server (repeatable); one partition per server",
+    )
+    cserving_parser.add_argument(
+        "--local", action="store_true",
+        help="split in-process instead of dispatching to servers",
+    )
+    cserving_parser.add_argument(
+        "--partitions", type=int, default=None,
+        help="partition count (default: server count, or 2 with --local)",
+    )
+    cserving_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    for verb, text in (
+        ("drain", "stop a server accepting new submissions"),
+        ("shutdown", "gracefully stop a server (waits for in-flight work)"),
+    ):
+        signal_parser = cluster_sub.add_parser(verb, help=text)
+        signal_parser.add_argument("address", help="server address host:port")
 
     diff_parser = sub.add_parser(
         "store-diff",
@@ -875,6 +1167,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_scenario(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "cluster":
+            return _cmd_cluster(args)
         if args.command == "store-diff":
             return _cmd_store_diff(args)
         if args.command == "run":

@@ -69,17 +69,39 @@ class Session:
         the cache is written back by :meth:`close` (or leaving a
         ``with Session(...)`` block) and after every :meth:`run_sweep`
         join.
+    cluster:
+        One or more ``"host:port"`` cluster-server addresses. When set,
+        :meth:`run_sweep` dispatches through
+        :func:`repro.cluster.dispatch.run_sweep_remote` (one shard per
+        server, caches merged back on join) and
+        :meth:`run_serving_split` defaults to one partition per server —
+        the session becomes a front door to the fleet instead of this
+        process.
+    cluster_timeout_s:
+        Per-shard round-trip bound for cluster dispatch (``None`` keeps
+        the dispatcher's default). Raise it when single shards simulate
+        longer than the default 10 minutes, or a busy server is
+        misclassified as dead and its shard re-dispatched.
     """
 
     def __init__(
         self,
         cache: TimingCache | None = None,
         cache_path: "str | Path | None" = None,
+        cluster: "str | Sequence[str] | None" = None,
+        cluster_timeout_s: float | None = None,
     ) -> None:
         self.cache = cache if cache is not None else process_cache()
         self.cache_path = Path(cache_path) if cache_path is not None else None
         if self.cache_path is not None and self.cache_path.exists():
             self.cache.load(self.cache_path)
+        if cluster is None:
+            self.cluster: tuple[str, ...] = ()
+        elif isinstance(cluster, str):
+            self.cluster = (cluster,)
+        else:
+            self.cluster = tuple(cluster)
+        self.cluster_timeout_s = cluster_timeout_s
         self._platforms: dict[tuple, Platform] = {}
         self._executors: dict[tuple, GemmExecutor] = {}
         self._models: dict[str, LayerGraph] = {}
@@ -247,6 +269,43 @@ class Session:
             spec, platform_spec, timeline, plan, tag=tag
         )
 
+    def run_serving_split(
+        self,
+        scenario: ScenarioSpec | dict,
+        platform: str | None = None,
+        *,
+        partitions: int | None = None,
+        tag: str | None = None,
+    ) -> ServingReport:
+        """Serve one scenario split by stream across platform instances.
+
+        The scenario's arrival trace is materialized once and its streams
+        are partitioned round-robin; each partition replays its slice on
+        its own platform instance and the per-stream reports merge into
+        one :class:`ServingReport` with recomputed aggregate percentiles.
+        With ``cluster=`` addresses configured, partitions default to one
+        per server and dispatch remotely (dead servers re-dispatch); see
+        :func:`repro.cluster.dispatch.run_serving_split`.
+        """
+        from repro.cluster.dispatch import run_serving_split
+
+        if isinstance(scenario, dict):
+            scenario = ScenarioSpec.from_dict(scenario)
+        return run_serving_split(
+            scenario,
+            platform,
+            partitions=partitions,
+            servers=self.cluster or None,
+            session=self,
+            tag=tag,
+            **self._cluster_kwargs(),
+        )
+
+    def _cluster_kwargs(self) -> dict:
+        if self.cluster_timeout_s is None:
+            return {}
+        return {"timeout_s": self.cluster_timeout_s}
+
     def _schedule_scenario(
         self,
         scenario: ScenarioSpec | dict,
@@ -365,12 +424,28 @@ class Session:
         ``jobs`` > 1 shards the grid across worker processes and merges
         their timing caches back into this session's cache on join; see
         :func:`repro.sweep.run_sweep` for ``store``/``resume`` semantics.
+        With ``cluster=`` addresses configured the grid instead shards
+        across those servers (``jobs`` is the servers' concern then) and
+        their cache deltas merge back here — results are bit-identical
+        either way.
         """
-        from repro.sweep.workers import run_sweep
+        if self.cluster:
+            from repro.cluster.dispatch import run_sweep_remote
 
-        result = run_sweep(
-            spec, jobs=jobs, store=store, resume=resume, session=self
-        )
+            result = run_sweep_remote(
+                spec,
+                self.cluster,
+                store=store,
+                resume=resume,
+                session=self,
+                **self._cluster_kwargs(),
+            )
+        else:
+            from repro.sweep.workers import run_sweep
+
+            result = run_sweep(
+                spec, jobs=jobs, store=store, resume=resume, session=self
+            )
         if self.cache_path is not None:
             # Worker caches were merged on join; persist so the next
             # process starts warm (ROADMAP PR-2 follow-up).

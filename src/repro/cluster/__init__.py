@@ -1,0 +1,50 @@
+"""``repro.cluster`` — a long-lived simulation service over the network.
+
+The paper resolves the efficiency-vs-flexibility tension *on chip* by
+time-sharing one substrate across execution modes; at fleet scale the
+same tension recurs between cold per-run scripts (flexible, slow) and a
+dedicated warm service (efficient, shared). This package is the service:
+
+* :mod:`~repro.cluster.protocol` — versioned, fingerprint-checked
+  JSON-line wire protocol (TCP or stdio);
+* :mod:`~repro.cluster.pool` — one warm ``ProcessPoolExecutor`` plus one
+  shared :class:`~repro.gemm.cache.TimingCache` across submissions;
+* :mod:`~repro.cluster.server` / :mod:`~repro.cluster.client` — the
+  ``repro cluster serve`` daemon (status/drain/graceful shutdown) and
+  its typed client;
+* :mod:`~repro.cluster.dispatch` — shard a sweep across servers (with
+  dead-shard re-dispatch and cache merge on join) and split one arrival
+  trace across platform instances, merging the serving reports.
+
+Remote runs are bit-identical to local ones: shards carry stable
+content-addressed request IDs, results come back in the same canonical
+JSON the sqlite store uses, and mismatched protocol versions or config
+fingerprints are refused with typed errors instead of silently wrong
+results.
+"""
+
+from repro.cluster.client import ClusterClient, parse_address
+from repro.cluster.dispatch import (
+    merge_serving_reports,
+    normalize_servers,
+    run_serving_split,
+    run_sweep_remote,
+    split_scenario,
+)
+from repro.cluster.pool import WarmPool
+from repro.cluster.protocol import PROTOCOL_VERSION
+from repro.cluster.server import ClusterServer, serve_stdio
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ClusterClient",
+    "ClusterServer",
+    "WarmPool",
+    "merge_serving_reports",
+    "normalize_servers",
+    "parse_address",
+    "run_serving_split",
+    "run_sweep_remote",
+    "serve_stdio",
+    "split_scenario",
+]

@@ -1,0 +1,141 @@
+"""The cluster client: one typed connection to one server.
+
+A :class:`ClusterClient` holds a persistent TCP connection (one JSON
+line out, one back per call) and surfaces every protocol failure as the
+matching typed exception from :mod:`repro.errors` — transport failures
+(refused, reset, timeout, EOF) become
+:class:`~repro.errors.ClusterConnectionError`, which is the signal the
+dispatcher uses to re-dispatch a dead server's shard elsewhere.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.cluster import protocol
+from repro.errors import ClusterConnectionError, ClusterProtocolError, ConfigError
+from repro.gemm.cache import CacheEntries
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """Split ``"host:port"`` (bracketed IPv6 allowed) into its parts."""
+    text = address.strip()
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ConfigError(
+            f"cluster address {address!r} must be host:port (e.g."
+            " 127.0.0.1:7070)"
+        )
+    try:
+        return host.strip("[]"), int(port)
+    except ValueError:
+        raise ConfigError(
+            f"cluster address {address!r} has a non-numeric port"
+        ) from None
+
+
+class ClusterClient:
+    """Speaks the cluster protocol to one server address.
+
+    Usable as a context manager; the connection is opened lazily on the
+    first call and kept for the client's lifetime (the protocol is
+    strictly request/response, so one socket serves any number of
+    calls).
+    """
+
+    def __init__(self, address: str, timeout_s: float = 600.0) -> None:
+        self.address = address
+        self.host, self.port = parse_address(address)
+        self.timeout_s = timeout_s
+        self._sock: socket.socket | None = None
+        self._rfile = None
+
+    # -- transport ---------------------------------------------------------------------
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+            self._rfile = self._sock.makefile("rb")
+        except OSError as error:
+            self._sock = None
+            raise ClusterConnectionError(
+                f"cannot connect to cluster server {self.address}: {error}"
+            ) from None
+
+    def _rpc(self, message: dict) -> dict:
+        self._connect()
+        try:
+            self._sock.sendall(protocol.encode_message(message))
+            line = self._rfile.readline(protocol.MAX_FRAME_BYTES + 2)
+        except OSError as error:
+            self.close()
+            raise ClusterConnectionError(
+                f"cluster server {self.address} died mid-call: {error}"
+            ) from None
+        if not line:
+            self.close()
+            raise ClusterConnectionError(
+                f"cluster server {self.address} closed the connection"
+            )
+        response = protocol.decode_message(line)
+        protocol.raise_for_error(response)
+        return response
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        rfile, self._rfile = self._rfile, None
+        for closable in (rfile, sock):
+            if closable is not None:
+                try:
+                    closable.close()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- verbs -------------------------------------------------------------------------
+    def hello(self) -> dict:
+        """Handshake; raises on version mismatch, returns server info."""
+        response = self._rpc(protocol.hello_message())
+        if response.get("type") != "welcome":
+            raise ClusterProtocolError(
+                f"expected a welcome frame, got {response.get('type')!r}"
+            )
+        return response
+
+    def status(self) -> dict:
+        response = self._rpc(protocol.status_message())
+        if response.get("type") != "status":
+            raise ClusterProtocolError(
+                f"expected a status frame, got {response.get('type')!r}"
+            )
+        return response
+
+    def submit_points(
+        self, points, framework_overhead_s: float | None = None
+    ) -> tuple[dict, CacheEntries]:
+        """Execute a shard remotely; returns (reports by ID, cache delta)."""
+        response = self._rpc(
+            protocol.submit_message(points, framework_overhead_s)
+        )
+        return protocol.parse_result(response)
+
+    def drain(self) -> dict:
+        """Stop the server accepting new submissions."""
+        return self._rpc(protocol.drain_message())
+
+    def shutdown(self) -> dict:
+        """Gracefully stop the server (waits for in-flight work)."""
+        response = self._rpc(protocol.shutdown_message())
+        self.close()
+        return response
+
+
+__all__ = ["ClusterClient", "parse_address"]

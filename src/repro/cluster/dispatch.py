@@ -1,0 +1,355 @@
+"""Cross-host dispatch: sweeps sharded and traces split across servers.
+
+Two front-ends over :class:`~repro.cluster.client.ClusterClient`:
+
+* :func:`run_sweep_remote` — shard a sweep grid round-robin across one or
+  more servers, re-dispatching a dead server's shard to the survivors,
+  merging every returned cache delta into the caller's session cache and
+  writing through the caller's :class:`~repro.sweep.store.ResultStore`.
+  The returned :class:`~repro.sweep.workers.SweepResult` is bit-identical
+  to a local :func:`repro.sweep.run_sweep` of the same grid — stable IDs,
+  canonical JSON reports, and a deterministic simulator make the
+  transport invisible.
+
+* :func:`run_serving_split` — materialize one scenario's
+  :class:`~repro.serving.traces.ArrivalTrace`, split its streams
+  round-robin across N platform instances (local, or one per server),
+  serve each partition, and merge the per-stream
+  :class:`~repro.api.results.ServingReport`\\ s into one report whose
+  aggregate percentiles are recomputed over every completed frame.
+
+Both paths go through the content-addressed grid machinery, so remote
+execution reuses the same request identities as local runs — a store
+written remotely resumes a local sweep and vice versa.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+
+from repro.api.results import ServingReport, SimRequest
+from repro.api.session import Session
+from repro.cluster.client import ClusterClient
+from repro.errors import (
+    ClusterConnectionError,
+    ClusterError,
+    ClusterUnavailableError,
+    ConfigError,
+)
+from repro.schedule.streams import ScenarioSpec
+from repro.serving.slo import apply_trace, trace_scenario
+from repro.sweep.grid import SweepGrid, SweepSpec, expand, grid_from_requests
+from repro.sweep.store import ResultStore
+from repro.sweep.workers import SweepResult, load_resumable, shard_points
+
+#: Failures that mean "this server cannot take the shard" (re-dispatch),
+#: as opposed to typed config errors that must surface to the caller.
+_REDISPATCH_ERRORS = (ClusterConnectionError, ClusterUnavailableError)
+
+#: How long one shard submission may run before its server is presumed
+#: dead. Callers with heavier shards pass ``timeout_s`` explicitly — a
+#: too-short timeout misclassifies a busy server as a dead one.
+DEFAULT_TIMEOUT_S = 600.0
+
+
+def normalize_servers(servers) -> tuple[str, ...]:
+    """Coerce one address or a sequence of addresses into a tuple."""
+    if isinstance(servers, str):
+        servers = (servers,)
+    servers = tuple(servers or ())
+    if not servers:
+        raise ConfigError("cluster dispatch needs at least one server address")
+    return servers
+
+
+def _submit_shards(
+    assignments: list[tuple[str, tuple]],
+    framework_overhead_s: float | None,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+):
+    """Run (server, points) assignments concurrently with failure re-dispatch.
+
+    Every shard that fails with a transport/unavailable error is retried
+    on the next server that has not itself died, in address order. Only
+    when every server is dead does the dispatch raise. Returns (reports
+    by request ID, list of cache deltas, dead server addresses).
+    """
+    dead: set[str] = set()
+    reports: dict = {}
+    deltas: list = []
+    failed: list[tuple] = []
+
+    def submit(server: str, points: tuple):
+        with ClusterClient(server, timeout_s=timeout_s) as client:
+            return client.submit_points(points, framework_overhead_s)
+
+    with ThreadPoolExecutor(max_workers=max(len(assignments), 1)) as pool:
+        futures = [
+            (server, points, pool.submit(submit, server, points))
+            for server, points in assignments
+        ]
+        for server, points, future in futures:
+            try:
+                shard_reports, delta = future.result()
+            except _REDISPATCH_ERRORS:
+                dead.add(server)
+                failed.append(points)
+                continue
+            reports.update(shard_reports)
+            deltas.append(delta)
+
+    for points in failed:
+        alive = [
+            server for server, _points in assignments if server not in dead
+        ]
+        placed = False
+        for server in alive:
+            try:
+                shard_reports, delta = submit(server, points)
+            except _REDISPATCH_ERRORS:
+                dead.add(server)
+                continue
+            reports.update(shard_reports)
+            deltas.append(delta)
+            placed = True
+            break
+        if not placed:
+            raise ClusterError(
+                f"shard of {len(points)} point(s) could not be placed: all"
+                f" {len({s for s, _ in assignments})} server(s) are dead or"
+                " draining"
+            )
+    return reports, deltas, dead
+
+
+def run_sweep_remote(
+    spec: "SweepSpec | SweepGrid",
+    servers,
+    *,
+    store: ResultStore | None = None,
+    resume: bool = False,
+    session: Session | None = None,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+) -> SweepResult:
+    """Run a sweep sharded across cluster servers; local semantics apply.
+
+    ``store``/``resume`` behave exactly as in
+    :func:`repro.sweep.run_sweep`: resumed points are loaded instead of
+    dispatched, and every remotely-computed report is written through as
+    it arrives back, so an interrupted remote sweep loses at most its
+    in-flight shards. Server cache deltas are merged into the session
+    cache on join — the caller's process ends as warm as a local run.
+    ``timeout_s`` bounds one shard's round-trip; raise it for shards
+    whose simulations legitimately run long, or a healthy-but-busy
+    server gets misread as dead.
+    """
+    servers = normalize_servers(servers)
+    grid = expand(spec) if isinstance(spec, SweepSpec) else spec
+    if not isinstance(grid, SweepGrid):
+        raise ConfigError(
+            f"run_sweep_remote expects a SweepSpec or SweepGrid, got {spec!r}"
+        )
+    if resume and store is None:
+        raise ConfigError("resume=True requires a result store")
+    session = session if session is not None else Session()
+
+    loaded = load_resumable(grid, store) if resume else {}
+    todo = tuple(point for point in grid if point.request_id not in loaded)
+    assignments = [
+        (servers[index % len(servers)], tuple(shard))
+        for index, shard in enumerate(shard_points(todo, len(servers)))
+    ]
+    executed, deltas, _dead = _submit_shards(
+        assignments, grid.framework_overhead_s, timeout_s
+    )
+    for delta in deltas:
+        session.cache.merge(delta)
+    if store is not None:
+        by_id = grid.by_id()
+        for request_id, report in executed.items():
+            store.put(by_id[request_id], report)
+
+    reports = tuple(
+        executed.get(point.request_id, loaded.get(point.request_id))
+        for point in grid
+    )
+    return SweepResult(
+        grid=grid,
+        reports=reports,
+        executed=tuple(
+            point.request_id for point in grid if point.request_id in executed
+        ),
+        loaded=tuple(
+            point.request_id for point in grid if point.request_id in loaded
+        ),
+        cache_stats=session.cache.stats(),
+        jobs=len(servers),
+    )
+
+
+# -- serving split ---------------------------------------------------------------------
+def split_scenario(
+    spec: ScenarioSpec, partitions: int
+) -> tuple[ScenarioSpec, ...]:
+    """Split one scenario's streams round-robin into replayable partitions.
+
+    The scenario's (seeded) arrivals are materialized into one
+    :class:`~repro.serving.traces.ArrivalTrace` first and every partition
+    replays its recorded times verbatim, so the split preserves each
+    stream's exact release schedule — partition k of N sees the same
+    arrivals it would have seen in the unsplit run. Closed-loop streams
+    have no pre-computable trace and are rejected.
+    """
+    if partitions < 1:
+        raise ConfigError(f"partitions must be >= 1, got {partitions}")
+    partitions = min(partitions, len(spec.streams))
+    replayed = apply_trace(spec, trace_scenario(spec))
+    subs = []
+    for part in range(partitions):
+        streams = replayed.streams[part::partitions]
+        subs.append(
+            replace(
+                replayed,
+                name=f"{spec.name}#p{part}",
+                streams=streams,
+            )
+        )
+    return tuple(subs)
+
+
+def merge_serving_reports(
+    parts,
+    *,
+    scenario: str,
+    stream_order=None,
+) -> ServingReport:
+    """Merge per-partition serving reports back into one scenario report.
+
+    Stream reports are concatenated (re-ordered to ``stream_order`` when
+    given); the aggregate counters and p50/p95/p99 are *recomputed* over
+    every completed frame because :class:`ServingReport` derives them from
+    its streams — a merged tail percentile is the true fleet-wide tail,
+    not an average of per-partition tails. The makespan is the slowest
+    partition's; mode switches and switch overhead sum; occupancy is the
+    fleet utilization (busy time across all instances over
+    ``instances x merged makespan``).
+    """
+    parts = list(parts)
+    if not parts:
+        raise ConfigError("merge_serving_reports needs at least one report")
+    streams = [stream for part in parts for stream in part.streams]
+    if stream_order is not None:
+        by_name = {stream.name: stream for stream in streams}
+        missing = [name for name in stream_order if name not in by_name]
+        if missing or len(stream_order) != len(streams):
+            raise ConfigError(
+                f"merged parts carry streams {sorted(by_name)}, expected"
+                f" {list(stream_order)}"
+            )
+        streams = [by_name[name] for name in stream_order]
+    makespan = max(part.makespan_s for part in parts)
+    if len(parts) == 1:
+        occupancy = dict(parts[0].occupancy)
+    else:
+        busy: dict[str, float] = {}
+        for part in parts:
+            for kind, fraction in part.occupancy.items():
+                busy[kind] = busy.get(kind, 0.0) + fraction * part.makespan_s
+        occupancy = {
+            kind: (total / (len(parts) * makespan) if makespan > 0 else 0.0)
+            for kind, total in sorted(busy.items())
+        }
+    platforms = list(dict.fromkeys(part.platform for part in parts))
+    return ServingReport(
+        scenario=scenario,
+        platform="+".join(platforms),
+        policy=parts[0].policy,
+        frames=parts[0].frames,
+        makespan_s=makespan,
+        streams=tuple(streams),
+        occupancy=occupancy,
+        mode_switches=sum(part.mode_switches for part in parts),
+        switch_overhead_s=sum(part.switch_overhead_s for part in parts),
+        qos=parts[0].qos,
+        tag=parts[0].tag,
+    )
+
+
+def run_serving_split(
+    scenario: ScenarioSpec,
+    platform: str | None = None,
+    *,
+    partitions: int | None = None,
+    servers=None,
+    session: Session | None = None,
+    tag: str | None = None,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+) -> ServingReport:
+    """Serve one scenario split across several platform instances.
+
+    With ``servers``, each partition becomes one serving request
+    dispatched to its server (dead servers re-dispatch like sweep
+    shards); otherwise the partitions run sequentially in-process, each
+    on a fresh schedule of the same platform — the single-process
+    equivalent the remote path is golden-tested against. ``partitions``
+    defaults to the server count (or 2 locally).
+    """
+    if servers is not None:
+        servers = normalize_servers(servers)
+        if partitions is None:
+            partitions = len(servers)
+    elif partitions is None:
+        partitions = 2
+    platform_spec = platform or scenario.platform
+    if platform_spec is None:
+        raise ConfigError(
+            f"scenario {scenario.name!r} names no platform; pass one"
+        )
+    subs = split_scenario(scenario, partitions)
+
+    if servers is None:
+        session = session if session is not None else Session()
+        parts = [
+            session.run_serving(sub, platform_spec, tag=tag) for sub in subs
+        ]
+    else:
+        requests = [
+            SimRequest(
+                platform=platform_spec,
+                scenario=replace(sub, platform=None),
+                serving=True,
+                tag=tag,
+            )
+            for sub in subs
+        ]
+        grid = grid_from_requests(
+            requests, framework_overhead_s=scenario.framework_overhead_s
+        )
+        points = tuple(grid)
+        assignments = [
+            (servers[index % len(servers)], (point,))
+            for index, point in enumerate(points)
+        ]
+        reports, deltas, _dead = _submit_shards(
+            assignments, grid.framework_overhead_s, timeout_s
+        )
+        if session is not None:
+            for delta in deltas:
+                session.cache.merge(delta)
+        parts = [reports[point.request_id] for point in points]
+    return merge_serving_reports(
+        parts,
+        scenario=scenario.name,
+        stream_order=[stream.name for stream in scenario.streams],
+    )
+
+
+__all__ = [
+    "DEFAULT_TIMEOUT_S",
+    "merge_serving_reports",
+    "normalize_servers",
+    "run_serving_split",
+    "run_sweep_remote",
+    "split_scenario",
+]

@@ -39,6 +39,35 @@ class SchedulingError(ReproError):
     """The application-level resource scheduler hit an invalid state."""
 
 
+class ClusterError(ReproError):
+    """Base class for cluster-service (remote dispatch) failures."""
+
+
+class ClusterProtocolError(ClusterError):
+    """A wire message was malformed or had an unexpected type."""
+
+
+class ProtocolVersionError(ClusterProtocolError):
+    """Client and server speak different protocol versions."""
+
+
+class FingerprintMismatchError(ClusterError):
+    """A shard point's config fingerprint does not match the server's.
+
+    The client and server expanded the same request to different
+    canonical fingerprints — their code or configuration has diverged, so
+    executing the shard would be silently wrong rather than merely stale.
+    """
+
+
+class ClusterConnectionError(ClusterError):
+    """A cluster server could not be reached or died mid-conversation."""
+
+
+class ClusterUnavailableError(ClusterError):
+    """A reachable server refused work (draining or shutting down)."""
+
+
 class BatchRequestError(ReproError):
     """One request inside a batch or sweep failed.
 

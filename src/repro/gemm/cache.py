@@ -111,6 +111,28 @@ class CacheEntries:
     def __len__(self) -> int:
         return len(self.timings) + len(self.windows)
 
+    def minus(self, baseline: "CacheEntries") -> "CacheEntries":
+        """The delta beyond ``baseline``: new entries, counters since.
+
+        This is what crosses a boundary after warm-started work — sweep
+        workers subtract the warm set they were given, and the cluster
+        pool subtracts its pre-submission snapshot — so the receiver
+        merges only what this side actually added.
+        """
+        return CacheEntries(
+            timings={
+                key: timing
+                for key, timing in self.timings.items()
+                if key not in baseline.timings
+            },
+            windows={
+                key: window
+                for key, window in self.windows.items()
+                if key not in baseline.windows
+            },
+            stats=self.stats.since(baseline.stats),
+        )
+
 
 class TimingCache:
     """Process-shareable store of GEMM timings and sample-window results.

@@ -99,7 +99,19 @@ class StreamSpec:
             if self.period_s is None:
                 return tuple(0.0 for _ in range(frames))
             return tuple(frame * self.period_s for frame in range(frames))
+        if self.arrivals.kind == "closed_loop":
+            raise ConfigError(
+                f"stream {self.name!r}: closed_loop arrivals have no static"
+                " release schedule (releases are paced by completions)"
+            )
         return generate_arrivals(self.arrivals, frames, salt=self.name)
+
+    @property
+    def closed_loop(self) -> bool:
+        """Whether this stream's releases are paced by its completions."""
+        return (
+            self.arrivals is not None and self.arrivals.kind == "closed_loop"
+        )
 
     def to_dict(self) -> dict:
         payload = {
@@ -244,13 +256,21 @@ class ScenarioSpec:
 
 @dataclass(frozen=True)
 class FrameRun:
-    """One executed frame of one stream: its tasks and timing anchors."""
+    """One executed frame of one stream: its tasks and timing anchors.
+
+    ``release_dep`` and ``think_s`` are set only for closed-loop frames:
+    the frame's actual release is its pacing dependency's resolution
+    time plus the think time, recovered from the executed timeline when
+    records are assembled (it cannot be known statically).
+    """
 
     stream: str
     frame: int
     release_s: float
     deadline_s: float | None
     uids: tuple[int, ...]
+    release_dep: int | None = None
+    think_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -286,6 +306,16 @@ class FramePlan:
         drops = {record.uid: record for record in timeline.drops}
         records: dict[str, list[FrameRecord]] = {}
         for run in self.runs:
+            release = run.release_s
+            if run.release_dep is not None:
+                # Closed-loop: the frame was released when its pacing
+                # dependency resolved (completed or dropped) plus think
+                # time — mirror the engine's dynamic release exactly.
+                resolved = ends.get(run.release_dep)
+                if resolved is None and run.release_dep in drops:
+                    resolved = drops[run.release_dep].time_s
+                if resolved is not None:
+                    release = max(run.release_s, resolved + run.think_s)
             drop = next(
                 (drops[uid] for uid in run.uids if uid in drops), None
             )
@@ -293,7 +323,7 @@ class FramePlan:
                 record = FrameRecord(
                     stream=run.stream,
                     frame=run.frame,
-                    release_s=run.release_s,
+                    release_s=release,
                     deadline_s=run.deadline_s,
                     completion_s=None,
                     latency_s=None,
@@ -303,11 +333,11 @@ class FramePlan:
                 )
             else:
                 completion = max(ends[uid] for uid in run.uids)
-                latency = completion - run.release_s
+                latency = completion - release
                 record = FrameRecord(
                     stream=run.stream,
                     frame=run.frame,
-                    release_s=run.release_s,
+                    release_s=release,
                     deadline_s=run.deadline_s,
                     completion_s=completion,
                     latency_s=latency,
@@ -367,10 +397,20 @@ def instantiate_frames(
         template = templates[stream.name]
         previous_last: int | None = None
         skipped[stream.name] = 0
-        for frame, release in enumerate(stream.release_times(spec.frames)):
+        closed = stream.closed_loop
+        think = stream.arrivals.think_s if closed else 0.0
+        releases = (
+            tuple(0.0 for _ in range(spec.frames))
+            if closed
+            else stream.release_times(spec.frames)
+        )
+        for frame, release in enumerate(releases):
             if frame % stream.skip_interval != 0:
                 skipped[stream.name] += 1
                 continue
+            # A closed-loop frame (after the first) is paced by the
+            # previous executed frame: released think_s after it resolves.
+            pacing = closed and previous_last is not None
             uids = []
             for position, task in enumerate(template):
                 if position == 0:
@@ -388,11 +428,11 @@ def instantiate_frames(
                         weight=stream.priority,
                         deadline_s=stream.deadline_s,
                         frame_head=position == 0,
+                        think_s=think if pacing and position == 0 else None,
                     )
                 )
                 uids.append(uid)
                 uid += 1
-            previous_last = uids[-1]
             runs.append(
                 FrameRun(
                     stream=stream.name,
@@ -400,8 +440,11 @@ def instantiate_frames(
                     release_s=release,
                     deadline_s=stream.deadline_s,
                     uids=tuple(uids),
+                    release_dep=previous_last if pacing else None,
+                    think_s=think if pacing else 0.0,
                 )
             )
+            previous_last = uids[-1]
     return FramePlan(tasks=tuple(tasks), runs=tuple(runs), skipped=skipped)
 
 

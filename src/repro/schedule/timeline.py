@@ -24,7 +24,7 @@ loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import SchedulingError
 from repro.schedule.policies import SchedulingPolicy, make_policy
@@ -51,6 +51,13 @@ class OpTask:
     policy sees queued frame-head tasks and may drop the whole frame
     before it starts. ``payload`` is opaque to the engine (platforms
     carry their per-op stats there).
+
+    ``think_s`` makes the release *schedule-dependent* (closed-loop
+    clients): a task with ``think_s`` set (``None`` means unpaced) is
+    released ``think_s`` after its last dependency resolves (completes
+    or is dropped), never before ``release_s`` — and does not count as
+    arrived/queued until then. Such a task must have dependencies; with
+    none there is no completion to wait on.
     """
 
     uid: int
@@ -66,6 +73,7 @@ class OpTask:
     cross_switch_s: float = 0.0
     deadline_s: float | None = None
     frame_head: bool = False
+    think_s: float | None = None
     payload: object = None
 
     def __post_init__(self) -> None:
@@ -79,6 +87,17 @@ class OpTask:
             )
         if not self.claims:
             raise SchedulingError(f"task {self.name!r} claims no resources")
+        if self.think_s is not None:
+            if self.think_s < 0:
+                raise SchedulingError(
+                    f"task {self.name!r} has negative think time"
+                    f" {self.think_s}"
+                )
+            if not self.deps:
+                raise SchedulingError(
+                    f"task {self.name!r} has think time but no dependencies"
+                    " to pace it"
+                )
 
 
 @dataclass(frozen=True)
@@ -233,7 +252,20 @@ class TimelineScheduler:
         def satisfy_dep(successor_uid: int) -> None:
             unmet[successor_uid] -= 1
             if unmet[successor_uid] == 0 and successor_uid not in dropped:
-                admit_to_pending(by_uid[successor_uid])
+                successor = by_uid[successor_uid]
+                if successor.think_s is not None:
+                    # Closed-loop pacing: the release is only known now —
+                    # rewrite it so everything downstream (pending order,
+                    # queued-frame QoS review, deadline anchoring) sees
+                    # the dynamic release time.
+                    successor = replace(
+                        successor,
+                        release_s=max(
+                            successor.release_s, now + successor.think_s
+                        ),
+                    )
+                    by_uid[successor_uid] = successor
+                admit_to_pending(successor)
 
         def drop_frame(head: OpTask, reason: str) -> None:
             """Cancel ``head`` and its same-frame dependents at ``now``."""
@@ -273,12 +305,18 @@ class TimelineScheduler:
             """Arrived-but-unstarted frame heads per stream, arrival order."""
             queued: dict[str, list[OpTask]] = {}
             for head in heads:
+                # Closed-loop heads are rewritten with their dynamic
+                # release when their pacing dependency resolves; until
+                # then they have not "arrived" and cannot be queued.
+                current = by_uid[head.uid]
+                if current.think_s is not None and unmet[head.uid] > 0:
+                    continue
                 if (
-                    head.release_s <= now
+                    current.release_s <= now
                     and head.uid not in start
                     and head.uid not in dropped
                 ):
-                    queued.setdefault(head.stream, []).append(head)
+                    queued.setdefault(current.stream, []).append(current)
             return queued
 
         while done < len(tasks):

@@ -40,6 +40,7 @@ from repro.serving.qos import (
 #: in the api/sweep stack, which itself imports the schedule package (and
 #: through it this package), so an eager import here would be circular.
 _SLO_EXPORTS = (
+    "SEARCH_MODES",
     "SloPoint",
     "SloReport",
     "explore_slo",

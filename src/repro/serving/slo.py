@@ -151,6 +151,7 @@ class SloReport:
     percentile_q: float
     max_drop_fraction: float
     points: tuple[SloPoint, ...] = ()
+    mode: str = "grid"
 
     def platform_points(self, platform: str) -> tuple[SloPoint, ...]:
         return tuple(
@@ -187,6 +188,7 @@ class SloReport:
         return {
             "kind": "slo",
             "scenario": self.scenario,
+            "mode": self.mode,
             "slo_s": self.slo_s,
             "percentile_q": self.percentile_q,
             "max_drop_fraction": self.max_drop_fraction,
@@ -230,6 +232,60 @@ def _point_from_report(
     )
 
 
+def _run_cells(
+    scenario: ScenarioSpec,
+    cells,
+    *,
+    slo_s: float,
+    percentile_q: float,
+    max_drop_fraction: float,
+    kind: str,
+    seed: int,
+    session: Session | None,
+    jobs: int,
+    store,
+    resume: bool,
+    tag: str | None,
+) -> tuple[SloPoint, ...]:
+    """Evaluate (platform, rate) cells through the sweep engine.
+
+    Both search modes funnel through here, and the requests are built
+    identically — same ``scenario_at_rate`` renaming, same fingerprint
+    extras — so grid points and bisect probes share store keys: results
+    from one mode resume the other.
+    """
+    requests = []
+    for platform, rate in cells:
+        rated = replace(
+            scenario_at_rate(scenario, rate, kind=kind, seed=seed),
+            platform=None,
+        )
+        requests.append(
+            SimRequest(
+                platform=platform,
+                scenario=rated,
+                serving=True,
+                tag=tag,
+            )
+        )
+    grid = grid_from_requests(
+        requests, framework_overhead_s=scenario.framework_overhead_s
+    )
+    result = run_sweep(
+        grid, jobs=jobs, store=store, resume=resume, session=session
+    )
+    return tuple(
+        _point_from_report(
+            report, platform, rate, slo_s, percentile_q, max_drop_fraction
+        )
+        for (platform, rate), report in zip(cells, result.reports)
+    )
+
+
+#: The rate-search strategies :func:`explore_slo` supports.
+SEARCH_MODES = ("grid", "bisect")
+
+
 def explore_slo(
     scenario: ScenarioSpec,
     platforms,
@@ -245,6 +301,8 @@ def explore_slo(
     store=None,
     resume: bool = False,
     tag: str | None = None,
+    mode: str = "grid",
+    tolerance_hz: float = 1.0,
 ) -> SloReport:
     """Sweep arrival rate x platform and find the max sustainable rates.
 
@@ -252,8 +310,16 @@ def explore_slo(
     per-stream rate and is judged against ``slo_s`` at the ``percentile_q``
     tail (a point whose drop fraction exceeds ``max_drop_fraction`` fails
     regardless of latency — shedding everything is not "meeting" an SLO).
-    The grid runs through :func:`repro.sweep.run_sweep`, so ``jobs``,
+    Points run through :func:`repro.sweep.run_sweep`, so ``jobs``,
     ``store``, and ``resume`` behave exactly as in any other sweep.
+
+    ``mode="grid"`` (default) evaluates every swept rate.
+    ``mode="bisect"`` treats ``rates`` as a bracket — per platform it
+    evaluates ``min(rates)`` and ``max(rates)``, then bisects on arrival
+    rate until the bracket is narrower than ``tolerance_hz``, homing in
+    on the max sustainable rate with O(log(span/tolerance)) serving runs
+    instead of a fixed grid. Probes build the same requests grid mode
+    would, so stored grid results resume a bisect search and vice versa.
     """
     # Range patterns (``sma:2..4``) expand like any sweep axis, and the
     # axes are de-duplicated up front: the grid elides duplicate requests,
@@ -272,45 +338,76 @@ def explore_slo(
         raise ConfigError("SLO exploration needs at least one arrival rate")
     if slo_s <= 0:
         raise ConfigError(f"SLO must be > 0 seconds, got {slo_s}")
-    cells = []
-    requests = []
-    for platform in platforms:
-        for rate in rates:
-            rated = replace(
-                scenario_at_rate(scenario, rate, kind=kind, seed=seed),
-                platform=None,
-            )
-            cells.append((platform, rate))
-            requests.append(
-                SimRequest(
-                    platform=platform,
-                    scenario=rated,
-                    serving=True,
-                    tag=tag,
-                )
-            )
-    grid = grid_from_requests(
-        requests, framework_overhead_s=scenario.framework_overhead_s
-    )
-    result = run_sweep(
-        grid, jobs=jobs, store=store, resume=resume, session=session
-    )
-    points = tuple(
-        _point_from_report(
-            report, platform, rate, slo_s, percentile_q, max_drop_fraction
+    if mode not in SEARCH_MODES:
+        raise ConfigError(
+            f"unknown SLO search mode {mode!r}; one of {SEARCH_MODES}"
         )
-        for (platform, rate), report in zip(cells, result.reports)
+    run_kwargs = dict(
+        slo_s=slo_s,
+        percentile_q=percentile_q,
+        max_drop_fraction=max_drop_fraction,
+        kind=kind,
+        seed=seed,
+        session=session,
+        jobs=jobs,
+        store=store,
+        resume=resume,
+        tag=tag,
     )
+
+    if mode == "grid":
+        cells = [
+            (platform, rate) for platform in platforms for rate in rates
+        ]
+        points = _run_cells(scenario, cells, **run_kwargs)
+    else:
+        if tolerance_hz <= 0:
+            raise ConfigError(
+                f"bisect tolerance must be > 0 Hz, got {tolerance_hz}"
+            )
+        low, high = min(rates), max(rates)
+        if low >= high:
+            raise ConfigError(
+                f"bisect needs a rate bracket (low < high), got"
+                f" [{low:g}, {high:g}]"
+            )
+        points = []
+        memo: dict[tuple[str, float], SloPoint] = {}
+
+        def probe(platform: str, rate: float) -> SloPoint:
+            key = (platform, rate)
+            if key not in memo:
+                (point,) = _run_cells(scenario, [key], **run_kwargs)
+                memo[key] = point
+                points.append(point)
+            return memo[key]
+
+        for platform in platforms:
+            # The bracket invariant: ``lo`` meets the SLO, ``hi`` fails.
+            if not probe(platform, low).meets_slo:
+                continue  # even the bracket floor fails: nothing sustainable
+            if probe(platform, high).meets_slo:
+                continue  # the whole bracket is sustainable: the max is hi
+            lo, hi = low, high
+            while hi - lo > tolerance_hz:
+                mid = (lo + hi) / 2.0
+                if probe(platform, mid).meets_slo:
+                    lo = mid
+                else:
+                    hi = mid
+        points = tuple(points)
     return SloReport(
         scenario=scenario.name,
         slo_s=slo_s,
         percentile_q=percentile_q,
         max_drop_fraction=max_drop_fraction,
         points=points,
+        mode=mode,
     )
 
 
 __all__ = [
+    "SEARCH_MODES",
     "SloPoint",
     "SloReport",
     "apply_trace",

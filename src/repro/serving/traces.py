@@ -32,7 +32,7 @@ from pathlib import Path
 from repro.errors import ConfigError
 
 #: The arrival-process kinds a stream may declare.
-ARRIVAL_KINDS = ("fixed", "poisson", "mmpp", "replay")
+ARRIVAL_KINDS = ("fixed", "poisson", "mmpp", "replay", "closed_loop")
 
 
 def stream_seed(seed: int, salt: str) -> int:
@@ -53,6 +53,12 @@ class ArrivalSpec:
     arrivals in the burst state with mean burst length ``dwell``
     arrivals. ``replay`` ignores the generator fields and releases at
     ``times_s`` verbatim.
+
+    ``closed_loop`` is the one *schedule-dependent* kind: frame ``k+1``
+    is released when frame ``k`` completes plus ``think_s`` of client
+    think time — the client that waits for its answer before asking
+    again. It has no pre-computable trace (asking for one raises), so
+    release times come from the timeline engine at simulation time.
     """
 
     kind: str = "poisson"
@@ -63,14 +69,38 @@ class ArrivalSpec:
     burst_fraction: float = 0.1
     dwell: int = 8
     times_s: tuple[float, ...] | None = None
+    think_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ARRIVAL_KINDS:
             raise ConfigError(
                 f"unknown arrival kind {self.kind!r}; one of {ARRIVAL_KINDS}"
             )
+        if self.think_s is not None and self.kind != "closed_loop":
+            raise ConfigError(
+                f"{self.kind!r} arrivals do not take think_s (closed_loop"
+                " only)"
+            )
         if self.times_s is not None:
             object.__setattr__(self, "times_s", tuple(self.times_s))
+        if self.kind == "closed_loop":
+            for name, value in (
+                ("rate_hz", self.rate_hz),
+                ("period_s", self.period_s),
+                ("times_s", self.times_s),
+            ):
+                if value is not None:
+                    raise ConfigError(
+                        f"closed_loop arrivals do not take {name} (the"
+                        " schedule itself paces releases)"
+                    )
+            if self.think_s is None:
+                object.__setattr__(self, "think_s", 0.0)
+            if self.think_s < 0:
+                raise ConfigError(
+                    f"closed_loop think_s must be >= 0, got {self.think_s}"
+                )
+            return
         if self.kind == "replay":
             if self.times_s is None:
                 raise ConfigError("replay arrivals need times_s")
@@ -120,8 +150,8 @@ class ArrivalSpec:
 
     def at_rate(self, rate_hz: float) -> "ArrivalSpec":
         """This process re-offered at a different rate (burst scales too)."""
-        if self.kind == "replay":
-            raise ConfigError("replay arrivals cannot be re-rated")
+        if self.kind in ("replay", "closed_loop"):
+            raise ConfigError(f"{self.kind} arrivals cannot be re-rated")
         burst = self.burst_rate_hz
         if burst is not None and self.rate_hz:
             burst = burst * (rate_hz / self.rate_hz)
@@ -139,6 +169,8 @@ class ArrivalSpec:
             payload["dwell"] = self.dwell
         if self.times_s is not None:
             payload["times_s"] = list(self.times_s)
+        if self.kind == "closed_loop":
+            payload["think_s"] = self.think_s
         return payload
 
     @classmethod
@@ -157,6 +189,7 @@ class ArrivalSpec:
             burst_fraction=data.get("burst_fraction", 0.1),
             dwell=data.get("dwell", 8),
             times_s=tuple(times) if times is not None else None,
+            think_s=data.get("think_s"),
         )
 
 
@@ -171,6 +204,11 @@ def generate_arrivals(
     """
     if count < 0:
         raise ConfigError(f"arrival count must be >= 0, got {count}")
+    if spec.kind == "closed_loop":
+        raise ConfigError(
+            "closed_loop arrivals have no static schedule: releases are"
+            " paced by frame completions at simulation time"
+        )
     if spec.kind == "replay":
         return spec.times_s[:count]
     if count == 0:

@@ -206,10 +206,18 @@ def request_fingerprint(
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def _point_extras(spec_overhead: float | None, kind: str) -> dict | None:
+def point_extras(spec_overhead: float | None, kind: str) -> dict | None:
+    """The fingerprint extras one grid point carries (see above).
+
+    Public because remote dispatch re-derives fingerprints on the server
+    side to reject shards whose canonicalization has diverged.
+    """
     if spec_overhead is not None and kind in ("model", "scenario", "serving"):
         return {"framework_overhead_s": spec_overhead}
     return None
+
+
+_point_extras = point_extras
 
 
 def grid_from_requests(
@@ -329,5 +337,6 @@ __all__ = [
     "expand",
     "expand_platform_spec",
     "grid_from_requests",
+    "point_extras",
     "request_fingerprint",
 ]

@@ -77,14 +77,23 @@ class SweepResult:
 
 @dataclass(frozen=True)
 class _ShardPayload:
-    """Everything one worker process needs (must stay picklable)."""
+    """Everything one worker process needs (must stay picklable).
+
+    ``warm`` optionally pre-loads the worker's private cache (the cluster
+    pool ships its merged cache so warm workers skip recomputation); the
+    worker then exports only the entries *beyond* the warm set, keeping
+    the returned delta small.
+    """
 
     points: tuple[SweepPoint, ...]
     framework_overhead_s: float | None = None
+    warm: CacheEntries | None = None
 
 
 @dataclass(frozen=True)
-class _ShardResult:
+class ShardOutcome:
+    """One shard's reports (by request ID) plus its new cache entries."""
+
     reports: tuple[tuple[str, GemmReport | ModelReport], ...]
     cache: CacheEntries
 
@@ -95,9 +104,10 @@ def _platform_kwargs(overhead: float | None) -> dict | None:
     return {"framework_overhead_s": overhead}
 
 
-def _execute_point(
+def execute_point(
     session: Session, point: SweepPoint, overhead: float | None
 ) -> GemmReport | ModelReport:
+    """Run one grid point, wrapping failures with the point's identity."""
     try:
         return session.run_request(
             point.request, platform_kwargs=_platform_kwargs(overhead)
@@ -110,25 +120,75 @@ def _execute_point(
         ) from error
 
 
-def _run_shard(payload: _ShardPayload) -> _ShardResult:
-    """Worker entry point: run one shard in a private session/cache."""
-    session = Session(cache=TimingCache())
+def run_shard_points(
+    points,
+    framework_overhead_s: float | None = None,
+    warm: CacheEntries | None = None,
+) -> ShardOutcome:
+    """The shard-execution core shared by local, pool, and remote paths.
+
+    Runs ``points`` in order through a private session. With ``warm``
+    entries the session starts pre-loaded (lookups against them count as
+    hits, so warm-pool statistics are observable) and the returned cache
+    holds only the entries this shard added beyond the warm set.
+    """
+    cache = TimingCache()
+    baseline = None
+    if warm is not None:
+        # Entries only: the warm set's historical counters belong to the
+        # process that produced them, not to this shard.
+        baseline = replace(warm, stats=CacheStats())
+        cache.merge(baseline)
+    session = Session(cache=cache)
     reports = tuple(
         (
             point.request_id,
-            _execute_point(session, point, payload.framework_overhead_s),
+            execute_point(session, point, framework_overhead_s),
         )
-        for point in payload.points
+        for point in points
     )
-    return _ShardResult(reports=reports, cache=session.cache.export_entries())
+    entries = cache.export_entries()
+    if baseline is not None:
+        entries = entries.minus(baseline)
+    return ShardOutcome(reports=reports, cache=entries)
 
 
-def _shard(points: tuple[SweepPoint, ...], jobs: int) -> list[list[SweepPoint]]:
+def _run_shard(payload: _ShardPayload) -> ShardOutcome:
+    """Worker entry point: run one shard in a private session/cache."""
+    return run_shard_points(
+        payload.points, payload.framework_overhead_s, payload.warm
+    )
+
+
+def shard_points(
+    points: tuple[SweepPoint, ...], jobs: int
+) -> list[list[SweepPoint]]:
     """Round-robin points into ``jobs`` balanced shards (empty ones dropped)."""
     shards: list[list[SweepPoint]] = [[] for _ in range(jobs)]
     for position, point in enumerate(points):
         shards[position % jobs].append(point)
     return [shard for shard in shards if shard]
+
+
+_shard = shard_points
+
+
+def load_resumable(
+    grid: SweepGrid, store: ResultStore
+) -> dict[str, GemmReport | ModelReport]:
+    """Stored reports of ``grid``, keyed by request ID (resume support).
+
+    Tags are display labels outside the stored identity, so loaded
+    reports wear the current sweep's tag.
+    """
+    loaded: dict[str, GemmReport | ModelReport] = {}
+    for point in grid:
+        report = store.get(point)
+        if report is not None:
+            if report.tag != point.request.tag:
+                report = replace(report, tag=point.request.tag)
+            loaded[point.request_id] = report
+    return loaded
 
 
 def run_sweep(
@@ -169,16 +229,7 @@ def run_sweep(
         raise ConfigError("resume=True requires a result store")
     session = session if session is not None else Session(cache=cache)
 
-    loaded: dict[str, GemmReport | ModelReport] = {}
-    if resume:
-        for point in grid:
-            report = store.get(point)
-            if report is not None:
-                if report.tag != point.request.tag:
-                    # Tags are display labels outside the stored identity;
-                    # loaded reports wear the current sweep's tag.
-                    report = replace(report, tag=point.request.tag)
-                loaded[point.request_id] = report
+    loaded = load_resumable(grid, store) if resume else {}
     todo = tuple(
         point for point in grid if point.request_id not in loaded
     )
@@ -186,14 +237,14 @@ def run_sweep(
     executed: dict[str, GemmReport | ModelReport] = {}
     if jobs == 1 or len(todo) <= 1:
         for point in todo:
-            report = _execute_point(
+            report = execute_point(
                 session, point, grid.framework_overhead_s
             )
             executed[point.request_id] = report
             if store is not None:
                 store.put(point, report)
     else:
-        shards = _shard(todo, jobs)
+        shards = shard_points(todo, jobs)
         payloads = [
             _ShardPayload(
                 points=tuple(shard),
@@ -228,4 +279,12 @@ def run_sweep(
     )
 
 
-__all__ = ["SweepResult", "run_sweep"]
+__all__ = [
+    "ShardOutcome",
+    "SweepResult",
+    "execute_point",
+    "load_resumable",
+    "run_shard_points",
+    "run_sweep",
+    "shard_points",
+]

@@ -1,0 +1,63 @@
+"""Warm pool: cross-submission cache reuse, sharding, delta export."""
+
+from repro.api import Session, TimingCache
+from repro.cluster.pool import WarmPool
+from repro.sweep import SweepSpec, expand, run_sweep
+
+GRID = expand(SweepSpec(platforms=("sma:2",), gemms=(128, 256)))
+
+
+class TestWarmPool:
+    def test_reports_match_local_run(self):
+        local = run_sweep(GRID, session=Session(cache=TimingCache()))
+        with WarmPool(jobs=1) as pool:
+            reports, _delta = pool.run_points(tuple(GRID))
+        assert reports == local.report_by_id()
+
+    def test_warm_resubmission_hits_instead_of_recomputing(self):
+        with WarmPool(jobs=1) as pool:
+            pool.run_points(tuple(GRID))
+            cold = pool.cache.stats()
+            assert cold.hits == 0 and cold.misses == len(GRID)
+            _reports, delta = pool.run_points(tuple(GRID))
+            warm = pool.cache.stats()
+        assert warm.hits == len(GRID)
+        # Nothing new was computed, so the second delta ships no entries.
+        assert len(delta.timings) == 0 and len(delta.windows) == 0
+        assert delta.stats.hits == len(GRID)
+        assert pool.submissions == 2
+        assert pool.points_run == 2 * len(GRID)
+
+    def test_first_delta_carries_everything(self):
+        with WarmPool(jobs=1) as pool:
+            _reports, delta = pool.run_points(tuple(GRID))
+        assert len(delta.timings) == len(GRID)
+        assert delta.stats.misses == len(GRID)
+
+    def test_sharded_pool_matches_local(self):
+        local = run_sweep(GRID, session=Session(cache=TimingCache()))
+        with WarmPool(jobs=2) as pool:
+            reports, delta = pool.run_points(tuple(GRID))
+            assert reports == local.report_by_id()
+            assert len(delta.timings) == len(GRID)
+            # Workers were cold; the warm resubmission ships nothing and
+            # surfaces worker-side hits in the pool's merged counters.
+            reports2, delta2 = pool.run_points(tuple(GRID))
+        # Warm reports wear cached=True (as a warm local session's do);
+        # the timings themselves are identical.
+        assert all(report.cached for report in reports2.values())
+        assert {rid: r.seconds for rid, r in reports2.items()} == {
+            rid: r.seconds for rid, r in local.report_by_id().items()
+        }
+        assert len(delta2.timings) == 0
+        assert delta2.stats.hits == len(GRID)
+
+    def test_status_shape(self):
+        with WarmPool(jobs=1) as pool:
+            pool.run_points(tuple(GRID))
+            status = pool.status()
+        assert status["jobs"] == 1
+        assert status["submissions"] == 1
+        assert status["points"] == len(GRID)
+        assert status["cache"]["timings"] == len(GRID)
+        assert status["cache"]["misses"] == len(GRID)

@@ -1,0 +1,193 @@
+"""Closed-loop arrival clients: completion-paced releases plus think time."""
+
+import pytest
+
+from repro.api import ScenarioSpec, Session, StreamSpec, TimingCache
+from repro.errors import ConfigError, SchedulingError
+from repro.serving import ArrivalSpec, generate_arrivals
+from repro.schedule.resources import ResourceClaim, ResourceKind
+from repro.schedule.timeline import OpTask, TimelineScheduler
+
+
+def _session() -> Session:
+    return Session(cache=TimingCache())
+
+
+def _closed_loop_scenario(think_s: float, frames: int = 4) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="closed",
+        platform="sma:2",
+        frames=frames,
+        streams=(
+            StreamSpec(
+                name="client",
+                model="alexnet",
+                arrivals=ArrivalSpec(kind="closed_loop", think_s=think_s),
+            ),
+        ),
+    )
+
+
+class TestSpecValidation:
+    def test_defaults_think_to_zero(self):
+        spec = ArrivalSpec(kind="closed_loop")
+        assert spec.think_s == 0.0
+
+    def test_round_trips_through_json(self):
+        spec = ArrivalSpec(kind="closed_loop", think_s=0.25)
+        assert ArrivalSpec.from_dict(spec.to_dict()) == spec
+        assert spec.to_dict()["think_s"] == 0.25
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate_hz": 10.0},
+            {"period_s": 0.1},
+            {"times_s": (0.0, 1.0)},
+        ],
+    )
+    def test_rejects_generator_fields(self, kwargs):
+        with pytest.raises(ConfigError, match="closed_loop"):
+            ArrivalSpec(kind="closed_loop", **kwargs)
+
+    def test_rejects_negative_think(self):
+        with pytest.raises(ConfigError, match="think_s"):
+            ArrivalSpec(kind="closed_loop", think_s=-0.1)
+
+    def test_think_is_closed_loop_only(self):
+        with pytest.raises(ConfigError, match="think_s"):
+            ArrivalSpec(kind="poisson", rate_hz=5.0, think_s=0.1)
+
+    def test_no_static_schedule(self):
+        spec = ArrivalSpec(kind="closed_loop", think_s=0.1)
+        with pytest.raises(ConfigError, match="no static"):
+            generate_arrivals(spec, 4)
+        stream = StreamSpec(name="a", model="alexnet", arrivals=spec)
+        with pytest.raises(ConfigError, match="static"):
+            stream.release_times(4)
+        assert stream.closed_loop
+
+    def test_cannot_be_rerated(self):
+        with pytest.raises(ConfigError, match="re-rated"):
+            ArrivalSpec(kind="closed_loop", think_s=0.1).at_rate(10.0)
+
+
+class TestClosedLoopServing:
+    def test_releases_pace_on_completion_plus_think(self):
+        think = 0.02
+        report = _session().run_serving(_closed_loop_scenario(think))
+        frames = report.stream("client").frames
+        assert len(frames) == 4
+        assert frames[0].release_s == 0.0
+        for prev, nxt in zip(frames, frames[1:]):
+            assert nxt.release_s == pytest.approx(
+                prev.completion_s + think, abs=1e-15
+            )
+
+    def test_zero_think_back_to_back(self):
+        report = _session().run_serving(_closed_loop_scenario(0.0))
+        frames = report.stream("client").frames
+        for prev, nxt in zip(frames, frames[1:]):
+            assert nxt.release_s == prev.completion_s
+            # Latency is measured from the dynamic release, so every
+            # frame of an uncontended closed loop sees the same latency.
+            assert nxt.latency_s == pytest.approx(frames[0].latency_s)
+
+    def test_deterministic_across_runs(self):
+        one = _session().run_serving(_closed_loop_scenario(0.01))
+        two = _session().run_serving(_closed_loop_scenario(0.01))
+        assert one == two
+
+    def test_closed_loop_never_queues_behind_itself(self):
+        """A closed-loop client offers exactly one frame at a time, so a
+        queue-cap admission policy has nothing to drop."""
+        from repro.serving import QosSpec
+
+        spec = _closed_loop_scenario(0.0, frames=6)
+        spec = ScenarioSpec.from_dict(
+            {**spec.to_dict(), "qos": {"kind": "queue_cap", "cap": 1}}
+        )
+        report = _session().run_serving(spec)
+        assert report.dropped == 0
+        assert report.completed == 6
+
+    def test_mixed_open_and_closed_loop_streams(self):
+        spec = ScenarioSpec(
+            name="mixed",
+            platform="sma:2",
+            frames=3,
+            streams=(
+                StreamSpec(
+                    name="open",
+                    model="goturn",
+                    arrivals=ArrivalSpec(
+                        kind="poisson", rate_hz=50.0, seed=4
+                    ),
+                ),
+                StreamSpec(
+                    name="closed",
+                    model="alexnet",
+                    arrivals=ArrivalSpec(kind="closed_loop", think_s=0.005),
+                ),
+            ),
+        )
+        report = _session().run_serving(spec)
+        closed = report.stream("closed").frames
+        for prev, nxt in zip(closed, closed[1:]):
+            assert nxt.release_s == pytest.approx(
+                prev.completion_s + 0.005, abs=1e-15
+            )
+        # The open-loop stream keeps its seeded trace regardless.
+        open_frames = report.stream("open").frames
+        expected = spec.stream("open").release_times(3)
+        assert tuple(f.release_s for f in open_frames) == expected
+
+    def test_open_loop_scenarios_unchanged(self):
+        """Regression guard: the pacing seam must not perturb open-loop
+        scheduling (think_s=None everywhere is the old engine path)."""
+        spec = ScenarioSpec(
+            name="open",
+            platform="sma:2",
+            frames=3,
+            streams=(
+                StreamSpec(name="a", model="alexnet", period_s=0.01),
+            ),
+        )
+        report = _session().run_scenario(spec)
+        assert [s.frame for s in report.segments] == sorted(
+            s.frame for s in report.segments
+        )
+
+
+class TestEngineThinkValidation:
+    def _claim(self):
+        return (ResourceClaim(ResourceKind.SIMD, 1.0),)
+
+    def test_think_requires_deps(self):
+        with pytest.raises(SchedulingError, match="dependencies"):
+            OpTask(
+                uid=0, name="t", seconds=1.0, claims=self._claim(),
+                think_s=0.5,
+            )
+
+    def test_negative_think_rejected(self):
+        with pytest.raises(SchedulingError, match="negative think"):
+            OpTask(
+                uid=1, name="t", seconds=1.0, claims=self._claim(),
+                deps=(0,), think_s=-1.0,
+            )
+
+    def test_paced_task_waits_out_think_time(self):
+        tasks = [
+            OpTask(uid=0, name="a", seconds=1.0, claims=self._claim()),
+            OpTask(
+                uid=1, name="b", seconds=1.0, claims=self._claim(),
+                deps=(0,), think_s=2.0,
+            ),
+        ]
+        timeline = TimelineScheduler("fifo").run(tasks)
+        ends = {seg.uid: seg.end_s for seg in timeline.segments}
+        starts = {seg.uid: seg.start_s for seg in timeline.segments}
+        assert ends[0] == 1.0
+        assert starts[1] == 3.0  # 1.0 completion + 2.0 think
+        assert timeline.makespan_s == 4.0

@@ -1,0 +1,161 @@
+"""SLO auto-search: bisect on arrival rate to the max sustainable rate."""
+
+import pytest
+
+from repro.api import ScenarioSpec, Session, StreamSpec, TimingCache
+from repro.errors import ConfigError
+from repro.serving.slo import explore_slo
+from repro.sweep import ResultStore
+
+SCENARIO = ScenarioSpec(
+    name="bisect",
+    platform=None,
+    frames=4,
+    streams=(
+        StreamSpec(name="det", model="alexnet", deadline_s=0.004),
+    ),
+)
+
+SLO_KWARGS = dict(slo_s=0.004, percentile_q=95.0, seed=3)
+
+
+def _session() -> Session:
+    return Session(cache=TimingCache())
+
+
+class TestBisect:
+    def test_converges_within_tolerance(self):
+        report = explore_slo(
+            SCENARIO,
+            ["sma:2"],
+            (8.0, 512.0),
+            mode="bisect",
+            tolerance_hz=8.0,
+            session=_session(),
+            **SLO_KWARGS,
+        )
+        assert report.mode == "bisect"
+        best = report.max_sustainable_rate("sma:2")
+        assert best is not None
+        # The bracket collapsed: some probed rate within tolerance above
+        # the best one must have failed.
+        failing = [
+            p.rate_hz
+            for p in report.platform_points("sma:2")
+            if not p.meets_slo
+        ]
+        assert failing and min(failing) - best <= 8.0
+        assert min(failing) > best
+
+    def test_bisect_agrees_with_grid(self):
+        """The bisect answer brackets the grid answer on the same rates."""
+        rates = (8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
+        grid = explore_slo(
+            SCENARIO, ["sma:2"], rates, session=_session(), **SLO_KWARGS
+        )
+        bisect = explore_slo(
+            SCENARIO,
+            ["sma:2"],
+            (min(rates), max(rates)),
+            mode="bisect",
+            tolerance_hz=4.0,
+            session=_session(),
+            **SLO_KWARGS,
+        )
+        grid_best = grid.max_sustainable_rate("sma:2")
+        bisect_best = bisect.max_sustainable_rate("sma:2")
+        assert grid_best is not None and bisect_best is not None
+        # Bisect refines between grid points, so it can only do better
+        # than the coarse grid, and never by more than one grid gap.
+        assert bisect_best >= grid_best
+        failing_grid = [
+            p.rate_hz for p in grid.platform_points("sma:2") if not p.meets_slo
+        ]
+        if failing_grid:
+            assert bisect_best <= min(failing_grid)
+
+    def test_unsustainable_floor_stops_early(self):
+        report = explore_slo(
+            SCENARIO,
+            ["sma:2"],
+            (1e4, 1e6),
+            mode="bisect",
+            tolerance_hz=1e4,
+            session=_session(),
+            slo_s=1e-9,  # nothing can meet a nanosecond SLO
+            percentile_q=95.0,
+            seed=3,
+        )
+        assert report.max_sustainable_rate("sma:2") is None
+        # Only the floor probe ran: the bracket invariant never held.
+        assert len(report.points) == 1
+
+    def test_fully_sustainable_bracket_stops_early(self):
+        report = explore_slo(
+            SCENARIO,
+            ["sma:2"],
+            (1.0, 2.0),
+            mode="bisect",
+            tolerance_hz=0.5,
+            session=_session(),
+            slo_s=10.0,  # everything meets a 10-second SLO
+            percentile_q=95.0,
+            seed=3,
+        )
+        assert report.max_sustainable_rate("sma:2") == 2.0
+        assert len(report.points) == 2  # floor + ceiling only
+
+    def test_store_keys_interleave_with_grid(self, tmp_path):
+        """Bisect probes resume from grid results and vice versa."""
+        rates = (8.0, 512.0)
+        with ResultStore(tmp_path / "slo.sqlite") as store:
+            explore_slo(
+                SCENARIO,
+                ["sma:2"],
+                rates,
+                store=store,
+                session=_session(),
+                **SLO_KWARGS,
+            )
+            stored_after_grid = len(store)
+            explore_slo(
+                SCENARIO,
+                ["sma:2"],
+                rates,
+                mode="bisect",
+                tolerance_hz=128.0,
+                store=store,
+                resume=True,
+                session=_session(),
+                **SLO_KWARGS,
+            )
+            # The bracket endpoints were already stored by grid mode;
+            # only interior bisect probes added rows.
+            assert len(store) > stored_after_grid
+            probes = len(store) - stored_after_grid
+            assert probes <= 3  # log2(504/128) rounds
+
+
+class TestValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(ConfigError, match="search mode"):
+            explore_slo(
+                SCENARIO, ["sma:2"], (1.0, 2.0), mode="newton", **SLO_KWARGS
+            )
+
+    def test_bisect_needs_a_bracket(self):
+        with pytest.raises(ConfigError, match="bracket"):
+            explore_slo(
+                SCENARIO, ["sma:2"], (10.0,), mode="bisect", **SLO_KWARGS
+            )
+
+    def test_bisect_needs_positive_tolerance(self):
+        with pytest.raises(ConfigError, match="tolerance"):
+            explore_slo(
+                SCENARIO,
+                ["sma:2"],
+                (1.0, 2.0),
+                mode="bisect",
+                tolerance_hz=0.0,
+                **SLO_KWARGS,
+            )
