@@ -1,0 +1,73 @@
+"""Catalog resolution overhead: spec lookup must be effectively free.
+
+The catalog's promise is *data-driven without a toll*: building a
+platform through a catalog spec string (``"a100"``, ``"sma@v100:3"``)
+adds device lookup, interference wiring, and a content fingerprint on
+top of direct construction — all of which together must stay under a
+millisecond per build, or catalog-axis sweeps (thousands of builds)
+would pay a visible tax over hand-coded platform strings.
+"""
+
+import time
+
+from repro.api import build_platform
+from repro.catalog.loader import (
+    catalog_fingerprint,
+    get_device,
+    install_default_catalog,
+)
+from repro.config import GpuConfig, SystemConfig
+from repro.platforms.gpu_tc import GpuTcPlatform
+
+#: Catalog resolution may add at most this much per platform build.
+CATALOG_OVERHEAD_BUDGET_S = 0.001
+
+ROUNDS = 200
+
+
+def _timed(fn, rounds=ROUNDS) -> float:
+    fn()  # warm-up: first call installs the catalog / imports platforms
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        fn()
+    return (time.perf_counter() - t0) / rounds
+
+
+def test_catalog_lookup_overhead(benchmark):
+    install_default_catalog()
+    system = SystemConfig(name="v100-4tc", gpu=GpuConfig())
+
+    def direct():
+        return GpuTcPlatform(system=system)
+
+    def via_catalog():
+        return build_platform("v100")
+
+    def measure():
+        direct_s = _timed(direct)
+        catalog_s = _timed(via_catalog)
+        lookup_s = _timed(lambda: get_device("a100"))
+        fingerprint_s = _timed(lambda: catalog_fingerprint("sma@a100:3"))
+        return direct_s, catalog_s, lookup_s, fingerprint_s
+
+    direct_s, catalog_s, lookup_s, fingerprint_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    overhead_s = catalog_s - direct_s
+
+    print()
+    print(f"direct construction: {direct_s * 1e6:.0f} us")
+    print(f"catalog construction: {catalog_s * 1e6:.0f} us")
+    print(f"catalog overhead: {overhead_s * 1e6:.0f} us per build")
+    print(f"device lookup: {lookup_s * 1e6:.1f} us")
+    print(f"spec fingerprint: {fingerprint_s * 1e6:.1f} us")
+
+    assert build_platform("v100").system.gpu == system.gpu
+    assert overhead_s < CATALOG_OVERHEAD_BUDGET_S, (
+        f"catalog resolution adds {overhead_s * 1e3:.2f} ms per build;"
+        f" budget is {CATALOG_OVERHEAD_BUDGET_S * 1e3:.0f} ms"
+    )
+    assert fingerprint_s < CATALOG_OVERHEAD_BUDGET_S, (
+        f"fingerprinting costs {fingerprint_s * 1e3:.2f} ms; budget is"
+        f" {CATALOG_OVERHEAD_BUDGET_S * 1e3:.0f} ms"
+    )

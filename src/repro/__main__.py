@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 
 from repro.api import (
@@ -72,6 +73,73 @@ def _cmd_list() -> int:
     print("models:")
     for name, description in available_models().items():
         print(f"  {name:14s} {description}")
+    return 0
+
+
+def _cmd_catalog(args) -> int:
+    from repro.catalog import loader
+
+    if args.catalog_command == "list":
+        rows = []
+        for name in loader.device_names():
+            spec = loader.get_device(name)
+            rows.append(
+                [
+                    spec.name,
+                    spec.family,
+                    spec.vendor,
+                    spec.year,
+                    spec.area_mm2,
+                    spec.tdp_w,
+                    spec.fingerprint(),
+                    ",".join(spec.aliases) or "-",
+                ]
+            )
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        loader.get_device(name).to_dict()
+                        for name in loader.device_names()
+                    ],
+                    indent=2,
+                )
+            )
+            return 0
+        print(
+            render_table(
+                ["device", "family", "vendor", "year", "area_mm2",
+                 "tdp_w", "fingerprint", "aliases"],
+                rows,
+                title="device catalog (platform specs: NAME, simd@NAME,"
+                " sma@NAME[:UNITS[,DTYPE]], tpu@GEN)",
+            )
+        )
+        return 0
+
+    spec = loader.get_device(args.name)
+    if args.json:
+        print(spec.to_json(indent=2))
+        return 0
+    config = spec.gpu if spec.gpu is not None else spec.tpu
+    rows = [["name", spec.name],
+            ["family", spec.family],
+            ["description", spec.description],
+            ["vendor", spec.vendor],
+            ["year", spec.year],
+            ["area_mm2", spec.area_mm2],
+            ["tdp_w", spec.tdp_w],
+            ["aliases", ",".join(spec.aliases) or "-"],
+            ["fingerprint", spec.fingerprint()]]
+    rows += [
+        [f"{spec.family}.{key}", value]
+        for key, value in sorted(dataclasses.asdict(config).items())
+    ]
+    rows += [
+        [f"interference.{pair}", factor]
+        for pair, factor in spec.interference.to_dict().items()
+    ]
+    print(render_table(["field", "value"], rows, title=f"device {spec.name}"))
     return 0
 
 
@@ -823,6 +891,26 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiments, platforms, and models")
 
+    catalog_parser = sub.add_parser(
+        "catalog", help="inspect the real-hardware device catalog"
+    )
+    catalog_sub = catalog_parser.add_subparsers(
+        dest="catalog_command", required=True
+    )
+    clist_parser = catalog_sub.add_parser(
+        "list", help="list catalog devices with area/TDP and fingerprints"
+    )
+    clist_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    cshow_parser = catalog_sub.add_parser(
+        "show", help="show one device spec in full"
+    )
+    cshow_parser.add_argument("name", help="device name or alias, e.g. a100")
+    cshow_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
     sim_parser = sub.add_parser(
         "simulate", help="run MODEL on PLATFORM(s) via the Session facade"
     )
@@ -1155,6 +1243,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list()
+        if args.command == "catalog":
+            return _cmd_catalog(args)
         if args.command == "simulate":
             return _cmd_simulate(args.model, args.platforms, args.json)
         if args.command == "bench":

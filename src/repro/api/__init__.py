@@ -45,6 +45,7 @@ from repro.api.results import (
     report_from_dict,
 )
 from repro.api.session import Session
+from repro.catalog import DeviceSpec, InterferenceMatrix
 from repro.gemm.cache import (
     CacheEntries,
     CacheStats,
@@ -52,11 +53,33 @@ from repro.gemm.cache import (
     process_cache,
 )
 
+# Catalog functions resolve lazily: the loader imports this package's
+# registry at wiring time, so an eager import here would hit the loader
+# mid-initialization whenever repro.catalog.loader is imported first.
+_CATALOG_SYMBOLS = (
+    "catalog_fingerprint",
+    "device_names",
+    "get_device",
+    "load_catalog",
+    "register_device",
+)
+
+
+def __getattr__(name: str):
+    if name in _CATALOG_SYMBOLS:
+        from repro.catalog import loader
+
+        return getattr(loader, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "BatchResult",
     "CacheEntries",
     "CacheStats",
+    "DeviceSpec",
     "GemmReport",
+    "InterferenceMatrix",
     "ModelReport",
     "OpReport",
     "ScenarioSpec",
@@ -80,4 +103,5 @@ __all__ = [
     "register_model",
     "register_platform",
     "report_from_dict",
+    *_CATALOG_SYMBOLS,
 ]

@@ -162,14 +162,31 @@ def unregister_platform(name: str) -> None:
             _PLATFORM_ALIASES.pop(alias, None)
 
 
+def _ensure_catalog() -> None:
+    """Install the default device catalog (lazy, idempotent).
+
+    Imported at call time, not module load: the catalog loader imports
+    this registry to register its platform factories, so a module-level
+    import in either direction would cycle.
+    """
+    from repro.catalog import loader
+
+    loader.install_default_catalog()
+
+
 def platform_entry(spec: str) -> tuple[PlatformEntry, tuple[str, ...]]:
     """Resolve a spec string to its registry entry and parsed arguments."""
     name, args = parse_spec(spec)
-    name = _PLATFORM_ALIASES.get(name, name)
-    entry = _PLATFORMS.get(name)
+    resolved = _PLATFORM_ALIASES.get(name, name)
+    entry = _PLATFORMS.get(resolved)
+    if entry is None:
+        # Catalog devices register lazily; retry after installing them.
+        _ensure_catalog()
+        resolved = _PLATFORM_ALIASES.get(name, name)
+        entry = _PLATFORMS.get(resolved)
     if entry is None:
         raise ConfigError(
-            f"unknown platform {name!r}; available: {sorted(_PLATFORMS)}"
+            f"unknown platform {resolved!r}; available: {sorted(_PLATFORMS)}"
         )
     return entry, args
 
@@ -199,6 +216,7 @@ def gemm_config(spec: str) -> tuple[SystemConfig, str]:
 
 def available_platforms() -> dict[str, str]:
     """Registered platform names mapped to their descriptions."""
+    _ensure_catalog()
     return {
         name: entry.description for name, entry in sorted(_PLATFORMS.items())
     }

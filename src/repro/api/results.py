@@ -46,6 +46,13 @@ class SimRequest:
     and ``scheduler`` (``"gto"``/``"lrr"``/``"sma_rr"``) optionally override
     the platform's defaults, which is what lets a sweep grid carry those
     axes; ``None`` keeps the platform default.
+
+    ``catalog`` is the content fingerprint of the device-catalog spec
+    behind ``platform`` — filled automatically for catalog platforms
+    (``"a100"``, ``"sma@a100:3"``), ``None`` for hand-coded ones. It is
+    part of the request's content address, so stored results never leak
+    across catalog edits, and the cluster protocol rejects shards whose
+    client and server catalogs diverge.
     """
 
     platform: str
@@ -56,6 +63,7 @@ class SimRequest:
     dataflow: str | None = None
     scheduler: str | None = None
     serving: bool = False
+    catalog: str | None = None
 
     def __post_init__(self) -> None:
         workloads = [
@@ -79,6 +87,17 @@ class SimRequest:
         if self.dataflow is not None and self.dataflow not in DATAFLOW_NAMES:
             raise ConfigError(
                 f"unknown dataflow {self.dataflow!r}; one of {DATAFLOW_NAMES}"
+            )
+        if self.catalog is None:
+            # Deferred import: the catalog loader resolves through the
+            # platform registry, which this module must not pull in at
+            # load time.
+            from repro.catalog import loader
+
+            object.__setattr__(
+                self,
+                "catalog",
+                loader.catalog_fingerprint(self.platform),
             )
 
     @property
@@ -114,6 +133,10 @@ class SimRequest:
         # across commits that predate the scenario axis.
         if self.scenario is not None:
             payload["scenario"] = self.scenario.to_dict()
+        # Same stability rule: only catalog-backed requests carry the key,
+        # so every pre-catalog fingerprint is unchanged.
+        if self.catalog is not None:
+            payload["catalog"] = self.catalog
         return payload
 
     def to_json(self, indent: int | None = None) -> str:
@@ -143,6 +166,7 @@ class SimRequest:
             dataflow=data.get("dataflow"),
             scheduler=data.get("scheduler"),
             serving=data.get("kind") == "serving",
+            catalog=data.get("catalog"),
         )
 
     @classmethod

@@ -340,7 +340,9 @@ class Session:
         target.reset_schedule_state()
         plan = instantiate_frames(scenario, templates)
         scheduler = TimelineScheduler(
-            scenario.policy, qos=make_qos(scenario.qos)
+            scenario.policy,
+            qos=make_qos(scenario.qos),
+            interference=target.interference_matrix(),
         )
         return scenario, platform_spec, plan, scheduler.run(plan.tasks)
 

@@ -1,0 +1,47 @@
+"""repro.catalog: named real-hardware device specs as data.
+
+The catalog turns the hand-coded Volta/SMA/TPU configurations into
+*named, swappable device specs* (``v100``, ``a100``, ``h100``, ``orin``,
+``tpu-v1``..``tpu-v3``): frozen dataclasses with JSON round-trip, each
+carrying a measured :class:`InterferenceMatrix` and fleet metadata (die
+area, TDP). Registered devices resolve everywhere a platform spec is
+accepted — ``"a100"``, ``"sma@a100:3"``, ``"tpu@v3"`` — and expand as a
+sweep axis via ``"v100..h100"`` range patterns.
+
+This module is import-light by design: the data layer (specs +
+interference) loads eagerly; the loader — which wires devices into the
+platform registry — resolves lazily via module ``__getattr__`` so that
+``repro.api.registry`` can import it at lookup time without a cycle.
+"""
+
+from repro.catalog.interference import InterferenceMatrix
+from repro.catalog.specs import DEFAULT_DEVICES, DeviceSpec
+
+_LOADER_SYMBOLS = (
+    "catalog_fingerprint",
+    "device_for_platform",
+    "device_metadata",
+    "device_names",
+    "expand_device_range",
+    "get_device",
+    "install_default_catalog",
+    "load_catalog",
+    "register_device",
+    "unregister_device",
+)
+
+
+def __getattr__(name: str):
+    if name in _LOADER_SYMBOLS:
+        from repro.catalog import loader
+
+        return getattr(loader, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "DEFAULT_DEVICES",
+    "DeviceSpec",
+    "InterferenceMatrix",
+    *_LOADER_SYMBOLS,
+]

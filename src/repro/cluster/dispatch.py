@@ -2,8 +2,10 @@
 
 Two front-ends over :class:`~repro.cluster.client.ClusterClient`:
 
-* :func:`run_sweep_remote` — shard a sweep grid round-robin across one or
-  more servers, re-dispatching a dead server's shard to the survivors,
+* :func:`run_sweep_remote` — shard a sweep grid across one or more
+  servers proportionally to each server's reported worker-pool size
+  (its ``status`` jobs count), re-dispatching a dead server's shard to
+  the survivors,
   merging every returned cache delta into the caller's session cache and
   writing through the caller's :class:`~repro.sweep.store.ResultStore`.
   The returned :class:`~repro.sweep.workers.SweepResult` is bit-identical
@@ -41,7 +43,7 @@ from repro.schedule.streams import ScenarioSpec
 from repro.serving.slo import apply_trace, trace_scenario
 from repro.sweep.grid import SweepGrid, SweepSpec, expand, grid_from_requests
 from repro.sweep.store import ResultStore
-from repro.sweep.workers import SweepResult, load_resumable, shard_points
+from repro.sweep.workers import SweepResult, load_resumable
 
 #: Failures that mean "this server cannot take the shard" (re-dispatch),
 #: as opposed to typed config errors that must surface to the caller.
@@ -61,6 +63,60 @@ def normalize_servers(servers) -> tuple[str, ...]:
     if not servers:
         raise ConfigError("cluster dispatch needs at least one server address")
     return servers
+
+
+def server_capacities(
+    servers: tuple[str, ...], timeout_s: float = DEFAULT_TIMEOUT_S
+) -> dict[str, int]:
+    """Probe each server's reported worker-pool size (``status``'s jobs).
+
+    Unreachable servers get capacity 0 (they take no shard up front —
+    the re-dispatch path still never routes *to* them because a dead
+    probe is usually a dead submit). When every probe fails the sweep
+    should still be attempted rather than refused on a flaky status
+    round, so all capacities fall back to 1 and the submit path's own
+    error handling decides.
+    """
+    capacities: dict[str, int] = {}
+    for server in servers:
+        try:
+            with ClusterClient(server, timeout_s=timeout_s) as client:
+                status = client.status()
+            capacities[server] = max(1, int(status.get("jobs", 1)))
+        except _REDISPATCH_ERRORS:
+            capacities[server] = 0
+    if all(capacity == 0 for capacity in capacities.values()):
+        return {server: 1 for server in servers}
+    return capacities
+
+
+def weighted_assignments(
+    points, servers: tuple[str, ...], capacities: dict[str, int]
+) -> list[tuple[str, tuple]]:
+    """Deal points over servers proportionally to their capacities.
+
+    Each server contributes ``capacity`` slots to a deterministic slot
+    ring (address order); points are dealt round-robin over the ring, so
+    a 4-job server receives ~4x the points of a 1-job server while
+    preserving the sweep's stable, order-independent semantics.
+    Zero-capacity servers contribute no slots. Returns ``(server,
+    points)`` assignments for the servers that received work.
+    """
+    slots = [
+        server
+        for server in servers
+        for _ in range(max(0, capacities.get(server, 1)))
+    ]
+    if not slots:
+        slots = list(servers)
+    shards: dict[str, list] = {}
+    for position, point in enumerate(points):
+        shards.setdefault(slots[position % len(slots)], []).append(point)
+    return [
+        (server, tuple(shards[server]))
+        for server in servers
+        if shards.get(server)
+    ]
 
 
 def _submit_shards(
@@ -156,10 +212,11 @@ def run_sweep_remote(
 
     loaded = load_resumable(grid, store) if resume else {}
     todo = tuple(point for point in grid if point.request_id not in loaded)
-    assignments = [
-        (servers[index % len(servers)], tuple(shard))
-        for index, shard in enumerate(shard_points(todo, len(servers)))
-    ]
+    # Capacity-aware sharding: a server running a 4-worker pool reports
+    # jobs=4 in its status and takes ~4x the points of a 1-worker one.
+    assignments = weighted_assignments(
+        todo, servers, server_capacities(servers, timeout_s)
+    )
     executed, deltas, _dead = _submit_shards(
         assignments, grid.framework_overhead_s, timeout_s
     )
@@ -351,5 +408,7 @@ __all__ = [
     "normalize_servers",
     "run_serving_split",
     "run_sweep_remote",
+    "server_capacities",
     "split_scenario",
+    "weighted_assignments",
 ]

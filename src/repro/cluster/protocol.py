@@ -175,7 +175,16 @@ def verify_points(
     SHA-256 over the request's canonical JSON (plus sweep extras), so a
     mismatch means the two sides would disagree about what the request
     *is* — results computed anyway would be stored under a wrong key.
+
+    Catalog-backed requests additionally pin the device-catalog spec:
+    the wire request carries the client's catalog fingerprint, and the
+    server recomputes its own from the same platform spec. A difference
+    means the two hosts would simulate *different hardware* under the
+    same name, so the shard is refused even though the wire fingerprint
+    (which hashes the client's catalog value) is internally consistent.
     """
+    from repro.catalog.loader import catalog_fingerprint
+
     for point in points:
         expected = request_fingerprint(
             point.request,
@@ -187,6 +196,15 @@ def verify_points(
                 f" {point.fingerprint[:12]}... does not match this server's"
                 f" {expected[:12]}... — client and server configurations"
                 " have diverged"
+            )
+        local_catalog = catalog_fingerprint(point.request.platform)
+        if point.request.catalog != local_catalog:
+            raise FingerprintMismatchError(
+                f"point {point.request_id!r}: client catalog fingerprint"
+                f" {point.request.catalog!r} does not match this server's"
+                f" {local_catalog!r} for platform"
+                f" {point.request.platform!r} — the device catalogs have"
+                " diverged"
             )
 
 

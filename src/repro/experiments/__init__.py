@@ -1,6 +1,7 @@
 """Experiment harness: one module per paper table/figure."""
 
 from repro.experiments.runner import ExperimentReport
+from repro.experiments.catalog_devices import run_catalog_devices
 from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig7 import run_fig7_left, run_fig7_right
@@ -16,6 +17,7 @@ from repro.experiments.tables import (
 __all__ = [
     "ExperimentReport",
     "run_area_overhead",
+    "run_catalog_devices",
     "run_fig1",
     "run_fig2_inventory",
     "run_fig3",

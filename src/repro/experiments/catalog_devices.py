@@ -1,0 +1,73 @@
+"""Device-class sweep: the paper's comparison re-asked over real parts.
+
+Fig 7/8 compare one hand-coded GPU, SMA, and TPU configuration each.
+The catalog generalizes that question to a fleet one: for every named
+device in the default catalog, run the same model on the device's
+best-fit flavor (TC for GPUs, the array for TPUs) plus the SMA flavor
+where the device supports it, and report latency alongside the silicon
+the device spends to get it — latency, area, TDP, and throughput per
+mm², which is the ranking `explore_slo` applies to serving traffic.
+"""
+
+from __future__ import annotations
+
+from repro.api import Session
+from repro.catalog.loader import device_names, get_device
+from repro.experiments.runner import ExperimentReport
+
+#: The workload every device is scored on (hybrid enough to exercise
+#: both the GEMM core and the SIMD tail on GPU parts).
+MODEL = "alexnet"
+
+
+def run_catalog_devices(session: Session | None = None) -> ExperimentReport:
+    """Latency and silicon efficiency of every default-catalog device."""
+    session = session or Session()
+    report = ExperimentReport(
+        experiment=f"Catalog device classes: {MODEL} across real parts",
+        headers=["device", "platform", "latency_ms", "area_mm2", "tdp_w",
+                 "fps_per_100mm2"],
+        notes=(
+            "fps_per_100mm2 = (1 / latency) / (area / 100): throughput per"
+            " unit of silicon, the sweep-axis version of SLO-per-mm2."
+        ),
+    )
+
+    efficiencies: dict[str, float] = {}
+    latencies: dict[str, float] = {}
+    for name in device_names():
+        device = get_device(name)
+        platforms = [name] if device.family == "tpu" else [name, f"sma@{name}:3"]
+        for platform in platforms:
+            seconds = session.run_model(MODEL, platform).total_seconds
+            efficiency = (1.0 / seconds) / (device.area_mm2 / 100.0)
+            efficiencies[platform] = efficiency
+            latencies[platform] = seconds
+            report.add_row(
+                name,
+                platform,
+                seconds * 1e3,
+                device.area_mm2,
+                device.tdp_w,
+                efficiency,
+            )
+
+    gpus = device_names("gpu")
+    report.add_check(
+        "SMA flavor beats the TC flavor's latency on every GPU part",
+        all(latencies[f"sma@{name}:3"] < latencies[name] for name in gpus),
+    )
+    report.add_check(
+        "the edge part trades latency for area (orin slowest GPU)",
+        latencies["orin"] == max(latencies[name] for name in gpus),
+    )
+    report.add_check(
+        "...and wins throughput per mm2 among the GPU parts",
+        efficiencies["sma@orin:3"]
+        == max(efficiencies[f"sma@{name}:3"] for name in gpus),
+    )
+    report.add_check(
+        "every device carries silicon metadata for the ranking",
+        all(get_device(name).area_mm2 > 0 for name in device_names()),
+    )
+    return report

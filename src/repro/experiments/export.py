@@ -11,6 +11,7 @@ import csv
 from pathlib import Path
 from typing import Callable
 
+from repro.experiments.catalog_devices import run_catalog_devices
 from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig7 import run_fig7_left, run_fig7_right
@@ -37,6 +38,7 @@ EXPERIMENT_RUNNERS: dict[str, Callable[[], ExperimentReport]] = {
     "fig9_left": run_fig9_left,
     "fig9_right": run_fig9_right,
     "area": run_area_overhead,
+    "catalog_devices": run_catalog_devices,
 }
 
 

@@ -126,13 +126,26 @@ class Platform(abc.ABC):
         self,
         name: str,
         framework_overhead_s: float = DEFAULT_FRAMEWORK_OVERHEAD_S,
+        interference=None,
     ) -> None:
         self.name = name
         self.framework_overhead_s = framework_overhead_s
+        self.interference = interference
 
     @abc.abstractmethod
     def run_op(self, op: Operator) -> OpStats:
         """Execute one operator."""
+
+    def interference_matrix(self):
+        """The device's measured co-run contention model, if any.
+
+        Catalog-built platforms carry their device's
+        :class:`~repro.catalog.interference.InterferenceMatrix`; the
+        scheduler consults it instead of per-kernel fractional claims.
+        ``None`` (hand-coded platforms) keeps the legacy claim-derived
+        co-run model.
+        """
+        return self.interference
 
     # -- lowering into the timeline scheduler -------------------------------------
     def task_claims(self, op: Operator, stats: OpStats) -> tuple[ResourceClaim, ...]:
@@ -195,7 +208,9 @@ class Platform(abc.ABC):
         are identical to the historical sequential execution.
         """
         tasks = self.lower_model(graph)
-        timeline = TimelineScheduler("fifo").run(tasks)
+        timeline = TimelineScheduler(
+            "fifo", interference=self.interference_matrix()
+        ).run(tasks)
         return ModelRunResult(
             model_name=graph.name,
             platform_name=self.name,
@@ -218,8 +233,9 @@ class GpuPlatformBase(Platform):
         system: SystemConfig,
         name: str,
         framework_overhead_s: float = DEFAULT_FRAMEWORK_OVERHEAD_S,
+        interference=None,
     ) -> None:
-        super().__init__(name, framework_overhead_s)
+        super().__init__(name, framework_overhead_s, interference=interference)
         if system.gpu is None:
             raise ValueError(f"platform {name} requires a GPU system")
         self.system = system

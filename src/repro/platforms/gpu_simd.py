@@ -26,9 +26,12 @@ class GpuSimdPlatform(GpuPlatformBase):
         framework_overhead_s: float = DEFAULT_FRAMEWORK_OVERHEAD_S,
         cache: TimingCache | None = None,
         scheduler: str | None = None,
+        interference=None,
     ) -> None:
         system = system or system_gpu_simd()
-        super().__init__(system, "gpu-simd", framework_overhead_s)
+        super().__init__(
+            system, "gpu-simd", framework_overhead_s, interference=interference
+        )
         self.executor = GemmExecutor(
             system, "simd", scheduler=scheduler, cache=cache
         )

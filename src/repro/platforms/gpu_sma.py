@@ -38,10 +38,11 @@ class GpuSmaPlatform(GpuPlatformBase):
         framework_overhead_s: float = DEFAULT_FRAMEWORK_OVERHEAD_S,
         cache: TimingCache | None = None,
         scheduler: str | None = None,
+        interference=None,
     ) -> None:
         system = system or system_sma(units)
         super().__init__(system, f"gpu-{system.sma.units_per_sm}sma",
-                         framework_overhead_s)
+                         framework_overhead_s, interference=interference)
         self.executor = GemmExecutor(system, "sma", dataflow=dataflow,
                                      scheduler=scheduler, cache=cache)
         self.mode_tracker = ModeSwitchTracker(system.sma)

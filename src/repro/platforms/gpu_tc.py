@@ -33,9 +33,12 @@ class GpuTcPlatform(GpuPlatformBase):
         framework_overhead_s: float = DEFAULT_FRAMEWORK_OVERHEAD_S,
         cache: TimingCache | None = None,
         scheduler: str | None = None,
+        interference=None,
     ) -> None:
         system = system or system_gpu_4tc()
-        super().__init__(system, "gpu-4tc", framework_overhead_s)
+        super().__init__(
+            system, "gpu-4tc", framework_overhead_s, interference=interference
+        )
         self.executor = GemmExecutor(
             system, "tc", scheduler=scheduler, cache=cache
         )
@@ -83,6 +86,11 @@ class GpuTcPlatform(GpuPlatformBase):
     def task_claims(self, op: Operator, stats: OpStats) -> tuple[ResourceClaim, ...]:
         if stats.mode != "gemm-tc":
             return super().task_claims(op, stats)
+        if self.interference is not None:
+            # Catalog devices carry a measured interference matrix; the
+            # scheduler derives the SIMD-side pressure from it, so the
+            # per-kernel fractional claim would double-count.
+            return (ResourceClaim(ResourceKind.TC),)
         claims = [ResourceClaim(ResourceKind.TC)]
         fraction = self.corun_simd_fraction(op)
         if fraction > 0.0:

@@ -49,8 +49,9 @@ class TpuPlatform(Platform):
         cpu: CpuConfig | None = None,
         framework_overhead_s: float = DEFAULT_FRAMEWORK_OVERHEAD_S,
         effective_link_gbps: float = CLOUD_EFFECTIVE_LINK_GBPS,
+        interference=None,
     ) -> None:
-        super().__init__("tpu", framework_overhead_s)
+        super().__init__("tpu", framework_overhead_s, interference=interference)
         self.config = config or TpuConfig()
         self.core = TpuCore(self.config)
         link_config = TpuConfig(

@@ -179,6 +179,16 @@ class TimelineScheduler:
     could change. Dropped frames are cancelled whole — the head and its
     same-frame dependents never run — while cross-frame dependents (the
     stream's next frame) are released as if the frame had completed.
+
+    ``interference`` is an optional per-device measured contention model
+    (any object with ``pressure(primary_kinds) -> {kind: factor}``, see
+    :class:`~repro.catalog.interference.InterferenceMatrix`). When set it
+    *supersedes* per-kernel fractional claims: ancillary (fractional)
+    claims are ignored and each running task instead exerts the matrix's
+    directional pressure on resources outside its primary set — victims
+    stretch, the source task is unaffected. Primary (full) claims keep
+    their temporal-multiplexing semantics unchanged, so single-stream
+    schedules are bit-identical with or without a matrix.
     """
 
     def __init__(
@@ -186,10 +196,12 @@ class TimelineScheduler:
         policy: SchedulingPolicy | str = "fifo",
         max_events: int = 10_000_000,
         qos=None,
+        interference=None,
     ) -> None:
         self.policy = make_policy(policy)
         self.max_events = max_events
         self.qos = qos
+        self.interference = interference
 
     def run(self, tasks) -> Timeline:
         tasks = list(tasks)
@@ -367,19 +379,38 @@ class TimelineScheduler:
                     f" {len(ready)} ready tasks and nothing running"
                 )
 
-            # Weight-scaled loads and per-task slowdowns.
+            # Weight-scaled loads and per-task slowdowns. With a measured
+            # interference matrix, fractional (ancillary) claims are
+            # superseded: each task's primary claims contribute load as
+            # usual, plus the matrix's directional cross-resource
+            # pressure; only primary claims feel the resulting load.
+            matrix = self.interference
             load: dict[ResourceKind, float] = {}
             for task in running:
                 weight = self.policy.weight(task)
                 for claim in task.claims:
+                    if matrix is not None and claim.fraction < 1.0:
+                        continue
                     load[claim.kind] = (
                         load.get(claim.kind, 0.0) + claim.fraction * weight
                     )
+                if matrix is not None:
+                    primaries = frozenset(
+                        claim.kind
+                        for claim in task.claims
+                        if claim.fraction >= 1.0
+                    )
+                    for victim, factor in matrix.pressure(primaries).items():
+                        load[victim] = (
+                            load.get(victim, 0.0) + factor * weight
+                        )
             slowdown: dict[int, float] = {}
             for task in running:
                 weight = self.policy.weight(task)
                 worst = 1.0
                 for claim in task.claims:
+                    if matrix is not None and claim.fraction < 1.0:
+                        continue
                     worst = max(worst, load[claim.kind] / weight)
                 slowdown[task.uid] = worst
 

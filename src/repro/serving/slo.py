@@ -104,7 +104,12 @@ def apply_trace(spec: ScenarioSpec, trace: ArrivalTrace) -> ScenarioSpec:
 
 @dataclass(frozen=True)
 class SloPoint:
-    """One (platform, arrival rate) cell of the exploration."""
+    """One (platform, arrival rate) cell of the exploration.
+
+    ``device``/``area_mm2``/``tdp_w`` carry the device-catalog metadata
+    of catalog-backed platforms (``None`` for hand-coded ones) so a
+    report can rank device classes by silicon or power efficiency.
+    """
 
     platform: str
     rate_hz: float
@@ -119,9 +124,12 @@ class SloPoint:
     tail_s: float
     goodput_fps: float
     meets_slo: bool
+    device: str | None = None
+    area_mm2: float | None = None
+    tdp_w: float | None = None
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "platform": self.platform,
             "rate_hz": self.rate_hz,
             "offered": self.offered,
@@ -136,6 +144,13 @@ class SloPoint:
             "goodput_fps": self.goodput_fps,
             "meets_slo": self.meets_slo,
         }
+        # Catalog metadata only when present: non-catalog reports keep
+        # their historical JSON shape.
+        if self.device is not None:
+            payload["device"] = self.device
+            payload["area_mm2"] = self.area_mm2
+            payload["tdp_w"] = self.tdp_w
+        return payload
 
 
 @dataclass(frozen=True)
@@ -184,8 +199,34 @@ class SloReport:
             for platform in self.platforms
         }
 
+    def rate_per_mm2(self, platform: str) -> float | None:
+        """Max sustainable rate per die mm² (``None`` without catalog data)."""
+        rate = self.max_sustainable_rate(platform)
+        if rate is None:
+            return None
+        for point in self.platform_points(platform):
+            if point.area_mm2 and point.area_mm2 > 0:
+                return rate / point.area_mm2
+        return None
+
+    def rank_by_slo_per_mm2(self) -> tuple[tuple[str, float], ...]:
+        """Catalog platforms ranked by sustainable rate per die mm².
+
+        The fleet question the catalog exists for: which device class
+        sustains this SLO cheapest per unit of silicon. Platforms with no
+        device metadata or no sustainable rate are omitted.
+        """
+        ranked = [
+            (platform, efficiency)
+            for platform in self.platforms
+            if (efficiency := self.rate_per_mm2(platform)) is not None
+        ]
+        return tuple(
+            sorted(ranked, key=lambda item: (-item[1], item[0]))
+        )
+
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "kind": "slo",
             "scenario": self.scenario,
             "mode": self.mode,
@@ -195,6 +236,12 @@ class SloReport:
             "max_sustainable": self.max_sustainable,
             "points": [point.to_dict() for point in self.points],
         }
+        ranking = self.rank_by_slo_per_mm2()
+        if ranking:
+            payload["slo_per_mm2"] = {
+                platform: efficiency for platform, efficiency in ranking
+            }
+        return payload
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -215,7 +262,15 @@ def _point_from_report(
         and tail <= slo_s
         and report.drop_fraction <= max_drop_fraction
     )
+    # Deferred import: the catalog loader pulls in the platform registry,
+    # which serving must not require at module load.
+    from repro.catalog.loader import device_metadata
+
+    metadata = device_metadata(platform) or {}
     return SloPoint(
+        device=metadata.get("device"),
+        area_mm2=metadata.get("area_mm2"),
+        tdp_w=metadata.get("tdp_w"),
         platform=platform,
         rate_hz=rate_hz,
         offered=report.offered,

@@ -46,10 +46,19 @@ def expand_platform_spec(spec: str) -> tuple[str, ...]:
     with other arguments (``"sma:2..3,fp32"``) and multiple ranges take
     their cartesian product in argument order. A spec without ranges
     expands to itself (canonicalized by the registry's spec parser).
+
+    Device-catalog ranges expand in the *name* position: ``"v100..h100"``
+    walks the catalog's generation order (and composes with argument
+    ranges, e.g. ``"sma@v100..h100:2..3"``).
     """
     name, args = parse_spec(spec)
+    names: tuple[str, ...] = (name,)
+    if ".." in name:
+        from repro.catalog.loader import expand_device_range
+
+        names = expand_device_range(name)
     if not args:
-        return (name,)
+        return names
     choices: list[tuple[str, ...]] = []
     for arg in args:
         match = _RANGE_RE.match(arg)
@@ -63,7 +72,9 @@ def expand_platform_spec(spec: str) -> tuple[str, ...]:
             )
         choices.append(tuple(str(value) for value in range(lo, hi + 1)))
     return tuple(
-        f"{name}:{','.join(combo)}" for combo in itertools.product(*choices)
+        f"{expanded}:{','.join(combo)}"
+        for expanded in names
+        for combo in itertools.product(*choices)
     )
 
 

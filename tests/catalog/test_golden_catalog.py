@@ -1,0 +1,52 @@
+"""Golden pinning: default catalog devices reproduce hand-coded platforms.
+
+The catalog must be a pure re-parameterization — instantiating the
+paper's baseline parts from spec *data* has to produce bit-identical
+timing to the hand-coded platform registrations, or every stored result
+and golden figure in the repo would silently shift.
+"""
+
+import pytest
+
+from repro.api import Session, TimingCache
+from repro.catalog.specs import TPU_V2, V100
+from repro.config import GpuConfig, TpuConfig
+
+#: (hand-coded spec, catalog spec) pairs that must time identically.
+PINNED = (
+    ("gpu-tc", "v100"),
+    ("gpu-simd", "simd@v100"),
+    ("sma:2", "sma@v100:2"),
+    ("sma:3", "sma@v100:3"),
+    ("tpu", "tpu@v2"),
+)
+
+
+def _fresh_session() -> Session:
+    return Session(cache=TimingCache())
+
+
+class TestConfigPinning:
+    def test_v100_is_exactly_the_default_gpu_config(self):
+        assert V100.gpu == GpuConfig()
+
+    def test_tpu_v2_is_exactly_the_default_tpu_config(self):
+        assert TPU_V2.tpu == TpuConfig()
+
+
+class TestTimingGoldens:
+    @pytest.mark.parametrize("hand,catalog", PINNED, ids=lambda s: s)
+    def test_model_run_bit_identical(self, hand, catalog):
+        baseline = _fresh_session().run_model("alexnet", hand)
+        via_catalog = _fresh_session().run_model("alexnet", catalog)
+        # Exact float equality, not approx: same config, same arithmetic.
+        assert via_catalog.total_seconds == baseline.total_seconds
+        assert [op.seconds for op in via_catalog.ops] == [
+            op.seconds for op in baseline.ops
+        ]
+
+    def test_gemm_bit_identical(self):
+        baseline = _fresh_session().time_gemm("sma:3", 256)
+        via_catalog = _fresh_session().time_gemm("sma@v100:3", 256)
+        assert via_catalog.seconds == baseline.seconds
+        assert via_catalog.cycles == baseline.cycles

@@ -1,0 +1,146 @@
+"""Interference matrices: validation, directional semantics, timeline effect."""
+
+import pytest
+
+from repro.catalog import InterferenceMatrix
+from repro.errors import ConfigError
+from repro.schedule.resources import ResourceClaim, ResourceKind
+from repro.schedule.timeline import OpTask, TimelineScheduler
+
+TC = (ResourceClaim(ResourceKind.TC),)
+SIMD = (ResourceClaim(ResourceKind.SIMD),)
+
+MATRIX = InterferenceMatrix(entries=(("tc", "simd", 0.5),))
+
+
+class TestValidation:
+    def test_entries_canonicalized_and_sorted(self):
+        matrix = InterferenceMatrix(
+            entries=(("TRANSFER", "host", 0.1), ("tc", "SIMD", 0.5))
+        )
+        assert matrix.entries == (
+            ("tc", "simd", 0.5),
+            ("transfer", "host", 0.1),
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="resource kind"):
+            InterferenceMatrix(entries=(("tc", "warp-drive", 0.5),))
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ConfigError, match="self-pair"):
+            InterferenceMatrix(entries=(("tc", "tc", 0.5),))
+
+    def test_factor_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            InterferenceMatrix(entries=(("tc", "simd", 1.5),))
+        with pytest.raises(ConfigError):
+            InterferenceMatrix(entries=(("tc", "simd", -0.1),))
+
+    def test_duplicate_pair_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            InterferenceMatrix(
+                entries=(("tc", "simd", 0.5), ("tc", "simd", 0.6))
+            )
+
+    def test_empty_matrix_is_falsy(self):
+        assert not InterferenceMatrix()
+        assert MATRIX
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        matrix = InterferenceMatrix(
+            entries=(("tc", "simd", 0.62), ("transfer", "host", 0.08))
+        )
+        assert matrix.to_dict() == {
+            "tc->simd": 0.62,
+            "transfer->host": 0.08,
+        }
+        assert InterferenceMatrix.from_dict(matrix.to_dict()) == matrix
+
+    def test_json_round_trip(self):
+        assert InterferenceMatrix.from_json(MATRIX.to_json()) == MATRIX
+
+    def test_malformed_key_rejected(self):
+        with pytest.raises(ConfigError):
+            InterferenceMatrix.from_dict({"tc": 0.5})
+
+
+class TestPressure:
+    def test_directional(self):
+        # A TC source pressures the SIMD victim; not the other way around.
+        assert MATRIX.pressure(frozenset({ResourceKind.TC})) == {
+            ResourceKind.SIMD: 0.5
+        }
+        assert MATRIX.pressure(frozenset({ResourceKind.SIMD})) == {}
+
+    def test_own_primary_is_not_a_victim(self):
+        # A task holding both ends exerts no pressure on itself.
+        both = frozenset({ResourceKind.TC, ResourceKind.SIMD})
+        assert MATRIX.pressure(both) == {}
+
+    def test_max_over_sources(self):
+        matrix = InterferenceMatrix(
+            entries=(("tc", "host", 0.3), ("transfer", "host", 0.8))
+        )
+        sources = frozenset({ResourceKind.TC, ResourceKind.TRANSFER})
+        assert matrix.pressure(sources) == {ResourceKind.HOST: 0.8}
+
+
+class TestTimelineEffect:
+    def test_single_stream_identical_with_and_without_matrix(self):
+        tasks = [
+            OpTask(uid=0, name="a", seconds=1.25, claims=TC, stream="s"),
+            OpTask(
+                uid=1, name="b", seconds=0.75, claims=TC, stream="s",
+                deps=(0,),
+            ),
+        ]
+        plain = TimelineScheduler().run(tasks)
+        matrixed = TimelineScheduler(interference=MATRIX).run(tasks)
+        assert matrixed.makespan_s == plain.makespan_s  # bit-for-bit
+        assert matrixed.segments == plain.segments
+
+    def test_victim_stretched_source_unaffected(self):
+        def tasks():
+            return [
+                OpTask(uid=0, name="tc", seconds=1.0, claims=TC, stream="a"),
+                OpTask(
+                    uid=1, name="simd", seconds=1.0, claims=SIMD, stream="b"
+                ),
+            ]
+
+        timeline = TimelineScheduler(interference=MATRIX).run(tasks())
+        ends = {seg.name: seg.end_s for seg in timeline.segments}
+        # The TC task runs at full speed. The SIMD task sees 1 + 0.5 load
+        # while the TC task runs (2/3 progress by t=1), then recovers full
+        # speed for the remaining third of its work.
+        assert ends["tc"] == pytest.approx(1.0)
+        assert ends["simd"] == pytest.approx(4.0 / 3.0)
+
+        reverse = InterferenceMatrix(entries=(("simd", "tc", 0.5),))
+        timeline = TimelineScheduler(interference=reverse).run(tasks())
+        ends = {seg.name: seg.end_s for seg in timeline.segments}
+        assert ends["simd"] == pytest.approx(1.0)
+        assert ends["tc"] == pytest.approx(4.0 / 3.0)
+
+    def test_matrix_supersedes_fractional_claims(self):
+        # Under a matrix, sub-unit fractional claims are ignored: the
+        # measured factors are the co-run model, not per-kernel guesses.
+        fractional = (
+            ResourceClaim(ResourceKind.TC),
+            ResourceClaim(ResourceKind.SIMD, fraction=0.4),
+        )
+        tasks = [
+            OpTask(
+                uid=0, name="tc", seconds=1.0, claims=fractional, stream="a"
+            ),
+            OpTask(uid=1, name="simd", seconds=1.0, claims=SIMD, stream="b"),
+        ]
+        timeline = TimelineScheduler(interference=MATRIX).run(tasks)
+        ends = {seg.name: seg.end_s for seg in timeline.segments}
+        # The SIMD victim sees the measured 0.5 factor, not the kernel's
+        # 0.4 guess — same 4/3 end as the pure-primary-claim case above.
+        assert ends["simd"] == pytest.approx(4.0 / 3.0)
+        assert ends["tc"] == pytest.approx(1.0)

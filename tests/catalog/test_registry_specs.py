@@ -1,0 +1,93 @@
+"""Catalog platform specs through the registry: parsing, errors, wiring."""
+
+import pytest
+
+from repro.api import available_platforms, build_platform, parse_spec
+from repro.catalog.loader import catalog_fingerprint, device_for_platform
+from repro.errors import ConfigError
+
+
+class TestResolution:
+    def test_device_name_resolves_tc_flavor(self):
+        platform = build_platform("a100")
+        assert platform.system.gpu.name == "ampere-a100"
+        assert platform.interference_matrix() is not None
+
+    def test_tc_alias_and_spec_aliases(self):
+        for spec in ("tc@v100", "volta", "tesla-v100"):
+            platform = build_platform(spec)
+            assert platform.system.name == "v100-4tc"
+
+    def test_simd_flavor(self):
+        platform = build_platform("simd@h100")
+        assert platform.system.name == "h100-simd"
+        assert platform.system.gpu.num_sms == 132
+
+    def test_sma_flavor_with_units(self):
+        platform = build_platform("sma@a100:3")
+        assert platform.system.name == "a100-3sma"
+        assert platform.system.sma.units_per_sm == 3
+
+    def test_sma_flavor_with_units_and_dtype(self):
+        platform = build_platform("sma@a100:2,fp32")
+        assert platform.system.sma.units_per_sm == 2
+        assert platform.system.sma.dtype.value == "fp32"
+
+    def test_tpu_flavors(self):
+        for spec in ("tpu-v3", "tpu@v3"):
+            platform = build_platform(spec)
+            assert platform.config.name == "tpu-v3-core"
+
+    def test_catalog_platforms_listed(self):
+        names = available_platforms()
+        for expected in ("v100", "a100", "h100", "orin", "sma@v100",
+                         "simd@v100", "tpu-v1", "tpu-v2", "tpu-v3"):
+            assert expected in names
+
+
+class TestMalformedSpecs:
+    def test_zero_sma_units_rejected(self):
+        with pytest.raises(ConfigError):
+            build_platform("sma@a100:0")
+
+    def test_non_integer_sma_units_rejected(self):
+        with pytest.raises(ConfigError):
+            build_platform("sma@a100:banana")
+
+    def test_unexpected_args_on_tc_flavor_rejected(self):
+        with pytest.raises(ConfigError):
+            build_platform("a100:3")
+
+    def test_unexpected_args_on_tpu_rejected(self):
+        with pytest.raises(ConfigError):
+            build_platform("tpu@v3:2")
+
+    def test_unknown_device_stays_unknown(self):
+        with pytest.raises(ConfigError, match="[Uu]nknown platform"):
+            build_platform("b200")
+
+    def test_parse_spec_keeps_at_in_name(self):
+        # '@' is part of the platform name, not an argument separator.
+        assert parse_spec("sma@a100:3") == ("sma@a100", ("3",))
+
+
+class TestDeviceBackref:
+    def test_all_flavors_map_to_one_device(self):
+        for spec in ("a100", "ampere", "tc@a100", "simd@a100", "sma@a100:3"):
+            device = device_for_platform(spec)
+            assert device is not None and device.name == "a100"
+
+    def test_flavors_share_the_device_fingerprint(self):
+        prints = {
+            catalog_fingerprint(spec)
+            for spec in ("v100", "volta", "sma@v100:3", "simd@v100")
+        }
+        assert len(prints) == 1 and None not in prints
+
+    def test_hand_coded_platforms_have_no_device(self):
+        for spec in ("gpu-tc", "sma:3", "tpu", "cpu"):
+            assert device_for_platform(spec) is None
+            assert catalog_fingerprint(spec) is None
+
+    def test_malformed_spec_fingerprints_none(self):
+        assert catalog_fingerprint("sma@a100:") is None

@@ -1,0 +1,70 @@
+"""SLO-per-mm² ranking: the fleet question the catalog exists for."""
+
+import pytest
+
+from repro.api import Session, TimingCache
+from repro.apps import open_loop_driving_scenario
+from repro.serving.slo import explore_slo
+
+RATES = (5.0, 10.0)
+
+
+@pytest.fixture(scope="module")
+def exploration():
+    scenario = open_loop_driving_scenario(frames=6, seed=3)
+    return explore_slo(
+        scenario,
+        platforms=("v100", "a100", "h100", "gpu-tc"),
+        rates=RATES,
+        slo_s=0.200,
+        session=Session(cache=TimingCache()),
+    )
+
+
+class TestDeviceMetadataInPoints:
+    def test_catalog_points_carry_device_metadata(self, exploration):
+        point = exploration.platform_points("v100")[0]
+        assert point.device == "v100"
+        assert point.area_mm2 == 815.0
+        assert point.tdp_w == 300.0
+
+    def test_hand_coded_points_have_no_metadata(self, exploration):
+        point = exploration.platform_points("gpu-tc")[0]
+        assert point.device is None
+        assert point.area_mm2 is None
+
+    def test_to_dict_emits_metadata_only_for_catalog_points(self, exploration):
+        catalog_point = exploration.platform_points("a100")[0].to_dict()
+        plain_point = exploration.platform_points("gpu-tc")[0].to_dict()
+        assert catalog_point["device"] == "a100"
+        assert "device" not in plain_point
+
+
+class TestRanking:
+    def test_rank_covers_exactly_the_sustaining_catalog_platforms(
+        self, exploration
+    ):
+        ranked = dict(exploration.rank_by_slo_per_mm2())
+        expected = {
+            platform
+            for platform in ("v100", "a100", "h100")
+            if exploration.max_sustainable_rate(platform) is not None
+        }
+        assert set(ranked) == expected
+        assert "gpu-tc" not in ranked  # no silicon metadata, no rank
+
+    def test_rank_is_rate_over_area_sorted_descending(self, exploration):
+        ranked = exploration.rank_by_slo_per_mm2()
+        efficiencies = [efficiency for _, efficiency in ranked]
+        assert efficiencies == sorted(efficiencies, reverse=True)
+        for platform, efficiency in ranked:
+            assert efficiency == exploration.rate_per_mm2(platform)
+
+    def test_report_dict_includes_ranking(self, exploration):
+        payload = exploration.to_dict()
+        if exploration.rank_by_slo_per_mm2():
+            assert payload["slo_per_mm2"] == dict(
+                exploration.rank_by_slo_per_mm2()
+            )
+        else:
+            assert "slo_per_mm2" not in payload

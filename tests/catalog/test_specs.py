@@ -1,0 +1,158 @@
+"""Device specs: validation, JSON round-trip, fingerprints, catalog loading."""
+
+import dataclasses
+
+import pytest
+
+from repro.catalog import DEFAULT_DEVICES, DeviceSpec, InterferenceMatrix
+from repro.catalog.loader import (
+    device_names,
+    get_device,
+    load_catalog,
+    register_device,
+    unregister_device,
+)
+from repro.config import GpuConfig, TpuConfig
+from repro.errors import ConfigError
+
+
+def _gpu_spec(name="testgpu", **overrides) -> DeviceSpec:
+    kwargs = dict(
+        name=name,
+        family="gpu",
+        description="a test part",
+        vendor="acme",
+        year=2024,
+        area_mm2=100.0,
+        tdp_w=50.0,
+        gpu=GpuConfig(name=name, num_sms=4),
+        interference=InterferenceMatrix(entries=(("tc", "simd", 0.5),)),
+        aliases=("testalias",),
+    )
+    kwargs.update(overrides)
+    return DeviceSpec(**kwargs)
+
+
+class TestValidation:
+    def test_name_must_be_lowercase(self):
+        with pytest.raises(ConfigError, match="lowercase"):
+            _gpu_spec(name="TestGPU")
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigError, match="family"):
+            DeviceSpec(name="x", family="fpga")
+
+    def test_gpu_family_needs_gpu_config(self):
+        with pytest.raises(ConfigError, match="GpuConfig"):
+            DeviceSpec(name="x", family="gpu", tpu=TpuConfig())
+
+    def test_tpu_family_rejects_gpu_config(self):
+        with pytest.raises(ConfigError, match="TpuConfig"):
+            DeviceSpec(name="x", family="tpu", gpu=GpuConfig())
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(ConfigError, match="non-negative"):
+            _gpu_spec(area_mm2=-1.0)
+
+    def test_aliases_lowercased(self):
+        assert _gpu_spec(aliases=("Volta",)).aliases == ("volta",)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", DEFAULT_DEVICES, ids=lambda s: s.name)
+    def test_default_devices_json_round_trip(self, spec):
+        assert DeviceSpec.from_json(spec.to_json()) == spec
+
+    def test_round_trip_preserves_configs_exactly(self):
+        spec = _gpu_spec()
+        restored = DeviceSpec.from_dict(spec.to_dict())
+        assert restored.gpu == spec.gpu
+        assert restored.interference == spec.interference
+
+    def test_unknown_key_rejected(self):
+        data = _gpu_spec().to_dict()
+        data["warp_factor"] = 9
+        with pytest.raises(ConfigError, match="unknown keys"):
+            DeviceSpec.from_dict(data)
+
+    def test_malformed_config_block_rejected(self):
+        data = _gpu_spec().to_dict()
+        data["gpu"]["num_smz"] = 4
+        with pytest.raises(ConfigError, match="malformed"):
+            DeviceSpec.from_dict(data)
+
+
+class TestFingerprint:
+    def test_stable_across_round_trip(self):
+        for spec in DEFAULT_DEVICES:
+            restored = DeviceSpec.from_json(spec.to_json())
+            assert restored.fingerprint() == spec.fingerprint()
+
+    def test_any_field_change_diverges(self):
+        spec = _gpu_spec()
+        bumped = dataclasses.replace(spec, tdp_w=spec.tdp_w + 1)
+        assert bumped.fingerprint() != spec.fingerprint()
+
+    def test_config_change_diverges(self):
+        spec = _gpu_spec()
+        tweaked = dataclasses.replace(
+            spec, gpu=dataclasses.replace(spec.gpu, num_sms=8)
+        )
+        assert tweaked.fingerprint() != spec.fingerprint()
+
+    def test_defaults_pairwise_distinct(self):
+        prints = [spec.fingerprint() for spec in DEFAULT_DEVICES]
+        assert len(set(prints)) == len(prints)
+
+
+class TestRegistration:
+    def test_register_lookup_unregister(self):
+        spec = _gpu_spec()
+        register_device(spec)
+        try:
+            assert get_device("testgpu") is spec
+            assert get_device("testalias") is spec  # alias-aware
+            assert "testgpu" in device_names("gpu")
+        finally:
+            unregister_device("testgpu")
+        with pytest.raises(ConfigError, match="unknown device"):
+            get_device("testgpu")
+
+    def test_identical_reregistration_is_noop(self):
+        spec = _gpu_spec()
+        register_device(spec)
+        try:
+            register_device(_gpu_spec())  # equal spec: fine
+            with pytest.raises(ConfigError, match="different spec"):
+                register_device(_gpu_spec(tdp_w=999.0))
+        finally:
+            unregister_device("testgpu")
+
+    def test_default_family_listing(self):
+        assert device_names("gpu") == ("v100", "a100", "h100", "orin")
+        assert device_names("tpu") == ("tpu-v1", "tpu-v2", "tpu-v3")
+
+
+class TestLoadCatalog:
+    def test_load_from_json_file(self, tmp_path):
+        spec = _gpu_spec(name="filegpu", aliases=())
+        path = tmp_path / "catalog.json"
+        path.write_text(
+            '{"devices": [%s]}' % spec.to_json(), encoding="utf-8"
+        )
+        try:
+            loaded = load_catalog(path)
+            assert loaded == (spec,)
+            assert get_device("filegpu") == spec
+            # Loading the same file again is a no-op, not a conflict.
+            assert load_catalog(path) == (spec,)
+        finally:
+            unregister_device("filegpu")
+
+    def test_missing_file_is_config_error(self):
+        with pytest.raises(ConfigError, match="not found"):
+            load_catalog("/no/such/catalog.json")
+
+    def test_non_list_document_rejected(self):
+        with pytest.raises(ConfigError, match="list"):
+            load_catalog('{"devices": 42}')

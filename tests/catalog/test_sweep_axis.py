@@ -1,0 +1,149 @@
+"""The catalog as a sweep axis: device ranges, request fingerprints."""
+
+import pytest
+
+from repro.api import SimRequest
+from repro.catalog.loader import catalog_fingerprint, expand_device_range
+from repro.errors import ConfigError
+from repro.gemm.problem import GemmProblem
+from repro.sweep.grid import SweepSpec, expand, expand_platform_spec
+
+
+class TestDeviceRange:
+    def test_gpu_generation_walk(self):
+        assert expand_device_range("v100..h100") == ("v100", "a100", "h100")
+
+    def test_full_gpu_family(self):
+        assert expand_device_range("v100..orin") == (
+            "v100", "a100", "h100", "orin",
+        )
+
+    def test_flavor_prefixes(self):
+        assert expand_device_range("sma@v100..h100") == (
+            "sma@v100", "sma@a100", "sma@h100",
+        )
+        assert expand_device_range("simd@v100..a100") == (
+            "simd@v100", "simd@a100",
+        )
+        # tc@ resolves through the device's primary name.
+        assert expand_device_range("tc@v100..a100") == ("v100", "a100")
+
+    def test_tpu_generation_walk(self):
+        assert expand_device_range("tpu@v1..v3") == (
+            "tpu-v1", "tpu-v2", "tpu-v3",
+        )
+
+    def test_aliases_as_endpoints(self):
+        assert expand_device_range("volta..hopper") == (
+            "v100", "a100", "h100",
+        )
+
+    def test_degenerate_range(self):
+        assert expand_device_range("a100..a100") == ("a100",)
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(ConfigError, match="empty"):
+            expand_device_range("h100..v100")
+
+    def test_mixed_family_rejected(self):
+        with pytest.raises(ConfigError, match="families"):
+            expand_device_range("v100..tpu-v3")
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(ConfigError, match="unknown device"):
+            expand_device_range("v100..b200")
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(ConfigError, match="prefix"):
+            expand_device_range("fpga@v100..h100")
+
+    def test_flavor_family_mismatch_rejected(self):
+        with pytest.raises(ConfigError, match="GPU devices"):
+            expand_device_range("sma@v1..v3")
+        with pytest.raises(ConfigError, match="TPU devices"):
+            expand_device_range("tpu@v100..h100")
+
+
+class TestPlatformSpecComposition:
+    def test_bare_device_range_through_spec(self):
+        assert expand_platform_spec("v100..h100") == (
+            "v100", "a100", "h100",
+        )
+
+    def test_device_range_composes_with_arg_range(self):
+        assert expand_platform_spec("sma@v100..a100:2..3") == (
+            "sma@v100:2",
+            "sma@v100:3",
+            "sma@a100:2",
+            "sma@a100:3",
+        )
+
+    def test_device_range_with_fixed_args(self):
+        assert expand_platform_spec("sma@v100..a100:3,fp16") == (
+            "sma@v100:3,fp16",
+            "sma@a100:3,fp16",
+        )
+
+    def test_plain_catalog_spec_passes_through(self):
+        assert expand_platform_spec("sma@a100:3") == ("sma@a100:3",)
+
+
+class TestGridExpansion:
+    def test_catalog_axis_grid(self):
+        grid = expand(
+            SweepSpec(platforms=("v100..h100",), gemms=(128, 256))
+        )
+        assert len(grid) == 6  # 3 devices x 2 sizes
+        platforms = {point.request.platform for point in grid}
+        assert platforms == {"v100", "a100", "h100"}
+
+    def test_every_catalog_point_carries_its_fingerprint(self):
+        grid = expand(
+            SweepSpec(platforms=("v100..h100",), models=("alexnet",))
+        )
+        for point in grid:
+            expected = catalog_fingerprint(point.request.platform)
+            assert point.request.catalog == expected is not None
+
+    def test_mixed_catalog_and_hand_coded_axis(self):
+        grid = expand(
+            SweepSpec(platforms=("gpu-tc", "a100"), gemms=(128,))
+        )
+        by_platform = {p.request.platform: p.request for p in grid}
+        assert by_platform["gpu-tc"].catalog is None
+        assert by_platform["a100"].catalog is not None
+
+
+class TestRequestFingerprints:
+    def test_catalog_filled_lazily(self):
+        request = SimRequest(platform="a100", model="alexnet")
+        assert request.catalog == catalog_fingerprint("a100")
+
+    def test_non_catalog_request_stays_none(self):
+        request = SimRequest(platform="gpu-tc", model="alexnet")
+        assert request.catalog is None
+
+    def test_to_dict_omits_catalog_when_none(self):
+        # Pre-catalog fingerprints must not shift: the key is conditional.
+        payload = SimRequest(platform="gpu-tc", model="alexnet").to_dict()
+        assert "catalog" not in payload
+
+    def test_dict_round_trip(self):
+        request = SimRequest(platform="sma@a100:3", model="alexnet")
+        assert "catalog" in request.to_dict()
+        restored = SimRequest.from_dict(request.to_dict())
+        assert restored == request
+
+    def test_old_dict_without_catalog_still_decodes(self):
+        payload = SimRequest(platform="gpu-tc", model="alexnet").to_dict()
+        payload.pop("catalog", None)
+        restored = SimRequest.from_dict(payload)
+        assert restored.platform == "gpu-tc"
+        assert restored.catalog is None
+
+    def test_same_device_different_flavor_same_catalog(self):
+        tc = SimRequest(platform="a100", gemm=GemmProblem(128, 128, 128))
+        sma = SimRequest(
+            platform="sma@a100:3", gemm=GemmProblem(128, 128, 128)
+        )
+        assert tc.catalog == sma.catalog is not None

@@ -1,0 +1,179 @@
+"""Catalog-aware dispatch: capacity sharding, fingerprint-checked catalogs.
+
+The acceptance contract of the catalog subsystem's cluster side: a
+device-range sweep over named parts runs end-to-end through a two-server
+dispatch bit-identically to its local run, shards are sized by each
+server's reported pool capacity, and a shard whose catalog fingerprint
+does not match the server's own catalog is refused, not simulated.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import Session, TimingCache
+from repro.cluster import ClusterClient, ClusterServer, run_sweep_remote
+from repro.cluster.dispatch import server_capacities, weighted_assignments
+from repro.cluster.protocol import verify_points
+from repro.errors import FingerprintMismatchError
+from repro.sweep import ResultStore, SweepSpec, expand, run_sweep
+from repro.sweep.grid import point_extras, request_fingerprint
+
+#: Three named parts x two models — the catalog-axis acceptance grid.
+CATALOG_GRID = expand(
+    SweepSpec(platforms=("v100..h100",), models=("alexnet", "goturn"))
+)
+
+
+@pytest.fixture()
+def two_servers():
+    with ClusterServer(jobs=1) as one, ClusterServer(jobs=1) as two:
+        one.start()
+        two.start()
+        yield one, two
+
+
+def _fresh_session() -> Session:
+    return Session(cache=TimingCache())
+
+
+class TestCapacitySharding:
+    def test_weighted_assignments_proportional(self):
+        points = tuple(range(9))
+        shards = dict(
+            weighted_assignments(
+                points, ("big", "small"), {"big": 2, "small": 1}
+            )
+        )
+        assert len(shards["big"]) == 6
+        assert len(shards["small"]) == 3
+        # Every point lands exactly once.
+        assert sorted(shards["big"] + shards["small"]) == list(points)
+
+    def test_zero_capacity_server_gets_no_shard(self):
+        shards = dict(
+            weighted_assignments(
+                tuple(range(4)), ("up", "down"), {"up": 1, "down": 0}
+            )
+        )
+        assert "down" not in shards
+        assert len(shards["up"]) == 4
+
+    def test_all_zero_falls_back_to_uniform(self):
+        shards = dict(
+            weighted_assignments(
+                tuple(range(4)), ("a", "b"), {"a": 0, "b": 0}
+            )
+        )
+        assert len(shards["a"]) == 2 and len(shards["b"]) == 2
+
+    def test_deterministic_in_address_order(self):
+        capacities = {"a": 2, "b": 1}
+        first = weighted_assignments(tuple(range(7)), ("a", "b"), capacities)
+        second = weighted_assignments(tuple(range(7)), ("a", "b"), capacities)
+        assert first == second
+
+    def test_capacity_probe_reads_pool_jobs(self, two_servers):
+        one, two = two_servers
+        capacities = server_capacities((one.address, two.address))
+        assert capacities == {one.address: 1, two.address: 1}
+
+    def test_dead_server_probes_to_zero(self, two_servers):
+        one, two = two_servers
+        two.close()
+        capacities = server_capacities((one.address, two.address))
+        assert capacities[one.address] == 1
+        assert capacities[two.address] == 0
+
+    def test_all_dead_probes_fall_back_to_one(self, two_servers):
+        one, two = two_servers
+        one.close()
+        two.close()
+        capacities = server_capacities((one.address, two.address))
+        assert capacities == {one.address: 1, two.address: 1}
+
+    def test_bigger_pool_takes_bigger_shard(self):
+        with ClusterServer(jobs=2) as big, ClusterServer(jobs=1) as small:
+            big.start()
+            small.start()
+            servers = (big.address, small.address)
+            local = run_sweep(CATALOG_GRID, session=_fresh_session())
+            remote = run_sweep_remote(
+                CATALOG_GRID, servers, session=_fresh_session()
+            )
+            assert remote.reports == local.reports
+            with ClusterClient(big.address) as client:
+                big_points = client.status()["points"]
+            with ClusterClient(small.address) as client:
+                small_points = client.status()["points"]
+        # 6 points over a 2:1 slot ring: 4 to the big pool, 2 to the small.
+        assert big_points == 4
+        assert small_points == 2
+
+
+class TestCatalogFingerprintCheck:
+    def test_pristine_points_verify(self):
+        verify_points(tuple(CATALOG_GRID))
+
+    def _with_catalog(self, point, catalog):
+        """The point as sent by a client whose catalog value is ``catalog``.
+
+        The wire fingerprint is recomputed over the altered request — an
+        *internally consistent* client whose catalog data genuinely
+        differs, which is exactly what the plain fingerprint check cannot
+        see and the explicit catalog comparison must.
+        """
+        request = dataclasses.replace(point.request)
+        object.__setattr__(request, "catalog", catalog)
+        fingerprint = request_fingerprint(
+            request, point_extras(None, request.kind)
+        )
+        return dataclasses.replace(
+            point, request=request, fingerprint=fingerprint
+        )
+
+    def test_diverged_catalog_is_refused(self):
+        point = next(iter(CATALOG_GRID))
+        tampered = self._with_catalog(point, "deadbeefdeadbeef")
+        with pytest.raises(FingerprintMismatchError, match="catalog"):
+            verify_points((tampered,))
+
+    def test_missing_catalog_on_catalog_platform_is_refused(self):
+        # An old client that never learned about catalogs must not slip
+        # catalog-platform shards past the divergence check.
+        point = next(iter(CATALOG_GRID))
+        stripped = self._with_catalog(point, None)
+        with pytest.raises(FingerprintMismatchError, match="diverged"):
+            verify_points((stripped,))
+
+
+class TestCatalogSweepAcceptance:
+    def test_device_range_sweep_through_cluster_and_store(
+        self, two_servers, tmp_path
+    ):
+        """The issue's acceptance gate: >= 3 named parts, end to end."""
+        one, two = two_servers
+        servers = (one.address, two.address)
+        with ResultStore(tmp_path / "local.sqlite") as local_store:
+            local = run_sweep(
+                CATALOG_GRID, store=local_store, session=_fresh_session()
+            )
+            with ResultStore(tmp_path / "remote.sqlite") as remote_store:
+                remote = run_sweep_remote(
+                    CATALOG_GRID,
+                    servers,
+                    store=remote_store,
+                    session=_fresh_session(),
+                )
+                diff = local_store.diff(remote_store)
+        assert remote.reports == local.reports
+        assert diff.identical
+        assert len(diff.unchanged) == len(CATALOG_GRID)
+        # Every point was content-addressed with its device fingerprint.
+        assert all(
+            point.request.catalog is not None for point in CATALOG_GRID
+        )
+        # Both servers took part of the device range.
+        for server in servers:
+            with ClusterClient(server) as client:
+                assert client.status()["points"] > 0

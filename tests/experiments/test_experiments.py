@@ -9,6 +9,7 @@ import pytest
 
 from repro.experiments import (
     run_area_overhead,
+    run_catalog_devices,
     run_fig1,
     run_fig2_inventory,
     run_fig3,
@@ -35,6 +36,7 @@ _EXPERIMENTS = [
     ("table1", run_table1),
     ("table2", run_table2),
     ("area", run_area_overhead),
+    ("catalog_devices", run_catalog_devices),
 ]
 
 
