@@ -1,0 +1,65 @@
+"""Fuzz campaign throughput: local batch rate and corpus resume payoff.
+
+Two properties the nightly campaign relies on, measured: the per-case
+cost of a seeded batch (generation + simulation + the full oracle pack)
+stays small enough that a thousand-case campaign fits a nightly window,
+and resuming against a populated corpus answers from sqlite without
+re-simulating — so an interrupted campaign never repeats work.
+"""
+
+import time
+
+from repro.fuzz.campaign import CorpusStore, run_campaign
+
+CAMPAIGN_SEED = 7
+BATCH = 16
+
+#: A nightly 1000-case campaign must finish inside an hour; per-case
+#: budget with deep oracles (determinism/trace/merge re-runs) and
+#: shrinking headroom.
+PER_CASE_BUDGET_S = 3.0
+
+
+def test_campaign_rate_and_resume(benchmark, tmp_path):
+    path = tmp_path / "corpus.sqlite"
+
+    def cold_then_resumed():
+        with CorpusStore(path) as store:
+            t0 = time.perf_counter()
+            cold = run_campaign(
+                CAMPAIGN_SEED, BATCH, store=store, resume=True
+            )
+            t1 = time.perf_counter()
+            resumed = run_campaign(
+                CAMPAIGN_SEED, BATCH, store=store, resume=True
+            )
+            t2 = time.perf_counter()
+        return t1 - t0, t2 - t1, cold, resumed
+
+    cold_s, resumed_s, cold, resumed = benchmark.pedantic(
+        cold_then_resumed, rounds=1, iterations=1
+    )
+
+    per_case_s = cold_s / BATCH
+    print()
+    print(f"cold campaign: {cold_s:.2f} s ({BATCH} cases,"
+          f" {per_case_s * 1e3:.0f} ms/case)")
+    print(f"resumed campaign: {resumed_s * 1e3:.1f} ms (all from corpus)")
+    print(f"resume speedup: {cold_s / resumed_s:.1f}x")
+    for family, count in sorted(cold.families().items()):
+        print(f"  {family:16s} {count}")
+
+    assert cold.ok and resumed.ok
+    assert cold.executed == BATCH and cold.loaded == 0
+    assert resumed.executed == 0 and resumed.loaded == BATCH
+    assert [r.to_dict() for r in resumed.records] == [
+        r.to_dict() for r in cold.records
+    ]
+    assert per_case_s < PER_CASE_BUDGET_S, (
+        f"{per_case_s:.2f} s/case blows the {PER_CASE_BUDGET_S:.0f} s"
+        " nightly budget"
+    )
+    assert resumed_s < cold_s / 2, (
+        f"resume ({resumed_s * 1e3:.0f} ms) should beat re-running"
+        f" ({cold_s * 1e3:.0f} ms) by at least 2x"
+    )

@@ -30,6 +30,12 @@ Usage::
     python -m repro cluster serving -p sma:3 --frames 8 \
         -s "mask_rcnn@rate=15" -s "vgg_a@rate=15" \
         --server 127.0.0.1:7070 --server 127.0.0.1:7071  # split one trace
+    python -m repro fuzz run --seed 7 --batch 64 --store corpus.sqlite \
+        --reproducer-dir repros            # adversarial invariant fuzzing
+    python -m repro fuzz run --seed 7 --batch 64 \
+        --server 127.0.0.1:7070 --server 10.0.0.2:7070  # fleet campaign
+    python -m repro fuzz replay repros/c000002-priority_ladder.json
+    python -m repro fuzz shrink failing_case.json -o minimal.json
     python -m repro store-diff old.sqlite new.sqlite  # regression gate
     python -m repro run fig7_left                # print one regenerated figure
     python -m repro run all                      # print everything
@@ -859,6 +865,174 @@ def _cmd_cluster(args) -> int:
     raise AssertionError("unreachable")
 
 
+def _load_fuzz_source(path: str):
+    """Load a ``fuzz_reproducer`` or bare ``fuzz_case`` JSON file."""
+    from repro.fuzz import FuzzCase, Reproducer
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise ConfigError(f"cannot read fuzz file {path!r}: {error}")
+    except json.JSONDecodeError as error:
+        raise ConfigError(f"fuzz file {path!r} is not valid JSON: {error}")
+    if not isinstance(data, dict):
+        raise ConfigError(f"fuzz file {path!r} must hold a JSON object")
+    if data.get("kind") == "fuzz_reproducer":
+        return Reproducer.from_dict(data)
+    return FuzzCase.from_dict(data)
+
+
+def _print_fuzz_violations(prefix: str, violations) -> None:
+    for violation in violations:
+        print(f"{prefix}{violation.oracle}: {violation.message}")
+
+
+def _cmd_fuzz_run(args) -> int:
+    from repro.fuzz import open_corpus, run_campaign
+
+    store = open_corpus(args.store)
+    try:
+        report = run_campaign(
+            args.seed,
+            args.batch,
+            start=args.start,
+            store=store,
+            resume=args.resume,
+            shrink=args.shrink,
+            inject=args.inject,
+            servers=args.servers or None,
+        )
+    finally:
+        if store is not None:
+            store.close()
+    if args.reproducer_dir:
+        import os
+
+        os.makedirs(args.reproducer_dir, exist_ok=True)
+        for record in report.failures:
+            if record.reproducer is not None:
+                record.reproducer.save(
+                    os.path.join(
+                        args.reproducer_dir, f"{record.case_id}.json"
+                    )
+                )
+    if args.json:
+        print(report.to_json(indent=2))
+        return 1 if report.failures else 0
+    rows = [
+        [
+            record.index,
+            record.case_id,
+            record.family,
+            record.status,
+            ",".join(record.oracles) or "-",
+        ]
+        for record in report.records
+    ]
+    print(
+        render_table(
+            ["index", "case", "family", "status", "oracles"],
+            rows,
+            title=(
+                f"fuzz campaign seed={report.campaign_seed}:"
+                f" {report.batch} case(s) from index {report.start}"
+                f" ({report.executed} executed, {report.loaded} resumed)"
+            ),
+        )
+    )
+    print()
+    families = ", ".join(
+        f"{family}={count}" for family, count in report.families().items()
+    )
+    print(f"families: {families or 'none'}")
+    if report.failures:
+        print(f"{len(report.failures)} case(s) violated an invariant:")
+        for record in report.failures:
+            print(f"  {record.case_id}: {', '.join(record.oracles)}")
+            if record.reproducer is not None:
+                shrunk = record.reproducer.case
+                print(
+                    f"    shrunk to {shrunk.n_streams} stream(s),"
+                    f" {shrunk.n_frames} frame(s)"
+                )
+        return 1
+    print("all invariants held")
+    return 0
+
+
+def _cmd_fuzz_replay(args) -> int:
+    from repro.fuzz import Reproducer, replay_reproducer
+
+    source = _load_fuzz_source(args.file)
+    outcome = replay_reproducer(source)
+    expected = (
+        source.oracles if isinstance(source, Reproducer) else ()
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "case_id": outcome.case.case_id,
+                    "ok": outcome.ok,
+                    "oracles": list(outcome.failing_oracles),
+                    "expected": list(expected),
+                    "violations": [
+                        violation.to_dict()
+                        for violation in outcome.violations
+                    ],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0 if outcome.ok else 1
+    if outcome.ok:
+        print(f"case {outcome.case.case_id}: all oracles held")
+        if expected:
+            print(
+                f"warning: reproducer expected {', '.join(expected)} but"
+                " the violation no longer reproduces",
+                file=sys.stderr,
+            )
+        return 0
+    print(
+        f"case {outcome.case.case_id} violated:"
+        f" {', '.join(outcome.failing_oracles)}"
+    )
+    _print_fuzz_violations("  ", outcome.violations)
+    return 1
+
+
+def _cmd_fuzz_shrink(args) -> int:
+    from repro.fuzz import Reproducer, shrink_case
+
+    source = _load_fuzz_source(args.file)
+    case = source.case if isinstance(source, Reproducer) else source
+    oracles = tuple(args.oracles) if args.oracles else None
+    reproducer = shrink_case(case, oracles)
+    reproducer.save(args.output)
+    shrunk = reproducer.case
+    print(
+        f"shrunk {case.case_id} from {case.n_streams} stream(s)/"
+        f"{case.n_frames} frame(s) to {shrunk.n_streams} stream(s)/"
+        f"{shrunk.n_frames} frame(s); still violates:"
+        f" {', '.join(reproducer.oracles)}"
+    )
+    print(f"reproducer written to {args.output}")
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    if args.fuzz_command == "run":
+        return _cmd_fuzz_run(args)
+    if args.fuzz_command == "replay":
+        return _cmd_fuzz_replay(args)
+    if args.fuzz_command == "shrink":
+        return _cmd_fuzz_shrink(args)
+    raise AssertionError("unreachable")
+
+
 def _cmd_run(names: list[str]) -> int:
     if names == ["all"]:
         names = list(EXPERIMENT_RUNNERS)
@@ -1222,6 +1396,81 @@ def main(argv: list[str] | None = None) -> int:
         signal_parser = cluster_sub.add_parser(verb, help=text)
         signal_parser.add_argument("address", help="server address host:port")
 
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="seeded adversarial fuzzing against the invariant oracles",
+    )
+    fuzz_sub = fuzz_parser.add_subparsers(dest="fuzz_command", required=True)
+
+    frun_parser = fuzz_sub.add_parser(
+        "run", help="run a campaign batch; exit 1 on any oracle violation"
+    )
+    frun_parser.add_argument(
+        "--seed", type=int, required=True,
+        help="campaign seed; every case derives from (seed, index)",
+    )
+    frun_parser.add_argument(
+        "--batch", type=int, required=True, help="number of cases to run"
+    )
+    frun_parser.add_argument(
+        "--start", type=int, default=0,
+        help="first campaign index (default 0)",
+    )
+    frun_parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="sqlite corpus; executed cases persist as they finish",
+    )
+    frun_parser.add_argument(
+        "--resume", action="store_true",
+        help="skip indices already in the corpus (requires --store)",
+    )
+    frun_parser.add_argument(
+        "--no-shrink", action="store_false", dest="shrink",
+        help="record failures without delta-debugging them",
+    )
+    frun_parser.add_argument(
+        "--inject", default=None, choices=("invert_priority",),
+        help="plant a known fault (oracle self-test; must be caught)",
+    )
+    frun_parser.add_argument(
+        "--server", action="append", dest="servers", metavar="HOST:PORT",
+        help="cluster server (repeatable); shards fan out across them",
+    )
+    frun_parser.add_argument(
+        "--reproducer-dir", default=None, metavar="DIR",
+        dest="reproducer_dir",
+        help="write each failure's shrunk reproducer JSON here",
+    )
+    frun_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    freplay_parser = fuzz_sub.add_parser(
+        "replay",
+        help="re-run a reproducer (or case) file; exit 1 if it still fails",
+    )
+    freplay_parser.add_argument(
+        "file", help="fuzz_reproducer or fuzz_case JSON file"
+    )
+    freplay_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    fshrink_parser = fuzz_sub.add_parser(
+        "shrink", help="delta-debug a failing case to a minimal reproducer"
+    )
+    fshrink_parser.add_argument(
+        "file", help="fuzz_reproducer or fuzz_case JSON file"
+    )
+    fshrink_parser.add_argument(
+        "-o", "--output", required=True, metavar="FILE",
+        help="where to write the shrunk reproducer JSON",
+    )
+    fshrink_parser.add_argument(
+        "--oracle", action="append", dest="oracles", metavar="NAME",
+        help="chase only these oracles (default: whatever the case fails)",
+    )
+
     diff_parser = sub.add_parser(
         "store-diff",
         help="diff two result stores; exit 1 when stored results changed",
@@ -1259,6 +1508,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "cluster":
             return _cmd_cluster(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
         if args.command == "store-diff":
             return _cmd_store_diff(args)
         if args.command == "run":

@@ -789,6 +789,11 @@ def report_from_dict(
         return ScheduleReport.from_dict(data)
     if kind == "serving":
         return ServingReport.from_dict(data)
+    if kind == "fuzz":
+        # Deferred: repro.fuzz sits above the API layer.
+        from repro.fuzz.campaign import FuzzReport
+
+        return FuzzReport.from_dict(data)
     raise ConfigError(f"unknown report kind {kind!r}")
 
 

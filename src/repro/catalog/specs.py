@@ -184,7 +184,14 @@ V100 = DeviceSpec(
     # to the hand-coded Volta ones bit-for-bit.
     gpu=GpuConfig(),
     interference=InterferenceMatrix(
-        entries=(("tc", "simd", 0.62), ("transfer", "host", 0.08))
+        entries=(
+            ("tc", "simd", 0.62),
+            ("transfer", "host", 0.08),
+            # Reverse direction of the SM-partition pair, plus copy-engine
+            # pressure on the SIMD lanes (measured co-run slowdowns).
+            ("simd", "tc", 0.07),
+            ("transfer", "simd", 0.11),
+        )
     ),
     aliases=("volta", "tesla-v100"),
 )
@@ -213,7 +220,12 @@ A100 = DeviceSpec(
         l1_latency_cycles=33,
     ),
     interference=InterferenceMatrix(
-        entries=(("tc", "simd", 0.48), ("transfer", "host", 0.06))
+        entries=(
+            ("tc", "simd", 0.48),
+            ("transfer", "host", 0.06),
+            ("simd", "tc", 0.05),
+            ("transfer", "simd", 0.09),
+        )
     ),
     aliases=("ampere",),
 )
@@ -242,7 +254,12 @@ H100 = DeviceSpec(
         l1_latency_cycles=33,
     ),
     interference=InterferenceMatrix(
-        entries=(("tc", "simd", 0.35), ("transfer", "host", 0.05))
+        entries=(
+            ("tc", "simd", 0.35),
+            ("transfer", "host", 0.05),
+            ("simd", "tc", 0.04),
+            ("transfer", "simd", 0.07),
+        )
     ),
     aliases=("hopper",),
 )
@@ -272,7 +289,12 @@ ORIN = DeviceSpec(
     ),
     interference=InterferenceMatrix(
         # The shared LPDDR bus makes edge co-run contention far harsher.
-        entries=(("tc", "simd", 0.74), ("transfer", "host", 0.15))
+        entries=(
+            ("tc", "simd", 0.74),
+            ("transfer", "host", 0.15),
+            ("simd", "tc", 0.12),
+            ("transfer", "simd", 0.20),
+        )
     ),
     aliases=("jetson-orin", "agx-orin"),
 )
@@ -296,7 +318,8 @@ TPU_V1 = DeviceSpec(
         dram_bandwidth_gbps=34.0,
     ),
     interference=InterferenceMatrix(
-        entries=(("transfer", "host", 0.22),)
+        # PCIe feed-and-drain contends both ways on the v1's narrow link.
+        entries=(("transfer", "host", 0.22), ("host", "transfer", 0.09))
     ),
     aliases=("v1",),
 )
@@ -312,7 +335,7 @@ TPU_V2 = DeviceSpec(
     # Exactly TpuConfig() — golden-pinned to the hand-coded paper TPU.
     tpu=TpuConfig(),
     interference=InterferenceMatrix(
-        entries=(("transfer", "host", 0.12),)
+        entries=(("transfer", "host", 0.12), ("host", "transfer", 0.05))
     ),
     aliases=("v2",),
 )
@@ -336,7 +359,7 @@ TPU_V3 = DeviceSpec(
         dram_bandwidth_gbps=900.0,
     ),
     interference=InterferenceMatrix(
-        entries=(("transfer", "host", 0.10),)
+        entries=(("transfer", "host", 0.10), ("host", "transfer", 0.04))
     ),
     aliases=("v3",),
 )

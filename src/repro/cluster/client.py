@@ -127,6 +127,19 @@ class ClusterClient:
         )
         return protocol.parse_result(response)
 
+    def submit_fuzz(
+        self,
+        seed: int,
+        indices,
+        shrink: bool = True,
+        inject: str | None = None,
+    ) -> list:
+        """Run a fuzz shard remotely; returns its CaseRecords."""
+        response = self._rpc(
+            protocol.fuzz_message(seed, indices, shrink=shrink, inject=inject)
+        )
+        return protocol.parse_fuzz_result(response)
+
     def drain(self) -> dict:
         """Stop the server accepting new submissions."""
         return self._rpc(protocol.drain_message())

@@ -250,6 +250,57 @@ def result_message(
     }
 
 
+def fuzz_message(
+    seed: int,
+    indices,
+    shrink: bool = True,
+    inject: str | None = None,
+) -> dict:
+    """A fuzz shard: regenerate-and-evaluate these campaign indices.
+
+    Cases travel as ``(seed, index)`` coordinates, not scenarios — both
+    sides derive the identical case from the shared generator, so the
+    shard is a few bytes regardless of batch size.
+    """
+    return {
+        "v": PROTOCOL_VERSION,
+        "type": "fuzz",
+        "seed": int(seed),
+        "indices": [int(index) for index in indices],
+        "shrink": bool(shrink),
+        "inject": inject,
+    }
+
+
+def fuzz_result_message(records) -> dict:
+    """A fuzz shard's outcome: CaseRecords in their ``to_dict()`` form."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "type": "fuzz_result",
+        "records": [record.to_dict() for record in records],
+    }
+
+
+def parse_fuzz_result(message: dict) -> list:
+    """Decode a ``fuzz_result`` frame into its CaseRecords."""
+    # Deferred: repro.fuzz sits above the cluster layer.
+    from repro.fuzz.campaign import CaseRecord
+
+    if message.get("type") != "fuzz_result":
+        raise ClusterProtocolError(
+            f"expected a fuzz_result frame, got {message.get('type')!r}"
+        )
+    records = []
+    for item in message.get("records", ()):
+        try:
+            records.append(CaseRecord.from_dict(item))
+        except Exception as error:
+            raise ClusterProtocolError(
+                f"fuzz case record is undecodable: {error}"
+            ) from None
+    return records
+
+
 def error_message(code: str, message: str) -> dict:
     if code not in ERROR_TYPES:
         raise ClusterProtocolError(f"unknown error code {code!r}")
@@ -310,7 +361,10 @@ __all__ = [
     "encode_message",
     "error_code_for",
     "error_message",
+    "fuzz_message",
+    "fuzz_result_message",
     "hello_message",
+    "parse_fuzz_result",
     "parse_result",
     "point_from_wire",
     "point_to_wire",

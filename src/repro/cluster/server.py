@@ -173,6 +173,8 @@ class ClusterServer:
             return self._ok(), True
         if verb == "submit":
             return self._submit(message)
+        if verb == "fuzz":
+            return self._fuzz(message)
         return (
             protocol.error_message("protocol", f"unknown verb {verb!r}"),
             False,
@@ -214,6 +216,53 @@ class ClusterServer:
                 return (
                     protocol.error_message(
                         "internal", f"shard failed: {error}"
+                    ),
+                    False,
+                )
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                self._idle.notify_all()
+
+    def _fuzz(self, message: dict) -> tuple[dict, bool]:
+        # Same admission discipline as _submit: a fuzz shard accepted
+        # before a shutdown is finished, not abandoned.
+        with self._idle:
+            if self.state != "serving":
+                return (
+                    protocol.error_message(
+                        "unavailable",
+                        f"server {self.address} is {self.state}; submissions"
+                        " are refused",
+                    ),
+                    False,
+                )
+            self._inflight += 1
+        try:
+            # Deferred: repro.fuzz sits above the cluster layer.
+            from repro.fuzz.campaign import run_indices
+
+            try:
+                seed = int(message["seed"])
+                indices = [int(index) for index in message["indices"]]
+                shrink = bool(message.get("shrink", True))
+                inject = message.get("inject")
+            except (KeyError, TypeError, ValueError) as error:
+                return (
+                    protocol.error_message(
+                        "protocol", f"malformed fuzz shard: {error!r}"
+                    ),
+                    False,
+                )
+            try:
+                records = run_indices(
+                    seed, indices, shrink=shrink, inject=inject
+                )
+                return protocol.fuzz_result_message(records), False
+            except Exception as error:
+                return (
+                    protocol.error_message(
+                        "internal", f"fuzz shard failed: {error}"
                     ),
                     False,
                 )

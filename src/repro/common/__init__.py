@@ -10,6 +10,7 @@ from repro.common.mathutil import (
     split_range,
     tile_spans,
 )
+from repro.common.seeding import derive_seed
 from repro.common.stats import CounterBag
 from repro.common.tables import format_quantity, render_table
 from repro.common.units import (
@@ -38,6 +39,7 @@ __all__ = [
     "cycles_to_ms",
     "cycles_to_seconds",
     "cycles_to_us",
+    "derive_seed",
     "flops_to_tflops",
     "format_quantity",
     "human_bytes",

@@ -1,0 +1,59 @@
+"""The one seed-derivation scheme every seeded generator goes through.
+
+Determinism is a repo-wide contract: a seeded run must be bit-identical
+in every process, on every platform, forever. Python's ``hash()`` is
+process-randomized and ``random.Random(tuple)`` hashes through it, so
+neither is usable for cross-process seeds. Instead, every derived seed
+in the repo is computed the same way:
+
+    ``derive_seed(seed, *salts)`` =
+        first 8 bytes (big-endian) of
+        ``sha256(":".join(str(part) for part in (seed, *salts)))``
+
+Properties this buys:
+
+* **stable** — pure function of its inputs; no process state, no import
+  order, no interpreter version dependence (SHA-256 is fixed forever);
+* **collision-resistant in practice** — distinct salt paths get
+  independent 64-bit streams, so a campaign seed can fan out into
+  per-case seeds, which fan out into per-stream arrival seeds, without
+  correlated draws;
+* **self-describing** — salts are plain strings/ints joined with ``:``,
+  so ``derive_seed(7, "case", 12)`` hashes ``"7:case:12"`` and the
+  derivation of any RNG stream can be read off its call site.
+
+Known derivation paths (keep this list current — it is the audit trail
+the fuzzer's replay guarantee rests on):
+
+* arrival generation salts by **stream name**:
+  ``derive_seed(spec.seed, stream_name)`` seeds one stream's arrival
+  process (:func:`repro.serving.traces.generate_arrivals` via
+  :func:`repro.serving.traces.stream_seed`, which is this function under
+  its historical name);
+* fuzz campaigns salt by **case index**:
+  ``derive_seed(campaign_seed, "case", index)`` seeds one generated
+  case (:mod:`repro.fuzz.generators`), and each case's streams re-salt
+  by name through the arrival path above.
+
+Nothing in ``src/`` may fall back to global RNG state (``random.random``
+et al. at module scope); generators take an explicit seed and derive
+from it here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["derive_seed"]
+
+
+def derive_seed(seed: int, *salts: "str | int") -> int:
+    """A stable 64-bit seed derived from ``seed`` and a salt path.
+
+    See the module docstring for the scheme and the registry of salt
+    paths in use. With a single string salt this is bit-compatible with
+    the historical ``stream_seed(seed, salt)`` helper.
+    """
+    material = ":".join(str(part) for part in (seed, *salts))
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")

@@ -1,0 +1,65 @@
+"""repro.fuzz — seeded adversarial scenario fuzzing with invariant oracles.
+
+The subsystem that turns the invariant suite into a continuous campaign:
+
+* :mod:`repro.fuzz.generators` — deterministic adversarial scenario
+  families, a pure function of ``(campaign_seed, index)``;
+* :mod:`repro.fuzz.cases` — the self-contained, JSON-portable case
+  format and its executor;
+* :mod:`repro.fuzz.oracles` — the invariant-oracle pack (shared with
+  the hypothesis suite in ``tests/schedule/test_invariants.py``);
+* :mod:`repro.fuzz.shrink` — greedy delta-debugging to minimal
+  reproducers;
+* :mod:`repro.fuzz.campaign` — batch/resume/fleet campaign running and
+  the sqlite failure corpus.
+"""
+
+from repro.fuzz.campaign import (
+    CaseRecord,
+    CorpusStore,
+    FuzzReport,
+    open_corpus,
+    run_campaign,
+    run_indices,
+)
+from repro.fuzz.cases import (
+    FUZZ_PLATFORM,
+    INJECTIONS,
+    CaseResult,
+    FuzzCase,
+    TaskShape,
+    run_case,
+)
+from repro.fuzz.generators import FAMILIES, generate_batch, generate_case
+from repro.fuzz.oracles import (
+    ORACLE_NAMES,
+    CaseOutcome,
+    Violation,
+    evaluate_case,
+)
+from repro.fuzz.shrink import Reproducer, replay_reproducer, shrink_case
+
+__all__ = [
+    "FAMILIES",
+    "FUZZ_PLATFORM",
+    "INJECTIONS",
+    "ORACLE_NAMES",
+    "CaseOutcome",
+    "CaseRecord",
+    "CaseResult",
+    "CorpusStore",
+    "FuzzCase",
+    "FuzzReport",
+    "Reproducer",
+    "TaskShape",
+    "Violation",
+    "evaluate_case",
+    "generate_batch",
+    "generate_case",
+    "open_corpus",
+    "replay_reproducer",
+    "run_campaign",
+    "run_case",
+    "run_indices",
+    "shrink_case",
+]

@@ -1,0 +1,328 @@
+"""Self-contained fuzz cases: a scenario plus the task chains it runs.
+
+A :class:`FuzzCase` packages everything needed to execute one adversarial
+scenario through the timeline engine — the
+:class:`~repro.schedule.streams.ScenarioSpec` (streams, arrivals, policy,
+QoS), a *synthetic* per-stream task template
+(:class:`TaskShape` chains, standing in for platform-lowered models so no
+model registry or platform binding is needed), an optional measured
+:class:`~repro.catalog.interference.InterferenceMatrix`, and an optional
+planted fault (``inject``). Cases round-trip losslessly through JSON,
+which is what makes a shrunk reproducer replayable on any machine: the
+file *is* the failing input, not a pointer to one.
+
+``inject`` names a deliberate engine-level fault from
+:data:`INJECTIONS` — today ``"invert_priority"``, which replaces the
+dispatch order of an ``exclusive`` policy with lowest-priority-first.
+Injections exist to prove the oracle/shrink/replay pipeline end to end
+(a campaign with a planted inversion must detect it, shrink it, and
+re-fail on replay); they ride the case JSON so a reproducer keeps
+failing wherever it is replayed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.api.results import ScheduleReport, ServingReport
+from repro.catalog.interference import InterferenceMatrix
+from repro.errors import ConfigError
+from repro.schedule.policies import SchedulingPolicy, make_policy
+from repro.schedule.resources import ResourceClaim, ResourceKind
+from repro.schedule.streams import FramePlan, ScenarioSpec, instantiate_frames
+from repro.schedule.timeline import OpTask, Timeline, TimelineScheduler
+from repro.serving.qos import make_qos
+
+#: The platform label fuzz reports carry (cases are platform-free).
+FUZZ_PLATFORM = "fuzz:synthetic"
+
+
+@dataclass(frozen=True)
+class TaskShape:
+    """One op of a synthetic stream template.
+
+    ``claims`` are ``(resource kind, fraction)`` pairs — the primitive
+    form of :class:`~repro.schedule.resources.ResourceClaim` so shapes
+    stay JSON-portable. ``seconds`` may be 0.0 (zero-length ops are a
+    fuzzed edge case, not an error).
+    """
+
+    name: str
+    seconds: float
+    claims: tuple[tuple[str, float], ...]
+    mode: str = "simd"
+    cross_switch_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ConfigError(
+                f"task shape {self.name!r} has negative duration"
+                f" {self.seconds}"
+            )
+        if not self.claims:
+            raise ConfigError(f"task shape {self.name!r} claims no resources")
+        canonical = []
+        for entry in self.claims:
+            try:
+                kind, fraction = entry
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    f"task shape claim must be (kind, fraction), got"
+                    f" {entry!r}"
+                ) from None
+            canonical.append((ResourceKind(str(kind)).value, float(fraction)))
+        object.__setattr__(self, "claims", tuple(canonical))
+
+    def to_op(self, uid: int) -> OpTask:
+        """The template :class:`OpTask` (rebased by ``instantiate_frames``)."""
+        return OpTask(
+            uid=uid,
+            name=self.name,
+            seconds=self.seconds,
+            claims=tuple(
+                ResourceClaim(ResourceKind(kind), fraction=fraction)
+                for kind, fraction in self.claims
+            ),
+            mode=self.mode,
+            cross_switch_s=self.cross_switch_s,
+        )
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "name": self.name,
+            "seconds": self.seconds,
+            "claims": [list(claim) for claim in self.claims],
+        }
+        if self.mode != "simd":
+            payload["mode"] = self.mode
+        if self.cross_switch_s:
+            payload["cross_switch_s"] = self.cross_switch_s
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskShape":
+        if not isinstance(data, dict):
+            raise ConfigError(f"task shape must be an object, got {data!r}")
+        return cls(
+            name=data.get("name", "op"),
+            seconds=data.get("seconds", 0.0),
+            claims=tuple(tuple(claim) for claim in data.get("claims", ())),
+            mode=data.get("mode", "simd"),
+            cross_switch_s=data.get("cross_switch_s", 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated adversarial scenario, replayable from JSON alone."""
+
+    case_id: str
+    family: str
+    seed: int
+    scenario: ScenarioSpec
+    templates: dict[str, tuple[TaskShape, ...]]
+    interference: InterferenceMatrix | None = None
+    inject: str | None = None
+
+    def __post_init__(self) -> None:
+        templates = {
+            name: tuple(
+                shape
+                if isinstance(shape, TaskShape)
+                else TaskShape.from_dict(shape)
+                for shape in chain
+            )
+            for name, chain in self.templates.items()
+        }
+        object.__setattr__(self, "templates", templates)
+        for stream in self.scenario.streams:
+            if stream.name not in templates:
+                raise ConfigError(
+                    f"case {self.case_id!r}: stream {stream.name!r} has no"
+                    " task template"
+                )
+            if not templates[stream.name]:
+                raise ConfigError(
+                    f"case {self.case_id!r}: stream {stream.name!r} has an"
+                    " empty task template"
+                )
+        if self.inject is not None and self.inject not in INJECTIONS:
+            raise ConfigError(
+                f"case {self.case_id!r}: unknown injection {self.inject!r};"
+                f" one of {tuple(INJECTIONS)}"
+            )
+
+    @property
+    def n_streams(self) -> int:
+        return len(self.scenario.streams)
+
+    @property
+    def n_frames(self) -> int:
+        return self.scenario.frames
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "kind": "fuzz_case",
+            "case_id": self.case_id,
+            "family": self.family,
+            "seed": self.seed,
+            "scenario": self.scenario.to_dict(),
+            "templates": {
+                name: [shape.to_dict() for shape in chain]
+                for name, chain in self.templates.items()
+            },
+        }
+        if self.interference is not None and self.interference:
+            payload["interference"] = self.interference.to_dict()
+        if self.inject is not None:
+            payload["inject"] = self.inject
+        return payload
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzCase":
+        if not isinstance(data, dict):
+            raise ConfigError(f"fuzz case must be an object, got {data!r}")
+        kind = data.get("kind", "fuzz_case")
+        if kind != "fuzz_case":
+            raise ConfigError(
+                f"FuzzCase.from_dict got kind={kind!r}, expected 'fuzz_case'"
+            )
+        interference = data.get("interference")
+        return cls(
+            case_id=data.get("case_id", "case"),
+            family=data.get("family", "unknown"),
+            seed=data.get("seed", 0),
+            scenario=ScenarioSpec.from_dict(data["scenario"]),
+            templates={
+                name: tuple(TaskShape.from_dict(shape) for shape in chain)
+                for name, chain in data.get("templates", {}).items()
+            },
+            interference=(
+                InterferenceMatrix.from_dict(interference)
+                if interference is not None
+                else None
+            ),
+            inject=data.get("inject"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzCase":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigError(f"invalid fuzz case JSON: {error}") from None
+        return cls.from_dict(data)
+
+    def save(self, path: "str | Path") -> None:
+        Path(path).write_text(self.to_json(indent=2), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "FuzzCase":
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as error:
+            raise ConfigError(
+                f"cannot read fuzz case {str(path)!r}: {error}"
+            ) from None
+        return cls.from_json(text)
+
+
+# -- fault injection -------------------------------------------------------------------
+class _InvertPriorityPolicy(SchedulingPolicy):
+    """Planted bug: exclusive dispatch picks the *lowest*-priority task.
+
+    With two ready tasks of different weights this violates the
+    priority-order oracle at the first dispatch instant — the minimal
+    deliberate fault for proving the detect/shrink/replay pipeline.
+    """
+
+    def __init__(self, inner: SchedulingPolicy) -> None:
+        self.inner = inner
+        self.name = inner.name
+
+    def dispatch(self, ready: list, running: list) -> list:
+        if running or not ready:
+            return []
+        worst = min(
+            ready, key=lambda task: (task.weight, task.release_s, task.uid)
+        )
+        return [worst]
+
+    def weight(self, task) -> float:
+        return self.inner.weight(task)
+
+
+#: Named engine-level faults a case may plant (see module docstring).
+INJECTIONS = {
+    "invert_priority": _InvertPriorityPolicy,
+}
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """One executed case: the instantiated plan, timeline, and reports."""
+
+    case: FuzzCase
+    plan: FramePlan
+    timeline: Timeline
+    schedule: ScheduleReport
+    serving: ServingReport
+
+    @property
+    def tasks(self) -> tuple[OpTask, ...]:
+        return self.plan.tasks
+
+
+def run_case(case: FuzzCase) -> CaseResult:
+    """Execute one case through the timeline engine and assemble reports.
+
+    Raises :class:`~repro.errors.SchedulingError` if the engine itself
+    fails — the caller (see :func:`repro.fuzz.oracles.evaluate_case`)
+    records that as a ``crash`` oracle violation rather than letting the
+    campaign die.
+    """
+    spec = case.scenario
+    templates = {
+        name: [shape.to_op(uid) for uid, shape in enumerate(chain)]
+        for name, chain in case.templates.items()
+    }
+    plan = instantiate_frames(spec, templates)
+    policy = make_policy(spec.policy)
+    if case.inject is not None:
+        policy = INJECTIONS[case.inject](policy)
+    scheduler = TimelineScheduler(
+        policy,
+        qos=make_qos(spec.qos),
+        interference=(
+            case.interference
+            if case.interference is not None and case.interference
+            else None
+        ),
+    )
+    timeline = scheduler.run(list(plan.tasks))
+    return CaseResult(
+        case=case,
+        plan=plan,
+        timeline=timeline,
+        schedule=ScheduleReport.from_timeline(
+            spec, FUZZ_PLATFORM, timeline, plan
+        ),
+        serving=ServingReport.from_timeline(
+            spec, FUZZ_PLATFORM, timeline, plan
+        ),
+    )
+
+
+__all__ = [
+    "FUZZ_PLATFORM",
+    "INJECTIONS",
+    "CaseResult",
+    "FuzzCase",
+    "TaskShape",
+    "run_case",
+]

@@ -1,0 +1,441 @@
+"""Seeded adversarial scenario generators: the fuzzer's case families.
+
+Each family targets a stress axis of the timeline/serving/QoS stack that
+hand-written scenarios under-exercise:
+
+* ``burst_storm`` — MMPP arrival storms against drop-late / queue-cap
+  admission control;
+* ``flash_crowd`` — a background of steady tenants plus one stream whose
+  burst state runs an order of magnitude hot, under ``shed``;
+* ``priority_ladder`` — distinct-priority streams on an ``exclusive``
+  machine with colliding fixed cadences (the priority-order oracle's
+  hunting ground);
+* ``deadline_exact`` — durations, periods, and deadlines all exact
+  binary fractions (multiples of 1/64), so QoS expiries land *exactly*
+  on completion events and boundary comparisons have no float slack to
+  hide behind;
+* ``zero_length`` — zero-second ops, zero periods, and single-frame
+  streams: the degenerate sizes that break naive strict-inequality
+  bookkeeping;
+* ``replay_edge`` — replay arrival traces with duplicate timestamps,
+  long silences, and traces shorter than the frame budget (including
+  empty — a stream that never arrives);
+* ``model_mix`` — heterogeneous claim shapes across SIMD / array / TC /
+  transfer / host with mode switches and a measured interference matrix
+  drawn from a catalog device;
+* ``closed_loop_mix`` — closed-loop think-time tenants sharing the
+  machine with open-loop arrivals, under drop-late QoS, so drops and
+  pacing releases interleave.
+
+Determinism contract: a case is a pure function of
+``(campaign_seed, index)``. The per-case seed is
+``derive_seed(campaign_seed, "case", index)`` (see
+:mod:`repro.common.seeding` for the scheme registry), every random
+draw flows through that one ``random.Random``, and arrival processes
+re-salt by stream name inside the traces module. No global RNG state
+anywhere.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.seeding import derive_seed
+from repro.errors import ConfigError
+from repro.fuzz.cases import FuzzCase, TaskShape
+from repro.schedule.streams import ScenarioSpec, StreamSpec
+from repro.serving.qos import QosSpec
+from repro.serving.traces import ArrivalSpec
+
+#: Case families, in the round-robin order indices map onto.
+FAMILIES = (
+    "burst_storm",
+    "flash_crowd",
+    "priority_ladder",
+    "deadline_exact",
+    "zero_length",
+    "replay_edge",
+    "model_mix",
+    "closed_loop_mix",
+)
+
+#: Claim shapes echoing the hypothesis suite's choices: pure SIMD, the
+#: temporal array, a TC kernel with its measured ancillary SIMD pressure,
+#: and the staging resources.
+_CLAIM_SHAPES = (
+    (("simd", 1.0),),
+    (("array", 1.0),),
+    (("tc", 1.0), ("simd", 0.4)),
+    (("transfer", 1.0),),
+    (("host", 1.0),),
+)
+
+
+def _exact(rng: random.Random, low: int = 1, high: int = 16) -> float:
+    """A binary-exact duration: ``k/64`` for ``k`` in ``[low, high]``.
+
+    Multiples of 1/64 add and compare exactly in binary floating point,
+    which is what lets the ``deadline_exact`` family place QoS expiries
+    precisely on event boundaries.
+    """
+    return rng.randint(low, high) / 64.0
+
+
+def _template(
+    rng: random.Random,
+    *,
+    ops: int | None = None,
+    allow_zero: bool = False,
+    switchy: bool = False,
+) -> tuple[TaskShape, ...]:
+    """A short synthetic task chain (1-3 ops)."""
+    count = ops if ops is not None else rng.randint(1, 3)
+    shapes = []
+    for position in range(count):
+        seconds = _exact(rng)
+        if allow_zero and rng.random() < 0.4:
+            seconds = 0.0
+        shapes.append(
+            TaskShape(
+                name=f"op{position}",
+                seconds=seconds,
+                claims=rng.choice(_CLAIM_SHAPES),
+                mode=(
+                    rng.choice(("simd", "systolic")) if switchy else "simd"
+                ),
+                cross_switch_s=(_exact(rng, 1, 4) if switchy else 0.0),
+            )
+        )
+    return tuple(shapes)
+
+
+def _burst_storm(rng: random.Random, name: str) -> ScenarioSpec:
+    streams = []
+    for index in range(rng.randint(2, 3)):
+        rate = float(rng.randint(8, 32))
+        streams.append(
+            StreamSpec(
+                name=f"s{index}",
+                model=f"fuzz/{name}",
+                priority=float(rng.randint(1, 4)),
+                deadline_s=_exact(rng, 2, 12),
+                arrivals=ArrivalSpec(
+                    kind="mmpp",
+                    rate_hz=rate,
+                    seed=rng.randrange(2**31),
+                    burst_rate_hz=rate * rng.randint(3, 8),
+                    burst_fraction=rng.choice((0.2, 0.3, 0.4)),
+                    dwell=rng.randint(2, 6),
+                ),
+            )
+        )
+    qos = rng.choice(
+        (
+            None,
+            QosSpec(kind="drop_late", slack_s=rng.choice((0.0, 1 / 64))),
+            QosSpec(kind="queue_cap", cap=rng.randint(1, 3)),
+        )
+    )
+    return ScenarioSpec(
+        name=name,
+        streams=tuple(streams),
+        frames=rng.randint(10, 20),
+        policy=rng.choice(("fifo", "priority")),
+        qos=qos,
+    )
+
+
+def _flash_crowd(rng: random.Random, name: str) -> ScenarioSpec:
+    crowd_rate = float(rng.randint(4, 10))
+    streams = [
+        StreamSpec(
+            name="crowd",
+            model=f"fuzz/{name}",
+            priority=1.0,
+            arrivals=ArrivalSpec(
+                kind="mmpp",
+                rate_hz=crowd_rate,
+                seed=rng.randrange(2**31),
+                burst_rate_hz=crowd_rate * 20.0,
+                burst_fraction=rng.choice((0.5, 0.6, 0.7)),
+                dwell=rng.randint(6, 12),
+            ),
+        )
+    ]
+    for index in range(rng.randint(1, 2)):
+        streams.append(
+            StreamSpec(
+                name=f"steady{index}",
+                model=f"fuzz/{name}",
+                priority=float(rng.randint(2, 5)),
+                deadline_s=_exact(rng, 4, 16),
+                arrivals=ArrivalSpec(
+                    kind="poisson",
+                    rate_hz=float(rng.randint(2, 8)),
+                    seed=rng.randrange(2**31),
+                ),
+            )
+        )
+    return ScenarioSpec(
+        name=name,
+        streams=tuple(streams),
+        frames=rng.randint(12, 24),
+        policy="priority",
+        qos=QosSpec(
+            kind="shed",
+            cap=rng.randint(2, 4),
+            min_priority=rng.choice((None, 2.0)),
+        ),
+    )
+
+
+def _priority_ladder(rng: random.Random, name: str) -> ScenarioSpec:
+    rungs = rng.randint(3, 4)
+    priorities = [float(rung + 1) for rung in range(rungs)]
+    rng.shuffle(priorities)
+    streams = []
+    for index, priority in enumerate(priorities):
+        # Colliding exact cadences (including period 0 — everything at
+        # t=0) force the dispatcher to order ready sets by priority.
+        period = rng.choice((0.0, 1 / 32, 1 / 16, 3 / 32))
+        streams.append(
+            StreamSpec(
+                name=f"rung{index}",
+                model=f"fuzz/{name}",
+                priority=priority,
+                deadline_s=rng.choice((None, _exact(rng, 4, 16))),
+                arrivals=ArrivalSpec(kind="fixed", period_s=period),
+            )
+        )
+    return ScenarioSpec(
+        name=name,
+        streams=tuple(streams),
+        frames=rng.randint(6, 12),
+        policy="exclusive",
+        qos=rng.choice((None, QosSpec(kind="queue_cap", cap=2))),
+    )
+
+
+def _deadline_exact(rng: random.Random, name: str) -> ScenarioSpec:
+    streams = []
+    for index in range(rng.randint(2, 3)):
+        # Period == duration == deadline (all 1/64 multiples): a backlog
+        # forms at full utilization and every expiry coincides with a
+        # completion event.
+        quantum = _exact(rng, 4, 12)
+        streams.append(
+            StreamSpec(
+                name=f"edge{index}",
+                model=f"fuzz/{name}",
+                priority=float(index + 1),
+                deadline_s=quantum,
+                arrivals=ArrivalSpec(kind="fixed", period_s=quantum),
+            )
+        )
+    return ScenarioSpec(
+        name=name,
+        streams=tuple(streams),
+        frames=rng.randint(8, 16),
+        policy="fifo",
+        qos=QosSpec(kind="drop_late"),
+    )
+
+
+def _zero_length(rng: random.Random, name: str) -> ScenarioSpec:
+    streams = [
+        StreamSpec(
+            name="zero",
+            model=f"fuzz/{name}",
+            arrivals=ArrivalSpec(kind="fixed", period_s=0.0),
+        ),
+        StreamSpec(
+            name="tiny",
+            model=f"fuzz/{name}",
+            priority=float(rng.randint(1, 3)),
+            deadline_s=_exact(rng, 1, 4),
+            arrivals=ArrivalSpec(
+                kind="poisson",
+                rate_hz=float(rng.randint(16, 64)),
+                seed=rng.randrange(2**31),
+            ),
+        ),
+    ]
+    return ScenarioSpec(
+        name=name,
+        streams=tuple(streams),
+        frames=rng.choice((1, 2, rng.randint(4, 8))),
+        policy=rng.choice(("fifo", "priority")),
+        qos=rng.choice((None, QosSpec(kind="queue_cap", cap=1))),
+    )
+
+
+def _replay_edge(rng: random.Random, name: str) -> ScenarioSpec:
+    frames = rng.randint(6, 12)
+    instant = _exact(rng, 1, 8)
+    # Duplicate timestamps, a long silence, then a pile-up.
+    pileup = tuple(
+        sorted(
+            [0.0, 0.0, instant, instant]
+            + [instant + 1.0 + _exact(rng) for _ in range(frames - 4)]
+        )
+    )
+    short_len = rng.randint(0, frames - 1)
+    short = tuple(sorted(_exact(rng, 1, 32) for _ in range(short_len)))
+    streams = [
+        StreamSpec(
+            name="pileup",
+            model=f"fuzz/{name}",
+            deadline_s=rng.choice((None, _exact(rng, 2, 8))),
+            arrivals=ArrivalSpec(kind="replay", times_s=pileup),
+        ),
+        # A trace shorter than the frame budget — possibly empty, a
+        # stream that never arrives at all.
+        StreamSpec(
+            name="short",
+            model=f"fuzz/{name}",
+            priority=2.0,
+            arrivals=ArrivalSpec(kind="replay", times_s=short),
+        ),
+    ]
+    return ScenarioSpec(
+        name=name,
+        streams=tuple(streams),
+        frames=frames,
+        policy=rng.choice(("fifo", "priority")),
+        qos=rng.choice((None, QosSpec(kind="drop_late", slack_s=0.0))),
+    )
+
+
+def _model_mix(rng: random.Random, name: str) -> ScenarioSpec:
+    streams = []
+    for index in range(rng.randint(2, 4)):
+        streams.append(
+            StreamSpec(
+                name=f"mix{index}",
+                model=f"fuzz/{name}",
+                priority=float(rng.randint(1, 4)),
+                skip_interval=rng.choice((1, 1, 2)),
+                arrivals=ArrivalSpec(
+                    kind=rng.choice(("poisson", "fixed")),
+                    rate_hz=float(rng.randint(4, 16)),
+                    seed=rng.randrange(2**31),
+                ),
+            )
+        )
+    return ScenarioSpec(
+        name=name,
+        streams=tuple(streams),
+        frames=rng.randint(8, 16),
+        policy="priority",
+    )
+
+
+def _closed_loop_mix(rng: random.Random, name: str) -> ScenarioSpec:
+    streams = [
+        StreamSpec(
+            name="loop",
+            model=f"fuzz/{name}",
+            priority=float(rng.randint(1, 3)),
+            arrivals=ArrivalSpec(
+                kind="closed_loop",
+                think_s=rng.choice((0.0, 1 / 64, 1 / 16)),
+            ),
+        ),
+        StreamSpec(
+            name="open",
+            model=f"fuzz/{name}",
+            priority=float(rng.randint(1, 3)),
+            deadline_s=_exact(rng, 2, 8),
+            arrivals=ArrivalSpec(
+                kind="poisson",
+                rate_hz=float(rng.randint(8, 24)),
+                seed=rng.randrange(2**31),
+            ),
+        ),
+    ]
+    return ScenarioSpec(
+        name=name,
+        streams=tuple(streams),
+        frames=rng.randint(6, 12),
+        policy=rng.choice(("fifo", "priority")),
+        qos=QosSpec(kind="drop_late", slack_s=rng.choice((0.0, 1 / 64))),
+    )
+
+
+_BUILDERS = {
+    "burst_storm": _burst_storm,
+    "flash_crowd": _flash_crowd,
+    "priority_ladder": _priority_ladder,
+    "deadline_exact": _deadline_exact,
+    "zero_length": _zero_length,
+    "replay_edge": _replay_edge,
+    "model_mix": _model_mix,
+    "closed_loop_mix": _closed_loop_mix,
+}
+
+
+def _interference_for(rng: random.Random):
+    """A measured matrix from a catalog device (``model_mix`` only)."""
+    # Deferred import: the generator pack must not drag the catalog in
+    # for the seven families that never touch it.
+    from repro.catalog.specs import DEFAULT_DEVICES
+
+    device = rng.choice(DEFAULT_DEVICES)
+    return device.interference if device.interference else None
+
+
+def generate_case(
+    campaign_seed: int, index: int, family: str | None = None
+) -> FuzzCase:
+    """The ``index``-th case of a campaign — a pure function of its args.
+
+    ``family`` pins a specific family (used by targeted tests); by
+    default families rotate round-robin over the index so every batch of
+    ``len(FAMILIES)`` consecutive indices covers all of them.
+    """
+    if index < 0:
+        raise ConfigError(f"case index must be >= 0, got {index}")
+    if family is None:
+        family = FAMILIES[index % len(FAMILIES)]
+    if family not in _BUILDERS:
+        raise ConfigError(
+            f"unknown fuzz family {family!r}; one of {FAMILIES}"
+        )
+    seed = derive_seed(campaign_seed, "case", index)
+    rng = random.Random(seed)
+    case_id = f"c{index:06d}-{family}"
+    scenario = _BUILDERS[family](rng, case_id)
+    templates = {
+        stream.name: _template(
+            rng,
+            allow_zero=family == "zero_length",
+            ops=1 if family in ("deadline_exact", "zero_length") else None,
+            switchy=family == "model_mix",
+        )
+        for stream in scenario.streams
+    }
+    return FuzzCase(
+        case_id=case_id,
+        family=family,
+        seed=seed,
+        scenario=scenario,
+        templates=templates,
+        interference=(
+            _interference_for(rng) if family == "model_mix" else None
+        ),
+    )
+
+
+def generate_batch(
+    campaign_seed: int, count: int, start: int = 0
+) -> list[FuzzCase]:
+    """Cases ``start .. start+count`` of a campaign, in index order."""
+    if count < 0:
+        raise ConfigError(f"batch count must be >= 0, got {count}")
+    return [
+        generate_case(campaign_seed, index)
+        for index in range(start, start + count)
+    ]
+
+
+__all__ = ["FAMILIES", "generate_batch", "generate_case"]

@@ -23,12 +23,12 @@ serialized to JSON and replayed reproduces the original schedule exactly.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import random
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+from repro.common.seeding import derive_seed
 from repro.errors import ConfigError
 
 #: The arrival-process kinds a stream may declare.
@@ -36,9 +36,12 @@ ARRIVAL_KINDS = ("fixed", "poisson", "mmpp", "replay", "closed_loop")
 
 
 def stream_seed(seed: int, salt: str) -> int:
-    """A stable per-stream RNG seed (``hash()`` is process-randomized)."""
-    digest = hashlib.sha256(f"{seed}:{salt}".encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big")
+    """A stable per-stream RNG seed (``hash()`` is process-randomized).
+
+    Historical name for :func:`repro.common.seeding.derive_seed` with a
+    single salt — the scheme and the registry of salt paths live there.
+    """
+    return derive_seed(seed, salt)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,93 @@
+"""Golden pins for the default catalog's measured interference factors.
+
+The co-run factors are *measured data*: any drift silently re-times
+every scenario run on a catalog platform. The original pairs are pinned
+exactly as shipped; the pairs added later (reverse GPU direction,
+copy-engine pressure, TPU host feedback) are pinned separately so a
+regression names which measurement moved.
+"""
+
+import pytest
+
+from repro.catalog.loader import get_device
+
+#: The factors the catalog shipped with originally. Never edit these —
+#: a change here means stored results shifted.
+ORIGINAL_FACTORS = {
+    ("v100", "tc", "simd"): 0.62,
+    ("v100", "transfer", "host"): 0.08,
+    ("a100", "tc", "simd"): 0.48,
+    ("a100", "transfer", "host"): 0.06,
+    ("h100", "tc", "simd"): 0.35,
+    ("h100", "transfer", "host"): 0.05,
+    ("orin", "tc", "simd"): 0.74,
+    ("orin", "transfer", "host"): 0.15,
+    ("tpu-v1", "transfer", "host"): 0.22,
+    ("tpu-v2", "transfer", "host"): 0.12,
+    ("tpu-v3", "transfer", "host"): 0.10,
+}
+
+#: Measured co-run pairs added after the initial catalog.
+ADDED_FACTORS = {
+    ("v100", "simd", "tc"): 0.07,
+    ("v100", "transfer", "simd"): 0.11,
+    ("a100", "simd", "tc"): 0.05,
+    ("a100", "transfer", "simd"): 0.09,
+    ("h100", "simd", "tc"): 0.04,
+    ("h100", "transfer", "simd"): 0.07,
+    ("orin", "simd", "tc"): 0.12,
+    ("orin", "transfer", "simd"): 0.20,
+    ("tpu-v1", "host", "transfer"): 0.09,
+    ("tpu-v2", "host", "transfer"): 0.05,
+    ("tpu-v3", "host", "transfer"): 0.04,
+}
+
+
+def _ids(item):
+    device, source, victim = item
+    return f"{device}:{source}->{victim}"
+
+
+class TestOriginalFactorsPinned:
+    @pytest.mark.parametrize(
+        "pair", sorted(ORIGINAL_FACTORS), ids=_ids
+    )
+    def test_factor_unchanged(self, pair):
+        device, source, victim = pair
+        matrix = get_device(device).interference
+        assert matrix.factor(source, victim) == ORIGINAL_FACTORS[pair]
+
+
+class TestAddedFactorsPinned:
+    @pytest.mark.parametrize("pair", sorted(ADDED_FACTORS), ids=_ids)
+    def test_factor_value(self, pair):
+        device, source, victim = pair
+        matrix = get_device(device).interference
+        assert matrix.factor(source, victim) == ADDED_FACTORS[pair]
+
+
+class TestMatrixShape:
+    @pytest.mark.parametrize(
+        "device", sorted({device for device, _, _ in ORIGINAL_FACTORS})
+    )
+    def test_no_unexpected_pairs(self, device):
+        """Every entry of every device is accounted for by a pin above."""
+        expected = {
+            (source, victim)
+            for d, source, victim in (*ORIGINAL_FACTORS, *ADDED_FACTORS)
+            if d == device
+        }
+        matrix = get_device(device).interference
+        assert {
+            (source, victim) for source, victim, _ in matrix.entries
+        } == expected
+
+    def test_gpu_contention_ordering_holds(self):
+        """Newer parts partition better: factors fall v100 -> h100, and
+        the edge part (shared LPDDR) is harsher than all of them."""
+        for source, victim in (("tc", "simd"), ("transfer", "simd")):
+            v100 = get_device("v100").interference.factor(source, victim)
+            a100 = get_device("a100").interference.factor(source, victim)
+            h100 = get_device("h100").interference.factor(source, victim)
+            orin = get_device("orin").interference.factor(source, victim)
+            assert orin > v100 > a100 > h100 > 0.0

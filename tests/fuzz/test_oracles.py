@@ -1,0 +1,103 @@
+"""The invariant-oracle pack: clean cases pass, planted faults are caught."""
+
+import dataclasses
+
+from repro.fuzz.cases import run_case
+from repro.fuzz.generators import generate_case
+from repro.fuzz.oracles import (
+    ORACLE_NAMES,
+    Violation,
+    check_conservation,
+    check_frame_atomicity,
+    check_monotone_events,
+    evaluate_case,
+)
+
+CAMPAIGN_SEED = 7
+
+
+def test_oracle_names_are_stable():
+    assert ORACLE_NAMES == (
+        "capacity",
+        "conservation",
+        "crash",
+        "determinism",
+        "frame_atomicity",
+        "merge",
+        "monotone_events",
+        "priority_order",
+        "report_roundtrip",
+        "reports_agree",
+        "serving_consistency",
+        "trace_roundtrip",
+    )
+
+
+def test_clean_case_passes_all_oracles():
+    case = generate_case(CAMPAIGN_SEED, 0)
+    outcome = evaluate_case(case, deep=True)
+    assert outcome.ok
+    assert outcome.failing_oracles == ()
+    assert outcome.result is not None
+
+
+def test_injected_inversion_fails_exactly_priority_order():
+    # Index 2 is the priority_ladder slot; the inversion injection only
+    # fires on exclusive-policy cases.
+    case = generate_case(CAMPAIGN_SEED, 2)
+    bad = dataclasses.replace(case, inject="invert_priority")
+    outcome = evaluate_case(bad, deep=False)
+    assert not outcome.ok
+    assert outcome.failing_oracles == ("priority_order",)
+
+
+class TestPlantedTimelineFaults:
+    """Tamper with a real timeline and prove each oracle notices."""
+
+    def result(self):
+        return run_case(generate_case(CAMPAIGN_SEED, 0))
+
+    def test_conservation_catches_shortened_segment(self):
+        result = self.result()
+        timeline = result.timeline
+        segment = timeline.segments[0]
+        cut = dataclasses.replace(
+            segment,
+            end_s=segment.end_s - 0.5 * segment.seconds,
+            seconds=0.5 * segment.seconds,
+        )
+        tampered = dataclasses.replace(
+            timeline, segments=(cut,) + tuple(timeline.segments[1:])
+        )
+        assert check_conservation(result.tasks, tampered)
+
+    def test_monotone_events_catches_reversed_segment(self):
+        result = self.result()
+        timeline = result.timeline
+        segment = timeline.segments[0]
+        reversed_segment = dataclasses.replace(
+            segment, start_s=segment.end_s + 1.0
+        )
+        tampered = dataclasses.replace(
+            timeline,
+            segments=(reversed_segment,) + tuple(timeline.segments[1:]),
+        )
+        assert check_monotone_events(result.tasks, tampered)
+
+    def test_frame_atomicity_catches_vanished_task(self):
+        result = self.result()
+        timeline = result.timeline
+        lost = timeline.segments[0].uid
+        tampered = dataclasses.replace(
+            timeline,
+            segments=tuple(
+                s for s in timeline.segments if s.uid != lost
+            ),
+        )
+        assert check_frame_atomicity(result.tasks, tampered)
+
+
+def test_violation_round_trip():
+    violation = Violation(oracle="capacity", message="over by 0.25")
+    clone = Violation.from_dict(violation.to_dict())
+    assert clone == violation

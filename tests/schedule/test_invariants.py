@@ -1,22 +1,26 @@
 """Property-based invariants of the timeline engine (hypothesis).
 
-The weighted processor-sharing engine must hold these for *any* task set
-and policy, with or without admission control:
-
-* capacity conservation — no resource serves more than one second of
-  work per second of makespan;
-* work conservation — per-stream executed full-speed seconds equal the
-  sum of the stream's (non-dropped) task durations under every policy;
-* monotone event times — segments are completion-ordered, every segment
-  starts at or after its release and ends at or after its start;
-* determinism — identical inputs (and identical arrival seeds) produce
-  bit-identical timelines and ScheduleReports.
+The invariant assertions themselves live in :mod:`repro.fuzz.oracles` —
+the same oracle pack the fuzz campaign runner evaluates — so a property
+hypothesis checks here is bit-for-bit the property ``repro fuzz run``
+checks at fleet scale. This suite's job is the *generation* side:
+hypothesis-driven task sets exploring shapes the seeded generators
+don't, plus the bit-identical-seed report contract.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.api.results import ScheduleReport, ServingReport
+from repro.fuzz.oracles import (
+    assert_capacity,
+    assert_conservation,
+    assert_frame_atomicity,
+    assert_monotone_events,
+    assert_priority_order,
+    assert_reports_agree,
+    assert_serving_consistency,
+)
 from repro.schedule.policies import POLICY_NAMES
 from repro.schedule.resources import ResourceClaim, ResourceKind
 from repro.schedule.streams import ScenarioSpec, StreamSpec, instantiate_frames
@@ -101,18 +105,7 @@ QOS_CHOICES = (
 def test_no_resource_oversubscribed(tasks, policy, qos):
     """Per resource: executed claim-seconds never exceed the makespan."""
     timeline = TimelineScheduler(policy, qos=make_qos(qos)).run(tasks)
-    executed = {task.uid: task for task in tasks}
-    service: dict = {}
-    for segment in timeline.segments:
-        for claim in executed[segment.uid].claims:
-            service[claim.kind] = (
-                service.get(claim.kind, 0.0) + claim.fraction * segment.seconds
-            )
-    for kind, total in service.items():
-        assert total <= timeline.makespan_s * (1 + 1e-9) + 1e-12, (
-            f"{kind} oversubscribed: {total} claim-seconds in"
-            f" {timeline.makespan_s}s"
-        )
+    assert_capacity(tasks, timeline)
 
 
 @given(tasks=task_sets())
@@ -124,6 +117,7 @@ def test_per_stream_busy_time_conserved_across_policies(tasks):
         expected[task.stream] = expected.get(task.stream, 0.0) + task.seconds
     for policy in POLICY_NAMES:
         timeline = TimelineScheduler(policy).run(tasks)
+        assert_conservation(tasks, timeline)
         busy: dict = {}
         for segment in timeline.segments:
             busy[segment.stream] = (
@@ -138,19 +132,7 @@ def test_per_stream_busy_time_conserved_across_policies(tasks):
 @settings(max_examples=60, deadline=None)
 def test_event_times_monotone(tasks, policy, qos):
     timeline = TimelineScheduler(policy, qos=make_qos(qos)).run(tasks)
-    released = {task.uid: task.release_s for task in tasks}
-    previous_end = 0.0
-    for segment in timeline.segments:
-        assert segment.end_s >= previous_end  # completion-ordered
-        assert segment.start_s >= released[segment.uid]
-        assert segment.end_s >= segment.start_s
-        # The engine forgives FP dust (1e-12 relative + 1e-18 absolute)
-        # when completing tasks; mirror that allowance here.
-        assert segment.elapsed_s >= segment.seconds * (1 - 1e-9) - 1e-9
-        previous_end = segment.end_s
-    assert timeline.makespan_s >= previous_end
-    for record in timeline.drops:
-        assert record.time_s >= released[record.uid]
+    assert_monotone_events(tasks, timeline)
 
 
 @given(tasks=task_sets(), policy=st.sampled_from(POLICY_NAMES),
@@ -158,18 +140,16 @@ def test_event_times_monotone(tasks, policy, qos):
 @settings(max_examples=40, deadline=None)
 def test_every_task_completes_or_drops_exactly_once(tasks, policy, qos):
     timeline = TimelineScheduler(policy, qos=make_qos(qos)).run(tasks)
-    completed = {segment.uid for segment in timeline.segments}
-    dropped = {record.uid for record in timeline.drops}
-    assert completed.isdisjoint(dropped)
-    assert len(timeline.segments) == len(completed)
-    assert len(timeline.drops) == len(dropped)
-    assert completed | dropped == {task.uid for task in tasks}
-    # Drops cancel whole frames: a frame never half-runs.
-    frames = {}
-    for task in tasks:
-        frames.setdefault((task.stream, task.frame), set()).add(task.uid)
-    for uids in frames.values():
-        assert uids <= completed or uids <= dropped
+    assert_conservation(tasks, timeline)
+    assert_frame_atomicity(tasks, timeline)
+
+
+@given(tasks=task_sets(), qos=st.sampled_from(QOS_CHOICES))
+@settings(max_examples=40, deadline=None)
+def test_exclusive_dispatch_never_inverts_priority(tasks, qos):
+    """The exclusive gate always picks a heaviest ready waiter."""
+    timeline = TimelineScheduler("exclusive", qos=make_qos(qos)).run(tasks)
+    assert_priority_order(tasks, timeline, "exclusive")
 
 
 @given(tasks=task_sets(), policy=st.sampled_from(POLICY_NAMES),
@@ -236,3 +216,5 @@ def test_identical_seeds_give_bit_identical_reports(seed, rate, policy, qos):
     schedule_b, serving_b = reports()
     assert schedule_a.to_json() == schedule_b.to_json()
     assert serving_a.to_json() == serving_b.to_json()
+    assert_serving_consistency(serving_a)
+    assert_reports_agree(schedule_a, serving_a)

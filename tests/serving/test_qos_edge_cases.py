@@ -1,0 +1,217 @@
+"""Drop-cascade edge cases of the admission policies.
+
+Three corners the broad QoS suite skips over: a deadline expiry landing
+*exactly* on the event that would have started the frame, a same-instant
+burst against ``queue_cap``, and drops interleaving with closed-loop
+think-time pacing (where a drop, not a completion, paces the next
+release). Timing assertions mirror the engine's own float arithmetic so
+they hold bit-for-bit, and the fuzz oracle pack runs over every timeline
+to tie these shapes to the campaign invariants.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fuzz.oracles import (
+    assert_conservation,
+    assert_frame_atomicity,
+    assert_monotone_events,
+)
+from repro.schedule.resources import ResourceClaim, ResourceKind
+from repro.schedule.streams import ScenarioSpec, StreamSpec, instantiate_frames
+from repro.schedule.timeline import OpTask, TimelineScheduler
+from repro.serving.qos import QosSpec, make_qos
+from repro.serving.traces import ArrivalSpec
+
+SIMD = (ResourceClaim(ResourceKind.SIMD),)
+
+
+def template(seconds):
+    return [OpTask(uid=0, name="op0", seconds=seconds, claims=SIMD)]
+
+
+def run(spec, seconds):
+    plan = instantiate_frames(spec, {
+        stream.name: template(seconds) for stream in spec.streams
+    })
+    timeline = TimelineScheduler(spec.policy, qos=make_qos(spec.qos)).run(
+        plan.tasks
+    )
+    return plan, timeline
+
+
+def check_oracles(plan, timeline):
+    assert_conservation(plan.tasks, timeline)
+    assert_frame_atomicity(plan.tasks, timeline)
+    assert_monotone_events(plan.tasks, timeline)
+
+
+class TestExactDeadlineAtEventBoundary:
+    """A frame whose expiry coincides with the completion that would
+    have let it start: ``now >= expiry`` means the drop wins the tie."""
+
+    def spec(self):
+        return ScenarioSpec(
+            name="boundary",
+            frames=2,
+            qos=QosSpec(kind="drop_late"),
+            streams=(
+                StreamSpec(
+                    name="a",
+                    model="m",
+                    deadline_s=0.5,
+                    arrivals=ArrivalSpec(kind="replay", times_s=(0.0, 0.5)),
+                ),
+            ),
+        )
+
+    def test_expiry_at_completion_event_drops(self):
+        # Frame 0 occupies [0, 1]; frame 1 arrives at 0.5 with expiry
+        # 0.5 + 0.5 = 1.0 — the very instant frame 0 completes.
+        plan, timeline = run(self.spec(), seconds=1.0)
+        assert len(timeline.drops) == 1
+        record = timeline.drops[0]
+        assert record.frame == 1
+        assert record.reason == "deadline_slip"
+        assert record.time_s == 0.5 + 0.5  # exact: the expiry event
+        # The dropped frame never ran; the makespan is frame 0 alone.
+        assert {segment.frame for segment in timeline.segments} == {0}
+        assert timeline.makespan_s == 1.0
+        check_oracles(plan, timeline)
+
+    def test_expiry_after_completion_event_runs(self):
+        # Shrink the work by any amount and the frame starts instead:
+        # at the completion event its expiry is still in the future.
+        plan, timeline = run(self.spec(), seconds=0.75)
+        assert not timeline.drops
+        starts = {
+            segment.frame: segment.start_s for segment in timeline.segments
+        }
+        assert starts[1] == 0.75  # started the instant the machine freed
+        check_oracles(plan, timeline)
+
+
+class TestQueueCapBurst:
+    """A same-instant burst against ``queue_cap``: the cull happens at
+    the arrival event itself, oldest arrivals are kept."""
+
+    def spec(self, frames=4):
+        return ScenarioSpec(
+            name="burst",
+            frames=frames,
+            qos=QosSpec(kind="queue_cap", cap=1),
+            streams=(
+                StreamSpec(
+                    name="a",
+                    model="m",
+                    arrivals=ArrivalSpec(
+                        kind="replay", times_s=(0.0,) * frames
+                    ),
+                ),
+            ),
+        )
+
+    def test_burst_culled_at_arrival_instant(self):
+        plan, timeline = run(self.spec(), seconds=0.5)
+        # Admission review runs before dispatch at the burst event: all
+        # four heads count as queued, the cap keeps the oldest (frame 0,
+        # which then dispatches) and culls the rest in one cascade.
+        assert {record.frame for record in timeline.drops} == {1, 2, 3}
+        assert all(record.time_s == 0.0 for record in timeline.drops)
+        assert all(
+            record.reason == "queue_full" for record in timeline.drops
+        )
+        starts = {
+            segment.frame: segment.start_s for segment in timeline.segments
+        }
+        assert starts == {0: 0.0}
+        assert timeline.makespan_s == 0.5
+        check_oracles(plan, timeline)
+
+    def test_cap_floor_is_enforced(self):
+        # cap=0 would silently drop every arrival — rejected at the spec.
+        with pytest.raises(ConfigError):
+            QosSpec(kind="queue_cap", cap=0)
+        with pytest.raises(ConfigError):
+            QosSpec(kind="shed", cap=0)
+
+
+class TestClosedLoopDropPacing:
+    """Drops interleaved with closed-loop think-time releases: a dropped
+    frame still paces its successor (release = drop time + think)."""
+
+    THINK = 0.3
+    DEADLINE = 0.9
+
+    def spec(self):
+        return ScenarioSpec(
+            name="loop-vs-batch",
+            frames=3,
+            policy="exclusive",
+            qos=QosSpec(kind="drop_late"),
+            streams=(
+                StreamSpec(
+                    name="batch",
+                    model="m",
+                    priority=4.0,
+                    arrivals=ArrivalSpec(
+                        kind="replay", times_s=(0.0, 0.0, 0.0)
+                    ),
+                ),
+                StreamSpec(
+                    name="loop",
+                    model="m",
+                    priority=1.0,
+                    deadline_s=self.DEADLINE,
+                    arrivals=ArrivalSpec(
+                        kind="closed_loop", think_s=self.THINK
+                    ),
+                ),
+            ),
+        )
+
+    def run_mixed(self):
+        spec = self.spec()
+        plan = instantiate_frames(spec, {
+            "batch": template(1.0),
+            "loop": template(0.1),
+        })
+        timeline = TimelineScheduler(
+            spec.policy, qos=make_qos(spec.qos)
+        ).run(plan.tasks)
+        return spec, plan, timeline
+
+    def test_drops_interleave_with_think_paced_releases(self):
+        _spec, plan, timeline = self.run_mixed()
+        # The batch stream monopolizes the exclusive machine in [0, 3].
+        # Loop frame 0 (released 0) expires at 0.9; frame 1 is paced
+        # think_s after that *drop*, expires mid-batch too; frame 2 is
+        # paced off frame 1's drop and finally runs once batch drains.
+        drops = [r for r in timeline.drops if r.stream == "loop"]
+        assert [r.frame for r in drops] == [0, 1]
+        assert len(timeline.drops) == len(drops)  # batch never drops
+
+        expiry_0 = self.DEADLINE
+        release_1 = expiry_0 + self.THINK
+        expiry_1 = release_1 + self.DEADLINE
+        assert drops[0].time_s == expiry_0
+        assert drops[1].time_s == expiry_1  # same float expr the engine ran
+
+        loop_segments = [
+            s for s in timeline.segments if s.stream == "loop"
+        ]
+        assert [s.frame for s in loop_segments] == [2]
+        # Frame 2 was released at drop(1) + think (= 2.4 < 3.0) and had
+        # to wait for the batch to drain before dispatch at t=3.0.
+        assert loop_segments[0].start_s == 3.0
+        check_oracles(plan, timeline)
+
+    def test_frame_records_recover_drop_paced_releases(self):
+        spec, plan, timeline = self.run_mixed()
+        records = plan.frame_records(timeline)["loop"]
+        release_1 = self.DEADLINE + self.THINK
+        release_2 = release_1 + self.DEADLINE + self.THINK
+        assert records[1].release_s == release_1
+        assert records[2].release_s == release_2
+        assert records[0].dropped and records[1].dropped
+        assert not records[2].dropped
