@@ -1,0 +1,137 @@
+"""Million-frame streaming gate: trace length must not bound memory.
+
+The streaming serving path (:func:`repro.serving.streaming.serve_streaming`)
+consumes arrivals lazily, injects each frame's tasks just in time, folds
+retired frames into O(1) per-stream accumulators (P² latency sketches),
+and prunes their engine state. This benchmark drives a one-million-frame
+Poisson trace through it and gates three properties:
+
+* **wall clock** — the whole trace schedules within :data:`WALL_BUDGET_S`
+  (a materialized run would first spend minutes and gigabytes just
+  expanding the task list);
+* **bounded live state** — the engine's peak in-flight task count stays
+  at queue-depth scale (hundreds), independent of the million frames;
+* **bounded RSS** — the process peak RSS stays flat, which is only
+  possible because no per-frame record list is kept.
+
+The template is a deliberately minimal two-op chain so the gate measures
+the engine and driver, not model lowering.
+
+Run with::
+
+    pytest benchmarks/bench_million_frames.py -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import emit_bench_json, peak_rss_bytes
+
+from repro.api import ScenarioSpec, StreamSpec
+from repro.schedule.resources import ResourceClaim, ResourceKind
+from repro.schedule.timeline import OpTask
+from repro.serving import ArrivalSpec, QosSpec
+from repro.serving.streaming import serve_streaming
+
+#: Trace length. Overridable for quick local runs; the gate asserts the
+#: full million only when actually run at the full million.
+FRAMES = int(os.environ.get("REPRO_BENCH_MILLION_FRAMES", "1000000"))
+
+#: Wall-clock budget for the full trace (measured ~110-160s on the
+#: reference container; generous to absorb shared-runner noise).
+WALL_BUDGET_S = 420.0
+
+#: Peak in-flight tasks must stay at queue-depth scale. The observed
+#: value is ~40; the bound leaves room without ever tolerating
+#: trace-length growth.
+MAX_PEAK_LIVE = 1000
+
+#: Peak RSS bound — a materialized million-frame trace would need
+#: gigabytes for the task list alone.
+MAX_RSS_BYTES = 1 << 30
+
+#: Two ops per frame: a SIMD preprocessing step feeding a systolic MAC
+#: step, the minimal shape that still exercises dependency chaining and
+#: the MAC substrate path.
+TEMPLATE = [
+    OpTask(
+        uid=0,
+        name="pre",
+        seconds=1 / 512,
+        claims=(ResourceClaim(ResourceKind("simd"), fraction=1.0),),
+        mode="simd",
+    ),
+    OpTask(
+        uid=1,
+        name="mac",
+        seconds=1 / 256,
+        claims=(ResourceClaim(ResourceKind("array"), fraction=1.0),),
+        mode="systolic",
+    ),
+]
+
+SCENARIO = ScenarioSpec(
+    name="bench-million-frames",
+    platform="sma:2",
+    frames=FRAMES,
+    policy="fifo",
+    qos=QosSpec(kind="drop_late"),
+    streams=(
+        StreamSpec(
+            name="cam",
+            model="synthetic/2op",
+            priority=1.0,
+            deadline_s=0.050,
+            arrivals=ArrivalSpec(kind="poisson", rate_hz=120.0, seed=11),
+        ),
+    ),
+)
+
+
+def test_million_frame_stream():
+    stats: dict = {}
+    start = time.perf_counter()
+    report = serve_streaming(
+        SCENARIO,
+        {"cam": TEMPLATE},
+        platform=SCENARIO.platform,
+        stats_out=stats,
+    )
+    elapsed = time.perf_counter() - start
+    rss = peak_rss_bytes()
+
+    stream = report.streams[0]
+    assert stream.offered == FRAMES
+    assert stream.completed + stream.dropped == FRAMES
+    assert stream.frames == (), "streaming must not keep per-frame records"
+    assert stream.sketches is not None, "percentiles must come from sketches"
+
+    per_frame_us = elapsed / FRAMES * 1e6
+    print(
+        f"\n{FRAMES} frames in {elapsed:.1f}s ({per_frame_us:.1f} us/frame),"
+        f" {stats['events']} events, peak_live={stats['peak_live']},"
+        f" peak RSS {rss / (1 << 20):.0f} MiB"
+    )
+    emit_bench_json(
+        "million_frames",
+        ops=FRAMES,
+        seconds=elapsed,
+        extra={
+            "events": stats["events"],
+            "peak_live": stats["peak_live"],
+            "completed": stream.completed,
+            "dropped": stream.dropped,
+        },
+    )
+
+    assert stats["peak_live"] <= MAX_PEAK_LIVE, (
+        f"live task window grew to {stats['peak_live']}"
+    )
+    assert rss <= MAX_RSS_BYTES, f"peak RSS {rss} exceeds bound"
+    if FRAMES >= 1_000_000:
+        assert elapsed <= WALL_BUDGET_S, (
+            f"million-frame trace took {elapsed:.1f}s"
+            f" (budget {WALL_BUDGET_S:.0f}s)"
+        )

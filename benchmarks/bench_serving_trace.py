@@ -1,11 +1,20 @@
-"""Serving overhead: admission control must not slow the engine down.
+"""Serving overhead and the vectorized engine's speedup gate.
 
 Open-loop serving adds two engine-side costs on top of PR 3's timeline
 scheduling: QoS review at every event (queued-frame bookkeeping) and the
-extra expiry events a ``drop_late`` policy schedules. This benchmark
-times the engine over a saturating Poisson trace with admission control
-attached and holds it to the same per-op budget as the closed-loop
-scenario benchmark.
+extra expiry events a ``drop_late`` policy schedules. The first half of
+this benchmark times the engine over a saturating Poisson trace with
+admission control attached and holds it to the same per-op budget as the
+closed-loop scenario benchmark.
+
+The second half is PR 8's headline gate: scheduling a long solo serving
+trace with both engines **in the same run** and asserting the vectorized
+engine is at least :data:`MIN_SPEEDUP` times faster. The scalar engine
+re-scans every frame head at every event (admission review), so its cost
+grows quadratically with trace length while the vectorized engine's
+condensed solo-chain stepping stays linear — the ratio is a property of
+the algorithm, not of machine speed, which is why a ratio gate is stable
+enough for CI where an absolute-time gate would not be.
 
 Run with::
 
@@ -14,7 +23,10 @@ Run with::
 
 from __future__ import annotations
 
+import os
 import time
+
+from benchmarks.conftest import emit_bench_json
 
 from repro.api import ScenarioSpec, Session, StreamSpec
 from repro.schedule.streams import instantiate_frames
@@ -24,6 +36,15 @@ from repro.serving import ArrivalSpec, QosSpec, make_qos
 #: Scheduling-overhead budget per op (seconds) — same as the closed-loop
 #: multistream benchmark: QoS must ride along for free at this scale.
 PER_OP_BUDGET_S = 50e-6
+
+#: The vectorized engine must beat the scalar engine by at least this
+#: factor on the long-trace scenario below (measured ~112x at 3072
+#: frames on the reference container; the ratio grows with trace length).
+MIN_SPEEDUP = 100.0
+
+#: Trace length for the speedup gate. Overridable for local smoke runs
+#: (the scalar leg is the expensive one — it is the point of the gate).
+TRACE_FRAMES = int(os.environ.get("REPRO_BENCH_TRACE_FRAMES", "3072"))
 
 #: Offered well above what the platform sustains, so the queue actually
 #: builds and the drop path is exercised, not just the happy path.
@@ -46,19 +67,36 @@ SCENARIO = ScenarioSpec(
     ),
 )
 
+#: The speedup scenario: one saturating stream, so completions form long
+#: solo dependency chains the vectorized engine condenses, while the
+#: scalar engine still pays its per-event head scan across all
+#: ``TRACE_FRAMES`` frames.
+TRACE_SCENARIO = ScenarioSpec(
+    name="bench-engine-speedup",
+    platform="sma:2",
+    frames=TRACE_FRAMES,
+    policy="fifo",
+    qos=QosSpec(kind="drop_late"),
+    streams=(
+        StreamSpec(name="tra", model="alexnet", priority=1.0,
+                   deadline_s=0.050,
+                   arrivals=ArrivalSpec(kind="poisson", rate_hz=120.0, seed=2)),
+    ),
+)
 
-def _lowered_plan():
+
+def _lowered_plan(scenario=SCENARIO):
     session = Session()
     platform = session.platform(
-        SCENARIO.platform, framework_overhead_s=50e-6
+        scenario.platform, framework_overhead_s=50e-6
     )
     templates = {}
-    for stream in SCENARIO.streams:
+    for stream in scenario.streams:
         platform.reset_schedule_state()
         templates[stream.name] = platform.lower_model(
             session.model(stream.model), stream=stream.name
         )
-    return instantiate_frames(SCENARIO, templates)
+    return instantiate_frames(scenario, templates)
 
 
 def test_serving_overhead_per_op(benchmark):
@@ -95,4 +133,51 @@ def test_serving_overhead_without_harness():
     for _ in range(rounds):
         scheduler.run(plan.tasks)
     per_op = (time.perf_counter() - start) / rounds / len(plan.tasks)
+    assert per_op < PER_OP_BUDGET_S
+
+
+def test_engine_speedup_same_run():
+    """Both engines, same trace, same process: vectorized >= 100x scalar.
+
+    Also pins output parity — the ratio would be meaningless if the fast
+    engine computed a different schedule.
+    """
+    plan = _lowered_plan(TRACE_SCENARIO)
+    elapsed = {}
+    timelines = {}
+    for engine in ("vectorized", "scalar"):
+        scheduler = TimelineScheduler(
+            TRACE_SCENARIO.policy,
+            qos=make_qos(TRACE_SCENARIO.qos),
+            engine=engine,
+        )
+        start = time.perf_counter()
+        timelines[engine] = scheduler.run(plan.tasks)
+        elapsed[engine] = time.perf_counter() - start
+
+    assert timelines["vectorized"] == timelines["scalar"], (
+        "engines diverged on the speedup trace"
+    )
+    speedup = elapsed["scalar"] / elapsed["vectorized"]
+    per_op = elapsed["vectorized"] / len(plan.tasks)
+    print(
+        f"\n{len(plan.tasks)} tasks x2 engines:"
+        f" vectorized {elapsed['vectorized']:.3f}s,"
+        f" scalar {elapsed['scalar']:.3f}s -> {speedup:.1f}x"
+    )
+    emit_bench_json(
+        "serving_trace",
+        ops=len(plan.tasks),
+        seconds=elapsed["vectorized"],
+        extra={
+            "scalar_seconds": round(elapsed["scalar"], 6),
+            "speedup": round(speedup, 2),
+            "frames": TRACE_FRAMES,
+        },
+    )
+    if TRACE_FRAMES >= 3072:
+        assert speedup >= MIN_SPEEDUP, (
+            f"vectorized engine only {speedup:.1f}x faster"
+            f" (gate {MIN_SPEEDUP:.0f}x)"
+        )
     assert per_op < PER_OP_BUDGET_S

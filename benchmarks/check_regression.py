@@ -1,0 +1,69 @@
+"""Gate BENCH_*.json artifacts against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py benchmarks/baseline.json <bench-dir>
+
+The baseline maps each benchmark name to its reference figures:
+
+* ``us_per_op`` — the committed per-op cost. A measured value more than
+  ``tolerance`` (relative, default 0.20) above it fails the gate.
+  Baselines are pinned at the *generous* end of the observed range on
+  the reference container, so the +20% headroom flags real regressions
+  rather than shared-runner noise. Lower is always fine — ratchet the
+  baseline down when an optimization lands.
+* ``min`` — optional floor checks on extra keys the benchmark emitted
+  (e.g. the engine ``speedup`` ratio, which is machine-independent and
+  therefore gated exactly).
+
+Exit status 1 on any regression or missing artifact, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def check(baseline_path: str, bench_dir: str) -> int:
+    baseline = json.loads(Path(baseline_path).read_text())
+    out = Path(bench_dir)
+    failures = []
+    for name, reference in sorted(baseline.items()):
+        artifact = out / f"BENCH_{name}.json"
+        if not artifact.is_file():
+            failures.append(f"{name}: missing artifact {artifact}")
+            continue
+        measured = json.loads(artifact.read_text())
+        tolerance = float(reference.get("tolerance", 0.20))
+        limit = float(reference["us_per_op"]) * (1.0 + tolerance)
+        got = float(measured["us_per_op"])
+        verdict = "ok" if got <= limit else "REGRESSION"
+        print(
+            f"{name}: {got:.2f} us/op vs baseline"
+            f" {reference['us_per_op']:.2f} (+{tolerance:.0%} ->"
+            f" limit {limit:.2f}) [{verdict}]"
+        )
+        if got > limit:
+            failures.append(
+                f"{name}: {got:.2f} us/op exceeds limit {limit:.2f}"
+            )
+        for key, floor in reference.get("min", {}).items():
+            value = measured.get(key)
+            if value is None or float(value) < float(floor):
+                failures.append(
+                    f"{name}: {key}={value} below required {floor}"
+                )
+            else:
+                print(f"{name}: {key}={value} >= {floor} [ok]")
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    sys.exit(check(sys.argv[1], sys.argv[2]))

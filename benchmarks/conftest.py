@@ -9,6 +9,52 @@ pytest-benchmark. Run with::
 
 from __future__ import annotations
 
+import json
+import os
+import resource
+from pathlib import Path
+
+
+def bench_out_dir() -> Path:
+    """Directory for machine-readable bench artifacts.
+
+    Overridable via ``REPRO_BENCH_DIR`` so CI can collect the files as
+    build artifacts without touching the working tree.
+    """
+    root = os.environ.get("REPRO_BENCH_DIR")
+    if root is None:
+        root = Path(__file__).resolve().parent / "out"
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process (bytes; Linux reports KiB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def emit_bench_json(name: str, *, ops: int, seconds: float, extra=None) -> Path:
+    """Write ``BENCH_<name>.json`` with throughput and memory figures.
+
+    Every perf-gating benchmark calls this so CI has one uniform artifact
+    shape to diff against the committed baseline: operations per second,
+    microseconds per operation, and the peak RSS at emission time.
+    """
+    payload = {
+        "name": name,
+        "ops": int(ops),
+        "seconds": round(seconds, 6),
+        "ops_per_sec": round(ops / seconds, 3) if seconds > 0 else None,
+        "us_per_op": round(seconds / ops * 1e6, 3) if ops else None,
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    if extra:
+        payload.update(extra)
+    path = bench_out_dir() / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
 
 def run_and_report(benchmark, runner, *args, **kwargs):
     """Benchmark one experiment runner and print its table."""

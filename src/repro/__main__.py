@@ -19,6 +19,10 @@ Usage::
         -s "mask_rcnn@deadline=0.2,rate=15" -s "vgg_a@rate=15" \
         --save-trace trace.json                  # open-loop serving
     python -m repro serve --spec scenario.json --trace trace.json --json
+    python -m repro serve -p sma:3 --frames 1000000 --qos drop_late \
+        -s "goturn@deadline=0.05,rate=200" --streaming  # bounded memory
+    python -m repro scenario --engine vectorized ...    # timeline engine
+                                                 # (or REPRO_ENGINE=...)
     python -m repro serve -p sma:3 -p gpu-tc -s "deeplab@deadline=0.1" \
         --explore --rates 5,10,20 --slo-ms 100   # SLO explorer
     python -m repro serve -p sma:3 -s "deeplab@deadline=0.1" --explore \
@@ -32,6 +36,8 @@ Usage::
         --server 127.0.0.1:7070 --server 127.0.0.1:7071  # split one trace
     python -m repro fuzz run --seed 7 --batch 64 --store corpus.sqlite \
         --reproducer-dir repros            # adversarial invariant fuzzing
+    python -m repro fuzz run --seed 7 --batch 64 --differential \
+        # every case on both timeline engines; divergence = violation
     python -m repro fuzz run --seed 7 --batch 64 \
         --server 127.0.0.1:7070 --server 10.0.0.2:7070  # fleet campaign
     python -m repro fuzz replay repros/c000002-priority_ladder.json
@@ -47,6 +53,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 
 from repro.api import (
@@ -61,6 +68,7 @@ from repro.common.tables import render_table
 from repro.errors import ConfigError, ReproError
 from repro.experiments.export import EXPERIMENT_RUNNERS, export_all
 from repro.platforms.base import REPORTING_GROUPS as GROUP_ORDER
+from repro.schedule import ENGINE_ENV, ENGINE_NAMES
 
 #: Default platform sweep for `bench` (every GEMM-capable backend).
 BENCH_PLATFORMS = ("gpu-simd", "gpu-tc", "sma:2", "sma:3")
@@ -505,6 +513,11 @@ def _cmd_serve(args) -> int:
                     f"--explore and {flag} are exclusive ({flag} applies"
                     " to a single serving run)"
                 )
+        if args.streaming:
+            raise ConfigError(
+                "--explore and --streaming are exclusive (exploration runs"
+                " through the sweep engine)"
+            )
     qos = _parse_qos(args.qos) if args.qos else None
     platform = platforms[0] if platforms else None
     scenario = _scenario_from_args(args, platform, "serve")
@@ -574,13 +587,24 @@ def _cmd_serve(args) -> int:
     if args.trace:
         scenario = apply_trace(scenario, ArrivalTrace.load(args.trace))
     session = Session()
-    report = session.run_serving(scenario, platform or None)
+    stats: dict = {}
+    if args.streaming:
+        report = session.run_serving_stream(
+            scenario, platform or None, stats_out=stats
+        )
+    else:
+        report = session.run_serving(scenario, platform or None)
     if args.save_trace:
         trace_scenario(scenario).save(args.save_trace)
     if args.json:
         print(report.to_json(indent=2))
         return 0
     _print_serving_report(report, session)
+    if args.streaming:
+        print(
+            f"streaming run: {stats.get('events', 0)} events,"
+            f" peak {stats.get('peak_live', 0)} live task(s)"
+        )
     if args.save_trace:
         print(f"arrival trace written to {args.save_trace}")
     return 0
@@ -901,6 +925,7 @@ def _cmd_fuzz_run(args) -> int:
             resume=args.resume,
             shrink=args.shrink,
             inject=args.inject,
+            differential=args.differential,
             servers=args.servers or None,
         )
     finally:
@@ -1108,6 +1133,20 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
 
+    def add_engine_flag(parser) -> None:
+        """Timeline-engine selector shared by scenario/serve/sweep.
+
+        Implemented by exporting ``REPRO_ENGINE`` rather than threading a
+        parameter: both engines are bit-identical, so the choice must not
+        enter request fingerprints, and the environment variable reaches
+        sweep worker processes for free.
+        """
+        parser.add_argument(
+            "--engine", default=None, choices=ENGINE_NAMES,
+            help="timeline engine (default: $REPRO_ENGINE or 'scalar';"
+            " both produce bit-identical results)",
+        )
+
     def add_sweep_axes(parser) -> None:
         """Workload/store options shared by `sweep` and `cluster sweep`."""
         parser.add_argument(
@@ -1159,6 +1198,7 @@ def main(argv: list[str] | None = None) -> int:
         help="expand a spec grid and run it, optionally sharded/resumable",
     )
     add_sweep_axes(sweep_parser)
+    add_engine_flag(sweep_parser)
     sweep_parser.add_argument(
         "-j", "--jobs", type=int, default=1,
         help="worker processes; caches merge back on join",
@@ -1194,6 +1234,7 @@ def main(argv: list[str] | None = None) -> int:
         "--spec", default=None, metavar="FILE",
         help="load the scenario from a ScenarioSpec JSON file",
     )
+    add_engine_flag(scenario_parser)
     scenario_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
@@ -1281,6 +1322,12 @@ def main(argv: list[str] | None = None) -> int:
         "-j", "--jobs", type=int, default=1,
         help="worker processes for --explore",
     )
+    serve_parser.add_argument(
+        "--streaming", action="store_true",
+        help="consume arrivals as a bounded-memory stream (P2 percentile"
+        " sketches instead of per-frame records; same counts/makespan)",
+    )
+    add_engine_flag(serve_parser)
     serve_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
@@ -1433,6 +1480,11 @@ def main(argv: list[str] | None = None) -> int:
         help="plant a known fault (oracle self-test; must be caught)",
     )
     frun_parser.add_argument(
+        "--differential", action="store_true",
+        help="run every case through both timeline engines; any report"
+        " difference is an engine_divergence violation",
+    )
+    frun_parser.add_argument(
         "--server", action="append", dest="servers", metavar="HOST:PORT",
         help="cluster server (repeatable); shards fan out across them",
     )
@@ -1489,6 +1541,8 @@ def main(argv: list[str] | None = None) -> int:
     export_parser.add_argument("names", nargs="*", default=None)
 
     args = parser.parse_args(argv)
+    if getattr(args, "engine", None):
+        os.environ[ENGINE_ENV] = args.engine
     try:
         if args.command == "list":
             return _cmd_list()

@@ -16,7 +16,7 @@ from repro.errors import ConfigError
 from repro.gemm.cache import CacheStats
 from repro.gemm.executor import GemmTiming
 from repro.gemm.problem import GemmProblem
-from repro.common.stats import percentile
+from repro.common.stats import QuantileSketch, percentile
 from repro.platforms.base import ModelRunResult
 from repro.schedule.streams import (
     FramePlan,
@@ -556,6 +556,13 @@ class ServingStreamReport:
     Latency statistics are nearest-rank percentiles over the completed
     frames only, and ``goodput_fps`` is deadline-met completions per
     second of makespan — the throughput the SLO actually credits.
+
+    Streaming runs (``Session.run_serving_stream`` without
+    ``keep_records``) carry no per-frame tuple; instead ``sketches``
+    holds the stream's P² latency sketch state
+    (:meth:`repro.common.stats.QuantileSketch.to_dict`) and the
+    percentile fields are its estimates. The key is emitted only when
+    set, so materialized reports stay byte-identical.
     """
 
     name: str
@@ -573,6 +580,7 @@ class ServingStreamReport:
     p99_s: float
     goodput_fps: float
     frames: tuple[ServingFrame, ...] = ()
+    sketches: dict | None = None
 
     @property
     def drop_fraction(self) -> float:
@@ -601,6 +609,10 @@ class ServingReport:
     switch_overhead_s: float = 0.0
     qos: dict | None = None
     tag: str | None = None
+    #: Cross-stream latency sketch state for streaming runs (None for
+    #: materialized runs — the aggregate percentiles then come from the
+    #: per-frame records).
+    sketches: dict | None = None
 
     def stream(self, name: str) -> ServingStreamReport:
         for stream in self.streams:
@@ -646,7 +658,14 @@ class ServingReport:
         ]
 
     def latency_percentile(self, q: float) -> float:
-        """Nearest-rank latency percentile across every completed frame."""
+        """Nearest-rank latency percentile across every completed frame.
+
+        Sketch-backed (streaming) reports have no per-frame records; the
+        value is then the cross-stream P² estimate, defined only for the
+        tracked quantiles (50/95/99).
+        """
+        if self.sketches is not None:
+            return QuantileSketch.from_dict(self.sketches).quantile(q)
         return percentile(self.completed_latencies(), q)
 
     @property
@@ -742,13 +761,24 @@ class ServingReport:
             "p50_s": self.p50_s,
             "p95_s": self.p95_s,
             "p99_s": self.p99_s,
-            "streams": [asdict(stream) for stream in self.streams],
+            "streams": [self._stream_dict(stream) for stream in self.streams],
             "occupancy": dict(self.occupancy),
             "mode_switches": self.mode_switches,
             "switch_overhead_s": self.switch_overhead_s,
             "qos": dict(self.qos) if self.qos is not None else None,
             "tag": self.tag,
+            # Emitted only when set so materialized serving reports (and
+            # every store fingerprint derived from them) keep their
+            # pre-streaming byte format.
+            **({"sketches": self.sketches} if self.sketches is not None else {}),
         }
+
+    @staticmethod
+    def _stream_dict(stream: ServingStreamReport) -> dict:
+        payload = asdict(stream)
+        if payload.get("sketches") is None:
+            del payload["sketches"]
+        return payload
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)

@@ -226,6 +226,7 @@ class Session:
         *,
         tag: str | None = None,
         platform_kwargs: dict | None = None,
+        engine: str | None = None,
     ) -> ScheduleReport:
         """Schedule a multi-stream scenario on one platform's timeline.
 
@@ -239,7 +240,7 @@ class Session:
         policy schedules the whole task set.
         """
         spec, platform_spec, plan, timeline = self._schedule_scenario(
-            scenario, platform, platform_kwargs
+            scenario, platform, platform_kwargs, engine=engine
         )
         return ScheduleReport.from_timeline(
             spec, platform_spec, timeline, plan, tag=tag
@@ -252,6 +253,7 @@ class Session:
         *,
         tag: str | None = None,
         platform_kwargs: dict | None = None,
+        engine: str | None = None,
     ) -> ServingReport:
         """Serve a scenario open-loop and report tail latencies and drops.
 
@@ -263,7 +265,7 @@ class Session:
         records, the serving-side view of the same timeline.
         """
         spec, platform_spec, plan, timeline = self._schedule_scenario(
-            scenario, platform, platform_kwargs
+            scenario, platform, platform_kwargs, engine=engine
         )
         return ServingReport.from_timeline(
             spec, platform_spec, timeline, plan, tag=tag
@@ -306,13 +308,52 @@ class Session:
             return {}
         return {"timeout_s": self.cluster_timeout_s}
 
-    def _schedule_scenario(
+    def run_serving_stream(
+        self,
+        scenario: ScenarioSpec | dict,
+        platform: str | None = None,
+        *,
+        tag: str | None = None,
+        platform_kwargs: dict | None = None,
+        keep_records: bool = False,
+        max_events: int | None = None,
+        stats_out: dict | None = None,
+    ) -> ServingReport:
+        """Serve a scenario through the bounded-memory streaming engine.
+
+        Arrivals are consumed lazily and frames retire into O(1)
+        per-stream accumulators (P² latency sketches), so trace length
+        does not bound memory — the path for million-frame runs. With
+        ``keep_records=True`` per-frame records are retained and the
+        report equals :meth:`run_serving`'s exactly; without it the
+        percentile fields are sketch estimates and ``sketches`` carries
+        the estimator state. Open-loop scenarios only (closed-loop
+        pacing has no static schedule to stream). See
+        :mod:`repro.serving.streaming` for the semantics contract.
+        """
+        from repro.serving.streaming import serve_streaming
+
+        scenario, platform_spec, target, templates = self._lower_scenario(
+            scenario, platform, platform_kwargs
+        )
+        return serve_streaming(
+            scenario,
+            templates,
+            interference=target.interference_matrix(),
+            platform=platform_spec,
+            tag=tag,
+            keep_records=keep_records,
+            max_events=max_events,
+            stats_out=stats_out,
+        )
+
+    def _lower_scenario(
         self,
         scenario: ScenarioSpec | dict,
         platform: str | None,
         platform_kwargs: dict | None,
     ):
-        """Lower, instantiate, and schedule one scenario (shared path)."""
+        """Coerce the spec and lower every stream's model (shared path)."""
         if isinstance(scenario, dict):
             scenario = ScenarioSpec.from_dict(scenario)
         if not isinstance(scenario, ScenarioSpec):
@@ -338,11 +379,25 @@ class Session:
                 self.model(stream.model), stream=stream.name
             )
         target.reset_schedule_state()
+        return scenario, platform_spec, target, templates
+
+    def _schedule_scenario(
+        self,
+        scenario: ScenarioSpec | dict,
+        platform: str | None,
+        platform_kwargs: dict | None,
+        engine: str | None = None,
+    ):
+        """Lower, instantiate, and schedule one scenario (shared path)."""
+        scenario, platform_spec, target, templates = self._lower_scenario(
+            scenario, platform, platform_kwargs
+        )
         plan = instantiate_frames(scenario, templates)
         scheduler = TimelineScheduler(
             scenario.policy,
             qos=make_qos(scenario.qos),
             interference=target.interference_matrix(),
+            engine=engine,
         )
         return scenario, platform_spec, plan, scheduler.run(plan.tasks)
 

@@ -133,10 +133,17 @@ class ClusterClient:
         indices,
         shrink: bool = True,
         inject: str | None = None,
+        differential: bool = False,
     ) -> list:
         """Run a fuzz shard remotely; returns its CaseRecords."""
         response = self._rpc(
-            protocol.fuzz_message(seed, indices, shrink=shrink, inject=inject)
+            protocol.fuzz_message(
+                seed,
+                indices,
+                shrink=shrink,
+                inject=inject,
+                differential=differential,
+            )
         )
         return protocol.parse_fuzz_result(response)
 

@@ -255,12 +255,15 @@ def fuzz_message(
     indices,
     shrink: bool = True,
     inject: str | None = None,
+    differential: bool = False,
 ) -> dict:
     """A fuzz shard: regenerate-and-evaluate these campaign indices.
 
     Cases travel as ``(seed, index)`` coordinates, not scenarios — both
     sides derive the identical case from the shared generator, so the
-    shard is a few bytes regardless of batch size.
+    shard is a few bytes regardless of batch size. ``differential``
+    asks the server to run every case through both timeline engines
+    (servers default it off when absent, so the key is wire-compatible).
     """
     return {
         "v": PROTOCOL_VERSION,
@@ -269,6 +272,7 @@ def fuzz_message(
         "indices": [int(index) for index in indices],
         "shrink": bool(shrink),
         "inject": inject,
+        "differential": bool(differential),
     }
 
 

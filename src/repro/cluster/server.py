@@ -247,6 +247,7 @@ class ClusterServer:
                 indices = [int(index) for index in message["indices"]]
                 shrink = bool(message.get("shrink", True))
                 inject = message.get("inject")
+                differential = bool(message.get("differential", False))
             except (KeyError, TypeError, ValueError) as error:
                 return (
                     protocol.error_message(
@@ -256,7 +257,11 @@ class ClusterServer:
                 )
             try:
                 records = run_indices(
-                    seed, indices, shrink=shrink, inject=inject
+                    seed,
+                    indices,
+                    shrink=shrink,
+                    inject=inject,
+                    differential=differential,
                 )
                 return protocol.fuzz_result_message(records), False
             except Exception as error:

@@ -106,6 +106,7 @@ def run_indices(
     *,
     shrink: bool = True,
     inject: str | None = None,
+    differential: bool = False,
 ) -> list[CaseRecord]:
     """Evaluate the given campaign indices, in the order given.
 
@@ -115,14 +116,16 @@ def run_indices(
 
     ``inject`` plants the named fault into every case whose scenario the
     fault applies to (``invert_priority`` needs an ``exclusive``
-    dispatcher, so only those cases are affected).
+    dispatcher, so only those cases are affected). ``differential``
+    additionally runs every case through *both* timeline engines and
+    records any report difference as an ``engine_divergence`` violation.
     """
     records = []
     for index in indices:
         case = generate_case(campaign_seed, index)
         if inject is not None and case.scenario.policy == "exclusive":
             case = replace(case, inject=inject)
-        outcome = evaluate_case(case, deep=True)
+        outcome = evaluate_case(case, deep=True, differential=differential)
         if outcome.ok:
             records.append(
                 CaseRecord(
@@ -378,6 +381,7 @@ def _run_remote(
     servers,
     shrink: bool,
     inject: str | None,
+    differential: bool,
     timeout_s: float,
 ) -> list[CaseRecord]:
     """Deal pending indices over warm cluster servers.
@@ -412,7 +416,11 @@ def _run_remote(
             client = ClusterClient(address, timeout_s=timeout_s)
             try:
                 return client.submit_fuzz(
-                    campaign_seed, shard, shrink=shrink, inject=inject
+                    campaign_seed,
+                    shard,
+                    shrink=shrink,
+                    inject=inject,
+                    differential=differential,
                 )
             except _REDISPATCH_ERRORS as error:
                 dead.add(address)
@@ -442,6 +450,7 @@ def run_campaign(
     resume: bool = False,
     shrink: bool = True,
     inject: str | None = None,
+    differential: bool = False,
     servers=None,
     timeout_s: float = 600.0,
 ) -> FuzzReport:
@@ -451,6 +460,8 @@ def run_campaign(
     instead of re-executed; everything executed this run is persisted
     back. With ``servers``, pending indices fan out across warm cluster
     servers — the records are identical to a local run by construction.
+    ``differential`` turns on the both-engines oracle for every case (see
+    :func:`run_indices`).
     """
     if batch < 0:
         raise ConfigError(f"campaign batch must be >= 0, got {batch}")
@@ -471,11 +482,16 @@ def run_campaign(
             servers=servers,
             shrink=shrink,
             inject=inject,
+            differential=differential,
             timeout_s=timeout_s,
         )
     else:
         executed = run_indices(
-            campaign_seed, pending, shrink=shrink, inject=inject
+            campaign_seed,
+            pending,
+            shrink=shrink,
+            inject=inject,
+            differential=differential,
         )
     by_index = dict(loaded)
     for record in executed:

@@ -278,8 +278,14 @@ class CaseResult:
         return self.plan.tasks
 
 
-def run_case(case: FuzzCase) -> CaseResult:
+def run_case(case: FuzzCase, engine: str | None = None) -> CaseResult:
     """Execute one case through the timeline engine and assemble reports.
+
+    ``engine`` picks the timeline execution core (``"scalar"`` /
+    ``"vectorized"``); ``None`` defers to the process default. The
+    differential oracle re-runs a case on the other engine and treats any
+    report difference as a violation — the two cores are pinned
+    bit-identical.
 
     Raises :class:`~repro.errors.SchedulingError` if the engine itself
     fails — the caller (see :func:`repro.fuzz.oracles.evaluate_case`)
@@ -303,6 +309,7 @@ def run_case(case: FuzzCase) -> CaseResult:
             if case.interference is not None and case.interference
             else None
         ),
+        engine=engine,
     )
     timeline = scheduler.run(list(plan.tasks))
     return CaseResult(

@@ -51,7 +51,11 @@ JSON), **report_roundtrip** (``to_json``/``from_dict`` is lossless),
 reproduces the run bit-for-bit), **merge** (splitting the replayed
 scenario into partitions and merging the per-partition serving reports
 is self-consistent), and **crash** (the engine raised instead of
-scheduling).
+scheduling). With ``differential=True`` it additionally re-runs the
+case on the *other* timeline engine (scalar vs vectorized) and flags
+**engine_divergence** when the reports are not byte-identical — the two
+cores are pinned to the same arithmetic, so any difference is a bug in
+one of them.
 """
 
 from __future__ import annotations
@@ -77,6 +81,7 @@ ORACLE_NAMES = (
     "conservation",
     "crash",
     "determinism",
+    "engine_divergence",
     "frame_atomicity",
     "merge",
     "monotone_events",
@@ -502,6 +507,40 @@ def _determinism_violations(
     return problems
 
 
+def _engine_divergence_violations(
+    case: FuzzCase, result: CaseResult
+) -> list[Violation]:
+    """Differential oracle: the other engine must tell the same story."""
+    from repro.schedule.timeline import ENGINE_NAMES, default_engine
+
+    ran = default_engine()
+    other = next(name for name in ENGINE_NAMES if name != ran)
+    try:
+        rerun = run_case(case, engine=other)
+    except Exception as error:  # noqa: BLE001 - any failure is the finding
+        return [
+            Violation(
+                "engine_divergence",
+                f"the {other} engine raised where {ran} scheduled case"
+                f" {case.case_id!r}: {error}",
+            )
+        ]
+    problems = []
+    for label, first, second in (
+        ("schedule", result.schedule, rerun.schedule),
+        ("serving", result.serving, rerun.serving),
+    ):
+        if first.to_json() != second.to_json():
+            problems.append(
+                Violation(
+                    "engine_divergence",
+                    f"{label} report differs between the {ran} and {other}"
+                    f" engines for case {case.case_id!r}",
+                )
+            )
+    return problems
+
+
 def _trace_roundtrip_violations(
     case: FuzzCase, result: CaseResult
 ) -> list[Violation]:
@@ -598,14 +637,17 @@ def _merge_violations(case: FuzzCase, partitions: int = 2) -> list[Violation]:
 
 
 def evaluate_case(
-    case: FuzzCase, *, deep: bool = True
+    case: FuzzCase, *, deep: bool = True, differential: bool = False
 ) -> CaseOutcome:
     """Run ``case`` and every applicable oracle against the outcome.
 
     ``deep=False`` skips the oracles that need extra engine runs
     (determinism, trace replay, partition merge) — the cheap mode the
     shrinker uses between candidate steps; the final verdict on a shrunk
-    reproducer always uses the full pack.
+    reproducer always uses the full pack. ``differential=True`` adds the
+    ``engine_divergence`` oracle (one extra run on the other timeline
+    engine), independent of ``deep`` so the shrinker can chase a
+    divergence without paying for the rest of the deep pack.
 
     :class:`~repro.errors.SchedulingError` from the engine is itself a
     ``crash`` violation; :class:`~repro.errors.ConfigError` propagates —
@@ -652,6 +694,8 @@ def evaluate_case(
         for message in check_reports_agree(result.schedule, result.serving)
     )
     violations.extend(_roundtrip_violations(result))
+    if differential:
+        violations.extend(_engine_divergence_violations(case, result))
     if deep:
         violations.extend(_determinism_violations(case, result))
         violations.extend(_trace_roundtrip_violations(case, result))

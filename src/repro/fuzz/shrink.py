@@ -123,11 +123,11 @@ class Reproducer:
 
 
 def _still_fails(
-    case: FuzzCase, target: frozenset, deep: bool
+    case: FuzzCase, target: frozenset, deep: bool, differential: bool
 ) -> bool:
     """Whether ``case`` constructs, runs, and hits a chased oracle."""
     try:
-        outcome = evaluate_case(case, deep=deep)
+        outcome = evaluate_case(case, deep=deep, differential=differential)
     except ConfigError:
         return False
     return bool(target & set(outcome.failing_oracles))
@@ -238,9 +238,9 @@ def shrink_case(
     case that passes the full pack cannot be shrunk and raises
     :class:`~repro.errors.ConfigError`. Returns the reproducer for the
     1-minimal variant, with the final violations re-verified by the full
-    (deep) oracle pack.
+    (deep, differential) oracle pack.
     """
-    baseline = evaluate_case(case, deep=True)
+    baseline = evaluate_case(case, deep=True, differential=True)
     if target_oracles is None:
         target_oracles = baseline.failing_oracles
     target = frozenset(target_oracles)
@@ -250,6 +250,7 @@ def shrink_case(
             f" {sorted(target) or 'any oracle'}: nothing to shrink"
         )
     deep = bool(target & _DEEP_ORACLES)
+    differential = "engine_divergence" in target
     current = case
     for _ in range(max_rounds):
         improved = False
@@ -260,14 +261,14 @@ def shrink_case(
             while progressing:
                 progressing = False
                 for candidate in candidates_of(current):
-                    if _still_fails(candidate, target, deep):
+                    if _still_fails(candidate, target, deep, differential):
                         current = candidate
                         improved = True
                         progressing = True
                         break
         if not improved:
             break
-    final = evaluate_case(current, deep=True)
+    final = evaluate_case(current, deep=True, differential=differential)
     kept = tuple(
         violation
         for violation in final.violations
@@ -285,9 +286,14 @@ def shrink_case(
 
 
 def replay_reproducer(source: "Reproducer | FuzzCase") -> CaseOutcome:
-    """Re-run a reproducer (or bare case) through the full oracle pack."""
+    """Re-run a reproducer (or bare case) through the full oracle pack.
+
+    Replay always includes the differential engine oracle: a reproducer
+    recording an ``engine_divergence`` must re-fail on replay, and the
+    extra engine run is one-off noise for everything else.
+    """
     case = source.case if isinstance(source, Reproducer) else source
-    return evaluate_case(case, deep=True)
+    return evaluate_case(case, deep=True, differential=True)
 
 
 __all__ = ["Reproducer", "replay_reproducer", "shrink_case"]

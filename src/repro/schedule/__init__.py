@@ -41,19 +41,26 @@ from repro.schedule.streams import (
     FramePlan,
     FrameRecord,
     FrameRun,
+    FrameSource,
     ScenarioSpec,
     StreamSpec,
+    frame_sources,
     instantiate_frames,
 )
 from repro.schedule.timeline import (
+    ENGINE_ENV,
+    ENGINE_NAMES,
     DropRecord,
     OpTask,
     Timeline,
     TimelineScheduler,
     TimelineSegment,
+    default_engine,
 )
 
 __all__ = [
+    "ENGINE_ENV",
+    "ENGINE_NAMES",
     "POLICY_NAMES",
     "RESOURCE_ORDER",
     "DropRecord",
@@ -62,6 +69,7 @@ __all__ = [
     "FramePlan",
     "FrameRecord",
     "FrameRun",
+    "FrameSource",
     "OpTask",
     "PriorityPolicy",
     "ResourceClaim",
@@ -73,6 +81,8 @@ __all__ = [
     "TimelineScheduler",
     "TimelineSegment",
     "claims_for_mode",
+    "default_engine",
+    "frame_sources",
     "instantiate_frames",
     "make_policy",
 ]

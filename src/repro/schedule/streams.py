@@ -24,7 +24,7 @@ from repro.errors import ConfigError, SchedulingError
 from repro.schedule.policies import POLICY_NAMES
 from repro.schedule.timeline import OpTask, Timeline
 from repro.serving.qos import QosSpec
-from repro.serving.traces import ArrivalSpec, generate_arrivals
+from repro.serving.traces import ArrivalSpec, generate_arrivals, iter_arrivals
 
 
 @dataclass(frozen=True)
@@ -448,11 +448,150 @@ def instantiate_frames(
     return FramePlan(tasks=tuple(tasks), runs=tuple(runs), skipped=skipped)
 
 
+class FrameSource:
+    """One open-loop stream's frames, produced lazily one at a time.
+
+    Emits exactly the :class:`FrameRun`/task batches
+    :func:`instantiate_frames` would build for this stream — same uids
+    (``uid_base`` pre-computed from the scenario's stream order), same
+    deps, same releases — without materializing the trace, so a
+    million-frame stream costs one frame of memory at a time. Closed-loop
+    streams have no static schedule and are rejected by
+    :func:`frame_sources`.
+    """
+
+    def __init__(
+        self, stream: StreamSpec, template: "list[OpTask]",
+        frames: int, uid_base: int,
+    ) -> None:
+        self.stream = stream
+        self.template = template
+        self.frames = frames
+        self.uid = uid_base
+        self.skipped = 0
+        self._slot = 0
+        self._previous_last: int | None = None
+        if stream.arrivals is None:
+            if stream.period_s is None:
+                self._releases = iter(0.0 for _ in range(frames))
+            else:
+                period = stream.period_s
+                self._releases = iter(
+                    frame * period for frame in range(frames)
+                )
+        else:
+            self._releases = iter_arrivals(
+                stream.arrivals, frames, salt=stream.name
+            )
+
+    def next_frame(self) -> "tuple[FrameRun, list[OpTask]] | None":
+        """The stream's next executed frame, or ``None`` when exhausted."""
+        stream = self.stream
+        while True:
+            if self._slot >= self.frames:
+                return None
+            release = next(self._releases, None)
+            if release is None:
+                return None
+            frame = self._slot
+            self._slot += 1
+            if frame % stream.skip_interval != 0:
+                self.skipped += 1
+                continue
+            tasks = []
+            uids = []
+            for position, task in enumerate(self.template):
+                if position == 0:
+                    deps = (
+                        ()
+                        if self._previous_last is None
+                        else (self._previous_last,)
+                    )
+                else:
+                    deps = (self.uid - 1,)
+                # Direct construction instead of dataclasses.replace():
+                # replace() re-introspects fields per call, and this is
+                # the streaming driver's per-frame hot path.
+                tasks.append(
+                    OpTask(
+                        uid=self.uid,
+                        name=task.name,
+                        seconds=task.seconds,
+                        claims=task.claims,
+                        mode=task.mode,
+                        stream=stream.name,
+                        frame=frame,
+                        deps=deps,
+                        release_s=release,
+                        weight=stream.priority,
+                        cross_switch_s=task.cross_switch_s,
+                        deadline_s=stream.deadline_s,
+                        frame_head=position == 0,
+                        think_s=None,
+                        payload=task.payload,
+                    )
+                )
+                uids.append(self.uid)
+                self.uid += 1
+            run = FrameRun(
+                stream=stream.name,
+                frame=frame,
+                release_s=release,
+                deadline_s=stream.deadline_s,
+                uids=tuple(uids),
+                release_dep=None,
+                think_s=0.0,
+            )
+            self._previous_last = uids[-1]
+            return run, tasks
+
+
+def frame_sources(
+    spec: ScenarioSpec, templates: "dict[str, list[OpTask]]"
+) -> "list[FrameSource]":
+    """Per-stream lazy frame sources with :func:`instantiate_frames` uids.
+
+    The materialized expander allocates uids stream-major (every frame of
+    stream 0, then stream 1, ...); each source's base is the number of
+    tasks the streams before it will ever emit, computable without
+    generating a single arrival: ``ceil(slots / skip) * len(template)``,
+    where ``slots`` is ``spec.frames`` capped by a replay trace's length.
+    """
+    for stream in spec.streams:
+        if stream.name not in templates:
+            raise SchedulingError(
+                f"no lowered tasks for stream {stream.name!r}"
+            )
+        if not templates[stream.name]:
+            raise SchedulingError(
+                f"stream {stream.name!r} lowered to an empty task list"
+            )
+        if stream.closed_loop:
+            raise ConfigError(
+                f"stream {stream.name!r}: closed_loop arrivals are paced"
+                " by completions and cannot stream; use"
+                " instantiate_frames"
+            )
+    sources = []
+    uid = 0
+    for stream in spec.streams:
+        template = templates[stream.name]
+        slots = spec.frames
+        if stream.arrivals is not None and stream.arrivals.kind == "replay":
+            slots = min(slots, len(stream.arrivals.times_s))
+        emitted = (slots + stream.skip_interval - 1) // stream.skip_interval
+        sources.append(FrameSource(stream, template, spec.frames, uid))
+        uid += emitted * len(template)
+    return sources
+
+
 __all__ = [
     "FramePlan",
     "FrameRecord",
     "FrameRun",
+    "FrameSource",
     "ScenarioSpec",
     "StreamSpec",
+    "frame_sources",
     "instantiate_frames",
 ]

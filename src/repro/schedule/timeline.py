@@ -24,6 +24,8 @@ loop.
 
 from __future__ import annotations
 
+import os
+
 from dataclasses import dataclass, field, replace
 
 from repro.errors import SchedulingError
@@ -34,6 +36,30 @@ from repro.schedule.resources import ResourceClaim, ResourceKind
 #: task whose mode differs from the substrate's current one is a mode
 #: switch (drain/fill + warp-set resync) when it crosses streams.
 _MAC_MODES = ("simd", "systolic")
+
+#: The timeline engines a scheduler can run on. ``scalar`` is the
+#: original per-event reference loop; ``vectorized`` is the optimized
+#: engine in :mod:`repro.schedule.vectorized`, pinned bit-identical to
+#: it by the golden suite and the differential fuzz mode.
+ENGINE_NAMES = ("scalar", "vectorized")
+
+#: Environment variable selecting the default engine for schedulers
+#: constructed without an explicit ``engine=`` (workers and cluster
+#: servers inherit it, which is how one setting flips a whole fleet).
+ENGINE_ENV = "REPRO_ENGINE"
+
+
+def default_engine() -> str:
+    """The engine used when none is requested (``REPRO_ENGINE`` or scalar)."""
+    name = os.environ.get(ENGINE_ENV, "").strip()
+    if not name:
+        return "scalar"
+    if name not in ENGINE_NAMES:
+        raise SchedulingError(
+            f"unknown timeline engine {name!r} in ${ENGINE_ENV};"
+            f" one of {ENGINE_NAMES}"
+        )
+    return name
 
 
 @dataclass(frozen=True)
@@ -189,6 +215,14 @@ class TimelineScheduler:
     stretch, the source task is unaffected. Primary (full) claims keep
     their temporal-multiplexing semantics unchanged, so single-stream
     schedules are bit-identical with or without a matrix.
+
+    ``engine`` selects the execution core: ``"scalar"`` (this module's
+    reference loop) or ``"vectorized"``
+    (:mod:`repro.schedule.vectorized` — heap-based event queues, an
+    incremental queued-frame index, memoized share recomputation, and an
+    analytic solo-chain fast path). Both produce bit-identical timelines;
+    ``None`` defers to :func:`default_engine` (the ``REPRO_ENGINE``
+    environment variable, scalar otherwise).
     """
 
     def __init__(
@@ -197,13 +231,29 @@ class TimelineScheduler:
         max_events: int = 10_000_000,
         qos=None,
         interference=None,
+        engine: str | None = None,
     ) -> None:
         self.policy = make_policy(policy)
         self.max_events = max_events
         self.qos = qos
         self.interference = interference
+        if engine is None:
+            engine = default_engine()
+        if engine not in ENGINE_NAMES:
+            raise SchedulingError(
+                f"unknown timeline engine {engine!r}; one of {ENGINE_NAMES}"
+            )
+        self.engine = engine
 
     def run(self, tasks) -> Timeline:
+        if self.engine == "vectorized":
+            # Deferred import: vectorized builds on this module's types.
+            from repro.schedule.vectorized import run_vectorized
+
+            return run_vectorized(self, tasks)
+        return self._run_scalar(tasks)
+
+    def _run_scalar(self, tasks) -> Timeline:
         tasks = list(tasks)
         if not tasks:
             return Timeline(segments=(), makespan_s=0.0)
@@ -348,6 +398,13 @@ class TimelineScheduler:
                     drop_frame(head, reason)
                 if done >= len(tasks):
                     break
+                # A drop cascade can resolve a cross-frame dependency at
+                # this very instant, admitting the stream's next frame to
+                # ``pending``; re-drain so dispatch sees it (otherwise an
+                # ``exclusive`` gate can start a lighter task ahead of a
+                # heavier one released by the drop).
+                while pending and pending[0].release_s <= now:
+                    ready.append(pending.pop(0))
 
             # Policy decides which ready tasks start now.
             dispatched = self.policy.dispatch(ready, running)
@@ -475,9 +532,12 @@ class TimelineScheduler:
 
 
 __all__ = [
+    "ENGINE_ENV",
+    "ENGINE_NAMES",
     "DropRecord",
     "OpTask",
     "Timeline",
     "TimelineScheduler",
     "TimelineSegment",
+    "default_engine",
 ]

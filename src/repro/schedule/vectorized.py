@@ -1,0 +1,755 @@
+"""The vectorized timeline engine: the scalar loop's hot path, restructured.
+
+:class:`~repro.schedule.timeline.TimelineScheduler` with
+``engine="vectorized"`` runs task sets through this module instead of the
+scalar reference loop. The semantics — and the produced
+:class:`~repro.schedule.timeline.Timeline`, bit for bit — are identical;
+what changes is the cost model per event:
+
+* **heap event queues** — ``pending`` is a binary heap keyed
+  ``(release_s, uid)`` instead of a sorted list with O(n) head pops and
+  O(n) sorted inserts;
+* **incremental queued-frame index** — the scalar engine rescans *every*
+  frame head twice per event to build the QoS review dict (quadratic in
+  trace length); here heads enter a sorted arrival index once, when their
+  release passes, and leave it on start/drop, so each review costs only
+  the frames actually queued;
+* **memoized share recomputation** — weight-scaled resource loads and
+  per-task slowdowns are recomputed only when the running set changes
+  (dispatch or completion), not every event;
+* **analytic solo-chain fast path** — when exactly one task runs, its
+  slowdown is exactly 1.0, so a dependency chain's completions are the
+  plain left-to-right sum of durations. The fast path advances whole
+  chain segments in a tight loop — skipping release scans, QoS review,
+  and policy dispatch per step — whenever it can prove those would be
+  no-ops: no other ready task, the next pending release and the QoS
+  horizon strictly after the chain step's completion, and (under QoS) the
+  successor is not a frame head. Every float operation it performs is
+  the same operation, in the same order, as the scalar loop's.
+
+Bit-identity is pinned three ways: the golden suite
+(``tests/schedule/test_vectorized.py``), every existing scenario/serving
+golden re-run under ``REPRO_ENGINE=vectorized``, and the differential
+fuzz campaign mode (``repro fuzz run --differential``) which treats any
+report divergence as an invariant violation.
+
+The core additionally supports *incremental* task injection and state
+pruning (:meth:`VectorCore.inject` / :meth:`VectorCore.prune`), which is
+what the bounded-memory streaming serving driver
+(:mod:`repro.serving.streaming`) builds on: million-frame traces run
+through the same engine without ever materializing the full task set.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from bisect import bisect_left, insort
+from dataclasses import replace
+
+from repro.errors import SchedulingError
+from repro.schedule.policies import (
+    ExclusivePolicy,
+    FifoPolicy,
+    PriorityPolicy,
+    SchedulingPolicy,
+)
+from repro.schedule.timeline import (
+    _MAC_MODES,
+    DropRecord,
+    OpTask,
+    Timeline,
+    TimelineSegment,
+)
+from repro.schedule.resources import ResourceKind
+from repro.serving.qos import (
+    AdmissionPolicy,
+    DropLatePolicy,
+    QueueCapPolicy,
+    ShedPolicy,
+)
+
+#: Task lifecycle states (internal).
+_BLOCKED, _PENDING, _READY, _RUNNING, _DONE, _DROPPED = range(6)
+
+#: Policies whose dispatch of a single ready task with nothing running is
+#: provably that task — the precondition for the solo-chain fast path to
+#: condense a dispatch without consulting the policy. Custom subclasses
+#: fall back to the generic loop (correct, just slower).
+_FAST_POLICIES = (SchedulingPolicy, FifoPolicy, PriorityPolicy, ExclusivePolicy)
+
+#: Admission policies known to honor the ``next_event`` contract (their
+#: review decision cannot change before the returned horizon). The fast
+#: path relies on that contract to skip reviews; unknown QoS classes
+#: disable it.
+_FAST_QOS = (AdmissionPolicy, DropLatePolicy, QueueCapPolicy, ShedPolicy)
+
+
+class VectorCore:
+    """The engine state machine; one instance runs one schedule.
+
+    ``collect`` keeps segments/drop tuples for a full
+    :class:`~repro.schedule.timeline.Timeline` (materialized runs);
+    streaming drivers turn it off and consume ``on_resolve`` callbacks
+    instead, pruning per-task state as frames retire.
+
+    ``on_resolve(task, end_s, drop_record)`` fires once per task, at
+    completion (``end_s`` set) or drop (``drop_record`` set). The
+    callback may :meth:`inject` new tasks (streaming arrival feed) but
+    must not mutate engine state otherwise.
+    """
+
+    def __init__(
+        self,
+        policy,
+        qos=None,
+        interference=None,
+        max_events: int = 10_000_000,
+        collect: bool = True,
+        on_resolve=None,
+    ) -> None:
+        self.policy = policy
+        self.qos = qos
+        self.matrix = interference
+        self.max_events = max_events
+        self.collect = collect
+        self.on_resolve = on_resolve
+
+        self.by_uid: dict[int, OpTask] = {}
+        self.unmet: dict[int, int] = {}
+        self.dependents: dict[int, list[int]] = {}
+        self.remaining: dict[int, float] = {}
+        self.status: dict[int, int] = {}
+        self.pending: list[tuple[float, int]] = []
+        self.ready: list[OpTask] = []
+        self.running: list[OpTask] = []
+        self.start: dict[int, float] = {}
+        self.end: dict[int, float] = {}
+        self.busy: dict[ResourceKind, float] = {}
+        self.load_integral: dict[ResourceKind, float] = {}
+        self.completion_order: list[int] = []
+        self.drop_records: list[DropRecord] = []
+        self.substrate_mode: str | None = None
+        self.substrate_stream: str | None = None
+        self.mode_switches = 0
+        self.switch_overhead = 0.0
+
+        # Queued-frame index (maintained only under QoS): heads sit in
+        # ``arrival_heap`` until their release passes, then in the
+        # ``queued_keys`` sorted list — keyed by their *static* (build
+        # time) release so review dicts iterate in exactly the scalar
+        # engine's head order.
+        self.head_key: dict[int, tuple[float, int]] = {}
+        self.arrival_heap: list[tuple[float, int]] = []
+        self.queued_keys: list[tuple[float, int]] = []
+
+        self.now = 0.0
+        self.events = 0
+        self.done = 0
+        self.total = 0
+        self.live = 0
+        self.peak_live = 0
+
+        self._shares_dirty = True
+        self._load: dict[ResourceKind, float] = {}
+        self._slowdown: dict[int, float] = {}
+        self._solo_cache: dict = {}
+        # Per-(id(claims), weight, mode) memo for the solo chain:
+        # accrual pairs with ``min(amount, 1.0)`` pre-applied, plus
+        # whether the task touches the shared substrate at all. Keyed by
+        # claim-tuple identity (tuples are shared across frames and
+        # outlive the scheduler via ``by_uid``) so lookups avoid
+        # hashing dataclass contents on every condensed step.
+        self._chain_cache: dict = {}
+        self._fast_ok = type(policy) in _FAST_POLICIES and (
+            qos is None or type(qos) in _FAST_QOS
+        )
+
+    # -- task intake / retirement ------------------------------------------------------
+    def inject(self, tasks, presatisfied=frozenset()) -> None:
+        """Register tasks (validating uids/deps exactly like the scalar
+        engine). ``presatisfied`` uids count as already-resolved
+        dependencies — the streaming driver's bridge to pruned frames."""
+        by_uid = self.by_uid
+        for task in tasks:
+            if task.uid in by_uid:
+                raise SchedulingError("duplicate task uids in schedule")
+            by_uid[task.uid] = task
+        qos = self.qos
+        status = self.status
+        status_get = status.get
+        dependents = self.dependents
+        unmet_map = self.unmet
+        remaining = self.remaining
+        pending = self.pending
+        heappush = heapq.heappush
+        for task in tasks:
+            uid = task.uid
+            unmet = 0
+            for dep in task.deps:
+                if dep in by_uid:
+                    if status_get(dep, _BLOCKED) in (_DONE, _DROPPED):
+                        continue
+                    dependents.setdefault(dep, []).append(uid)
+                    unmet += 1
+                elif dep not in presatisfied:
+                    raise SchedulingError(
+                        f"task {task.name!r} depends on unknown uid {dep}"
+                    )
+            unmet_map[uid] = unmet
+            remaining[uid] = task.seconds
+            if unmet == 0 and task.think_s is None:
+                status[uid] = _PENDING
+                heappush(pending, (task.release_s, uid))
+            else:
+                status[uid] = _BLOCKED
+            if qos is not None and task.frame_head:
+                self.head_key[uid] = (task.release_s, uid)
+                if task.think_s is None:
+                    heappush(self.arrival_heap, (task.release_s, uid))
+        self.total += len(tasks)
+        self.live += len(tasks)
+        if self.live > self.peak_live:
+            self.peak_live = self.live
+
+    def prune(self, uids) -> None:
+        """Forget per-task state for resolved tasks (streaming retirement)."""
+        for uid in uids:
+            task = self.by_uid[uid]
+            # Drop incoming edges from still-live predecessors (a dropped
+            # frame can retire while the previous frame's tasks run) so
+            # no resolution ever follows an edge to pruned state.
+            for dep in task.deps:
+                edges = self.dependents.get(dep)
+                if edges is not None:
+                    try:
+                        edges.remove(uid)
+                    except ValueError:
+                        pass
+            del self.by_uid[uid]
+            self.status.pop(uid, None)
+            self.unmet.pop(uid, None)
+            self.remaining.pop(uid, None)
+            self.start.pop(uid, None)
+            self.end.pop(uid, None)
+            self.dependents.pop(uid, None)
+            self.head_key.pop(uid, None)
+        self.live -= len(uids)
+
+    # -- queued-frame index ------------------------------------------------------------
+    def _drain_arrivals(self) -> None:
+        heap = self.arrival_heap
+        now = self.now
+        while heap and heap[0][0] <= now:
+            _, uid = heapq.heappop(heap)
+            if self.status.get(uid) in (_DONE, _DROPPED) or uid in self.start:
+                continue
+            insort(self.queued_keys, self.head_key[uid])
+
+    def _queued_discard(self, uid: int) -> None:
+        key = self.head_key.get(uid)
+        if key is None:
+            return
+        keys = self.queued_keys
+        index = bisect_left(keys, key)
+        if index < len(keys) and keys[index] == key:
+            del keys[index]
+
+    def _queued_frames(self) -> dict[str, list[OpTask]]:
+        queued: dict[str, list[OpTask]] = {}
+        by_uid = self.by_uid
+        for _, uid in self.queued_keys:
+            task = by_uid[uid]
+            queued.setdefault(task.stream, []).append(task)
+        return queued
+
+    # -- event queue helpers -----------------------------------------------------------
+    def _pending_release(self) -> float | None:
+        heap = self.pending
+        status = self.status
+        while heap and status.get(heap[0][1]) != _PENDING:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
+
+    def _drain_releases(self) -> None:
+        release = self._pending_release()
+        while release is not None and release <= self.now:
+            _, uid = heapq.heappop(self.pending)
+            task = self.by_uid[uid]
+            self.status[uid] = _READY
+            self.ready.append(task)
+            release = self._pending_release()
+
+    # -- dependency resolution ---------------------------------------------------------
+    def _satisfy_dep(self, successor_uid: int) -> None:
+        self.unmet[successor_uid] -= 1
+        if (
+            self.unmet[successor_uid] == 0
+            and self.status[successor_uid] != _DROPPED
+        ):
+            successor = self.by_uid[successor_uid]
+            if successor.think_s is not None:
+                # Closed-loop pacing: rewrite the release now that it is
+                # known (mirrors the scalar engine exactly).
+                successor = replace(
+                    successor,
+                    release_s=max(
+                        successor.release_s, self.now + successor.think_s
+                    ),
+                )
+                self.by_uid[successor_uid] = successor
+                if self.qos is not None and successor.frame_head:
+                    heapq.heappush(
+                        self.arrival_heap,
+                        (successor.release_s, successor_uid),
+                    )
+            self.status[successor_uid] = _PENDING
+            heapq.heappush(
+                self.pending, (successor.release_s, successor_uid)
+            )
+
+    def _drop_frame(self, head: OpTask, reason: str) -> None:
+        stack = [head]
+        while stack:
+            task = stack.pop()
+            uid = task.uid
+            if self.status.get(uid) == _DROPPED or uid in self.end:
+                continue
+            state = self.status.get(uid)
+            self.status[uid] = _DROPPED
+            record = DropRecord(
+                uid=uid,
+                name=task.name,
+                stream=task.stream,
+                frame=task.frame,
+                time_s=self.now,
+                reason=reason,
+            )
+            if self.collect:
+                self.drop_records.append(record)
+            self.done += 1
+            if state == _READY:
+                self.ready.remove(task)
+            if self.qos is not None and task.frame_head:
+                self._queued_discard(uid)
+            for successor_uid in self.dependents.get(uid, ()):
+                successor = self.by_uid[successor_uid]
+                if (
+                    successor.stream == task.stream
+                    and successor.frame == task.frame
+                ):
+                    stack.append(successor)
+                else:
+                    self._satisfy_dep(successor_uid)
+            if self.on_resolve is not None:
+                self.on_resolve(task, None, record)
+
+    def _complete(self, task: OpTask) -> None:
+        uid = task.uid
+        self.status[uid] = _DONE
+        self.end[uid] = self.now
+        if self.collect:
+            self.completion_order.append(uid)
+        self.done += 1
+        for successor_uid in self.dependents.get(uid, ()):
+            self._satisfy_dep(successor_uid)
+        if self.on_resolve is not None:
+            self.on_resolve(task, self.now, None)
+
+    # -- shares ------------------------------------------------------------------------
+    def _compute_shares(self) -> None:
+        """Recompute loads/slowdowns — same arithmetic, same order as the
+        scalar loop, so memoized values are bit-identical to a rescan."""
+        matrix = self.matrix
+        policy = self.policy
+        load: dict[ResourceKind, float] = {}
+        for task in self.running:
+            weight = policy.weight(task)
+            for claim in task.claims:
+                if matrix is not None and claim.fraction < 1.0:
+                    continue
+                load[claim.kind] = (
+                    load.get(claim.kind, 0.0) + claim.fraction * weight
+                )
+            if matrix is not None:
+                primaries = frozenset(
+                    claim.kind
+                    for claim in task.claims
+                    if claim.fraction >= 1.0
+                )
+                for victim, factor in matrix.pressure(primaries).items():
+                    load[victim] = load.get(victim, 0.0) + factor * weight
+        slowdown: dict[int, float] = {}
+        for task in self.running:
+            weight = policy.weight(task)
+            worst = 1.0
+            for claim in task.claims:
+                if matrix is not None and claim.fraction < 1.0:
+                    continue
+                worst = max(worst, load[claim.kind] / weight)
+            slowdown[task.uid] = worst
+        self._load = load
+        self._slowdown = slowdown
+        self._shares_dirty = False
+
+    def _solo_load(self, task: OpTask) -> dict[ResourceKind, float]:
+        """A single running task's load dict (memoized by claims/weight —
+        frame templates share claim tuples, so chains hit the cache)."""
+        weight = self.policy.weight(task)
+        key = (task.claims, weight)
+        load = self._solo_cache.get(key)
+        if load is None:
+            matrix = self.matrix
+            load = {}
+            for claim in task.claims:
+                if matrix is not None and claim.fraction < 1.0:
+                    continue
+                load[claim.kind] = (
+                    load.get(claim.kind, 0.0) + claim.fraction * weight
+                )
+            if matrix is not None:
+                primaries = frozenset(
+                    claim.kind
+                    for claim in task.claims
+                    if claim.fraction >= 1.0
+                )
+                for victim, factor in matrix.pressure(primaries).items():
+                    load[victim] = load.get(victim, 0.0) + factor * weight
+            self._solo_cache[key] = load
+        return load
+
+    def _charge_substrate(self, task: OpTask) -> None:
+        """Mode-switch accounting at dispatch (scalar semantics)."""
+        if any(
+            claim.kind is ResourceKind.ARRAY for claim in task.claims
+        ) or (task.mode in _MAC_MODES):
+            if (
+                task.cross_switch_s > 0.0
+                and self.substrate_mode is not None
+                and self.substrate_mode != task.mode
+                and self.substrate_stream != task.stream
+            ):
+                self.remaining[task.uid] += task.cross_switch_s
+                self.mode_switches += 1
+                self.switch_overhead += task.cross_switch_s
+            self.substrate_mode = task.mode
+            self.substrate_stream = task.stream
+
+    # -- the solo-chain fast path ------------------------------------------------------
+    def _fast_chain(self) -> bool:
+        """Advance a solo dependency chain completion-by-completion
+        without the generic loop's per-event scans.
+
+        Every condensed step is provably identical to one full scalar
+        iteration: nothing else is ready, the next pending release and
+        the QoS horizon land strictly after the step's completion (so the
+        release drain and review would be no-ops — admission policies
+        guarantee their decision is constant before ``next_event``), and
+        the completed task's single successor is dispatchable alone.
+        Returns True when at least one step was condensed.
+        """
+        if not self._fast_ok:
+            return False
+        qos = self.qos
+        horizon = None
+        if qos is not None:
+            horizon = qos.next_event(self.now, self._queued_frames())
+        # Hot loop: hoist every attribute the per-step body touches.
+        # Nothing below changes a single float operation relative to the
+        # generic loop — the wins are lookup elimination and skipping
+        # the pending-heap round-trip for a successor we dispatch on the
+        # spot.
+        busy_get = self.busy.get
+        busy_set = self.busy.__setitem__
+        li_get = self.load_integral.get
+        li_set = self.load_integral.__setitem__
+        running = self.running
+        ready = self.ready
+        remaining = self.remaining
+        status = self.status
+        end = self.end
+        start = self.start
+        unmet = self.unmet
+        by_uid = self.by_uid
+        dependents = self.dependents
+        pending = self.pending
+        chain_cache = self._chain_cache
+        collect = self.collect
+        completion_order = self.completion_order
+        on_resolve = self.on_resolve
+        weight_of = self.policy.weight
+        substrate_mode = self.substrate_mode
+        substrate_stream = self.substrate_stream
+        now = self.now
+        events = self.events
+        done = self.done
+        stepped = False
+        while len(running) == 1 and not ready:
+            task = running[0]
+            uid = task.uid
+            rem = remaining[uid]
+            # Alone on the machine the slowdown is exactly 1.0 (a full
+            # claim's load equals the task's own weight), so the scalar
+            # loop's dt is exactly ``rem``.
+            completion = now + rem
+            while pending and status.get(pending[0][1]) != _PENDING:
+                heapq.heappop(pending)
+            if pending and pending[0][0] <= completion:
+                break
+            if horizon is not None and horizon <= completion:
+                break
+            successors = dependents.get(uid, ())
+            if len(successors) != 1:
+                break
+            succ_uid = successors[0]
+            if unmet[succ_uid] != 1 or status[succ_uid] == _DROPPED:
+                break
+            successor = by_uid[succ_uid]
+            if successor.think_s is not None:
+                break
+            if successor.release_s > completion:
+                break
+            if qos is not None and successor.frame_head:
+                break
+            # Commit: complete ``task`` at ``completion``, start its
+            # successor there — one scalar iteration, condensed.
+            events += 1
+            if rem > 0.0:
+                key = (id(task.claims), weight_of(task), task.mode)
+                memo = chain_cache.get(key)
+                if memo is None:
+                    memo = self._chain_memo(task, key)
+                for kind, amount in memo[0]:
+                    busy_set(kind, busy_get(kind, 0.0) + rem)
+                    li_set(kind, li_get(kind, 0.0) + amount * rem)
+                now += rem
+            remaining[uid] = 0.0
+            running.clear()
+            # Inlined ``_complete``: the sole successor's dependency
+            # resolves here, and since we dispatch it immediately the
+            # scalar PENDING push/pop pair is unobservable — skip it.
+            status[uid] = _DONE
+            end[uid] = now
+            if collect:
+                completion_order.append(uid)
+            done += 1
+            unmet[succ_uid] = 0
+            if on_resolve is not None:
+                # Publish counters the hook may observe (it can inject
+                # tasks or drop frames), then re-read afterwards.
+                self.now = now
+                self.events = events
+                self.done = done
+                on_resolve(task, now, None)
+                events = self.events
+                done = self.done
+                if unmet[succ_uid] != 0 or status[succ_uid] == _DROPPED:
+                    break  # a resolve hook intervened (defensive)
+            # The successor is not closed-loop and its release has
+            # passed, so the scalar loop would admit, release, and
+            # dispatch exactly it. Condense those three steps.
+            status[succ_uid] = _RUNNING
+            start[succ_uid] = now
+            succ_key = (
+                id(successor.claims), weight_of(successor), successor.mode
+            )
+            succ_memo = chain_cache.get(succ_key)
+            if succ_memo is None:
+                succ_memo = self._chain_memo(successor, succ_key)
+            if succ_memo[1]:
+                # Inlined ``_charge_substrate`` (relevance memoized).
+                if (
+                    successor.cross_switch_s > 0.0
+                    and substrate_mode is not None
+                    and substrate_mode != successor.mode
+                    and substrate_stream != successor.stream
+                ):
+                    remaining[succ_uid] += successor.cross_switch_s
+                    self.mode_switches += 1
+                    self.switch_overhead += successor.cross_switch_s
+                substrate_mode = successor.mode
+                substrate_stream = successor.stream
+            running.append(successor)
+            stepped = True
+        self.now = now
+        self.events = events
+        self.done = done
+        self.substrate_mode = substrate_mode
+        self.substrate_stream = substrate_stream
+        if stepped:
+            self._shares_dirty = True
+        return stepped
+
+    def _chain_memo(self, task: OpTask, key) -> tuple:
+        """Build the chain cache entry for ``key``: busy/load accrual
+        pairs (``min(amount, 1.0)`` folded in — same float value the
+        generic loop computes per step) and whether the task can charge
+        the shared substrate."""
+        pairs = tuple(
+            (kind, min(amount, 1.0))
+            for kind, amount in self._solo_load(task).items()
+        )
+        touches_substrate = any(
+            claim.kind is ResourceKind.ARRAY for claim in task.claims
+        ) or (task.mode in _MAC_MODES)
+        memo = (pairs, touches_substrate)
+        self._chain_cache[key] = memo
+        return memo
+
+    # -- the generic event loop --------------------------------------------------------
+    def run_loop(self, feeder=None) -> None:
+        """Run until every registered (and fed) task resolves.
+
+        ``feeder(now)`` — optional — is called at each event top and may
+        :meth:`inject` newly due work (the streaming arrival bridge).
+        """
+        qos = self.qos
+        policy = self.policy
+        while True:
+            if feeder is not None:
+                feeder(self.now)
+            if self.done >= self.total:
+                break
+            self.events += 1
+            if self.events > self.max_events:
+                raise SchedulingError(
+                    f"schedule exceeded {self.max_events} events"
+                    " (policy starvation or zero-length livelock)"
+                )
+            self._drain_releases()
+
+            if qos is not None:
+                self._drain_arrivals()
+                for head, reason in qos.review(
+                    self.now, self._queued_frames()
+                ):
+                    self._drop_frame(head, reason)
+                if self.done >= self.total:
+                    break
+                # Drop cascades can admit a stream's next frame at this
+                # instant — re-drain before dispatch (scalar parity).
+                self._drain_releases()
+
+            dispatched = policy.dispatch(self.ready, self.running)
+            if dispatched:
+                if len(dispatched) == len(self.ready):
+                    self.ready.clear()
+                else:
+                    for task in dispatched:
+                        self.ready.remove(task)
+                for task in dispatched:
+                    self.start[task.uid] = self.now
+                    self.status[task.uid] = _RUNNING
+                    self._charge_substrate(task)
+                    if qos is not None and task.frame_head:
+                        self._queued_discard(task.uid)
+                    self.running.append(task)
+                self._shares_dirty = True
+
+            if not self.running:
+                release = self._pending_release()
+                if release is not None:
+                    if release > self.now:
+                        self.now = release
+                    continue
+                if feeder is not None and self.done >= self.total:
+                    break
+                raise SchedulingError(
+                    f"policy {policy.name!r} dispatched nothing with"
+                    f" {len(self.ready)} ready tasks and nothing running"
+                )
+
+            if self._fast_chain():
+                continue
+
+            if self._shares_dirty:
+                self._compute_shares()
+            load = self._load
+            slowdown = self._slowdown
+            remaining = self.remaining
+
+            dt = min(
+                remaining[task.uid] * slowdown[task.uid]
+                for task in self.running
+            )
+            release = self._pending_release()
+            if release is not None:
+                dt = min(dt, release - self.now)
+            if qos is not None:
+                horizon = qos.next_event(self.now, self._queued_frames())
+                if horizon is not None:
+                    dt = min(dt, horizon - self.now)
+            dt = max(dt, 0.0)
+
+            if dt > 0.0:
+                busy = self.busy
+                load_integral = self.load_integral
+                for kind, amount in load.items():
+                    busy[kind] = busy.get(kind, 0.0) + dt
+                    load_integral[kind] = (
+                        load_integral.get(kind, 0.0) + min(amount, 1.0) * dt
+                    )
+                for task in self.running:
+                    remaining[task.uid] -= dt / slowdown[task.uid]
+                self.now += dt
+
+            finished = [
+                task
+                for task in self.running
+                if remaining[task.uid] <= 1e-12 * task.seconds + 1e-18
+            ]
+            if finished:
+                for task in finished:
+                    self.running.remove(task)
+                    self._complete(task)
+                self._shares_dirty = True
+
+    # -- materialized-run assembly -----------------------------------------------------
+    def build_timeline(self) -> Timeline:
+        by_uid = self.by_uid
+        start = self.start
+        end = self.end
+        segments = tuple(
+            TimelineSegment(
+                uid=uid,
+                name=task.name,
+                stream=task.stream,
+                frame=task.frame,
+                mode=task.mode,
+                start_s=start[uid],
+                end_s=end[uid],
+                seconds=task.seconds,
+            )
+            for uid in self.completion_order
+            if (task := by_uid[uid]) is not None
+        )
+        return Timeline(
+            segments=segments,
+            makespan_s=self.now,
+            busy_s=self.busy,
+            load_integral_s=self.load_integral,
+            mode_switches=self.mode_switches,
+            switch_overhead_s=self.switch_overhead,
+            drops=tuple(self.drop_records),
+        )
+
+
+def run_vectorized(scheduler, tasks) -> Timeline:
+    """Run ``tasks`` to completion with the vectorized core; the entry
+    point :meth:`TimelineScheduler.run` dispatches to."""
+    tasks = list(tasks)
+    if not tasks:
+        return Timeline(segments=(), makespan_s=0.0)
+    core = VectorCore(
+        policy=scheduler.policy,
+        qos=scheduler.qos,
+        interference=scheduler.interference,
+        max_events=scheduler.max_events,
+        collect=True,
+    )
+    core.inject(tasks)
+    core.run_loop()
+    return core.build_timeline()
+
+
+__all__ = ["VectorCore", "run_vectorized"]

@@ -24,6 +24,7 @@ from repro.serving.traces import (
     ArrivalSpec,
     ArrivalTrace,
     generate_arrivals,
+    iter_arrivals,
     stream_seed,
 )
 from repro.serving.qos import (
@@ -49,12 +50,20 @@ _SLO_EXPORTS = (
     "apply_trace",
 )
 
+#: Lazily resolved for the same reason: the streaming driver assembles
+#: api-layer ServingReports.
+_STREAMING_EXPORTS = ("serve_streaming",)
+
 
 def __getattr__(name: str):
     if name in _SLO_EXPORTS:
         from repro.serving import slo
 
         return getattr(slo, name)
+    if name in _STREAMING_EXPORTS:
+        from repro.serving import streaming
+
+        return getattr(streaming, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -69,7 +78,9 @@ __all__ = [
     "QueueCapPolicy",
     "ShedPolicy",
     "generate_arrivals",
+    "iter_arrivals",
     "make_qos",
     "stream_seed",
     *_SLO_EXPORTS,
+    *_STREAMING_EXPORTS,
 ]

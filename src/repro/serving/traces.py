@@ -207,26 +207,49 @@ def generate_arrivals(
     """
     if count < 0:
         raise ConfigError(f"arrival count must be >= 0, got {count}")
+    return tuple(iter_arrivals(spec, count, salt))
+
+
+def iter_arrivals(spec: ArrivalSpec, count: int | None = None, salt: str = ""):
+    """Stream the arrival times of ``spec`` lazily, one at a time.
+
+    Yields exactly the floats :func:`generate_arrivals` would return —
+    same RNG sequence, same arithmetic, same order — without ever
+    materializing the trace, which is what lets the streaming serving
+    driver consume million-frame Poisson processes in O(1) memory.
+    ``count=None`` streams forever for the generated kinds (the caller
+    bounds consumption); ``replay`` is inherently finite and ``fixed``
+    honors ``count=None`` as unbounded.
+    """
+    if count is not None and count < 0:
+        raise ConfigError(f"arrival count must be >= 0, got {count}")
     if spec.kind == "closed_loop":
         raise ConfigError(
             "closed_loop arrivals have no static schedule: releases are"
             " paced by frame completions at simulation time"
         )
     if spec.kind == "replay":
-        return spec.times_s[:count]
+        times = spec.times_s if count is None else spec.times_s[:count]
+        yield from times
+        return
     if count == 0:
-        return ()
+        return
     if spec.kind == "fixed":
         period = spec.period
-        return tuple(frame * period for frame in range(count))
+        frame = 0
+        while count is None or frame < count:
+            yield frame * period
+            frame += 1
+        return
     rng = random.Random(stream_seed(spec.seed, salt))
     if spec.kind == "poisson":
         now = 0.0
-        times = []
-        for _ in range(count):
+        emitted = 0
+        while count is None or emitted < count:
             now += rng.expovariate(spec.rate_hz)
-            times.append(now)
-        return tuple(times)
+            yield now
+            emitted += 1
+        return
     # mmpp: two-state modulation; state transitions are drawn per arrival
     # so the trace stays deterministic for a given (seed, salt, count).
     burst_rate = (
@@ -238,15 +261,15 @@ def generate_arrivals(
     enter_burst = leave_burst * spec.burst_fraction / (1.0 - spec.burst_fraction)
     now = 0.0
     bursting = False
-    times = []
-    for _ in range(count):
+    emitted = 0
+    while count is None or emitted < count:
         now += rng.expovariate(burst_rate if bursting else spec.rate_hz)
-        times.append(now)
+        yield now
+        emitted += 1
         if bursting:
             bursting = rng.random() >= leave_burst
         else:
             bursting = rng.random() < enter_burst
-    return tuple(times)
 
 
 @dataclass(frozen=True)
@@ -337,5 +360,6 @@ __all__ = [
     "ArrivalSpec",
     "ArrivalTrace",
     "generate_arrivals",
+    "iter_arrivals",
     "stream_seed",
 ]

@@ -1,0 +1,188 @@
+"""P² quantile sketch tests: exactness, tolerance, and round-trips.
+
+The streaming serving path replaces per-frame latency lists with
+:class:`~repro.common.stats.QuantileSketch` accumulators, so these
+estimators carry the reported tail latencies for million-frame runs.
+Three contracts matter:
+
+* tiny streams (≤5 samples) lose nothing — the estimate is the *exact*
+  nearest-rank percentile, matching :func:`~repro.common.stats.percentile`;
+* large streams stay rank-accurate on adversarial shapes (bimodal,
+  sorted, heavy-tailed), where value-space tolerances would be
+  meaningless;
+* JSON round-trips preserve every marker bit, so a restored sketch
+  continues bit-identically to the original.
+"""
+
+import json
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.stats import (
+    SKETCH_QUANTILES,
+    P2Quantile,
+    QuantileSketch,
+    percentile,
+)
+
+_LATENCIES = st.floats(
+    min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _rank_error(values, estimate, p):
+    """How far (in rank) ``estimate`` sits from the true ``p`` quantile.
+
+    Robust to plateaus and bimodal gaps: with duplicates an estimate can
+    legitimately cover a rank *interval*, so the error is the distance
+    from ``p`` to the nearest edge of ``[#(x < est), #(x <= est)] / n``.
+    """
+    n = len(values)
+    below = sum(1 for v in values if v < estimate) / n
+    at_or_below = sum(1 for v in values if v <= estimate) / n
+    if below <= p <= at_or_below:
+        return 0.0
+    return min(abs(p - below), abs(p - at_or_below))
+
+
+class TestP2Exactness:
+    @given(st.lists(_LATENCIES, min_size=1, max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_small_streams_are_exact(self, values):
+        for p in SKETCH_QUANTILES:
+            sketch = P2Quantile(p)
+            for value in values:
+                sketch.update(value)
+            assert sketch.result() == percentile(values, p * 100.0)
+
+    def test_empty_returns_zero(self):
+        assert P2Quantile(0.5).result() == 0.0
+
+    def test_invalid_p_rejected(self):
+        for p in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                P2Quantile(p)
+
+
+class TestP2Accuracy:
+    """Rank error stays small on adversarial input shapes.
+
+    All cases are seeded and deterministic; the 0.05 rank tolerance is
+    far looser than P²'s typical error (<0.01 on these shapes) so the
+    gate only fires on real estimator regressions.
+    """
+
+    def _samples(self, shape: str, n: int = 2000) -> list:
+        rng = random.Random(shape)  # str seeds hash deterministically
+        if shape == "uniform":
+            return [rng.uniform(0.0, 1.0) for _ in range(n)]
+        if shape == "lognormal":
+            return [math.exp(rng.gauss(0.0, 1.5)) for _ in range(n)]
+        if shape == "bimodal":
+            return [
+                rng.gauss(1.0, 0.05)
+                if rng.random() < 0.5
+                else rng.gauss(100.0, 5.0)
+                for _ in range(n)
+            ]
+        if shape == "sorted":
+            return sorted(rng.uniform(0.0, 1.0) for _ in range(n))
+        if shape == "reversed":
+            return sorted(
+                (rng.uniform(0.0, 1.0) for _ in range(n)), reverse=True
+            )
+        if shape == "constant":
+            return [0.25] * n
+        raise AssertionError(shape)
+
+    @pytest.mark.parametrize(
+        "shape",
+        ["uniform", "lognormal", "bimodal", "sorted", "reversed", "constant"],
+    )
+    def test_rank_error_bounded(self, shape):
+        values = self._samples(shape)
+        for p in SKETCH_QUANTILES:
+            sketch = P2Quantile(p)
+            for value in values:
+                sketch.update(value)
+            error = _rank_error(values, sketch.result(), p)
+            assert error <= 0.05, (
+                f"{shape} p={p}: rank error {error:.4f} at estimate"
+                f" {sketch.result():.6g}"
+            )
+
+    def test_estimates_stay_within_range(self):
+        values = self._samples("lognormal")
+        sketch = QuantileSketch()
+        for value in values:
+            sketch.add(value)
+        for q in (50, 95, 99):
+            assert min(values) <= sketch.quantile(q) <= max(values)
+
+
+class TestRoundTrip:
+    @given(
+        st.lists(_LATENCIES, min_size=0, max_size=40),
+        st.lists(_LATENCIES, min_size=0, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_p2_resumes_bit_identically(self, first, second):
+        """Serialize mid-stream, resume, and both paths stay identical."""
+        straight = P2Quantile(0.95)
+        for value in first:
+            straight.update(value)
+        resumed = P2Quantile.from_dict(
+            json.loads(json.dumps(straight.to_dict()))
+        )
+        assert resumed.result() == straight.result()
+        for value in second:
+            straight.update(value)
+            resumed.update(value)
+        assert resumed.to_dict() == straight.to_dict()
+        assert resumed.result() == straight.result()
+
+    @given(st.lists(_LATENCIES, min_size=0, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_sketch_roundtrip_preserves_everything(self, values):
+        sketch = QuantileSketch()
+        for value in values:
+            sketch.add(value)
+        restored = QuantileSketch.from_dict(
+            json.loads(json.dumps(sketch.to_dict()))
+        )
+        assert restored.count == sketch.count
+        assert restored.total == sketch.total
+        assert restored.max_value == sketch.max_value
+        for q in (50, 95, 99):
+            assert restored.quantile(q) == sketch.quantile(q)
+
+
+class TestQuantileSketch:
+    def test_counts_and_moments_exact(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        sketch = QuantileSketch()
+        for value in values:
+            sketch.add(value)
+        assert sketch.count == len(values)
+        assert sketch.total == sum(values)
+        assert sketch.max_value == max(values)
+        assert sketch.mean == sum(values) / len(values)
+
+    def test_unsupported_quantile_rejected(self):
+        sketch = QuantileSketch()
+        sketch.add(1.0)
+        with pytest.raises(ValueError):
+            sketch.quantile(75)
+
+    def test_percentile_validates_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 0.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        assert percentile([], 50) == 0.0
+        assert percentile([5.0, 1.0, 3.0], 50) == 3.0
+        assert percentile([5.0, 1.0, 3.0], 100) == 5.0

@@ -22,6 +22,7 @@ def test_oracle_names_are_stable():
         "conservation",
         "crash",
         "determinism",
+        "engine_divergence",
         "frame_atomicity",
         "merge",
         "monotone_events",
