@@ -401,7 +401,8 @@ def _cmd_scenario(args) -> int:
 def _parse_qos(text: str):
     """Parse a ``--qos KIND[:PARAM]`` option into a :class:`QosSpec`.
 
-    ``drop_late[:SLACK_S]``, ``queue_cap:CAP``, ``shed:CAP[:MIN_PRIO]``.
+    ``drop_late[:SLACK_S]``, ``abort_late[:SLACK_S]``, ``queue_cap:CAP``,
+    ``shed:CAP[:MIN_PRIO]``.
     """
     from repro.serving import QosSpec
 
@@ -409,10 +410,10 @@ def _parse_qos(text: str):
     kind = kind.strip()
     parts = [part.strip() for part in rest.split(":") if part.strip()]
     try:
-        if kind == "drop_late":
+        if kind in ("drop_late", "abort_late"):
             if len(parts) > 1:
                 raise ConfigError(
-                    f"qos {text!r}: drop_late takes at most one slack value"
+                    f"qos {text!r}: {kind} takes at most one slack value"
                 )
             return QosSpec(
                 kind=kind, slack_s=float(parts[0]) if parts else 0.0
@@ -1223,7 +1224,8 @@ def main(argv: list[str] | None = None) -> int:
         help="frames to simulate (default 1; overrides --spec)",
     )
     scenario_parser.add_argument(
-        "--policy", default=None, choices=("fifo", "priority", "exclusive"),
+        "--policy", default=None,
+        choices=("fifo", "priority", "exclusive", "exclusive_preempt"),
         help="scheduling policy (default fifo; overrides --spec)",
     )
     scenario_parser.add_argument(
@@ -1262,7 +1264,8 @@ def main(argv: list[str] | None = None) -> int:
         help="frame slots to simulate per stream (overrides --spec)",
     )
     serve_parser.add_argument(
-        "--policy", default=None, choices=("fifo", "priority", "exclusive"),
+        "--policy", default=None,
+        choices=("fifo", "priority", "exclusive", "exclusive_preempt"),
         help="scheduling policy (default fifo; overrides --spec)",
     )
     serve_parser.add_argument(
@@ -1270,8 +1273,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve_parser.add_argument(
         "--qos", default=None, metavar="KIND[:PARAM]",
-        help="admission control: drop_late[:slack_s], queue_cap:N,"
-        " shed:N[:min_prio]",
+        help="admission control: drop_late[:slack_s], abort_late[:slack_s],"
+        " queue_cap:N, shed:N[:min_prio]",
     )
     serve_parser.add_argument(
         "--rate", type=float, default=None, metavar="HZ",
@@ -1403,7 +1406,8 @@ def main(argv: list[str] | None = None) -> int:
         help="frame slots per stream (overrides --spec)",
     )
     cserving_parser.add_argument(
-        "--policy", default=None, choices=("fifo", "priority", "exclusive"),
+        "--policy", default=None,
+        choices=("fifo", "priority", "exclusive", "exclusive_preempt"),
         help="scheduling policy (overrides --spec)",
     )
     cserving_parser.add_argument(

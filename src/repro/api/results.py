@@ -24,7 +24,7 @@ from repro.schedule.streams import (
     ScenarioSpec,
     StreamSpec,
 )
-from repro.schedule.timeline import Timeline, TimelineSegment
+from repro.schedule.timeline import PreemptRecord, Timeline, TimelineSegment
 from repro.systolic.dataflow import Dataflow
 
 #: The dataflow names a request may carry (`Dataflow` enum values).
@@ -419,6 +419,9 @@ class ScheduleReport:
     mode_switches: int = 0
     switch_overhead_s: float = 0.0
     tag: str | None = None
+    #: Kernel-granularity preemption events (deschedules and in-flight
+    #: aborts) — empty for every non-preemptive policy/QoS combination.
+    preemptions: tuple[PreemptRecord, ...] = ()
 
     @property
     def avg_frame_latency_s(self) -> float:
@@ -502,6 +505,7 @@ class ScheduleReport:
             mode_switches=timeline.mode_switches,
             switch_overhead_s=timeline.switch_overhead_s,
             tag=tag,
+            preemptions=timeline.preemptions,
         )
 
     def to_dict(self) -> dict:
@@ -519,6 +523,14 @@ class ScheduleReport:
             "mode_switches": self.mode_switches,
             "switch_overhead_s": self.switch_overhead_s,
             "tag": self.tag,
+            # Emitted only when a preemptive policy/QoS actually fired, so
+            # every pre-preemption report (and store fingerprint) keeps
+            # its byte format.
+            **(
+                {"preemptions": [asdict(record) for record in self.preemptions]}
+                if self.preemptions
+                else {}
+            ),
         }
 
     def to_json(self, indent: int | None = None) -> str:
@@ -534,6 +546,9 @@ class ScheduleReport:
             TimelineSegment(**segment) for segment in data.get("segments", ())
         )
         kwargs["occupancy"] = dict(data.get("occupancy", {}))
+        kwargs["preemptions"] = tuple(
+            PreemptRecord(**record) for record in data.get("preemptions", ())
+        )
         return cls(**kwargs)
 
     @classmethod
@@ -581,6 +596,9 @@ class ServingStreamReport:
     goodput_fps: float
     frames: tuple[ServingFrame, ...] = ()
     sketches: dict | None = None
+    #: Frames cancelled in-flight by a preemptive QoS policy (a subset of
+    #: ``dropped``); 0 for every non-preemptive policy.
+    preempted: int = 0
 
     @property
     def drop_fraction(self) -> float:
@@ -639,6 +657,10 @@ class ServingReport:
     @property
     def missed(self) -> int:
         return sum(stream.missed for stream in self.streams)
+
+    @property
+    def preempted(self) -> int:
+        return sum(stream.preempted for stream in self.streams)
 
     @property
     def drop_fraction(self) -> float:
@@ -700,6 +722,11 @@ class ServingReport:
     ) -> "ServingReport":
         """Assemble the report from an executed scenario timeline."""
         records = plan.frame_records(timeline)
+        aborted = {
+            (record.stream, record.frame)
+            for record in timeline.preemptions
+            if record.action == "abort"
+        }
         streams = []
         for stream_spec in spec.streams:
             frames = tuple(records.get(stream_spec.name, ()))
@@ -729,6 +756,11 @@ class ServingReport:
                         else 0.0
                     ),
                     frames=frames,
+                    preempted=sum(
+                        1
+                        for frame in frames
+                        if (stream_spec.name, frame.frame) in aborted
+                    ),
                 )
             )
         return cls(
@@ -771,6 +803,8 @@ class ServingReport:
             # every store fingerprint derived from them) keep their
             # pre-streaming byte format.
             **({"sketches": self.sketches} if self.sketches is not None else {}),
+            # Same stability rule for the preemption aggregate.
+            **({"preempted": self.preempted} if self.preempted else {}),
         }
 
     @staticmethod
@@ -778,6 +812,8 @@ class ServingReport:
         payload = asdict(stream)
         if payload.get("sketches") is None:
             del payload["sketches"]
+        if not payload.get("preempted"):
+            del payload["preempted"]
         return payload
 
     def to_json(self, indent: int | None = None) -> str:

@@ -6,7 +6,11 @@ from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig7 import run_fig7_left, run_fig7_right
 from repro.experiments.fig8 import run_fig8_energy, run_fig8_speedup
-from repro.experiments.fig9 import run_fig9_left, run_fig9_right
+from repro.experiments.fig9 import (
+    run_fig9_left,
+    run_fig9_preemption,
+    run_fig9_right,
+)
 from repro.experiments.tables import (
     run_area_overhead,
     run_fig2_inventory,
@@ -26,6 +30,7 @@ __all__ = [
     "run_fig8_energy",
     "run_fig8_speedup",
     "run_fig9_left",
+    "run_fig9_preemption",
     "run_fig9_right",
     "run_table1",
     "run_table2",

@@ -16,7 +16,11 @@ from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig7 import run_fig7_left, run_fig7_right
 from repro.experiments.fig8 import run_fig8_energy, run_fig8_speedup
-from repro.experiments.fig9 import run_fig9_left, run_fig9_right
+from repro.experiments.fig9 import (
+    run_fig9_left,
+    run_fig9_preemption,
+    run_fig9_right,
+)
 from repro.experiments.runner import ExperimentReport
 from repro.experiments.tables import (
     run_area_overhead,
@@ -37,6 +41,7 @@ EXPERIMENT_RUNNERS: dict[str, Callable[[], ExperimentReport]] = {
     "fig8_energy": run_fig8_energy,
     "fig9_left": run_fig9_left,
     "fig9_right": run_fig9_right,
+    "fig9_preemption": run_fig9_preemption,
     "area": run_area_overhead,
     "catalog_devices": run_catalog_devices,
 }

@@ -25,7 +25,12 @@ hand-written scenarios under-exercise:
   drawn from a catalog device;
 * ``closed_loop_mix`` — closed-loop think-time tenants sharing the
   machine with open-loop arrivals, under drop-late QoS, so drops and
-  pacing releases interleave.
+  pacing releases interleave;
+* ``preemption_storm`` — distinct-priority multi-kernel frames on an
+  ``exclusive_preempt`` machine with colliding cadences and tight
+  deadlines, optionally under abort-late QoS, so kernel-boundary
+  deschedules and in-flight aborts fire constantly (the
+  preemption-bound oracle's hunting ground).
 
 Determinism contract: a case is a pure function of
 ``(campaign_seed, index)``. The per-case seed is
@@ -57,6 +62,11 @@ FAMILIES = (
     "replay_edge",
     "model_mix",
     "closed_loop_mix",
+    # Appended after the original eight so the round-robin family of
+    # every pre-existing (seed, index) pair below 8 is unchanged only in
+    # full batches of the new length — reproducer case ids stay stable
+    # because they encode the index, not the rotation.
+    "preemption_storm",
 )
 
 #: Claim shapes echoing the hypothesis suite's choices: pure SIMD, the
@@ -362,6 +372,48 @@ def _closed_loop_mix(rng: random.Random, name: str) -> ScenarioSpec:
     )
 
 
+def _preemption_storm(rng: random.Random, name: str) -> ScenarioSpec:
+    rungs = rng.randint(3, 4)
+    priorities = [float(rung + 1) for rung in range(rungs)]
+    rng.shuffle(priorities)
+    streams = []
+    for index, priority in enumerate(priorities):
+        # Lower-priority streams pile up early (dense cadences) while the
+        # top-priority stream keeps arriving on a sparse cadence long
+        # after the machine is busy with the backlog — so high-priority
+        # frames keep landing while a lower-priority multi-kernel frame
+        # is mid-flight, and every kernel boundary is a potential
+        # deschedule (and every tight deadline a potential abort).
+        if priority == max(priorities):
+            period = rng.choice((1 / 8, 1 / 4, 3 / 8))
+        else:
+            period = rng.choice((0.0, 1 / 32, 1 / 16, 3 / 32))
+        streams.append(
+            StreamSpec(
+                name=f"storm{index}",
+                model=f"fuzz/{name}",
+                priority=priority,
+                deadline_s=_exact(rng, 2, 8),
+                arrivals=ArrivalSpec(kind="fixed", period_s=period),
+            )
+        )
+    qos = rng.choice(
+        (
+            None,
+            QosSpec(kind="abort_late", slack_s=rng.choice((0.0, 1 / 64))),
+            QosSpec(kind="abort_late", slack_s=rng.choice((0.0, 1 / 64))),
+            QosSpec(kind="queue_cap", cap=rng.randint(1, 2)),
+        )
+    )
+    return ScenarioSpec(
+        name=name,
+        streams=tuple(streams),
+        frames=rng.randint(6, 12),
+        policy="exclusive_preempt",
+        qos=qos,
+    )
+
+
 _BUILDERS = {
     "burst_storm": _burst_storm,
     "flash_crowd": _flash_crowd,
@@ -371,6 +423,7 @@ _BUILDERS = {
     "replay_edge": _replay_edge,
     "model_mix": _model_mix,
     "closed_loop_mix": _closed_loop_mix,
+    "preemption_storm": _preemption_storm,
 }
 
 
@@ -409,7 +462,14 @@ def generate_case(
         stream.name: _template(
             rng,
             allow_zero=family == "zero_length",
-            ops=1 if family in ("deadline_exact", "zero_length") else None,
+            ops=(
+                1
+                if family in ("deadline_exact", "zero_length")
+                # Preemption needs kernel boundaries *inside* a frame.
+                else rng.randint(2, 3)
+                if family == "preemption_storm"
+                else None
+            ),
             switchy=family == "model_mix",
         )
         for stream in scenario.streams

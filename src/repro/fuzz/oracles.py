@@ -17,23 +17,29 @@ The oracles, and what each one guards:
   pressure, not fractional claims, so the claim-sum bound is not the
   governing model).
 * **conservation** — work is neither lost nor duplicated: every
-  non-dropped task appears in exactly one segment whose duration equals
-  the task's full-speed seconds, and no dropped task appears at all.
+  non-cancelled task appears in exactly one segment whose duration
+  equals the task's full-speed seconds, and no dropped or in-flight
+  aborted task appears at all.
 * **monotone_events** — time only moves forward: completion-ordered
   segments have nondecreasing ends, nothing starts before its static
   release or ends before it starts, nothing finishes faster than
-  full speed, drops never predate their frame's release, and the
-  makespan covers the last event.
-* **frame_atomicity** — frames are all-or-nothing: every task either
-  completed or was dropped (never both, never neither), and within one
-  ``(stream, frame)`` the outcome is uniform.
-* **priority_order** — under ``exclusive``, dispatch never inverts
-  priority: whenever a task starts while a strictly higher-priority
-  task is released, dependency-satisfied, and still waiting, that is a
-  violation. (This is an *order-of-dispatch* property. Blocking-based
-  inversion — a long low-priority task admitted just before a
-  high-priority release — is a known open item pending preemption and
-  deliberately not an oracle.)
+  full speed, drops and preemption events never predate their frame's
+  release, and the makespan covers the last event.
+* **frame_atomicity** — frames have exactly one of three outcomes:
+  every task completed, every task was dropped, or (preemptive QoS
+  only) a prefix of the chain completed and the rest was aborted
+  in-flight — never a mix of drops and aborts, never a task left
+  unresolved.
+* **priority_order** — under ``exclusive`` and ``exclusive_preempt``,
+  dispatch never inverts priority: whenever a task starts while a
+  strictly higher-priority task is released, dependency-satisfied, and
+  still waiting, that is a violation. (This is an *order-of-dispatch*
+  property; blocking by the kernel already in flight is what
+  **preemption_bound** constrains.)
+* **preemption_bound** — under ``exclusive_preempt``, priority
+  inversion is bounded to the one kernel already on the machine: no
+  strictly-lower-weight kernel *starts* strictly inside the window
+  between a task becoming ready and that task starting.
 * **serving_consistency** — a :class:`ServingReport`'s per-stream
   statistics agree with its own per-frame records: counts partition,
   and mean/max/percentile latencies recompute to the stored values.
@@ -85,6 +91,7 @@ ORACLE_NAMES = (
     "frame_atomicity",
     "merge",
     "monotone_events",
+    "preemption_bound",
     "priority_order",
     "report_roundtrip",
     "reports_agree",
@@ -114,6 +121,15 @@ class Violation:
 
 
 # -- timeline-level oracles ------------------------------------------------------------
+def _aborted_uids(timeline: Timeline) -> set[int]:
+    """Tasks cancelled in-flight by a preemptive QoS policy."""
+    return {
+        record.uid
+        for record in timeline.preemptions
+        if record.action == "abort"
+    }
+
+
 def check_capacity(
     tasks, timeline: Timeline, interference=None
 ) -> list[str]:
@@ -122,7 +138,9 @@ def check_capacity(
         # Pressure-model runs don't obey the fractional-claim bound; the
         # conservation and monotonicity oracles still apply to them.
         return []
-    dropped = {record.uid for record in timeline.drops}
+    dropped = {record.uid for record in timeline.drops} | _aborted_uids(
+        timeline
+    )
     demand: dict[str, float] = {}
     for task in tasks:
         if task.uid in dropped:
@@ -142,7 +160,11 @@ def check_capacity(
 def check_conservation(tasks, timeline: Timeline) -> list[str]:
     """Every executed task ran exactly once, at its full-speed duration."""
     problems: list[str] = []
-    dropped = {record.uid for record in timeline.drops}
+    # In-flight aborts cancel a task outright, exactly like an admission
+    # drop for conservation purposes: no segment may exist for it.
+    dropped = {record.uid for record in timeline.drops} | _aborted_uids(
+        timeline
+    )
     segments: dict[int, list] = {}
     for segment in timeline.segments:
         segments.setdefault(segment.uid, []).append(segment)
@@ -231,6 +253,15 @@ def check_monotone_events(tasks, timeline: Timeline) -> list[str]:
                 f"task {record.uid} dropped at {record.time_s:.9g}, before"
                 f" its release {task.release_s:.9g}"
             )
+    for record in timeline.preemptions:
+        last_event = max(last_event, record.time_s)
+        task = by_uid.get(record.uid)
+        if task is not None and record.time_s < task.release_s - _EXACT:
+            problems.append(
+                f"task {record.uid} preempted ({record.action}) at"
+                f" {record.time_s:.9g}, before its release"
+                f" {task.release_s:.9g}"
+            )
     if timeline.makespan_s < last_event - _EXACT:
         problems.append(
             f"makespan {timeline.makespan_s:.9g} precedes the last event"
@@ -240,35 +271,72 @@ def check_monotone_events(tasks, timeline: Timeline) -> list[str]:
 
 
 def check_frame_atomicity(tasks, timeline: Timeline) -> list[str]:
-    """Tasks partition into completed/dropped; frames drop whole."""
+    """Tasks partition into completed/dropped/aborted; frames resolve
+    whole: all-completed, all-dropped, or a completed chain prefix with
+    the remainder aborted in-flight."""
     problems: list[str] = []
     completed = {segment.uid for segment in timeline.segments}
     dropped = {record.uid for record in timeline.drops}
+    aborted = _aborted_uids(timeline)
     for uid in sorted(completed & dropped):
         problems.append(f"task {uid} both completed and dropped")
+    for uid in sorted(completed & aborted):
+        problems.append(f"task {uid} both completed and aborted")
+    for uid in sorted(dropped & aborted):
+        problems.append(f"task {uid} both dropped and aborted")
     every = {task.uid for task in tasks}
-    for uid in sorted(every - completed - dropped):
-        problems.append(f"task {uid} neither completed nor dropped")
+    for uid in sorted(every - completed - dropped - aborted):
+        problems.append(f"task {uid} neither completed, dropped, nor aborted")
     frames: dict[tuple[str, int], list[OpTask]] = {}
     for task in tasks:
         frames.setdefault((task.stream, task.frame), []).append(task)
     for (stream, frame), members in sorted(frames.items()):
         hit = [task.uid for task in members if task.uid in dropped]
+        cut = [task.uid for task in members if task.uid in aborted]
+        if hit and cut:
+            problems.append(
+                f"frame {stream}/f{frame} mixes admission drops and"
+                f" in-flight aborts"
+            )
+            continue
         if hit and len(hit) != len(members):
             problems.append(
                 f"frame {stream}/f{frame} dropped {len(hit)} of"
                 f" {len(members)} tasks — drops must take whole frames"
             )
+        if cut:
+            # The abort cancels the frame's *unstarted* remainder: the
+            # chain runs in uid order, so the completed part must be a
+            # strict uid-prefix of the aborted part.
+            boundary = min(cut)
+            stragglers = [
+                task.uid
+                for task in members
+                if task.uid in completed and task.uid > boundary
+            ]
+            if stragglers:
+                problems.append(
+                    f"frame {stream}/f{frame} completed tasks {stragglers}"
+                    f" after aborted task {boundary} — aborts must cancel"
+                    f" the chain's whole remainder"
+                )
     return problems
 
 
 def _resolve_times(timeline: Timeline) -> dict[int, float]:
-    """When each task stopped mattering: completion or drop time."""
+    """When each task stopped mattering: completion, drop, or abort time.
+
+    Deschedule records are *not* resolutions — a descheduled task still
+    runs later and resolves through its segment.
+    """
     resolved = {
         segment.uid: segment.end_s for segment in timeline.segments
     }
     for record in timeline.drops:
         resolved.setdefault(record.uid, record.time_s)
+    for record in timeline.preemptions:
+        if record.action == "abort":
+            resolved.setdefault(record.uid, record.time_s)
     return resolved
 
 
@@ -291,15 +359,20 @@ def _ready_time(task: OpTask, resolved: dict[int, float]) -> float | None:
 
 
 def check_priority_order(tasks, timeline: Timeline, policy: str) -> list[str]:
-    """Under ``exclusive``, no dispatch passes over a waiting higher
-    priority task (see the module docstring for what this deliberately
-    does *not* claim about blocking)."""
-    if policy != "exclusive":
+    """Under ``exclusive``/``exclusive_preempt``, no dispatch passes over
+    a waiting higher priority task (see the module docstring for what
+    this deliberately does *not* claim about blocking)."""
+    if policy not in ("exclusive", "exclusive_preempt"):
         return []
     problems: list[str] = []
     by_uid = {task.uid: task for task in tasks}
     starts = {segment.uid: segment.start_s for segment in timeline.segments}
     drop_times = {record.uid: record.time_s for record in timeline.drops}
+    for record in timeline.preemptions:
+        # An aborted task was waiting until its abort, exactly like a
+        # dropped one.
+        if record.action == "abort":
+            drop_times.setdefault(record.uid, record.time_s)
     resolved = _resolve_times(timeline)
     for segment in timeline.segments:
         chosen = by_uid.get(segment.uid)
@@ -326,6 +399,49 @@ def check_priority_order(tasks, timeline: Timeline, policy: str) -> list[str]:
                     f"at t={now:.9g} task {segment.uid}"
                     f" (w={chosen.weight:g}) was dispatched while task"
                     f" {task.uid} (w={task.weight:g}) was ready and waiting"
+                )
+    return problems
+
+
+def check_preemption_bound(
+    tasks, timeline: Timeline, policy: str
+) -> list[str]:
+    """Under ``exclusive_preempt``, inversion is bounded to one kernel.
+
+    Once a task is ready (released, dependencies resolved), the only
+    thing allowed to delay it is the kernel already on the machine: no
+    strictly-lower-weight kernel may *start* strictly inside the open
+    window between the task's ready time and its own start.
+    """
+    if policy != "exclusive_preempt":
+        return []
+    problems: list[str] = []
+    by_uid = {task.uid: task for task in tasks}
+    resolved = _resolve_times(timeline)
+    starts = [
+        (segment.start_s, segment.uid) for segment in timeline.segments
+    ]
+    for segment in timeline.segments:
+        waiter = by_uid.get(segment.uid)
+        if waiter is None:
+            continue
+        ready = _ready_time(waiter, resolved)
+        if ready is None or segment.start_s <= ready + _EXACT:
+            continue
+        for start, uid in starts:
+            if uid == segment.uid:
+                continue
+            other = by_uid.get(uid)
+            if other is None or other.weight >= waiter.weight:
+                continue
+            if ready + _EXACT < start < segment.start_s - _EXACT:
+                problems.append(
+                    f"task {uid} (w={other.weight:g}) started at"
+                    f" {start:.9g} while task {segment.uid}"
+                    f" (w={waiter.weight:g}) had been ready since"
+                    f" {ready:.9g} and only started at"
+                    f" {segment.start_s:.9g} — inversion beyond the"
+                    f" in-flight kernel"
                 )
     return problems
 
@@ -427,6 +543,12 @@ def assert_frame_atomicity(tasks, timeline) -> None:
 
 def assert_priority_order(tasks, timeline, policy) -> None:
     _require(check_priority_order(tasks, timeline, policy), "priority_order")
+
+
+def assert_preemption_bound(tasks, timeline, policy) -> None:
+    _require(
+        check_preemption_bound(tasks, timeline, policy), "preemption_bound"
+    )
 
 
 def assert_serving_consistency(report) -> None:
@@ -686,6 +808,12 @@ def evaluate_case(
         )
     )
     violations.extend(
+        Violation("preemption_bound", message)
+        for message in check_preemption_bound(
+            tasks, timeline, case.scenario.policy
+        )
+    )
+    violations.extend(
         Violation("serving_consistency", message)
         for message in check_serving_consistency(result.serving)
     )
@@ -713,6 +841,7 @@ __all__ = [
     "assert_conservation",
     "assert_frame_atomicity",
     "assert_monotone_events",
+    "assert_preemption_bound",
     "assert_priority_order",
     "assert_reports_agree",
     "assert_serving_consistency",
@@ -720,6 +849,7 @@ __all__ = [
     "check_conservation",
     "check_frame_atomicity",
     "check_monotone_events",
+    "check_preemption_bound",
     "check_priority_order",
     "check_reports_agree",
     "check_serving_consistency",

@@ -26,6 +26,7 @@ sequential ``run_model`` numbers bit-for-bit.
 from repro.schedule.policies import (
     POLICY_NAMES,
     ExclusivePolicy,
+    ExclusivePreemptPolicy,
     FifoPolicy,
     PriorityPolicy,
     SchedulingPolicy,
@@ -52,6 +53,7 @@ from repro.schedule.timeline import (
     ENGINE_NAMES,
     DropRecord,
     OpTask,
+    PreemptRecord,
     Timeline,
     TimelineScheduler,
     TimelineSegment,
@@ -65,12 +67,14 @@ __all__ = [
     "RESOURCE_ORDER",
     "DropRecord",
     "ExclusivePolicy",
+    "ExclusivePreemptPolicy",
     "FifoPolicy",
     "FramePlan",
     "FrameRecord",
     "FrameRun",
     "FrameSource",
     "OpTask",
+    "PreemptRecord",
     "PriorityPolicy",
     "ResourceClaim",
     "ResourceKind",

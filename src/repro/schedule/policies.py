@@ -13,20 +13,28 @@ proportion to stream priority, so a latency-critical stream is stretched
 less by co-runners. ``exclusive`` serializes the whole machine, picking
 the highest-priority ready task — the strictest isolation, equivalent to
 the historical one-model-at-a-time execution even for multi-stream
-scenarios.
+scenarios. ``exclusive_preempt`` keeps the same dispatch order but marks
+itself preemptive: the engine deschedules a frame's not-yet-started
+remainder at each kernel boundary whenever a higher-priority frame is
+ready (recording the yield as a :class:`PreemptRecord`), bounding
+priority inversion to the single kernel already in flight.
 """
 
 from __future__ import annotations
 
 from repro.errors import SchedulingError
 
-POLICY_NAMES = ("fifo", "priority", "exclusive")
+POLICY_NAMES = ("fifo", "priority", "exclusive", "exclusive_preempt")
 
 
 class SchedulingPolicy:
     """Base policy: dispatch every ready task, equal weights."""
 
     name = "fifo"
+    #: Preemptive policies let the engine swap a frame's unstarted
+    #: remainder off the machine at kernel boundaries; the engine records
+    #: each switch-away so reports and oracles can account for it.
+    preemptive = False
 
     def dispatch(self, ready: list, running: list) -> list:
         """The ready tasks to start now (engine preserves this order)."""
@@ -69,10 +77,25 @@ class ExclusivePolicy(SchedulingPolicy):
         return [best]
 
 
+class ExclusivePreemptPolicy(ExclusivePolicy):
+    """Exclusive dispatch with kernel-granularity preemption.
+
+    Dispatch order is identical to ``exclusive`` (highest-priority ready
+    task wins each kernel boundary); the ``preemptive`` flag additionally
+    makes the engine deschedule the interrupted frame's next kernel and
+    record the yield, so a newly-arrived high-priority frame is blocked
+    by at most the kernel already on the machine.
+    """
+
+    name = "exclusive_preempt"
+    preemptive = True
+
+
 _POLICIES = {
     "fifo": FifoPolicy,
     "priority": PriorityPolicy,
     "exclusive": ExclusivePolicy,
+    "exclusive_preempt": ExclusivePreemptPolicy,
 }
 
 
@@ -91,6 +114,7 @@ def make_policy(policy: "SchedulingPolicy | str") -> SchedulingPolicy:
 __all__ = [
     "POLICY_NAMES",
     "ExclusivePolicy",
+    "ExclusivePreemptPolicy",
     "FifoPolicy",
     "PriorityPolicy",
     "SchedulingPolicy",

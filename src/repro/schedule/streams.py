@@ -300,25 +300,38 @@ class FramePlan:
         """Per stream: every instantiated frame's outcome, in frame order.
 
         Frames cancelled by admission control come back with
-        ``dropped=True`` and no completion/latency.
+        ``dropped=True`` and no completion/latency; frames whose tail was
+        aborted in-flight by a preemptive QoS policy report the same way
+        (their abort reason as the drop reason — any kernels that ran
+        before the abort do not make the frame an on-time completion).
         """
         ends = {segment.uid: segment.end_s for segment in timeline.segments}
         drops = {record.uid: record for record in timeline.drops}
+        aborts: dict[int, object] = {}
+        for record in timeline.preemptions:
+            if record.action == "abort":
+                aborts.setdefault(record.uid, record)
         records: dict[str, list[FrameRecord]] = {}
         for run in self.runs:
             release = run.release_s
             if run.release_dep is not None:
                 # Closed-loop: the frame was released when its pacing
-                # dependency resolved (completed or dropped) plus think
-                # time — mirror the engine's dynamic release exactly.
+                # dependency resolved (completed, dropped, or aborted)
+                # plus think time — mirror the engine's dynamic release.
                 resolved = ends.get(run.release_dep)
                 if resolved is None and run.release_dep in drops:
                     resolved = drops[run.release_dep].time_s
+                if resolved is None and run.release_dep in aborts:
+                    resolved = aborts[run.release_dep].time_s
                 if resolved is not None:
                     release = max(run.release_s, resolved + run.think_s)
             drop = next(
                 (drops[uid] for uid in run.uids if uid in drops), None
             )
+            if drop is None:
+                drop = next(
+                    (aborts[uid] for uid in run.uids if uid in aborts), None
+                )
             if drop is not None:
                 record = FrameRecord(
                     stream=run.stream,

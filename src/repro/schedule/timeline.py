@@ -37,6 +37,25 @@ from repro.schedule.resources import ResourceClaim, ResourceKind
 #: switch (drain/fill + warp-set resync) when it crosses streams.
 _MAC_MODES = ("simd", "systolic")
 
+#: The claim kinds that place a task on the MAC substrate when held as a
+#: *primary* (full) claim.
+_SUBSTRATE_KINDS = (ResourceKind.SIMD, ResourceKind.ARRAY)
+
+
+def _touches_substrate(task) -> bool:
+    """Whether dispatching ``task`` occupies the MAC substrate.
+
+    Only tasks with a primary (full) SIMD or ARRAY claim run on the
+    temporally-switched substrate and participate in cross-stream
+    mode-switch tracking. A TensorCore task's fractional SIMD claim is
+    ancillary co-run pressure, and TRANSFER/HOST tasks never touch the
+    MACs even though ``OpTask.mode`` defaults to ``"simd"``.
+    """
+    return any(
+        claim.fraction >= 1.0 and claim.kind in _SUBSTRATE_KINDS
+        for claim in task.claims
+    )
+
 #: The timeline engines a scheduler can run on. ``scalar`` is the
 #: original per-event reference loop; ``vectorized`` is the optimized
 #: engine in :mod:`repro.schedule.vectorized`, pinned bit-identical to
@@ -164,11 +183,35 @@ class DropRecord:
 
 
 @dataclass(frozen=True)
+class PreemptRecord:
+    """One kernel-boundary preemption event.
+
+    ``action`` is ``"deschedule"`` when a preemptive dispatch policy
+    passed over a frame's next kernel in favor of a higher-priority
+    frame (the kernel still runs later), or ``"abort"`` when a
+    preemptive QoS policy cancelled a not-yet-started kernel outright
+    (it never runs; the kernel already on the machine finishes).
+    """
+
+    uid: int
+    name: str
+    stream: str
+    frame: int
+    time_s: float
+    reason: str
+    action: str = "abort"
+
+
+@dataclass(frozen=True)
 class Timeline:
     """The scheduled execution: segments plus resource accounting.
 
     ``drops`` lists the tasks an admission policy cancelled (whole frames
     at a time); dropped tasks never appear in ``segments``.
+    ``preemptions`` lists kernel-boundary preemption events (empty unless
+    a preemptive policy or QoS action ran): ``"abort"`` records cancel
+    tasks — like drops, they never appear in ``segments`` — while
+    ``"deschedule"`` records mark yields whose tasks run later.
     """
 
     segments: tuple[TimelineSegment, ...]
@@ -178,6 +221,7 @@ class Timeline:
     mode_switches: int = 0
     switch_overhead_s: float = 0.0
     drops: tuple[DropRecord, ...] = ()
+    preemptions: tuple[PreemptRecord, ...] = ()
 
     def occupancy(self) -> dict[str, float]:
         """Fraction of the makespan each resource had work (by kind name)."""
@@ -281,6 +325,11 @@ class TimelineScheduler:
         ready: list[OpTask] = []
         running: list[OpTask] = []
         remaining = {task.uid: task.seconds for task in tasks}
+        # Total work charged per task (base seconds plus any cross-stream
+        # switch surcharge); the completion epsilon scales with this, not
+        # the base seconds, so a zero-length kernel carrying a large
+        # switch charge still completes on an appropriately-scaled test.
+        charged = {task.uid: task.seconds for task in tasks}
         start: dict[int, float] = {}
         end: dict[int, float] = {}
         busy: dict[ResourceKind, float] = {}
@@ -296,6 +345,26 @@ class TimelineScheduler:
             (task for task in tasks if task.frame_head),
             key=lambda task: (task.release_s, task.uid),
         )
+
+        # Preemption state. Both flags default false, in which case none
+        # of the bookkeeping below runs and the event sequence (and every
+        # float op) is identical to the non-preemptive engine.
+        preempt_records: list[PreemptRecord] = []
+        policy_preemptive = getattr(self.policy, "preemptive", False)
+        qos_preemptive = self.qos is not None and getattr(
+            self.qos, "preemptive", False
+        )
+        # The uid a preemptive policy would resume with (the just-finished
+        # task's same-frame successor); dispatching past it is a yield.
+        resume_uid: int | None = None
+        frame_uids: dict[tuple[str, int], list[int]] = {}
+        frame_left: dict[tuple[str, int], int] = {}
+        aborted: set[tuple[str, int]] = set()
+        if qos_preemptive:
+            for task in sorted(tasks, key=lambda task: task.uid):
+                key = (task.stream, task.frame)
+                frame_uids.setdefault(key, []).append(task.uid)
+                frame_left[key] = frame_left.get(key, 0) + 1
 
         now = 0.0
         events = 0
@@ -338,6 +407,8 @@ class TimelineScheduler:
                 if task.uid in dropped or task.uid in end:
                     continue
                 dropped.add(task.uid)
+                if qos_preemptive:
+                    frame_left[(task.stream, task.frame)] -= 1
                 drop_records.append(
                     DropRecord(
                         uid=task.uid,
@@ -364,8 +435,15 @@ class TimelineScheduler:
                         satisfy_dep(successor_uid)
 
         def queued_frames() -> dict[str, list[OpTask]]:
-            """Arrived-but-unstarted frame heads per stream, arrival order."""
-            queued: dict[str, list[OpTask]] = {}
+            """Arrived-but-unstarted frame heads per stream, arrival order.
+
+            Ordered by *effective* release: closed-loop heads get their
+            release rewritten when their pacing dependency resolves, so
+            static declaration order can disagree with arrival order —
+            and ``queue_cap``'s newest-first drop must see true arrival
+            order to target the right frame.
+            """
+            entries = []
             for head in heads:
                 # Closed-loop heads are rewritten with their dynamic
                 # release when their pacing dependency resolves; until
@@ -378,8 +456,77 @@ class TimelineScheduler:
                     and head.uid not in start
                     and head.uid not in dropped
                 ):
-                    queued.setdefault(current.stream, []).append(current)
+                    entries.append((current.release_s, head.uid, current))
+            entries.sort(key=lambda entry: (entry[0], entry[1]))
+            queued: dict[str, list[OpTask]] = {}
+            for _release, _uid, current in entries:
+                queued.setdefault(current.stream, []).append(current)
             return queued
+
+        def inflight_frames() -> dict[str, list[OpTask]]:
+            """Started-but-unfinished, non-aborted frame heads per stream.
+
+            Ordered by effective release then uid, matching the
+            vectorized engine's sorted in-flight index so abort records
+            land in identical order.
+            """
+            entries = []
+            for head in heads:
+                key = (head.stream, head.frame)
+                if (
+                    head.uid in start
+                    and key not in aborted
+                    and frame_left.get(key, 0) > 0
+                ):
+                    current = by_uid[head.uid]
+                    entries.append((current.release_s, head.uid, current))
+            entries.sort(key=lambda entry: (entry[0], entry[1]))
+            inflight: dict[str, list[OpTask]] = {}
+            for _release, _uid, current in entries:
+                inflight.setdefault(current.stream, []).append(current)
+            return inflight
+
+        def abort_frame(head: OpTask, reason: str) -> None:
+            """Cancel the unstarted remainder of a started frame at ``now``.
+
+            Kernel-granularity: anything already on the machine (or
+            finished) stays; every other task of the frame is cancelled
+            with a :class:`PreemptRecord`, and cross-frame dependents are
+            released exactly as a drop cascade would release them. The
+            frame is marked aborted even when nothing was left to cancel,
+            so the QoS review cannot re-select it forever.
+            """
+            nonlocal done, resume_uid
+            key = (head.stream, head.frame)
+            aborted.add(key)
+            for uid in frame_uids[key]:
+                if uid in start or uid in dropped:
+                    continue
+                task = by_uid[uid]
+                dropped.add(uid)
+                frame_left[key] -= 1
+                preempt_records.append(
+                    PreemptRecord(
+                        uid=uid,
+                        name=task.name,
+                        stream=task.stream,
+                        frame=task.frame,
+                        time_s=now,
+                        reason=reason,
+                        action="abort",
+                    )
+                )
+                done += 1
+                if resume_uid == uid:
+                    resume_uid = None
+                if task in ready:
+                    ready.remove(task)
+                elif task in pending:
+                    pending.remove(task)
+                for successor_uid in dependents.get(uid, ()):
+                    successor = by_uid[successor_uid]
+                    if (successor.stream, successor.frame) != key:
+                        satisfy_dep(successor_uid)
 
         while done < len(tasks):
             events += 1
@@ -405,15 +552,46 @@ class TimelineScheduler:
                 # heavier one released by the drop).
                 while pending and pending[0].release_s <= now:
                     ready.append(pending.pop(0))
+                # Preemptive QoS additionally reviews in-flight frames,
+                # aborting the unstarted remainder of any whose deadline
+                # slipped; the cascade can release cross-frame deps too.
+                if qos_preemptive:
+                    for head, reason in self.qos.review_inflight(
+                        now, inflight_frames()
+                    ):
+                        abort_frame(head, reason)
+                    if done >= len(tasks):
+                        break
+                    while pending and pending[0].release_s <= now:
+                        ready.append(pending.pop(0))
 
             # Policy decides which ready tasks start now.
             dispatched = self.policy.dispatch(ready, running)
+            if policy_preemptive and dispatched:
+                # Dispatching past the finished kernel's same-frame
+                # successor is a kernel-boundary yield: the interrupted
+                # frame's remainder stays queued while a higher-priority
+                # frame takes the machine. Record it exactly once.
+                if resume_uid is not None and all(
+                    task.uid != resume_uid for task in dispatched
+                ):
+                    passed = by_uid[resume_uid]
+                    preempt_records.append(
+                        PreemptRecord(
+                            uid=passed.uid,
+                            name=passed.name,
+                            stream=passed.stream,
+                            frame=passed.frame,
+                            time_s=now,
+                            reason="priority",
+                            action="deschedule",
+                        )
+                    )
+                resume_uid = None
             for task in dispatched:
                 ready.remove(task)
                 start[task.uid] = now
-                if any(claim.kind is ResourceKind.ARRAY for claim in task.claims) or (
-                    task.mode in _MAC_MODES
-                ):
+                if _touches_substrate(task):
                     if (
                         task.cross_switch_s > 0.0
                         and substrate_mode is not None
@@ -421,6 +599,7 @@ class TimelineScheduler:
                         and substrate_stream != task.stream
                     ):
                         remaining[task.uid] += task.cross_switch_s
+                        charged[task.uid] += task.cross_switch_s
                         mode_switches += 1
                         switch_overhead += task.cross_switch_s
                     substrate_mode = task.mode
@@ -481,6 +660,12 @@ class TimelineScheduler:
                 horizon = self.qos.next_event(now, queued_frames())
                 if horizon is not None:
                     dt = min(dt, horizon - now)
+                if qos_preemptive:
+                    ihorizon = self.qos.next_inflight_event(
+                        now, inflight_frames()
+                    )
+                    if ihorizon is not None:
+                        dt = min(dt, ihorizon - now)
             dt = max(dt, 0.0)
 
             if dt > 0.0:
@@ -493,19 +678,40 @@ class TimelineScheduler:
                     remaining[task.uid] -= dt / slowdown[task.uid]
                 now += dt
 
-            # Complete finished tasks (FP dust below a relative epsilon).
+            # Complete finished tasks (FP dust below a relative epsilon
+            # scaled to the total charged work, switch surcharge included).
             finished = [
                 task
                 for task in running
-                if remaining[task.uid] <= 1e-12 * task.seconds + 1e-18
+                if remaining[task.uid] <= 1e-12 * charged[task.uid] + 1e-18
             ]
             for task in finished:
                 running.remove(task)
                 end[task.uid] = now
                 completion_order.append(task.uid)
                 done += 1
+                if qos_preemptive:
+                    frame_left[(task.stream, task.frame)] -= 1
                 for successor in dependents.get(task.uid, ()):
                     satisfy_dep(successor)
+                if policy_preemptive:
+                    # The natural continuation at this kernel boundary is
+                    # the finished kernel's same-frame successor, if it
+                    # is now dispatchable; remember it so the next
+                    # dispatch can tell a yield from a resume.
+                    resume_uid = None
+                    for successor_uid in dependents.get(task.uid, ()):
+                        successor = by_uid[successor_uid]
+                        if (
+                            successor.stream == task.stream
+                            and successor.frame == task.frame
+                            and unmet[successor_uid] == 0
+                            and successor_uid not in dropped
+                            and successor.think_s is None
+                            and successor.release_s <= now
+                        ):
+                            resume_uid = successor_uid
+                            break
 
         segments = tuple(
             TimelineSegment(
@@ -528,6 +734,7 @@ class TimelineScheduler:
             mode_switches=mode_switches,
             switch_overhead_s=switch_overhead,
             drops=tuple(drop_records),
+            preemptions=tuple(preempt_records),
         )
 
 
@@ -536,6 +743,7 @@ __all__ = [
     "ENGINE_NAMES",
     "DropRecord",
     "OpTask",
+    "PreemptRecord",
     "Timeline",
     "TimelineScheduler",
     "TimelineSegment",

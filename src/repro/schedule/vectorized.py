@@ -50,19 +50,22 @@ from dataclasses import replace
 from repro.errors import SchedulingError
 from repro.schedule.policies import (
     ExclusivePolicy,
+    ExclusivePreemptPolicy,
     FifoPolicy,
     PriorityPolicy,
     SchedulingPolicy,
 )
 from repro.schedule.timeline import (
-    _MAC_MODES,
+    _touches_substrate,
     DropRecord,
     OpTask,
+    PreemptRecord,
     Timeline,
     TimelineSegment,
 )
 from repro.schedule.resources import ResourceKind
 from repro.serving.qos import (
+    AbortLatePolicy,
     AdmissionPolicy,
     DropLatePolicy,
     QueueCapPolicy,
@@ -76,13 +79,31 @@ _BLOCKED, _PENDING, _READY, _RUNNING, _DONE, _DROPPED = range(6)
 #: provably that task — the precondition for the solo-chain fast path to
 #: condense a dispatch without consulting the policy. Custom subclasses
 #: fall back to the generic loop (correct, just slower).
-_FAST_POLICIES = (SchedulingPolicy, FifoPolicy, PriorityPolicy, ExclusivePolicy)
+#: ``exclusive_preempt`` qualifies: it dispatches exactly like
+#: ``exclusive``, and a condensed step always dispatches the finished
+#: kernel's sole successor (nothing else is ready), which is precisely
+#: the resume case — no deschedule record could be emitted.
+_FAST_POLICIES = (
+    SchedulingPolicy,
+    FifoPolicy,
+    PriorityPolicy,
+    ExclusivePolicy,
+    ExclusivePreemptPolicy,
+)
 
 #: Admission policies known to honor the ``next_event`` contract (their
 #: review decision cannot change before the returned horizon). The fast
 #: path relies on that contract to skip reviews; unknown QoS classes
-#: disable it.
-_FAST_QOS = (AdmissionPolicy, DropLatePolicy, QueueCapPolicy, ShedPolicy)
+#: disable it. ``abort_late`` additionally honors ``next_inflight_event``
+#: — the fast path breaks at that horizon too (in-flight expiries are
+#: fixed once a head starts, and no head starts inside a condensation).
+_FAST_QOS = (
+    AdmissionPolicy,
+    DropLatePolicy,
+    QueueCapPolicy,
+    ShedPolicy,
+    AbortLatePolicy,
+)
 
 
 class VectorCore:
@@ -119,6 +140,9 @@ class VectorCore:
         self.unmet: dict[int, int] = {}
         self.dependents: dict[int, list[int]] = {}
         self.remaining: dict[int, float] = {}
+        # Total charged work per task (base seconds + switch surcharge);
+        # the completion epsilon scales with this (scalar parity).
+        self.charged: dict[int, float] = {}
         self.status: dict[int, int] = {}
         self.pending: list[tuple[float, int]] = []
         self.ready: list[OpTask] = []
@@ -142,6 +166,23 @@ class VectorCore:
         self.head_key: dict[int, tuple[float, int]] = {}
         self.arrival_heap: list[tuple[float, int]] = []
         self.queued_keys: list[tuple[float, int]] = []
+
+        # Preemption state (bookkeeping only runs when a preemptive
+        # policy/QoS is installed — non-preemptive runs take none of the
+        # new branches, keeping them bit-identical to the seed engine).
+        self.policy_preemptive = getattr(policy, "preemptive", False)
+        self.qos_preemptive = qos is not None and getattr(
+            qos, "preemptive", False
+        )
+        self.preempt_records: list[PreemptRecord] = []
+        self.resume_uid: int | None = None
+        self.frame_uids: dict[tuple[str, int], list[int]] = {}
+        self.frame_left: dict[tuple[str, int], int] = {}
+        self.frame_head_uid: dict[tuple[str, int], int] = {}
+        self.aborted: set[tuple[str, int]] = set()
+        # Started-but-unfinished frame heads, sorted by effective
+        # (release, uid) — the in-flight mirror of ``queued_keys``.
+        self.inflight_keys: list[tuple[float, int]] = []
 
         self.now = 0.0
         self.events = 0
@@ -198,6 +239,7 @@ class VectorCore:
                     )
             unmet_map[uid] = unmet
             remaining[uid] = task.seconds
+            self.charged[uid] = task.seconds
             if unmet == 0 and task.think_s is None:
                 status[uid] = _PENDING
                 heappush(pending, (task.release_s, uid))
@@ -207,6 +249,12 @@ class VectorCore:
                 self.head_key[uid] = (task.release_s, uid)
                 if task.think_s is None:
                     heappush(self.arrival_heap, (task.release_s, uid))
+            if self.qos_preemptive:
+                key = (task.stream, task.frame)
+                self.frame_uids.setdefault(key, []).append(uid)
+                self.frame_left[key] = self.frame_left.get(key, 0) + 1
+                if task.frame_head:
+                    self.frame_head_uid[key] = uid
         self.total += len(tasks)
         self.live += len(tasks)
         if self.live > self.peak_live:
@@ -230,10 +278,17 @@ class VectorCore:
             self.status.pop(uid, None)
             self.unmet.pop(uid, None)
             self.remaining.pop(uid, None)
+            self.charged.pop(uid, None)
             self.start.pop(uid, None)
             self.end.pop(uid, None)
             self.dependents.pop(uid, None)
             self.head_key.pop(uid, None)
+            if self.qos_preemptive:
+                key = (task.stream, task.frame)
+                self.frame_uids.pop(key, None)
+                self.frame_left.pop(key, None)
+                self.frame_head_uid.pop(key, None)
+                self.aborted.discard(key)
         self.live -= len(uids)
 
     # -- queued-frame index ------------------------------------------------------------
@@ -262,6 +317,39 @@ class VectorCore:
             task = by_uid[uid]
             queued.setdefault(task.stream, []).append(task)
         return queued
+
+    # -- in-flight frame index (preemptive QoS only) -------------------------------------
+    def _inflight_discard(self, uid: int) -> None:
+        key = self.head_key.get(uid)
+        if key is None:
+            return
+        keys = self.inflight_keys
+        index = bisect_left(keys, key)
+        if index < len(keys) and keys[index] == key:
+            del keys[index]
+
+    def _inflight_frames(self) -> dict[str, list[OpTask]]:
+        inflight: dict[str, list[OpTask]] = {}
+        by_uid = self.by_uid
+        for _, uid in self.inflight_keys:
+            task = by_uid[uid]
+            inflight.setdefault(task.stream, []).append(task)
+        return inflight
+
+    def _frame_resolved(self, task: OpTask) -> None:
+        """Account one resolved (completed/dropped/aborted) frame member;
+        a fully-resolved frame leaves the in-flight index."""
+        key = (task.stream, task.frame)
+        left = self.frame_left.get(key)
+        if left is None:
+            return
+        left -= 1
+        self.frame_left[key] = left
+        if left <= 0:
+            head_uid = self.frame_head_uid.get(key)
+            if head_uid is not None:
+                self._inflight_discard(head_uid)
+            self.aborted.discard(key)
 
     # -- event queue helpers -----------------------------------------------------------
     def _pending_release(self) -> float | None:
@@ -299,6 +387,14 @@ class VectorCore:
                 )
                 self.by_uid[successor_uid] = successor
                 if self.qos is not None and successor.frame_head:
+                    # Re-key the head by its *effective* release before
+                    # it enters the arrival/queued indexes, so queue
+                    # review sees true arrival order (a closed-loop head
+                    # can arrive after later-declared open-loop ones).
+                    self.head_key[successor_uid] = (
+                        successor.release_s,
+                        successor_uid,
+                    )
                     heapq.heappush(
                         self.arrival_heap,
                         (successor.release_s, successor_uid),
@@ -328,6 +424,8 @@ class VectorCore:
             if self.collect:
                 self.drop_records.append(record)
             self.done += 1
+            if self.qos_preemptive:
+                self._frame_resolved(task)
             if state == _READY:
                 self.ready.remove(task)
             if self.qos is not None and task.frame_head:
@@ -351,10 +449,65 @@ class VectorCore:
         if self.collect:
             self.completion_order.append(uid)
         self.done += 1
+        if self.qos_preemptive:
+            self._frame_resolved(task)
         for successor_uid in self.dependents.get(uid, ()):
             self._satisfy_dep(successor_uid)
+        if self.policy_preemptive:
+            # Remember the kernel boundary's natural continuation (the
+            # finished kernel's dispatchable same-frame successor) so
+            # the next dispatch can tell a yield from a resume.
+            self.resume_uid = None
+            for successor_uid in self.dependents.get(uid, ()):
+                successor = self.by_uid[successor_uid]
+                if (
+                    successor.stream == task.stream
+                    and successor.frame == task.frame
+                    and self.unmet[successor_uid] == 0
+                    and self.status[successor_uid] != _DROPPED
+                    and successor.think_s is None
+                    and successor.release_s <= self.now
+                ):
+                    self.resume_uid = successor_uid
+                    break
         if self.on_resolve is not None:
             self.on_resolve(task, self.now, None)
+
+    def _abort_frame(self, head: OpTask, reason: str) -> None:
+        """Cancel the unstarted remainder of a started frame (mirrors the
+        scalar ``abort_frame`` exactly, including record order)."""
+        key = (head.stream, head.frame)
+        self.aborted.add(key)
+        self._inflight_discard(head.uid)
+        for uid in sorted(self.frame_uids.get(key, ())):
+            if uid in self.start or self.status.get(uid) == _DROPPED:
+                continue
+            task = self.by_uid[uid]
+            state = self.status.get(uid)
+            self.status[uid] = _DROPPED
+            self.frame_left[key] -= 1
+            record = PreemptRecord(
+                uid=uid,
+                name=task.name,
+                stream=task.stream,
+                frame=task.frame,
+                time_s=self.now,
+                reason=reason,
+                action="abort",
+            )
+            if self.collect:
+                self.preempt_records.append(record)
+            self.done += 1
+            if self.resume_uid == uid:
+                self.resume_uid = None
+            if state == _READY:
+                self.ready.remove(task)
+            for successor_uid in self.dependents.get(uid, ()):
+                successor = self.by_uid[successor_uid]
+                if (successor.stream, successor.frame) != key:
+                    self._satisfy_dep(successor_uid)
+            if self.on_resolve is not None:
+                self.on_resolve(task, None, record)
 
     # -- shares ------------------------------------------------------------------------
     def _compute_shares(self) -> None:
@@ -420,9 +573,7 @@ class VectorCore:
 
     def _charge_substrate(self, task: OpTask) -> None:
         """Mode-switch accounting at dispatch (scalar semantics)."""
-        if any(
-            claim.kind is ResourceKind.ARRAY for claim in task.claims
-        ) or (task.mode in _MAC_MODES):
+        if _touches_substrate(task):
             if (
                 task.cross_switch_s > 0.0
                 and self.substrate_mode is not None
@@ -430,6 +581,7 @@ class VectorCore:
                 and self.substrate_stream != task.stream
             ):
                 self.remaining[task.uid] += task.cross_switch_s
+                self.charged[task.uid] += task.cross_switch_s
                 self.mode_switches += 1
                 self.switch_overhead += task.cross_switch_s
             self.substrate_mode = task.mode
@@ -452,8 +604,16 @@ class VectorCore:
             return False
         qos = self.qos
         horizon = None
+        ihorizon = None
         if qos is not None:
             horizon = qos.next_event(self.now, self._queued_frames())
+            if self.qos_preemptive:
+                # In-flight abort expiries are fixed once a head starts,
+                # and no head starts inside a condensation, so the entry
+                # horizon bounds the whole chain segment.
+                ihorizon = qos.next_inflight_event(
+                    self.now, self._inflight_frames()
+                )
         # Hot loop: hoist every attribute the per-step body touches.
         # Nothing below changes a single float operation relative to the
         # generic loop — the wins are lookup elimination and skipping
@@ -498,6 +658,8 @@ class VectorCore:
                 break
             if horizon is not None and horizon <= completion:
                 break
+            if ihorizon is not None and ihorizon <= completion:
+                break
             successors = dependents.get(uid, ())
             if len(successors) != 1:
                 break
@@ -533,6 +695,8 @@ class VectorCore:
             if collect:
                 completion_order.append(uid)
             done += 1
+            if self.qos_preemptive:
+                self._frame_resolved(task)
             unmet[succ_uid] = 0
             if on_resolve is not None:
                 # Publish counters the hook may observe (it can inject
@@ -565,6 +729,7 @@ class VectorCore:
                     and substrate_stream != successor.stream
                 ):
                     remaining[succ_uid] += successor.cross_switch_s
+                    self.charged[succ_uid] += successor.cross_switch_s
                     self.mode_switches += 1
                     self.switch_overhead += successor.cross_switch_s
                 substrate_mode = successor.mode
@@ -589,10 +754,7 @@ class VectorCore:
             (kind, min(amount, 1.0))
             for kind, amount in self._solo_load(task).items()
         )
-        touches_substrate = any(
-            claim.kind is ResourceKind.ARRAY for claim in task.claims
-        ) or (task.mode in _MAC_MODES)
-        memo = (pairs, touches_substrate)
+        memo = (pairs, _touches_substrate(task))
         self._chain_cache[key] = memo
         return memo
 
@@ -629,8 +791,36 @@ class VectorCore:
                 # Drop cascades can admit a stream's next frame at this
                 # instant — re-drain before dispatch (scalar parity).
                 self._drain_releases()
+                # Preemptive QoS reviews in-flight frames too, aborting
+                # the unstarted remainder of any whose deadline slipped.
+                if self.qos_preemptive:
+                    for head, reason in qos.review_inflight(
+                        self.now, self._inflight_frames()
+                    ):
+                        self._abort_frame(head, reason)
+                    if self.done >= self.total:
+                        break
+                    self._drain_releases()
 
             dispatched = policy.dispatch(self.ready, self.running)
+            if self.policy_preemptive and dispatched:
+                resume = self.resume_uid
+                if resume is not None and all(
+                    task.uid != resume for task in dispatched
+                ):
+                    passed = self.by_uid[resume]
+                    record = PreemptRecord(
+                        uid=passed.uid,
+                        name=passed.name,
+                        stream=passed.stream,
+                        frame=passed.frame,
+                        time_s=self.now,
+                        reason="priority",
+                        action="deschedule",
+                    )
+                    if self.collect:
+                        self.preempt_records.append(record)
+                self.resume_uid = None
             if dispatched:
                 if len(dispatched) == len(self.ready):
                     self.ready.clear()
@@ -643,6 +833,11 @@ class VectorCore:
                     self._charge_substrate(task)
                     if qos is not None and task.frame_head:
                         self._queued_discard(task.uid)
+                        if self.qos_preemptive:
+                            insort(
+                                self.inflight_keys,
+                                self.head_key[task.uid],
+                            )
                     self.running.append(task)
                 self._shares_dirty = True
 
@@ -679,6 +874,12 @@ class VectorCore:
                 horizon = qos.next_event(self.now, self._queued_frames())
                 if horizon is not None:
                     dt = min(dt, horizon - self.now)
+                if self.qos_preemptive:
+                    ihorizon = qos.next_inflight_event(
+                        self.now, self._inflight_frames()
+                    )
+                    if ihorizon is not None:
+                        dt = min(dt, ihorizon - self.now)
             dt = max(dt, 0.0)
 
             if dt > 0.0:
@@ -693,10 +894,11 @@ class VectorCore:
                     remaining[task.uid] -= dt / slowdown[task.uid]
                 self.now += dt
 
+            charged = self.charged
             finished = [
                 task
                 for task in self.running
-                if remaining[task.uid] <= 1e-12 * task.seconds + 1e-18
+                if remaining[task.uid] <= 1e-12 * charged[task.uid] + 1e-18
             ]
             if finished:
                 for task in finished:
@@ -731,6 +933,7 @@ class VectorCore:
             mode_switches=self.mode_switches,
             switch_overhead_s=self.switch_overhead,
             drops=tuple(self.drop_records),
+            preemptions=tuple(self.preempt_records),
         )
 
 

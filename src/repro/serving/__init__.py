@@ -29,6 +29,7 @@ from repro.serving.traces import (
 )
 from repro.serving.qos import (
     QOS_KINDS,
+    AbortLatePolicy,
     AdmissionPolicy,
     DropLatePolicy,
     QosSpec,
@@ -70,6 +71,7 @@ def __getattr__(name: str):
 __all__ = [
     "ARRIVAL_KINDS",
     "QOS_KINDS",
+    "AbortLatePolicy",
     "AdmissionPolicy",
     "ArrivalSpec",
     "ArrivalTrace",

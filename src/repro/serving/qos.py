@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigError
 
 #: The admission-control policy kinds a scenario may declare.
-QOS_KINDS = ("drop_late", "queue_cap", "shed")
+QOS_KINDS = ("drop_late", "queue_cap", "shed", "abort_late")
 
 
 @dataclass(frozen=True)
@@ -42,7 +42,11 @@ class QosSpec:
       once; arrivals beyond that are dropped (newest first);
     * ``shed`` — when more than ``cap`` frames are queued machine-wide,
       shed from the lowest-priority streams first; streams with priority
-      >= ``min_priority`` (when set) are never shed.
+      >= ``min_priority`` (when set) are never shed;
+    * ``abort_late`` — ``drop_late`` for queued frames, plus preemptive
+      cancellation of an *in-flight* frame's not-yet-started kernels the
+      moment ``release + deadline + slack_s`` passes (the kernel already
+      on the machine finishes — cancellation is kernel-granular).
     """
 
     kind: str
@@ -90,6 +94,11 @@ class QosSpec:
 class AdmissionPolicy:
     """Base admission policy: admit everything (the closed-loop default)."""
 
+    #: Preemptive policies additionally review *in-flight* frames and may
+    #: abort their unstarted remainder at a kernel boundary; the engine
+    #: only maintains the in-flight index when this is set.
+    preemptive = False
+
     def __init__(self, spec: QosSpec | None = None) -> None:
         self.spec = spec
 
@@ -109,6 +118,20 @@ class AdmissionPolicy:
         """The next time (> now) this policy's decision could change
         between releases/completions, or ``None``. The engine bounds its
         time step by it so deadline expiries are hit exactly."""
+        return None
+
+    def review_inflight(self, now: float, inflight: dict) -> list:
+        """In-flight frames to abort now, as ``(head_task, reason)`` pairs.
+
+        ``inflight`` maps stream name to that stream's started-but-
+        unfinished frame-head tasks. Only consulted when ``preemptive``.
+        """
+        return []
+
+    def next_inflight_event(self, now: float, inflight: dict) -> float | None:
+        """The next time (> now) an in-flight abort could fire, or
+        ``None``. Bounds the engine's step (and the vectorized engine's
+        solo-chain fast path) so aborts land exactly on their expiry."""
         return None
 
 
@@ -173,10 +196,43 @@ class ShedPolicy(AdmissionPolicy):
         return [(head, "load_shed") for head in candidates[:excess]]
 
 
+class AbortLatePolicy(DropLatePolicy):
+    """``drop_late`` plus kernel-granularity abort of in-flight frames.
+
+    Queued frames are dropped exactly as under ``drop_late``. A frame
+    that *started* but whose expiry passes mid-flight has its remaining
+    (not-yet-started) kernels cancelled at the expiry instant — the
+    kernel on the machine runs to completion, and the engine records the
+    cancellations as :class:`~repro.schedule.timeline.PreemptRecord`
+    entries with reason ``"deadline_abort"``.
+    """
+
+    preemptive = True
+
+    def review_inflight(self, now: float, inflight: dict) -> list:
+        aborts = []
+        for heads in inflight.values():
+            for head in heads:
+                expiry = self._expiry(head)
+                if expiry is not None and now >= expiry:
+                    aborts.append((head, "deadline_abort"))
+        return aborts
+
+    def next_inflight_event(self, now: float, inflight: dict) -> float | None:
+        horizon = None
+        for heads in inflight.values():
+            for head in heads:
+                expiry = self._expiry(head)
+                if expiry is not None and expiry > now:
+                    horizon = expiry if horizon is None else min(horizon, expiry)
+        return horizon
+
+
 _POLICIES = {
     "drop_late": DropLatePolicy,
     "queue_cap": QueueCapPolicy,
     "shed": ShedPolicy,
+    "abort_late": AbortLatePolicy,
 }
 
 
@@ -201,6 +257,7 @@ def make_qos(spec: "QosSpec | dict | str | None") -> AdmissionPolicy | None:
 
 __all__ = [
     "QOS_KINDS",
+    "AbortLatePolicy",
     "AdmissionPolicy",
     "DropLatePolicy",
     "QosSpec",

@@ -55,7 +55,9 @@ from repro.serving.qos import make_qos
 class _FrameState:
     """One in-flight frame's resolution bookkeeping."""
 
-    __slots__ = ("run", "unresolved", "max_end", "drop_uid", "drop_reason")
+    __slots__ = (
+        "run", "unresolved", "max_end", "drop_uid", "drop_reason", "aborted"
+    )
 
     def __init__(self, run: FrameRun) -> None:
         self.run = run
@@ -63,6 +65,7 @@ class _FrameState:
         self.max_end: float | None = None
         self.drop_uid: int | None = None
         self.drop_reason: str | None = None
+        self.aborted = False
 
 
 class _StreamState:
@@ -76,6 +79,7 @@ class _StreamState:
         self.dropped = 0
         self.missed = 0
         self.met = 0
+        self.preempted = 0
         self.latency_sum = 0.0
         self.latency_max = 0.0
         self.sketch = QuantileSketch()
@@ -137,6 +141,8 @@ def serve_streaming(
         state.offered += 1
         if frame_state.drop_uid is not None:
             state.dropped += 1
+            if frame_state.aborted:
+                state.preempted += 1
             record = FrameRecord(
                 stream=run.stream,
                 frame=run.frame,
@@ -192,6 +198,8 @@ def serve_streaming(
         ):
             frame_state.drop_uid = drop_record.uid
             frame_state.drop_reason = drop_record.reason
+            if getattr(drop_record, "action", None) == "abort":
+                frame_state.aborted = True
         frame_state.unresolved -= 1
         # Pull the stream's next frame in at the same instant the
         # materialized run's dependency satisfaction would fire.
@@ -264,6 +272,7 @@ def serve_streaming(
                     p99_s=percentile(latencies, 99),
                     goodput_fps=met / makespan if makespan > 0 else 0.0,
                     frames=frames,
+                    preempted=state.preempted,
                 )
             )
         else:
@@ -286,6 +295,7 @@ def serve_streaming(
                     goodput_fps=state.met / makespan if makespan > 0 else 0.0,
                     frames=(),
                     sketches=sketch.to_dict(),
+                    preempted=state.preempted,
                 )
             )
 

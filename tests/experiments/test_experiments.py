@@ -18,6 +18,7 @@ from repro.experiments import (
     run_fig8_energy,
     run_fig8_speedup,
     run_fig9_left,
+    run_fig9_preemption,
     run_fig9_right,
     run_table1,
     run_table2,
@@ -33,6 +34,7 @@ _EXPERIMENTS = [
     ("fig8_energy", run_fig8_energy),
     ("fig9_left", run_fig9_left),
     ("fig9_right", run_fig9_right),
+    ("fig9_preemption", run_fig9_preemption),
     ("table1", run_table1),
     ("table2", run_table2),
     ("area", run_area_overhead),

@@ -35,7 +35,7 @@ class TestExport:
         expected = {
             "table1", "table2", "fig1", "fig2", "fig3", "fig7_left",
             "fig7_right", "fig8_speedup", "fig8_energy", "fig9_left",
-            "fig9_right", "area", "catalog_devices",
+            "fig9_right", "fig9_preemption", "area", "catalog_devices",
         }
         assert set(EXPERIMENT_RUNNERS) == expected
 

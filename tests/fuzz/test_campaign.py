@@ -29,7 +29,7 @@ def test_injected_campaign_flags_only_ladder_slots():
         CAMPAIGN_SEED, range(16), inject="invert_priority"
     )
     failed = [record.index for record in records if record.failed]
-    assert failed == [2, 10]  # the two priority_ladder slots in 0..15
+    assert failed == [2, 11]  # the two priority_ladder slots in 0..15
     for record in records:
         if record.failed:
             assert record.oracles == ("priority_order",)

@@ -43,7 +43,7 @@ def test_injected_run_fails_and_saves_reproducers(capsys, tmp_path):
     saved = sorted(path.name for path in repro_dir.glob("*.json"))
     assert saved == [
         "c000002-priority_ladder.json",
-        "c000010-priority_ladder.json",
+        "c000011-priority_ladder.json",
     ]
 
 

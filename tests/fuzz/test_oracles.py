@@ -26,6 +26,7 @@ def test_oracle_names_are_stable():
         "frame_atomicity",
         "merge",
         "monotone_events",
+        "preemption_bound",
         "priority_order",
         "report_roundtrip",
         "reports_agree",
