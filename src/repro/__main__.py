@@ -348,10 +348,41 @@ def _scenario_from_args(args, platform: str | None, command: str) -> ScenarioSpe
     return scenario
 
 
+def _make_tracer(args):
+    """A fresh :class:`~repro.obs.trace.Tracer` when ``--trace-out`` asks.
+
+    Returns ``None`` otherwise, so every engine trace site stays on its
+    zero-overhead path (tracing is strictly opt-in per invocation).
+    """
+    if getattr(args, "trace_out", None) is None:
+        return None
+    from repro.obs import Tracer
+
+    return Tracer()
+
+
+def _save_trace_out(tracer, args, name: str) -> None:
+    """Write the collected trace as Chrome/Perfetto JSON and say where."""
+    if tracer is None:
+        return
+    from repro.obs import save_chrome_trace
+
+    save_chrome_trace(tracer, args.trace_out, name=name)
+    print(
+        f"perfetto trace ({len(tracer.records)} events) written to"
+        f" {args.trace_out}",
+        file=sys.stderr,
+    )
+
+
 def _cmd_scenario(args) -> int:
     scenario = _scenario_from_args(args, args.platform, "scenario")
     session = Session()
-    report = session.run_scenario(scenario, args.platform or None)
+    tracer = _make_tracer(args)
+    report = session.run_scenario(
+        scenario, args.platform or None, tracer=tracer
+    )
+    _save_trace_out(tracer, args, report.scenario)
     if args.json:
         print(report.to_json(indent=2))
         return 0
@@ -507,6 +538,7 @@ def _cmd_serve(args) -> int:
         for flag, value in (
             ("--trace", args.trace),
             ("--save-trace", args.save_trace),
+            ("--trace-out", args.trace_out),
             ("--rate", args.rate),
         ):
             if value is not None:
@@ -589,12 +621,16 @@ def _cmd_serve(args) -> int:
         scenario = apply_trace(scenario, ArrivalTrace.load(args.trace))
     session = Session()
     stats: dict = {}
+    tracer = _make_tracer(args)
     if args.streaming:
         report = session.run_serving_stream(
-            scenario, platform or None, stats_out=stats
+            scenario, platform or None, stats_out=stats, tracer=tracer
         )
     else:
-        report = session.run_serving(scenario, platform or None)
+        report = session.run_serving(
+            scenario, platform or None, tracer=tracer
+        )
+    _save_trace_out(tracer, args, report.scenario)
     if args.save_trace:
         trace_scenario(scenario).save(args.save_trace)
     if args.json:
@@ -802,6 +838,33 @@ def _cmd_cluster_status(args) -> int:
         f"  cache: {cache['timings']} timings / {cache['windows']} windows;"
         f" {cache['hits']} hits / {cache['misses']} misses"
     )
+    frames = status.get("frames")
+    if frames:
+        print(
+            f"  frames: {frames['offered']} offered,"
+            f" {frames['completed']} completed, {frames['dropped']} dropped,"
+            f" {frames['missed']} missed, {frames['preempted']} preempted"
+        )
+    return 0
+
+
+def _cmd_cluster_metrics(args) -> int:
+    from repro.cluster import ClusterClient
+    from repro.obs import merge_snapshots, render_prometheus
+
+    snapshots = []
+    for address in args.addresses:
+        with ClusterClient(address) as client:
+            snapshots.append(client.metrics()["metrics"])
+    merged = snapshots[0]
+    for snapshot in snapshots[1:]:
+        merged = merge_snapshots(merged, snapshot)
+    if args.json:
+        import json
+
+        print(json.dumps(merged, indent=2, sort_keys=True))
+        return 0
+    print(render_prometheus(merged), end="")
     return 0
 
 
@@ -881,6 +944,8 @@ def _cmd_cluster(args) -> int:
         return _cmd_cluster_serve(args)
     if args.cluster_command == "status":
         return _cmd_cluster_status(args)
+    if args.cluster_command == "metrics":
+        return _cmd_cluster_metrics(args)
     if args.cluster_command == "sweep":
         return _cmd_cluster_sweep(args)
     if args.cluster_command == "serving":
@@ -1238,6 +1303,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_engine_flag(scenario_parser)
     scenario_parser.add_argument(
+        "--trace-out", default=None, metavar="FILE", dest="trace_out",
+        help="write a Chrome/Perfetto trace of the run (ui.perfetto.dev)",
+    )
+    scenario_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
 
@@ -1332,6 +1401,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_engine_flag(serve_parser)
     serve_parser.add_argument(
+        "--trace-out", default=None, metavar="FILE", dest="trace_out",
+        help="write a Chrome/Perfetto trace of the run (ui.perfetto.dev)",
+    )
+    serve_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
 
@@ -1372,6 +1445,19 @@ def main(argv: list[str] | None = None) -> int:
     cstatus_parser.add_argument("address", help="server address host:port")
     cstatus_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    cmetrics_parser = cluster_sub.add_parser(
+        "metrics",
+        help="merged metrics across servers (Prometheus text or JSON)",
+    )
+    cmetrics_parser.add_argument(
+        "addresses", nargs="+", metavar="ADDRESS",
+        help="server address host:port (repeatable; snapshots merge)",
+    )
+    cmetrics_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the merged snapshot as JSON instead of Prometheus text",
     )
 
     csweep_parser = cluster_sub.add_parser(

@@ -34,6 +34,8 @@ from repro.errors import BatchRequestError, ConfigError
 from repro.gemm.cache import CacheStats, TimingCache, process_cache
 from repro.gemm.executor import GemmExecutor
 from repro.gemm.problem import GemmProblem
+from repro.obs.metrics import record_report_metrics
+from repro.obs.selfprof import profile_phase
 from repro.platforms.base import Platform
 from repro.schedule.streams import ScenarioSpec, instantiate_frames
 from repro.schedule.timeline import TimelineScheduler
@@ -82,6 +84,13 @@ class Session:
         the dispatcher's default). Raise it when single shards simulate
         longer than the default 10 minutes, or a busy server is
         misclassified as dead and its shard re-dispatched.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`. When set,
+        every report this session produces increments the serving/report
+        counters (:func:`~repro.obs.metrics.record_report_metrics`) and
+        the scenario pipeline self-profiles its phases (``lower``,
+        ``instantiate``, ``schedule``) into ``phase_seconds`` histograms.
+        Attaching a registry never changes a report — observation only.
     """
 
     def __init__(
@@ -90,6 +99,7 @@ class Session:
         cache_path: "str | Path | None" = None,
         cluster: "str | Sequence[str] | None" = None,
         cluster_timeout_s: float | None = None,
+        metrics=None,
     ) -> None:
         self.cache = cache if cache is not None else process_cache()
         self.cache_path = Path(cache_path) if cache_path is not None else None
@@ -102,6 +112,7 @@ class Session:
         else:
             self.cluster = tuple(cluster)
         self.cluster_timeout_s = cluster_timeout_s
+        self.metrics = metrics
         self._platforms: dict[tuple, Platform] = {}
         self._executors: dict[tuple, GemmExecutor] = {}
         self._models: dict[str, LayerGraph] = {}
@@ -188,7 +199,7 @@ class Session:
             self.cache.peek_timing(executor.cache_key(problem)) is not None
         )
         timing = executor.time_gemm(problem)
-        return GemmReport.from_timing(
+        report = GemmReport.from_timing(
             timing,
             platform=spec,
             cached=cached,
@@ -196,6 +207,9 @@ class Session:
             dataflow=flow.value if flow is not None else None,
             scheduler=scheduler,
         )
+        if self.metrics is not None:
+            record_report_metrics(self.metrics, report)
+        return report
 
     def run_model(
         self,
@@ -215,9 +229,12 @@ class Session:
         result = self.platform(platform, **(platform_kwargs or {})).run_model(
             graph
         )
-        return ModelReport.from_result(
+        report = ModelReport.from_result(
             result, model=model, platform=platform, tag=tag
         )
+        if self.metrics is not None:
+            record_report_metrics(self.metrics, report)
+        return report
 
     def run_scenario(
         self,
@@ -227,6 +244,7 @@ class Session:
         tag: str | None = None,
         platform_kwargs: dict | None = None,
         engine: str | None = None,
+        tracer=None,
     ) -> ScheduleReport:
         """Schedule a multi-stream scenario on one platform's timeline.
 
@@ -237,14 +255,19 @@ class Session:
         stream's model is lowered once from reset platform state (so
         pricing is deterministic per request), frames are instantiated
         with the stream's priority/period/skip settings, and the scenario
-        policy schedules the whole task set.
+        policy schedules the whole task set. ``tracer`` — an optional
+        :class:`~repro.obs.trace.Tracer` — records the structured event
+        stream without changing the report by a byte.
         """
         spec, platform_spec, plan, timeline = self._schedule_scenario(
-            scenario, platform, platform_kwargs, engine=engine
+            scenario, platform, platform_kwargs, engine=engine, tracer=tracer
         )
-        return ScheduleReport.from_timeline(
+        report = ScheduleReport.from_timeline(
             spec, platform_spec, timeline, plan, tag=tag
         )
+        if self.metrics is not None:
+            record_report_metrics(self.metrics, report)
+        return report
 
     def run_serving(
         self,
@@ -254,6 +277,7 @@ class Session:
         tag: str | None = None,
         platform_kwargs: dict | None = None,
         engine: str | None = None,
+        tracer=None,
     ) -> ServingReport:
         """Serve a scenario open-loop and report tail latencies and drops.
 
@@ -262,14 +286,18 @@ class Session:
         arrival times, and the scenario's ``qos`` admission policy may
         drop frames — but the result is a :class:`ServingReport`:
         per-stream p50/p95/p99 latency, goodput, and per-frame outcome
-        records, the serving-side view of the same timeline.
+        records, the serving-side view of the same timeline. ``tracer``
+        records the structured event stream without changing the report.
         """
         spec, platform_spec, plan, timeline = self._schedule_scenario(
-            scenario, platform, platform_kwargs, engine=engine
+            scenario, platform, platform_kwargs, engine=engine, tracer=tracer
         )
-        return ServingReport.from_timeline(
+        report = ServingReport.from_timeline(
             spec, platform_spec, timeline, plan, tag=tag
         )
+        if self.metrics is not None:
+            record_report_metrics(self.metrics, report)
+        return report
 
     def run_serving_split(
         self,
@@ -318,6 +346,7 @@ class Session:
         keep_records: bool = False,
         max_events: int | None = None,
         stats_out: dict | None = None,
+        tracer=None,
     ) -> ServingReport:
         """Serve a scenario through the bounded-memory streaming engine.
 
@@ -336,16 +365,21 @@ class Session:
         scenario, platform_spec, target, templates = self._lower_scenario(
             scenario, platform, platform_kwargs
         )
-        return serve_streaming(
-            scenario,
-            templates,
-            interference=target.interference_matrix(),
-            platform=platform_spec,
-            tag=tag,
-            keep_records=keep_records,
-            max_events=max_events,
-            stats_out=stats_out,
-        )
+        with profile_phase(self.metrics, "schedule"):
+            report = serve_streaming(
+                scenario,
+                templates,
+                interference=target.interference_matrix(),
+                platform=platform_spec,
+                tag=tag,
+                keep_records=keep_records,
+                max_events=max_events,
+                stats_out=stats_out,
+                tracer=tracer,
+            )
+        if self.metrics is not None:
+            record_report_metrics(self.metrics, report)
+        return report
 
     def _lower_scenario(
         self,
@@ -373,12 +407,13 @@ class Session:
             )
         target = self.platform(platform_spec, **kwargs)
         templates = {}
-        for stream in scenario.streams:
+        with profile_phase(self.metrics, "lower"):
+            for stream in scenario.streams:
+                target.reset_schedule_state()
+                templates[stream.name] = target.lower_model(
+                    self.model(stream.model), stream=stream.name
+                )
             target.reset_schedule_state()
-            templates[stream.name] = target.lower_model(
-                self.model(stream.model), stream=stream.name
-            )
-        target.reset_schedule_state()
         return scenario, platform_spec, target, templates
 
     def _schedule_scenario(
@@ -387,19 +422,24 @@ class Session:
         platform: str | None,
         platform_kwargs: dict | None,
         engine: str | None = None,
+        tracer=None,
     ):
         """Lower, instantiate, and schedule one scenario (shared path)."""
         scenario, platform_spec, target, templates = self._lower_scenario(
             scenario, platform, platform_kwargs
         )
-        plan = instantiate_frames(scenario, templates)
+        with profile_phase(self.metrics, "instantiate"):
+            plan = instantiate_frames(scenario, templates)
         scheduler = TimelineScheduler(
             scenario.policy,
             qos=make_qos(scenario.qos),
             interference=target.interference_matrix(),
             engine=engine,
+            tracer=tracer,
         )
-        return scenario, platform_spec, plan, scheduler.run(plan.tasks)
+        with profile_phase(self.metrics, "schedule"):
+            timeline = scheduler.run(plan.tasks)
+        return scenario, platform_spec, plan, timeline
 
     def run_request(
         self,

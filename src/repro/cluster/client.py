@@ -118,6 +118,15 @@ class ClusterClient:
             )
         return response
 
+    def metrics(self) -> dict:
+        """The server's metrics snapshot (mergeable; see ``repro.obs``)."""
+        response = self._rpc(protocol.metrics_message())
+        if response.get("type") != "metrics":
+            raise ClusterProtocolError(
+                f"expected a metrics frame, got {response.get('type')!r}"
+            )
+        return response
+
     def submit_points(
         self, points, framework_overhead_s: float | None = None
     ) -> tuple[dict, CacheEntries]:

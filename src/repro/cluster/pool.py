@@ -24,6 +24,7 @@ from repro.api.results import GemmReport, ModelReport
 from repro.api.session import Session
 from repro.errors import ConfigError
 from repro.gemm.cache import CacheEntries, TimingCache
+from repro.obs.metrics import MetricsRegistry
 from repro.sweep.workers import (
     _ShardPayload,
     _run_shard,
@@ -48,7 +49,8 @@ class WarmPool:
             raise ConfigError(f"pool jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache if cache is not None else TimingCache()
-        self._session = Session(cache=self.cache)
+        self.metrics = MetricsRegistry()
+        self._session = Session(cache=self.cache, metrics=self.metrics)
         self._executor: ProcessPoolExecutor | None = None
         self._lock = threading.Lock()
         self.submissions = 0
@@ -89,6 +91,8 @@ class WarmPool:
                 ]
                 for outcome in self._pool().map(_run_shard, payloads):
                     self.cache.merge(outcome.cache)
+                    if outcome.metrics is not None:
+                        self.metrics.merge(outcome.metrics)
                     for request_id, report in outcome.reports:
                         reports[request_id] = report
             after = self.cache.export_entries()
@@ -97,9 +101,15 @@ class WarmPool:
         return reports, after.minus(before)
 
     def status(self) -> dict:
-        """Counters for the ``status`` verb (all plain primitives)."""
+        """Counters for the ``status`` verb (all plain primitives).
+
+        ``frames`` summarizes serving outcomes across every submission
+        this pool ran — offered/completed/dropped/missed/preempted —
+        the load signals a future autoscaler keys on (ROADMAP item 5a).
+        """
         entries = self.cache.export_entries()
         stats = entries.stats
+        counter = self.metrics.counter_value
         return {
             "jobs": self.jobs,
             "submissions": self.submissions,
@@ -112,7 +122,18 @@ class WarmPool:
                 "window_hits": stats.window_hits,
                 "window_misses": stats.window_misses,
             },
+            "frames": {
+                "offered": counter("frames_offered_total"),
+                "completed": counter("frames_completed_total"),
+                "dropped": counter("frames_dropped_total"),
+                "missed": counter("frames_missed_total"),
+                "preempted": counter("frames_preempted_total"),
+            },
         }
+
+    def metrics_snapshot(self) -> dict:
+        """The pool's mergeable metrics snapshot (the ``metrics`` verb)."""
+        return self.metrics.snapshot()
 
     def close(self) -> None:
         if self._executor is not None:

@@ -7,6 +7,7 @@ rather than mis-parsing it. The verbs:
 
 * ``hello`` / ``welcome`` — handshake and server introspection;
 * ``status`` — pool and cache counters of a running server;
+* ``metrics`` — the server's mergeable metrics-registry snapshot;
 * ``submit`` / ``result`` — a shard of sweep points out, typed reports
   plus a :class:`~repro.gemm.cache.CacheEntries` delta back;
 * ``drain`` / ``shutdown`` — lifecycle, acknowledged with ``ok``;
@@ -217,6 +218,17 @@ def status_message() -> dict:
     return {"v": PROTOCOL_VERSION, "type": "status"}
 
 
+def metrics_message() -> dict:
+    """Ask a server for its metrics snapshot (see ``repro.obs.metrics``).
+
+    The reply's ``metrics`` object is a registry snapshot — counters,
+    gauges, and histogram sketch multisets — that merges associatively
+    with any other server's, so a client can fold a whole fleet into one
+    view in any order.
+    """
+    return {"v": PROTOCOL_VERSION, "type": "metrics"}
+
+
 def drain_message() -> dict:
     return {"v": PROTOCOL_VERSION, "type": "drain"}
 
@@ -368,6 +380,7 @@ __all__ = [
     "fuzz_message",
     "fuzz_result_message",
     "hello_message",
+    "metrics_message",
     "parse_fuzz_result",
     "parse_result",
     "point_from_wire",

@@ -27,6 +27,7 @@ from repro.errors import (
     ProtocolVersionError,
 )
 from repro.gemm.cache import TimingCache
+from repro.obs.selfprof import profile_phase
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -158,6 +159,8 @@ class ClusterServer:
             return self._welcome(), False
         if verb == "status":
             return self._status(), False
+        if verb == "metrics":
+            return self._metrics(), False
         if verb == "drain":
             with self._idle:
                 self.state = "draining"
@@ -210,7 +213,8 @@ class ClusterServer:
                     False,
                 )
             try:
-                reports, cache = self.pool.run_points(points, overhead)
+                with profile_phase(self.pool.metrics, "rpc_submit"):
+                    reports, cache = self.pool.run_points(points, overhead)
                 return protocol.result_message(reports, cache), False
             except Exception as error:
                 return (
@@ -256,13 +260,14 @@ class ClusterServer:
                     False,
                 )
             try:
-                records = run_indices(
-                    seed,
-                    indices,
-                    shrink=shrink,
-                    inject=inject,
-                    differential=differential,
-                )
+                with profile_phase(self.pool.metrics, "rpc_fuzz"):
+                    records = run_indices(
+                        seed,
+                        indices,
+                        shrink=shrink,
+                        inject=inject,
+                        differential=differential,
+                    )
                 return protocol.fuzz_result_message(records), False
             except Exception as error:
                 return (
@@ -302,6 +307,15 @@ class ClusterServer:
             "address": self.address,
             "inflight": self._inflight,
             **self.pool.status(),
+        }
+
+    def _metrics(self) -> dict:
+        return {
+            "v": protocol.PROTOCOL_VERSION,
+            "type": "metrics",
+            "state": self.state,
+            "address": self.address,
+            "metrics": self.pool.metrics_snapshot(),
         }
 
 

@@ -278,14 +278,18 @@ class CaseResult:
         return self.plan.tasks
 
 
-def run_case(case: FuzzCase, engine: str | None = None) -> CaseResult:
+def run_case(
+    case: FuzzCase, engine: str | None = None, tracer=None
+) -> CaseResult:
     """Execute one case through the timeline engine and assemble reports.
 
     ``engine`` picks the timeline execution core (``"scalar"`` /
     ``"vectorized"``); ``None`` defers to the process default. The
     differential oracle re-runs a case on the other engine and treats any
     report difference as a violation — the two cores are pinned
-    bit-identical.
+    bit-identical. ``tracer`` attaches an observation-only
+    :class:`~repro.obs.trace.Tracer` — the trace-transparency oracle
+    asserts it changes nothing.
 
     Raises :class:`~repro.errors.SchedulingError` if the engine itself
     fails — the caller (see :func:`repro.fuzz.oracles.evaluate_case`)
@@ -310,6 +314,7 @@ def run_case(case: FuzzCase, engine: str | None = None) -> CaseResult:
             else None
         ),
         engine=engine,
+        tracer=tracer,
     )
     timeline = scheduler.run(list(plan.tasks))
     return CaseResult(

@@ -56,12 +56,15 @@ JSON), **report_roundtrip** (``to_json``/``from_dict`` is lossless),
 **trace_roundtrip** (materializing the arrival trace and replaying it
 reproduces the run bit-for-bit), **merge** (splitting the replayed
 scenario into partitions and merging the per-partition serving reports
-is self-consistent), and **crash** (the engine raised instead of
-scheduling). With ``differential=True`` it additionally re-runs the
-case on the *other* timeline engine (scalar vs vectorized) and flags
-**engine_divergence** when the reports are not byte-identical — the two
-cores are pinned to the same arithmetic, so any difference is a bug in
-one of them.
+is self-consistent), **trace_transparency** (attaching a
+:class:`~repro.obs.trace.Tracer` changes no report byte — observation
+must not perturb the simulation), and **crash** (the engine raised
+instead of scheduling). With ``differential=True`` it additionally
+re-runs the case on the *other* timeline engine (scalar vs vectorized)
+and flags **engine_divergence** when the reports are not byte-identical
+— the two cores are pinned to the same arithmetic, so any difference is
+a bug in one of them — and extends **trace_transparency** to demand the
+two engines emit the identical trace event sequence.
 """
 
 from __future__ import annotations
@@ -72,7 +75,7 @@ from dataclasses import dataclass, replace
 from repro.common.stats import percentile
 from repro.errors import ConfigError, SchedulingError
 from repro.fuzz.cases import CaseResult, FuzzCase, run_case
-from repro.schedule.timeline import OpTask, Timeline
+from repro.schedule.timeline import OpTask, Timeline, default_engine
 
 #: Tolerances. Exact-derivation checks (recomputing a value the same way
 #: the reporting code did) compare to _EXACT; inequality checks on
@@ -97,6 +100,7 @@ ORACLE_NAMES = (
     "reports_agree",
     "serving_consistency",
     "trace_roundtrip",
+    "trace_transparency",
 )
 
 
@@ -562,11 +566,18 @@ def assert_reports_agree(schedule, serving) -> None:
 # -- whole-case evaluation -------------------------------------------------------------
 @dataclass(frozen=True)
 class CaseOutcome:
-    """One case's verdict: the case and every oracle violation found."""
+    """One case's verdict: the case and every oracle violation found.
+
+    ``engine`` records which timeline core produced this verdict (the
+    resolved ``REPRO_ENGINE`` default at evaluation time), so a crash or
+    differential failure is replayable verbatim — run the reproducer
+    with ``REPRO_ENGINE=<engine>`` and the same core re-executes it.
+    """
 
     case: FuzzCase
     violations: tuple[Violation, ...]
     result: CaseResult | None = None
+    engine: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -694,6 +705,69 @@ def _trace_roundtrip_violations(
     return []
 
 
+def _trace_transparency_violations(
+    case: FuzzCase, result: CaseResult, differential: bool = False
+) -> list[Violation]:
+    """Observation must not perturb: a tracer changes no report byte.
+
+    Under ``differential`` the recorded event sequence is additionally
+    compared across the two engines — the trace-parity contract both
+    cores are pinned to.
+    """
+    # Deferred import: the oracle pack must not require repro.obs at
+    # import time.
+    from repro.obs.trace import Tracer
+    from repro.schedule.timeline import ENGINE_NAMES
+
+    tracer = Tracer()
+    try:
+        rerun = run_case(case, tracer=tracer)
+    except Exception as error:  # noqa: BLE001 - any failure is the finding
+        return [
+            Violation(
+                "trace_transparency",
+                f"the engine raised with a tracer attached: {error}",
+            )
+        ]
+    problems = []
+    for label, first, second in (
+        ("schedule", result.schedule, rerun.schedule),
+        ("serving", result.serving, rerun.serving),
+    ):
+        if first.to_json() != second.to_json():
+            problems.append(
+                Violation(
+                    "trace_transparency",
+                    f"{label} report changed when a tracer was attached to"
+                    f" case {case.case_id!r}",
+                )
+            )
+    if differential:
+        ran = default_engine()
+        other = next(name for name in ENGINE_NAMES if name != ran)
+        other_tracer = Tracer()
+        try:
+            run_case(case, engine=other, tracer=other_tracer)
+        except Exception as error:  # noqa: BLE001 - any failure is the finding
+            problems.append(
+                Violation(
+                    "trace_transparency",
+                    f"the {other} engine raised with a tracer attached:"
+                    f" {error}",
+                )
+            )
+            return problems
+        if tracer.records != other_tracer.records:
+            problems.append(
+                Violation(
+                    "trace_transparency",
+                    f"the {ran} and {other} engines emitted different trace"
+                    f" event sequences for case {case.case_id!r}",
+                )
+            )
+    return problems
+
+
 def _merge_violations(case: FuzzCase, partitions: int = 2) -> list[Violation]:
     # Deferred import: pulling the cluster package here would make the
     # oracle pack depend on socket machinery it never uses.
@@ -775,12 +849,14 @@ def evaluate_case(
     ``crash`` violation; :class:`~repro.errors.ConfigError` propagates —
     an invalid case is a generator bug, not an engine finding.
     """
+    engine = default_engine()
     try:
         result = run_case(case)
     except SchedulingError as error:
         return CaseOutcome(
             case=case,
             violations=(Violation("crash", f"engine raised: {error}"),),
+            engine=engine,
         )
     violations: list[Violation] = []
     tasks = result.tasks
@@ -828,8 +904,16 @@ def evaluate_case(
         violations.extend(_determinism_violations(case, result))
         violations.extend(_trace_roundtrip_violations(case, result))
         violations.extend(_merge_violations(case))
+        violations.extend(
+            _trace_transparency_violations(
+                case, result, differential=differential
+            )
+        )
     return CaseOutcome(
-        case=case, violations=tuple(violations), result=result
+        case=case,
+        violations=tuple(violations),
+        result=result,
+        engine=engine,
     )
 
 

@@ -46,18 +46,26 @@ from repro.fuzz.oracles import CaseOutcome, Violation, evaluate_case
 
 #: Oracles whose detection requires the extra engine runs of the deep
 #: pack; chasing one of these disables the cheap-mode shortcut.
-_DEEP_ORACLES = frozenset({"determinism", "trace_roundtrip", "merge"})
+_DEEP_ORACLES = frozenset(
+    {"determinism", "trace_roundtrip", "trace_transparency", "merge"}
+)
 
 
 @dataclass(frozen=True)
 class Reproducer:
-    """A minimized failing case plus the violations it must reproduce."""
+    """A minimized failing case plus the violations it must reproduce.
+
+    ``engine`` names the timeline core the final verdict ran on, so a
+    differential or crash finding replays verbatim: run the replay with
+    ``REPRO_ENGINE=<engine>`` and the same core re-executes the case.
+    """
 
     case: FuzzCase
     oracles: tuple[str, ...]
     violations: tuple[Violation, ...]
     campaign_seed: int | None = None
     index: int | None = None
+    engine: str | None = None
 
     def to_dict(self) -> dict:
         payload: dict = {
@@ -72,6 +80,8 @@ class Reproducer:
             payload["campaign_seed"] = self.campaign_seed
         if self.index is not None:
             payload["index"] = self.index
+        if self.engine is not None:
+            payload["engine"] = self.engine
         return payload
 
     def to_json(self, indent: int | None = None) -> str:
@@ -98,6 +108,7 @@ class Reproducer:
             ),
             campaign_seed=data.get("campaign_seed"),
             index=data.get("index"),
+            engine=data.get("engine"),
         )
 
     @classmethod
@@ -282,6 +293,7 @@ def shrink_case(
         violations=kept,
         campaign_seed=campaign_seed,
         index=index,
+        engine=final.engine,
     )
 
 

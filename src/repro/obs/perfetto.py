@@ -1,0 +1,250 @@
+"""Chrome-trace-event export: open simulator timelines in ui.perfetto.dev.
+
+:func:`export_chrome_trace` renders a :class:`~repro.obs.trace.Tracer`
+(or any iterable of :class:`~repro.obs.trace.TraceEvent`) into the
+Chrome trace event format (the JSON Perfetto ingests natively):
+
+* one **thread track per stream** carrying complete (``ph="X"``) slices
+  for every kernel execution, with queueing rendered as async
+  (``ph="b"``/``"e"``) spans from the frame's release to its dispatch;
+* one **counter track per resource kind** (SIMD/ARRAY/TC/TRANSFER/...)
+  stepping the number of resident kernels claiming that resource, which
+  Perfetto draws as a utilization area chart;
+* **instant events** (``ph="i"``) for drops, aborts, and preemption
+  deschedules, labeled with the QoS reason.
+
+Timestamps are microseconds (the format's unit); simulation time starts
+at 0 so traces from different runs line up when opened side by side.
+:func:`validate_chrome_trace` is the schema gate CI runs on the exported
+``fig9_preemption`` trace.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+#: Fixed process ids so track grouping is stable across exports.
+STREAM_PID = 1
+QUEUE_PID = 1
+RESOURCE_PID = 2
+
+#: ph="i" scope: thread-scoped so the arrow lands on the stream's track.
+INSTANT_SCOPE = "t"
+
+_INSTANT_KINDS = ("drop", "abort", "deschedule")
+
+
+def _us(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def export_chrome_trace(trace, *, name: str = "repro") -> dict:
+    """The Chrome trace-event payload for one recorded trace."""
+    events = trace.events if hasattr(trace, "events") else tuple(trace)
+    stream_tids: dict[str, int] = {}
+    open_spans: dict[int, object] = {}
+    resource_level: dict[str, int] = {}
+    trace_events: list[dict] = []
+
+    def tid(stream: str) -> int:
+        if stream not in stream_tids:
+            stream_tids[stream] = len(stream_tids) + 1
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "pid": STREAM_PID,
+                    "tid": stream_tids[stream],
+                    "name": "thread_name",
+                    "args": {"name": f"stream {stream}"},
+                }
+            )
+        return stream_tids[stream]
+
+    def bump_resources(event, step: int) -> None:
+        for kind in event.resources:
+            resource_level[kind] = resource_level.get(kind, 0) + step
+            trace_events.append(
+                {
+                    "ph": "C",
+                    "pid": RESOURCE_PID,
+                    "tid": 0,
+                    "ts": _us(event.time_s),
+                    "name": f"resource {kind}",
+                    "args": {"resident": resource_level[kind]},
+                }
+            )
+
+    trace_events.append(
+        {
+            "ph": "M",
+            "pid": STREAM_PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": f"{name}: streams"},
+        }
+    )
+    trace_events.append(
+        {
+            "ph": "M",
+            "pid": RESOURCE_PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": f"{name}: resources"},
+        }
+    )
+
+    for event in events:
+        if event.kind == "begin":
+            open_spans[event.uid] = event
+            if event.release_s is not None and event.release_s < event.time_s:
+                trace_events.append(
+                    {
+                        "ph": "b",
+                        "cat": "queue",
+                        "id": event.uid,
+                        "pid": QUEUE_PID,
+                        "tid": tid(event.stream),
+                        "ts": _us(event.release_s),
+                        "name": f"queue {event.name}",
+                        "args": {"frame": event.frame},
+                    }
+                )
+                trace_events.append(
+                    {
+                        "ph": "e",
+                        "cat": "queue",
+                        "id": event.uid,
+                        "pid": QUEUE_PID,
+                        "tid": tid(event.stream),
+                        "ts": _us(event.time_s),
+                        "name": f"queue {event.name}",
+                    }
+                )
+            bump_resources(event, +1)
+        elif event.kind == "end":
+            begin = open_spans.pop(event.uid, None)
+            if begin is None:
+                raise ConfigError(
+                    f"trace ends kernel uid={event.uid} that never began"
+                )
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "cat": "kernel",
+                    "pid": STREAM_PID,
+                    "tid": tid(event.stream),
+                    "ts": _us(begin.time_s),
+                    "dur": _us(event.time_s - begin.time_s),
+                    "name": event.name,
+                    "args": {
+                        "frame": event.frame,
+                        "mode": event.mode,
+                        "uid": event.uid,
+                    },
+                }
+            )
+            bump_resources(_AtTime(begin.resources, event.time_s), -1)
+        elif event.kind == "switch":
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "s": INSTANT_SCOPE,
+                    "cat": "switch",
+                    "pid": STREAM_PID,
+                    "tid": tid(event.stream),
+                    "ts": _us(event.time_s),
+                    "name": f"mode switch -> {event.mode}",
+                    "args": {
+                        "frame": event.frame,
+                        "cost_us": _us(event.cost_s or 0.0),
+                    },
+                }
+            )
+        elif event.kind in _INSTANT_KINDS:
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "s": INSTANT_SCOPE,
+                    "cat": event.kind,
+                    "pid": STREAM_PID,
+                    "tid": tid(event.stream),
+                    "ts": _us(event.time_s),
+                    "name": f"{event.kind} {event.name}",
+                    "args": {
+                        "frame": event.frame,
+                        "reason": event.reason or "",
+                    },
+                }
+            )
+        else:
+            raise ConfigError(f"unknown trace event kind {event.kind!r}")
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+class _AtTime:
+    """A begin event's resources re-timestamped to the matching end."""
+
+    __slots__ = ("resources", "time_s")
+
+    def __init__(self, resources, time_s):
+        self.resources = resources
+        self.time_s = time_s
+
+
+def validate_chrome_trace(payload: dict) -> dict:
+    """Schema-check an exported payload; returns per-phase event counts.
+
+    Raises :class:`~repro.errors.ConfigError` on any malformed event —
+    the CI smoke job runs this over the ``fig9_preemption`` export.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigError(f"chrome trace must be an object, got {payload!r}")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ConfigError("chrome trace needs a traceEvents array")
+    counts: dict[str, int] = {}
+    for event in events:
+        if not isinstance(event, dict):
+            raise ConfigError(f"trace event must be an object, got {event!r}")
+        ph = event.get("ph")
+        if ph not in ("X", "C", "i", "M", "b", "e"):
+            raise ConfigError(f"unsupported trace event phase {ph!r}")
+        if "pid" not in event or "name" not in event:
+            raise ConfigError(f"trace event missing pid/name: {event!r}")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ConfigError(f"trace event has bad ts: {event!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ConfigError(f"complete event has bad dur: {event!r}")
+        if ph == "i" and event.get("s") not in ("t", "p", "g"):
+            raise ConfigError(f"instant event has bad scope: {event!r}")
+        counts[ph] = counts.get(ph, 0) + 1
+    return counts
+
+
+def save_chrome_trace(trace, path: "str | Path", *, name: str = "repro") -> Path:
+    """Export ``trace`` and write the JSON payload to ``path``."""
+    payload = export_chrome_trace(trace, name=name)
+    path = Path(path)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+__all__ = [
+    "INSTANT_SCOPE",
+    "QUEUE_PID",
+    "RESOURCE_PID",
+    "STREAM_PID",
+    "export_chrome_trace",
+    "save_chrome_trace",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,44 @@
+"""Per-phase self-profiling: attribute simulator wall-time to phases.
+
+:func:`profile_phase` wraps one phase of work (lowering, frame
+instantiation, scheduling, an RPC verb) and records its wall-clock
+duration into a registry **histogram** (``phase_seconds{phase=...}``).
+Durations go into P² sketches rather than float-sum counters because
+sketch-multiset merging is exact (see :mod:`repro.obs.metrics`) while
+float summation is not associative.
+
+Profiling is opt-in exactly like tracing: every call site passes the
+session's registry, and ``profile_phase(None, ...)`` is a shared no-op
+context manager, so a registry-less run pays one ``is None`` test.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from time import perf_counter
+
+#: Histogram family every phase duration lands in.
+PHASE_METRIC = "phase_seconds"
+
+_NULL = nullcontext()
+
+
+@contextmanager
+def _timed(registry, name: str):
+    start = perf_counter()
+    try:
+        yield
+    finally:
+        registry.histogram(PHASE_METRIC, phase=name).observe(
+            perf_counter() - start
+        )
+
+
+def profile_phase(registry, name: str):
+    """Context manager timing one phase into ``registry`` (no-op on None)."""
+    if registry is None:
+        return _NULL
+    return _timed(registry, name)
+
+
+__all__ = ["PHASE_METRIC", "profile_phase"]

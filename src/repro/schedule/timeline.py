@@ -267,6 +267,13 @@ class TimelineScheduler:
     analytic solo-chain fast path). Both produce bit-identical timelines;
     ``None`` defers to :func:`default_engine` (the ``REPRO_ENGINE``
     environment variable, scalar otherwise).
+
+    ``tracer`` is an optional :class:`~repro.obs.trace.Tracer`. Tracing
+    is observation-only — every site is guarded by ``is not None`` and
+    only appends to the tracer's log, so a traced run's Timeline (and
+    every report built from it) is bit-identical to an untraced one, and
+    both engines emit identical event sequences (the ``tests/obs``
+    parity gate).
     """
 
     def __init__(
@@ -276,11 +283,13 @@ class TimelineScheduler:
         qos=None,
         interference=None,
         engine: str | None = None,
+        tracer=None,
     ) -> None:
         self.policy = make_policy(policy)
         self.max_events = max_events
         self.qos = qos
         self.interference = interference
+        self.tracer = tracer
         if engine is None:
             engine = default_engine()
         if engine not in ENGINE_NAMES:
@@ -369,6 +378,7 @@ class TimelineScheduler:
         now = 0.0
         events = 0
         done = 0
+        tracer = self.tracer
 
         def admit_to_pending(follower: OpTask) -> None:
             position = 0
@@ -409,16 +419,17 @@ class TimelineScheduler:
                 dropped.add(task.uid)
                 if qos_preemptive:
                     frame_left[(task.stream, task.frame)] -= 1
-                drop_records.append(
-                    DropRecord(
-                        uid=task.uid,
-                        name=task.name,
-                        stream=task.stream,
-                        frame=task.frame,
-                        time_s=now,
-                        reason=reason,
-                    )
+                record = DropRecord(
+                    uid=task.uid,
+                    name=task.name,
+                    stream=task.stream,
+                    frame=task.frame,
+                    time_s=now,
+                    reason=reason,
                 )
+                drop_records.append(record)
+                if tracer is not None:
+                    tracer.instant("drop", record)
                 done += 1
                 if task in ready:
                     ready.remove(task)
@@ -505,17 +516,18 @@ class TimelineScheduler:
                 task = by_uid[uid]
                 dropped.add(uid)
                 frame_left[key] -= 1
-                preempt_records.append(
-                    PreemptRecord(
-                        uid=uid,
-                        name=task.name,
-                        stream=task.stream,
-                        frame=task.frame,
-                        time_s=now,
-                        reason=reason,
-                        action="abort",
-                    )
+                record = PreemptRecord(
+                    uid=uid,
+                    name=task.name,
+                    stream=task.stream,
+                    frame=task.frame,
+                    time_s=now,
+                    reason=reason,
+                    action="abort",
                 )
+                preempt_records.append(record)
+                if tracer is not None:
+                    tracer.instant("abort", record)
                 done += 1
                 if resume_uid == uid:
                     resume_uid = None
@@ -576,21 +588,24 @@ class TimelineScheduler:
                     task.uid != resume_uid for task in dispatched
                 ):
                     passed = by_uid[resume_uid]
-                    preempt_records.append(
-                        PreemptRecord(
-                            uid=passed.uid,
-                            name=passed.name,
-                            stream=passed.stream,
-                            frame=passed.frame,
-                            time_s=now,
-                            reason="priority",
-                            action="deschedule",
-                        )
+                    record = PreemptRecord(
+                        uid=passed.uid,
+                        name=passed.name,
+                        stream=passed.stream,
+                        frame=passed.frame,
+                        time_s=now,
+                        reason="priority",
+                        action="deschedule",
                     )
+                    preempt_records.append(record)
+                    if tracer is not None:
+                        tracer.instant("deschedule", record)
                 resume_uid = None
             for task in dispatched:
                 ready.remove(task)
                 start[task.uid] = now
+                if tracer is not None:
+                    tracer.begin(now, task)
                 if _touches_substrate(task):
                     if (
                         task.cross_switch_s > 0.0
@@ -602,6 +617,8 @@ class TimelineScheduler:
                         charged[task.uid] += task.cross_switch_s
                         mode_switches += 1
                         switch_overhead += task.cross_switch_s
+                        if tracer is not None:
+                            tracer.switch(now, task, task.cross_switch_s)
                     substrate_mode = task.mode
                     substrate_stream = task.stream
                 running.append(task)
@@ -688,6 +705,8 @@ class TimelineScheduler:
             for task in finished:
                 running.remove(task)
                 end[task.uid] = now
+                if tracer is not None:
+                    tracer.end(now, task)
                 completion_order.append(task.uid)
                 done += 1
                 if qos_preemptive:

@@ -118,6 +118,11 @@ class VectorCore:
     completion (``end_s`` set) or drop (``drop_record`` set). The
     callback may :meth:`inject` new tasks (streaming arrival feed) but
     must not mutate engine state otherwise.
+
+    ``tracer`` is an optional :class:`~repro.obs.trace.Tracer`; every
+    emission site mirrors the scalar engine's so the two cores produce
+    identical event sequences (the ``tests/obs`` parity gate), and the
+    tracer never touches engine floats (transparency gate).
     """
 
     def __init__(
@@ -128,6 +133,7 @@ class VectorCore:
         max_events: int = 10_000_000,
         collect: bool = True,
         on_resolve=None,
+        tracer=None,
     ) -> None:
         self.policy = policy
         self.qos = qos
@@ -135,6 +141,7 @@ class VectorCore:
         self.max_events = max_events
         self.collect = collect
         self.on_resolve = on_resolve
+        self.tracer = tracer
 
         self.by_uid: dict[int, OpTask] = {}
         self.unmet: dict[int, int] = {}
@@ -423,6 +430,8 @@ class VectorCore:
             )
             if self.collect:
                 self.drop_records.append(record)
+            if self.tracer is not None:
+                self.tracer.instant("drop", record)
             self.done += 1
             if self.qos_preemptive:
                 self._frame_resolved(task)
@@ -446,6 +455,8 @@ class VectorCore:
         uid = task.uid
         self.status[uid] = _DONE
         self.end[uid] = self.now
+        if self.tracer is not None:
+            self.tracer.end(self.now, task)
         if self.collect:
             self.completion_order.append(uid)
         self.done += 1
@@ -497,6 +508,8 @@ class VectorCore:
             )
             if self.collect:
                 self.preempt_records.append(record)
+            if self.tracer is not None:
+                self.tracer.instant("abort", record)
             self.done += 1
             if self.resume_uid == uid:
                 self.resume_uid = None
@@ -584,6 +597,8 @@ class VectorCore:
                 self.charged[task.uid] += task.cross_switch_s
                 self.mode_switches += 1
                 self.switch_overhead += task.cross_switch_s
+                if self.tracer is not None:
+                    self.tracer.switch(self.now, task, task.cross_switch_s)
             self.substrate_mode = task.mode
             self.substrate_stream = task.stream
 
@@ -638,6 +653,7 @@ class VectorCore:
         completion_order = self.completion_order
         on_resolve = self.on_resolve
         weight_of = self.policy.weight
+        tracer = self.tracer
         substrate_mode = self.substrate_mode
         substrate_stream = self.substrate_stream
         now = self.now
@@ -692,6 +708,8 @@ class VectorCore:
             # scalar PENDING push/pop pair is unobservable — skip it.
             status[uid] = _DONE
             end[uid] = now
+            if tracer is not None:
+                tracer.end(now, task)
             if collect:
                 completion_order.append(uid)
             done += 1
@@ -714,6 +732,8 @@ class VectorCore:
             # dispatch exactly it. Condense those three steps.
             status[succ_uid] = _RUNNING
             start[succ_uid] = now
+            if tracer is not None:
+                tracer.begin(now, successor)
             succ_key = (
                 id(successor.claims), weight_of(successor), successor.mode
             )
@@ -732,6 +752,8 @@ class VectorCore:
                     self.charged[succ_uid] += successor.cross_switch_s
                     self.mode_switches += 1
                     self.switch_overhead += successor.cross_switch_s
+                    if tracer is not None:
+                        tracer.switch(now, successor, successor.cross_switch_s)
                 substrate_mode = successor.mode
                 substrate_stream = successor.stream
             running.append(successor)
@@ -820,6 +842,8 @@ class VectorCore:
                     )
                     if self.collect:
                         self.preempt_records.append(record)
+                    if self.tracer is not None:
+                        self.tracer.instant("deschedule", record)
                 self.resume_uid = None
             if dispatched:
                 if len(dispatched) == len(self.ready):
@@ -830,6 +854,8 @@ class VectorCore:
                 for task in dispatched:
                     self.start[task.uid] = self.now
                     self.status[task.uid] = _RUNNING
+                    if self.tracer is not None:
+                        self.tracer.begin(self.now, task)
                     self._charge_substrate(task)
                     if qos is not None and task.frame_head:
                         self._queued_discard(task.uid)
@@ -949,6 +975,7 @@ def run_vectorized(scheduler, tasks) -> Timeline:
         interference=scheduler.interference,
         max_events=scheduler.max_events,
         collect=True,
+        tracer=scheduler.tracer,
     )
     core.inject(tasks)
     core.run_loop()

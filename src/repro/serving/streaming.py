@@ -98,6 +98,7 @@ def serve_streaming(
     keep_records: bool = False,
     max_events: int | None = None,
     stats_out: dict | None = None,
+    tracer=None,
 ) -> ServingReport:
     """Serve ``scenario`` through the streaming engine (see module doc).
 
@@ -105,7 +106,10 @@ def serve_streaming(
     for :func:`~repro.schedule.streams.instantiate_frames`. When
     ``stats_out`` is given, engine counters (``peak_live`` tasks,
     ``events``) are written into it — the memory-bound benchmarks gate
-    on ``peak_live`` staying at queue-depth scale.
+    on ``peak_live`` staying at queue-depth scale. ``tracer`` — an
+    optional :class:`~repro.obs.trace.Tracer` — records the engine's
+    structured events without changing the report by a byte (the trace
+    grows with trace length, so leave it off for million-frame runs).
     """
     sources = frame_sources(scenario, templates)
     if max_events is None:
@@ -123,6 +127,7 @@ def serve_streaming(
         interference=interference,
         max_events=max_events,
         collect=False,
+        tracer=tracer,
     )
 
     def inject_frame(state: _StreamState) -> None:

@@ -26,6 +26,7 @@ from repro.api.results import GemmReport, ModelReport
 from repro.api.session import Session
 from repro.errors import BatchRequestError, ConfigError
 from repro.gemm.cache import CacheEntries, CacheStats, TimingCache
+from repro.obs.metrics import MetricsRegistry
 from repro.sweep.grid import SweepGrid, SweepPoint, SweepSpec, expand
 from repro.sweep.store import ResultStore
 
@@ -92,10 +93,16 @@ class _ShardPayload:
 
 @dataclass(frozen=True)
 class ShardOutcome:
-    """One shard's reports (by request ID) plus its new cache entries."""
+    """One shard's reports (by request ID) plus its new cache entries.
+
+    ``metrics`` is the shard session's metrics snapshot
+    (:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`); snapshots
+    merge associatively, so fold-in order across shards is irrelevant.
+    """
 
     reports: tuple[tuple[str, GemmReport | ModelReport], ...]
     cache: CacheEntries
+    metrics: dict | None = None
 
 
 def _platform_kwargs(overhead: float | None) -> dict | None:
@@ -139,7 +146,7 @@ def run_shard_points(
         # process that produced them, not to this shard.
         baseline = replace(warm, stats=CacheStats())
         cache.merge(baseline)
-    session = Session(cache=cache)
+    session = Session(cache=cache, metrics=MetricsRegistry())
     reports = tuple(
         (
             point.request_id,
@@ -150,7 +157,9 @@ def run_shard_points(
     entries = cache.export_entries()
     if baseline is not None:
         entries = entries.minus(baseline)
-    return ShardOutcome(reports=reports, cache=entries)
+    return ShardOutcome(
+        reports=reports, cache=entries, metrics=session.metrics.snapshot()
+    )
 
 
 def _run_shard(payload: _ShardPayload) -> ShardOutcome:
@@ -256,6 +265,8 @@ def run_sweep(
         with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
             for result in pool.map(_run_shard, payloads):
                 session.cache.merge(result.cache)
+                if session.metrics is not None and result.metrics is not None:
+                    session.metrics.merge(result.metrics)
                 for request_id, report in result.reports:
                     executed[request_id] = report
                     if store is not None:

@@ -32,6 +32,7 @@ def test_oracle_names_are_stable():
         "reports_agree",
         "serving_consistency",
         "trace_roundtrip",
+        "trace_transparency",
     )
 
 

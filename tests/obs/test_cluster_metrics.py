@@ -1,0 +1,73 @@
+"""The cluster ``metrics`` verb: merged counters match local totals."""
+
+import pytest
+
+from repro.api import Session, TimingCache
+from repro.cluster import ClusterClient, ClusterServer
+from repro.obs import MetricsRegistry, merge_snapshots, render_prometheus
+from repro.sweep import SweepSpec, expand, run_sweep
+
+GRID = expand(SweepSpec(platforms=("sma:2",), gemms=(128, 256)))
+POINTS = tuple(GRID)
+
+
+@pytest.fixture()
+def server():
+    with ClusterServer(jobs=1) as srv:
+        srv.start()
+        yield srv
+
+
+def local_snapshot():
+    session = Session(cache=TimingCache(), metrics=MetricsRegistry())
+    run_sweep(GRID, session=session)
+    return session.metrics.snapshot()
+
+
+class TestMetricsVerb:
+    def test_counters_match_local_run(self, server):
+        with ClusterClient(server.address) as client:
+            client.submit_points(POINTS)
+            response = client.metrics()
+        assert response["type"] == "metrics"
+        assert response["address"] == server.address
+        remote = response["metrics"]
+        assert remote["counters"]  # the equality below must not be vacuous
+        assert remote["counters"] == local_snapshot()["counters"]
+        # The RPC self-profiling hook only exists server-side.
+        assert any(
+            key.startswith("phase_seconds") and 'phase="rpc_submit"' in key
+            for key in remote["histograms"]
+        )
+
+    def test_two_servers_merge_to_fleet_totals(self, server):
+        with ClusterServer(jobs=1) as second:
+            second.start()
+            with ClusterClient(server.address) as client:
+                client.submit_points(POINTS)
+            with ClusterClient(second.address) as client:
+                client.submit_points(POINTS)
+            snapshots = []
+            for address in (server.address, second.address):
+                with ClusterClient(address) as client:
+                    snapshots.append(client.metrics()["metrics"])
+        merged = merge_snapshots(*snapshots)
+        local = local_snapshot()["counters"]
+        doubled = {key: 2 * value for key, value in local.items()}
+        assert merged["counters"] == doubled
+
+    def test_status_surfaces_frame_summary(self, server):
+        with ClusterClient(server.address) as client:
+            status = client.status()
+        frames = status["frames"]
+        assert set(frames) == {
+            "offered", "completed", "dropped", "missed", "preempted"
+        }
+        assert all(value == 0 for value in frames.values())
+
+    def test_snapshot_renders_as_prometheus(self, server):
+        with ClusterClient(server.address) as client:
+            client.submit_points(POINTS)
+            snapshot = client.metrics()["metrics"]
+        text = render_prometheus(snapshot)
+        assert "# TYPE repro_reports_total counter" in text

@@ -1,0 +1,134 @@
+"""Metrics registry semantics, pinned where the fleet depends on them.
+
+The load-bearing property is that snapshot merging is associative and
+commutative — sweep workers and cluster servers merge in whatever order
+shards finish, and every order must agree. Hypothesis generates random
+snapshots and random merge trees to pin it.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.obs import (
+    MetricsRegistry,
+    histogram_stats,
+    merge_snapshots,
+    render_prometheus,
+    sample_key,
+    validate_snapshot,
+)
+
+_NAMES = st.sampled_from(
+    ("frames_offered_total", "frames_dropped_total", "rpc_total")
+)
+
+
+@st.composite
+def snapshots(draw):
+    """A registry-made snapshot: counters, gauges, and real P² sketches."""
+    registry = MetricsRegistry()
+    for name in draw(st.lists(_NAMES, max_size=3)):
+        registry.counter(name).inc(draw(st.integers(0, 1000)))
+    for value in draw(st.lists(st.floats(0, 100), max_size=2)):
+        registry.gauge("inflight_peak").high_water(value)
+    samples = draw(
+        st.lists(st.floats(0.001, 10.0), min_size=0, max_size=8)
+    )
+    for sample in samples:
+        registry.histogram("phase_seconds", phase="schedule").observe(sample)
+    return registry.snapshot()
+
+
+class TestMergeAlgebra:
+    @given(snapshots(), snapshots())
+    @settings(max_examples=40, deadline=None)
+    def test_commutative(self, a, b):
+        assert merge_snapshots(a, b) == merge_snapshots(b, a)
+
+    @given(snapshots(), snapshots(), snapshots())
+    @settings(max_examples=40, deadline=None)
+    def test_associative(self, a, b, c):
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        assert left == right
+
+    @given(snapshots())
+    @settings(max_examples=20, deadline=None)
+    def test_empty_is_identity(self, a):
+        empty = MetricsRegistry().snapshot()
+        assert merge_snapshots(a, empty) == validate_snapshot(a)
+
+    @given(snapshots(), snapshots())
+    @settings(max_examples=20, deadline=None)
+    def test_registry_merge_matches_functional_merge(self, a, b):
+        registry = MetricsRegistry()
+        registry.merge(a)
+        registry.merge(b)
+        assert registry.snapshot() == merge_snapshots(a, b)
+
+
+class TestSamples:
+    def test_counter_rejects_floats_and_negatives(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            registry.counter("x").inc(0.5)
+        with pytest.raises(ConfigError):
+            registry.counter("x").inc(-1)
+
+    def test_counter_value_does_not_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("absent") == 0
+        assert "absent" not in registry.snapshot()["counters"]
+
+    def test_labels_are_canonically_sorted(self):
+        assert sample_key("m", {"b": 1, "a": 2}) == 'm{a="2",b="1"}'
+        with pytest.raises(ConfigError):
+            sample_key('bad"name')
+
+    def test_gauge_merge_keeps_peak(self):
+        a = MetricsRegistry()
+        a.gauge("peak").set(3.0)
+        b = MetricsRegistry()
+        b.gauge("peak").set(7.0)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["gauges"]["peak"] == 7.0
+
+    def test_histogram_multiset_merge_is_exact(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            a.histogram("h").observe(value)
+        for value in (10.0, 20.0):
+            b.histogram("h").observe(value)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        stats = histogram_stats(merged["histograms"]["h"])
+        assert stats["count"] == 5
+        assert stats["total"] == pytest.approx(36.0)
+        assert stats["max"] == 20.0
+
+    def test_empty_local_histogram_stays_invisible(self):
+        registry = MetricsRegistry()
+        registry.histogram("queried_never_observed")
+        assert registry.snapshot()["histograms"] == {}
+
+
+class TestExposition:
+    def test_prometheus_text(self):
+        registry = MetricsRegistry()
+        registry.counter("frames_offered_total").inc(4)
+        registry.gauge("inflight_peak").set(2.0)
+        registry.histogram("phase_seconds", phase="lower").observe(0.5)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE repro_frames_offered_total counter" in text
+        assert "repro_frames_offered_total 4" in text
+        assert "repro_inflight_peak 2" in text
+        assert 'repro_phase_seconds_count{phase="lower"} 1' in text
+        assert text.endswith("\n")
+
+    def test_rejects_malformed_snapshot(self):
+        with pytest.raises(ConfigError):
+            validate_snapshot({"counters": []})
+        with pytest.raises(ConfigError):
+            validate_snapshot("nope")

@@ -1,0 +1,119 @@
+"""Chrome/Perfetto export schema, track structure, and the fig9 gate."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    RESOURCE_PID,
+    STREAM_PID,
+    Tracer,
+    export_chrome_trace,
+    save_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.schedule.policies import make_policy
+from repro.schedule.timeline import TimelineScheduler
+
+from tests.obs.test_trace_parity import (
+    inversion_tasks,
+    mode_switch_tasks,
+)
+
+
+def traced(tasks, policy="fifo"):
+    tracer = Tracer()
+    TimelineScheduler(make_policy(policy), tracer=tracer).run(list(tasks))
+    return tracer
+
+
+class TestExport:
+    def test_schema_and_phase_counts(self):
+        payload = export_chrome_trace(traced(mode_switch_tasks()))
+        counts = validate_chrome_trace(payload)
+        # 24 kernels -> 24 complete slices; switches surface as instants.
+        assert counts["X"] == 24
+        assert counts.get("i", 0) > 0
+        assert counts["C"] > 0
+
+    def test_stream_and_resource_tracks(self):
+        payload = export_chrome_trace(traced(mode_switch_tasks()))
+        events = payload["traceEvents"]
+        threads = {
+            event["args"]["name"]
+            for event in events
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert threads == {"stream det", "stream tra"}
+        counters = {
+            event["name"] for event in events if event["ph"] == "C"
+        }
+        assert counters == {"resource array", "resource simd"}
+        assert all(
+            event["pid"] == RESOURCE_PID
+            for event in events
+            if event["ph"] == "C"
+        )
+
+    def test_queueing_renders_as_async_spans(self):
+        payload = export_chrome_trace(traced(mode_switch_tasks()))
+        begins = [
+            event for event in payload["traceEvents"] if event["ph"] == "b"
+        ]
+        ends = [
+            event for event in payload["traceEvents"] if event["ph"] == "e"
+        ]
+        assert begins and len(begins) == len(ends)
+        assert all(event["cat"] == "queue" for event in begins)
+
+    def test_preemption_surfaces_as_deschedule_instant(self):
+        """The fig9 acceptance shape: an exclusive_preempt run must show
+        the low-priority stream's yield on its own track."""
+        payload = export_chrome_trace(
+            traced(inversion_tasks(), policy="exclusive_preempt"),
+            name="fig9_preemption",
+        )
+        validate_chrome_trace(payload)
+        instants = [
+            event
+            for event in payload["traceEvents"]
+            if event["ph"] == "i" and event["cat"] == "deschedule"
+        ]
+        assert len(instants) == 1
+        assert instants[0]["args"]["reason"] == "priority"
+        assert instants[0]["pid"] == STREAM_PID
+
+    def test_unbalanced_end_is_rejected(self):
+        tracer = Tracer()
+        tracer.records.append(
+            ("end", 1.0, 5, "ghost", "s", 0, "simd", None, (), None, None)
+        )
+        with pytest.raises(ConfigError, match="never began"):
+            export_chrome_trace(tracer)
+
+    def test_save_writes_valid_json(self, tmp_path):
+        import json
+
+        path = save_chrome_trace(
+            traced(mode_switch_tasks()), tmp_path / "trace.json", name="t"
+        )
+        validate_chrome_trace(json.loads(path.read_text()))
+
+
+class TestValidator:
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ConfigError, match="phase"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "Z", "pid": 1, "name": "x"}]}
+            )
+
+    def test_rejects_negative_ts(self):
+        with pytest.raises(ConfigError, match="ts"):
+            validate_chrome_trace(
+                {"traceEvents": [
+                    {"ph": "i", "s": "t", "pid": 1, "name": "x", "ts": -1}
+                ]}
+            )
+
+    def test_rejects_missing_events(self):
+        with pytest.raises(ConfigError, match="traceEvents"):
+            validate_chrome_trace({})

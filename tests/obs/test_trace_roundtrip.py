@@ -1,0 +1,83 @@
+"""Trace JSON round-trips, including the emitted-only-when-set fields."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import TraceEvent, Tracer
+
+FULL = TraceEvent(
+    kind="begin", time_s=0.25, uid=7, name="det/conv", stream="det",
+    frame=3, mode="systolic", release_s=0.1,
+    resources=("array", "simd"), reason=None, cost_s=None,
+)
+BARE = TraceEvent(
+    kind="end", time_s=1.0, uid=7, name="det/conv", stream="det", frame=3
+)
+
+
+class TestEventSerialization:
+    def test_defaults_are_omitted(self):
+        payload = BARE.to_dict()
+        assert set(payload) == {
+            "kind", "time_s", "uid", "name", "stream", "frame"
+        }
+
+    def test_set_fields_are_emitted(self):
+        payload = FULL.to_dict()
+        assert payload["mode"] == "systolic"
+        assert payload["release_s"] == 0.1
+        assert payload["resources"] == ["array", "simd"]
+        assert "reason" not in payload and "cost_s" not in payload
+
+    @pytest.mark.parametrize(
+        "event",
+        (
+            FULL,
+            BARE,
+            TraceEvent(kind="switch", time_s=0.5, uid=1, name="x",
+                       stream="s", frame=0, mode="systolic", cost_s=5e-4),
+            TraceEvent(kind="drop", time_s=0.5, uid=1, name="x",
+                       stream="s", frame=0, reason="deadline"),
+            TraceEvent(kind="deschedule", time_s=2.0, uid=9, name="y",
+                       stream="low", frame=1, reason="priority"),
+        ),
+    )
+    def test_event_roundtrip(self, event):
+        assert TraceEvent.from_dict(event.to_dict()) == event
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ConfigError, match="kind"):
+            TraceEvent(kind="teleport", time_s=0.0, uid=0, name="x",
+                       stream="s", frame=0)
+
+
+class TestTracerRoundtrip:
+    def _tracer(self):
+        tracer = Tracer()
+        for event in (FULL, BARE):
+            tracer.records.append(
+                (event.kind, event.time_s, event.uid, event.name,
+                 event.stream, event.frame, event.mode, event.release_s,
+                 event.resources, event.reason, event.cost_s)
+            )
+        return tracer
+
+    def test_records_survive_json(self):
+        tracer = self._tracer()
+        back = Tracer.from_json(tracer.to_json())
+        assert back.records == tracer.records
+        assert back.events == tracer.events
+
+    def test_save_load(self, tmp_path):
+        tracer = self._tracer()
+        path = tmp_path / "trace.json"
+        tracer.save(path)
+        assert Tracer.load(path).records == tracer.records
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(ConfigError, match="kind"):
+            Tracer.from_dict({"kind": "metrics", "events": []})
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(ConfigError, match="invalid"):
+            Tracer.from_json("{nope")
